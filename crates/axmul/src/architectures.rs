@@ -1,0 +1,261 @@
+//! Additional approximate-multiplier architectures (behavioural models).
+//!
+//! Beyond the paper's truncated-array family ([`TruncatedMul`]), this
+//! module provides final-product truncation (an ablation variant that keeps
+//! the carries the array truncation loses), Mitchell's logarithmic
+//! multiplier, and DRUM-style dynamic-range multiplication. They are used
+//! by the ablation benches and as extra catalogue entries.
+//!
+//! [`TruncatedMul`]: crate::TruncatedMul
+
+use crate::mult::{Multiplier, MAX_W_MAG, MAX_X_MAG};
+
+/// Final-product truncation: computes the exact product, then zeroes its
+/// `t` least-significant bits.
+///
+/// Unlike the paper's [`TruncatedMul`](crate::TruncatedMul) (which removes
+/// partial-product array columns and thereby loses their carries), this
+/// keeps all carries and only rounds the final result — a strictly smaller,
+/// still one-sided error. Useful as an ablation of "where the truncation
+/// happens".
+///
+/// ```
+/// use axnn_axmul::{Multiplier, ProductTruncMul};
+///
+/// let m = ProductTruncMul::new(3);
+/// assert_eq!(m.mul_mag(9, 3), 24); // 27 -> 0b11011 & !0b111
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductTruncMul {
+    lsbs: u32,
+    name: String,
+}
+
+impl ProductTruncMul {
+    /// Creates a multiplier truncating `lsbs` low bits of the final product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lsbs >= 12`.
+    pub fn new(lsbs: u32) -> Self {
+        assert!(lsbs < 12, "cannot truncate all 12 product bits");
+        Self {
+            lsbs,
+            name: format!("ptrunc{lsbs}"),
+        }
+    }
+
+    /// Number of truncated least-significant product bits.
+    pub fn lsbs(&self) -> u32 {
+        self.lsbs
+    }
+}
+
+impl Multiplier for ProductTruncMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        (x * w) >> self.lsbs << self.lsbs
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Mitchell's logarithmic multiplier: `x·w ≈ antilog(log₂x + log₂w)` with
+/// piecewise-linear log/antilog approximations.
+///
+/// The error is one-sided (Mitchell always under-estimates) with a worst
+/// case of about −11 %.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MitchellLogMul;
+
+impl MitchellLogMul {
+    /// Creates the multiplier.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Piecewise-linear log2 in fixed point: returns `(k, frac16)` where the
+    /// approximate log is `k + frac16 / 2¹⁶` and `2ᵏ ≤ v < 2ᵏ⁺¹`.
+    fn log2_approx(v: u32) -> (u32, u32) {
+        debug_assert!(v > 0);
+        let k = 31 - v.leading_zeros();
+        let frac = ((v as u64 - (1u64 << k)) << 16) >> k;
+        (k, frac as u32)
+    }
+}
+
+impl Multiplier for MitchellLogMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        if x == 0 || w == 0 {
+            return 0;
+        }
+        let (kx, fx) = Self::log2_approx(x);
+        let (kw, fw) = Self::log2_approx(w);
+        let mut k = kx + kw;
+        let mut f = fx as u64 + fw as u64; // up to ~2 in Q16
+        if f >= 1 << 16 {
+            k += 1;
+            f -= 1 << 16;
+        }
+        // antilog: 2^k * (1 + f)
+        (((1u64 << 16) + f) << k >> 16) as u32
+    }
+
+    fn name(&self) -> &str {
+        "mitchell"
+    }
+}
+
+/// A DRUM-style dynamic-range multiplier: each operand is reduced to its
+/// `k` leading bits, with the bit below the kept range forced to 1 to
+/// re-centre the truncation error (round-to-odd unbiasing).
+///
+/// ```
+/// use axnn_axmul::{DrumMul, Multiplier};
+///
+/// let m = DrumMul::new(3);
+/// // Small operands fit in k bits and are exact.
+/// assert_eq!(m.mul_mag(7, 5), 35);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrumMul {
+    k: u32,
+    name: String,
+}
+
+impl DrumMul {
+    /// Creates a DRUM multiplier keeping `k` leading bits per operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "must keep at least one bit");
+        Self {
+            k,
+            name: format!("drum{k}"),
+        }
+    }
+
+    fn reduce(v: u32, k: u32) -> u32 {
+        if v == 0 {
+            return 0;
+        }
+        let bits = 32 - v.leading_zeros();
+        if bits <= k {
+            return v;
+        }
+        let shift = bits - k;
+        ((v >> shift) << shift) | (1 << (shift - 1))
+    }
+}
+
+impl Multiplier for DrumMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        Self::reduce(x, self.k) * Self::reduce(w, self.k)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MulStats;
+    use crate::TruncatedMul;
+
+    #[test]
+    fn product_truncation_is_one_sided_and_milder_than_array_truncation() {
+        let ptrunc = ProductTruncMul::new(4);
+        let atrunc = TruncatedMul::new(4);
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                let exact = x * w;
+                let p = ptrunc.mul_mag(x, w);
+                assert!(p <= exact, "one-sided");
+                // Array truncation loses the carries product truncation keeps.
+                assert!(atrunc.mul_mag(x, w) <= p);
+            }
+        }
+        let sp = MulStats::measure(&ptrunc);
+        let sa = MulStats::measure(&atrunc);
+        assert!(sp.mre <= sa.mre);
+    }
+
+    #[test]
+    fn product_truncation_zero_is_exact() {
+        let m = ProductTruncMul::new(0);
+        for x in [0, 3, 100, 255] {
+            for w in [0, 1, 9, 15] {
+                assert_eq!(m.mul_mag(x, w), x * w);
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_underestimates_within_known_bound() {
+        let m = MitchellLogMul::new();
+        for x in 1..=MAX_X_MAG {
+            for w in 1..=MAX_W_MAG {
+                let exact = (x * w) as f64;
+                let approx = m.mul_mag(x, w) as f64;
+                assert!(approx <= exact + 1.0, "{x}*{w}: {approx} > {exact}");
+                assert!(
+                    approx >= exact * 0.87,
+                    "{x}*{w}: error beyond Mitchell's bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_is_exact_on_powers_of_two() {
+        let m = MitchellLogMul::new();
+        for &x in &[1u32, 2, 4, 8, 16, 32, 64, 128] {
+            for &w in &[1u32, 2, 4, 8] {
+                assert_eq!(m.mul_mag(x, w), x * w);
+            }
+        }
+    }
+
+    #[test]
+    fn drum_bias_is_small_relative_to_error_magnitude() {
+        // Round-to-odd re-centres the truncation error; the residual bias
+        // must be well below the mean absolute error (unlike the truncated
+        // family, where bias ≈ mean absolute error).
+        let s = MulStats::measure(&DrumMul::new(4));
+        assert!(
+            s.mean_error.abs() < 0.5 * s.mean_abs_error,
+            "bias {} vs mean abs {}",
+            s.mean_error,
+            s.mean_abs_error
+        );
+        let trunc = MulStats::measure(&TruncatedMul::new(4));
+        let drum_ratio = s.mean_error.abs() / s.mean_abs_error;
+        let trunc_ratio = trunc.mean_error.abs() / trunc.mean_abs_error;
+        assert!(drum_ratio < trunc_ratio);
+    }
+
+    #[test]
+    fn drum_keeps_small_values_exact() {
+        let m = DrumMul::new(4);
+        for x in 0..16u32 {
+            for w in 0..16u32 {
+                assert_eq!(m.mul_mag(x, w), x * w);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_k_means_smaller_error() {
+        let coarse = MulStats::measure(&DrumMul::new(2));
+        let fine = MulStats::measure(&DrumMul::new(4));
+        assert!(fine.mre < coarse.mre);
+    }
+}

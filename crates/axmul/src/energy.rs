@@ -1,0 +1,153 @@
+//! First-order energy model for behavioural multipliers.
+//!
+//! The paper reports per-multiplier energy savings taken from the EvoApprox
+//! characterization \[20\] and the truncated-multiplier literature \[21\]; those
+//! published numbers are carried as metadata in [`catalog`](crate::catalog).
+//! For multipliers *we* construct (broken-array, DRUM, arbitrary
+//! truncations) this module provides a first-order estimate: the fraction of
+//! partial-product adder cells removed from the exact 8×4 array multiplier.
+//! It tracks the published truncated-multiplier numbers to within a few
+//! percent (see tests) — adequate for ordering designs on a Pareto front,
+//! which is all the paper uses the numbers for.
+
+use crate::mult::{W_BITS, X_BITS};
+
+/// Number of adder/AND cells in the exact 8×4 array multiplier.
+pub const EXACT_ARRAY_CELLS: u32 = X_BITS * W_BITS;
+
+/// Number of array cells whose output column index is `< cut`.
+///
+/// Cell `(i, j)` (weight bit `i`, activation bit `j`) feeds column `i + j`.
+fn cells_below_column(cut: u32) -> u32 {
+    let mut n = 0;
+    for i in 0..W_BITS {
+        for j in 0..X_BITS {
+            if i + j < cut {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Estimated energy saving (fraction of exact-array cells removed) for a
+/// multiplier that truncates `lsbs` product columns — both the
+/// product-truncated and broken-array families.
+///
+/// ```
+/// let s = axnn_axmul::energy::truncation_savings(5);
+/// assert!(s > 0.3 && s < 0.5); // paper reports 38 % for trunc-5
+/// ```
+///
+/// # Panics
+///
+/// Panics if `lsbs > 12`.
+pub fn truncation_savings(lsbs: u32) -> f32 {
+    assert!(lsbs <= 12, "8x4 products have 12 bits");
+    cells_below_column(lsbs) as f32 / EXACT_ARRAY_CELLS as f32
+}
+
+/// Estimated energy saving for a DRUM-style multiplier keeping `k` leading
+/// bits per operand: the reduced core is a `k × min(k, 4)` array (plus
+/// negligible leading-one detection), so the saving is the removed fraction.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn drum_savings(k: u32) -> f32 {
+    assert!(k > 0, "DRUM keeps at least one bit");
+    let core = k.min(X_BITS) * k.min(W_BITS);
+    1.0 - (core as f32 / EXACT_ARRAY_CELLS as f32).min(1.0)
+}
+
+/// Estimated energy saving for Mitchell's log multiplier relative to the
+/// exact array: two leading-one detectors + one adder replace the array,
+/// commonly cited around 40–50 % at these widths. We model the datapath as
+/// the equivalent of a 12-bit adder chain ≈ 12 cells.
+pub fn mitchell_savings() -> f32 {
+    1.0 - 12.0 / EXACT_ARRAY_CELLS as f32
+}
+
+/// Network-level multiplier-energy saving under *partial* approximation:
+/// `approx_macs` of `total_macs` MACs run on a multiplier saving
+/// `mult_savings` (fraction), the rest on the exact multiplier.
+///
+/// Returns the blended multiplier-energy saving fraction — the quantity
+/// behind the paper's §II observation that partial-approximation savings
+/// "are bounded by the amount of approximated neurons".
+///
+/// ```
+/// // Half the MACs on a 38 %-saving multiplier -> 19 % network saving.
+/// let s = axnn_axmul::energy::network_mac_savings(50, 100, 0.38);
+/// assert!((s - 0.19).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `approx_macs > total_macs`, `total_macs == 0`, or
+/// `mult_savings ∉ [0, 1]`.
+pub fn network_mac_savings(approx_macs: u64, total_macs: u64, mult_savings: f32) -> f32 {
+    assert!(total_macs > 0, "network must have MACs");
+    assert!(approx_macs <= total_macs, "approximated MACs exceed total");
+    assert!(
+        (0.0..=1.0).contains(&mult_savings),
+        "savings must be a fraction"
+    );
+    mult_savings * (approx_macs as f64 / total_macs as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_savings_track_paper_table() {
+        // Paper Table V savings for trunc 1..5: 2, 8, 16, 28, 38 (%).
+        let paper = [0.02f32, 0.08, 0.16, 0.28, 0.38];
+        for (t, &want) in (1..=5).zip(&paper) {
+            let got = truncation_savings(t);
+            assert!(
+                (got - want).abs() < 0.07,
+                "trunc{t}: model {got} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn savings_are_monotonic_in_truncation() {
+        let mut last = -1.0;
+        for t in 0..=12 {
+            let s = truncation_savings(t);
+            assert!(s >= last);
+            last = s;
+        }
+        assert_eq!(truncation_savings(0), 0.0);
+        assert_eq!(truncation_savings(12), 1.0);
+    }
+
+    #[test]
+    fn drum_savings_decrease_with_k() {
+        assert!(drum_savings(2) > drum_savings(3));
+        assert!(drum_savings(3) > drum_savings(4));
+        assert_eq!(drum_savings(8), 0.0);
+    }
+
+    #[test]
+    fn network_savings_blend_linearly() {
+        assert_eq!(network_mac_savings(0, 100, 0.38), 0.0);
+        assert_eq!(network_mac_savings(100, 100, 0.38), 0.38);
+        assert!((network_mac_savings(25, 100, 0.4) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn network_savings_validates_mac_counts() {
+        let _ = network_mac_savings(101, 100, 0.5);
+    }
+
+    #[test]
+    fn mitchell_savings_in_plausible_band() {
+        let s = mitchell_savings();
+        assert!(s > 0.3 && s < 0.8, "{s}");
+    }
+}

@@ -1,0 +1,169 @@
+//! EvoApprox-like multipliers: unbiased, MRE-calibrated LUT perturbations.
+//!
+//! The paper uses multipliers from the EvoApprox8b library \[20\], adapted to
+//! 8×4 bits. The library's gate-level netlists are not available here, but
+//! the paper only relies on three of their properties: (a) the eq.-14 MRE,
+//! (b) the fact that their error is *unbiased* (so the fitted error function
+//! is a constant and gradient estimation degenerates to the plain STE), and
+//! (c) the energy saving, which is table metadata. [`EvoLikeMul`] reproduces
+//! (a) and (b) exactly: a deterministic, seeded, zero-mean multiplicative
+//! perturbation is applied per operand pair and the perturbation amplitude
+//! is bisected until the exhaustively-measured MRE matches the paper's value
+//! for that multiplier id.
+
+use crate::mult::{Multiplier, MAX_W_MAG, MAX_X_MAG};
+use crate::stats::MulStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An unbiased approximate multiplier with a calibrated MRE, standing in for
+/// one EvoApprox8b design.
+///
+/// ```
+/// use axnn_axmul::{stats::MulStats, EvoLikeMul, Multiplier};
+///
+/// let m = EvoLikeMul::calibrated(228, 0.19); // "mul8u_228-like", MRE 19 %
+/// let s = MulStats::measure(&m);
+/// assert!((s.mre - 0.19).abs() < 0.01);
+/// assert!(!s.is_biased());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvoLikeMul {
+    table: Vec<u32>,
+    name: String,
+}
+
+impl EvoLikeMul {
+    /// Builds a multiplier seeded by `id` whose exhaustive MRE matches
+    /// `target_mre` (a fraction, e.g. `0.19` for 19 %) to within ±0.2 %.
+    ///
+    /// The construction is deterministic: the same `(id, target_mre)` pair
+    /// always yields bit-identical products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_mre` is negative or ≥ 2.0.
+    pub fn calibrated(id: u64, target_mre: f32) -> Self {
+        assert!(
+            (0.0..2.0).contains(&target_mre),
+            "target MRE must be in [0, 2)"
+        );
+        let name = format!("evo{id}");
+        if target_mre == 0.0 {
+            let table = Self::build_table(id, 0.0);
+            return Self { table, name };
+        }
+        // Bisect the perturbation amplitude until the measured MRE matches.
+        let (mut lo, mut hi) = (0.0f32, 4.0f32 * target_mre + 0.1);
+        let mut best = Self::build_table(id, hi);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            let table = Self::build_table(id, mid);
+            let probe = Self {
+                table: table.clone(),
+                name: name.clone(),
+            };
+            let mre = MulStats::measure(&probe).mre;
+            if mre < target_mre {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            best = table;
+            if (mre - target_mre).abs() < 5e-4 {
+                break;
+            }
+        }
+        Self { table: best, name }
+    }
+
+    /// Deterministic perturbed product table for amplitude `alpha`.
+    ///
+    /// Per operand pair, the product is scaled by `1 + α·r` with
+    /// `r ~ U[-2, 2]` (so `E[r] = 0` and `E[|r|] = 1`), then clamped to the
+    /// representable range. Zero-operand products stay exactly zero, as they
+    /// do in real array multipliers.
+    fn build_table(id: u64, alpha: f32) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 ^ id.wrapping_mul(0x9E37_79B9));
+        let mut table = vec![0u32; ((MAX_X_MAG + 1) * (MAX_W_MAG + 1)) as usize];
+        let max_p = (MAX_X_MAG * MAX_W_MAG) as f32;
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                let idx = (x * (MAX_W_MAG + 1) + w) as usize;
+                if x == 0 || w == 0 {
+                    table[idx] = 0;
+                    continue;
+                }
+                let exact = (x * w) as f32;
+                let r: f32 = rng.gen_range(-2.0..=2.0);
+                // Perturb relative to max(p, 1) so small products also see
+                // absolute error, mirroring eq. 14's denominator.
+                let approx = exact + alpha * r * exact.max(1.0);
+                table[idx] = approx.round().clamp(0.0, max_p) as u32;
+            }
+        }
+        table
+    }
+}
+
+impl Multiplier for EvoLikeMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        self.table[(x * (MAX_W_MAG + 1) + w) as usize]
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_target_mre() {
+        for &target in &[0.02f32, 0.08, 0.20, 0.49] {
+            let m = EvoLikeMul::calibrated(1, target);
+            let s = MulStats::measure(&m);
+            assert!(
+                (s.mre - target).abs() < 0.01,
+                "target {target}: got {}",
+                s.mre
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_unbiased() {
+        let m = EvoLikeMul::calibrated(228, 0.19);
+        let s = MulStats::measure(&m);
+        assert!(!s.is_biased(), "mean {} abs {}", s.mean_error, s.mean_abs_error);
+    }
+
+    #[test]
+    fn zero_operands_stay_exact() {
+        let m = EvoLikeMul::calibrated(470, 0.02);
+        for x in 0..=MAX_X_MAG {
+            assert_eq!(m.mul_mag(x, 0), 0);
+        }
+        for w in 0..=MAX_W_MAG {
+            assert_eq!(m.mul_mag(0, w), 0);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = EvoLikeMul::calibrated(29, 0.079);
+        let b = EvoLikeMul::calibrated(29, 0.079);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_ids_differ() {
+        let a = EvoLikeMul::calibrated(104, 0.19);
+        let b = EvoLikeMul::calibrated(228, 0.19);
+        assert_ne!(a.table, b.table);
+        assert_eq!(a.name(), "evo104");
+    }
+}

@@ -1,0 +1,135 @@
+//! The Kulkarni "underdesigned" multiplier: an 8×4 multiplier built
+//! recursively from approximate 2×2 blocks.
+//!
+//! The classic 2×2 building block (Kulkarni et al., VLSI Design 2011)
+//! computes every product exactly except `3 × 3`, which it outputs as `7`
+//! instead of `9` — saving an adder level and making the block three gates
+//! smaller. Larger multipliers compose the block over 2-bit digits:
+//!
+//! ```text
+//! 4×4:  p = Σᵢⱼ mul2(aᵢ, bⱼ) << 2(i+j)      (four blocks)
+//! 8×4:  p = mul4(x_hi, w) << 4 + mul4(x_lo, w)
+//! ```
+//!
+//! The error is one-sided (always under-estimates, like the truncated
+//! family) but *sparse*: only operand pairs containing the `11₂` digit
+//! pattern in both operands are affected.
+
+use crate::mult::{Multiplier, MAX_W_MAG, MAX_X_MAG};
+
+/// Approximate 2×2 product: exact except `3 × 3 → 7`.
+#[inline]
+fn mul2(a: u32, b: u32) -> u32 {
+    debug_assert!(a < 4 && b < 4);
+    if a == 3 && b == 3 {
+        7
+    } else {
+        a * b
+    }
+}
+
+/// Approximate 4×4 product from four underdesigned 2×2 blocks.
+#[inline]
+fn mul4(a: u32, b: u32) -> u32 {
+    debug_assert!(a < 16 && b < 16);
+    let (ah, al) = (a >> 2, a & 3);
+    let (bh, bl) = (b >> 2, b & 3);
+    (mul2(ah, bh) << 4) + (mul2(ah, bl) << 2) + (mul2(al, bh) << 2) + mul2(al, bl)
+}
+
+/// An 8×4 multiplier composed of Kulkarni 2×2 underdesigned blocks.
+///
+/// ```
+/// use axnn_axmul::{KulkarniMul, Multiplier};
+///
+/// let m = KulkarniMul::new();
+/// assert_eq!(m.mul_mag(3, 3), 7);        // the underdesigned minterm
+/// assert_eq!(m.mul_mag(2, 3), 6);        // everything else exact
+/// assert!(m.mul_mag(255, 15) < 255 * 15); // errors only under-estimate
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KulkarniMul;
+
+impl KulkarniMul {
+    /// Creates the multiplier.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Multiplier for KulkarniMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        let (xh, xl) = (x >> 4, x & 15);
+        (mul4(xh, w) << 4) + mul4(xl, w)
+    }
+
+    fn name(&self) -> &str {
+        "kulkarni"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MulStats;
+
+    #[test]
+    fn block_is_exact_except_three_by_three() {
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == 3 && b == 3 {
+                    assert_eq!(mul2(a, b), 7);
+                } else {
+                    assert_eq!(mul2(a, b), a * b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_one_sided_and_sparse() {
+        let m = KulkarniMul::new();
+        let mut wrong = 0usize;
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                let approx = m.mul_mag(x, w);
+                let exact = x * w;
+                assert!(approx <= exact, "{x}*{w}: {approx} > {exact}");
+                if approx != exact {
+                    wrong += 1;
+                }
+            }
+        }
+        // Errors happen, but on a minority of the operand space.
+        assert!(wrong > 0);
+        assert!(wrong < 256 * 16 / 2, "{wrong} errors is too many");
+    }
+
+    #[test]
+    fn operands_without_the_11_pattern_are_exact() {
+        let m = KulkarniMul::new();
+        // w = 5 = 01 01₂ has no `11` digit, so every product is exact.
+        for x in 0..=MAX_X_MAG {
+            assert_eq!(m.mul_mag(x, 5), x * 5);
+        }
+    }
+
+    #[test]
+    fn known_composite_values() {
+        let m = KulkarniMul::new();
+        // x = 15 = 11 11₂, w = 15: every 2x2 block is 3*3.
+        // exact: 225. approx: mul4(15,15) = 7<<4 + 7<<2 + 7<<2 + 7 = 175.
+        assert_eq!(m.mul_mag(15, 15), 175);
+        assert_eq!(m.mul_mag(0xF0, 15), 175 << 4);
+        assert_eq!(m.mul_mag(0xFF, 15), (175 << 4) + 175);
+    }
+
+    #[test]
+    fn mre_is_small_and_biased() {
+        let s = MulStats::measure(&KulkarniMul::new());
+        assert!(s.mre > 0.001 && s.mre < 0.05, "Kulkarni MRE {}", s.mre);
+        assert!(s.mean_error < 0.0, "under-estimation bias");
+        assert!(s.is_biased());
+    }
+}

@@ -1,0 +1,109 @@
+//! Exhaustive lookup tables — the ProxSim performance trick.
+//!
+//! ProxSim \[5\] makes approximate-CNN simulation tractable by evaluating the
+//! behavioural multiplier once per operand pair and serving all GEMMs from a
+//! lookup table. For 8×4 operands the full table is only 256×16 entries.
+
+use crate::mult::{Multiplier, MAX_W_MAG, MAX_X_MAG};
+
+/// An exhaustive 256×16 product table for some underlying multiplier.
+///
+/// `LutMul` itself implements [`Multiplier`], so it can be used anywhere the
+/// original could — with O(1) evaluation regardless of how expensive the
+/// original behavioural model is.
+///
+/// ```
+/// use axnn_axmul::{lut::LutMul, MitchellLogMul, Multiplier};
+///
+/// let direct = MitchellLogMul::new();
+/// let lut = LutMul::build(&direct);
+/// assert_eq!(lut.mul_mag(123, 11), direct.mul_mag(123, 11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutMul {
+    table: Vec<u32>,
+    name: String,
+}
+
+impl LutMul {
+    /// Tabulates `m` exhaustively.
+    pub fn build(m: &dyn Multiplier) -> Self {
+        let mut table = vec![0u32; ((MAX_X_MAG + 1) * (MAX_W_MAG + 1)) as usize];
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                table[(x * (MAX_W_MAG + 1) + w) as usize] = m.mul_mag(x, w);
+            }
+        }
+        Self {
+            table,
+            name: format!("lut[{}]", m.name()),
+        }
+    }
+
+    /// Unsigned product lookup without bounds checks beyond a debug assert.
+    #[inline]
+    pub fn get(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        self.table[(x * (MAX_W_MAG + 1) + w) as usize]
+    }
+
+    /// Signed sign-magnitude product lookup.
+    #[inline]
+    pub fn get_signed(&self, x: i32, w: i32) -> i64 {
+        let mag = self.get(x.unsigned_abs(), w.unsigned_abs()) as i64;
+        if (x < 0) ^ (w < 0) {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Multiplier for LutMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        self.get(x, w)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DrumMul, ExactMul, TruncatedMul};
+
+    #[test]
+    fn lut_is_bit_exact_vs_direct() {
+        for m in [
+            Box::new(ExactMul) as Box<dyn Multiplier>,
+            Box::new(TruncatedMul::new(4)),
+            Box::new(DrumMul::new(3)),
+        ] {
+            let lut = LutMul::build(m.as_ref());
+            for x in 0..=MAX_X_MAG {
+                for w in 0..=MAX_W_MAG {
+                    assert_eq!(lut.get(x, w), m.mul_mag(x, w), "{}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_lookup_matches_trait_default() {
+        let m = TruncatedMul::new(3);
+        let lut = LutMul::build(&m);
+        for &x in &[-255i32, -7, 0, 9, 255] {
+            for &w in &[-15i32, -1, 0, 3, 15] {
+                assert_eq!(lut.get_signed(x, w), m.mul_signed(x, w));
+            }
+        }
+    }
+
+    #[test]
+    fn lut_name_wraps_inner() {
+        let lut = LutMul::build(&ExactMul);
+        assert_eq!(lut.name(), "lut[exact]");
+    }
+}

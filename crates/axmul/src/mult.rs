@@ -1,0 +1,110 @@
+//! The [`Multiplier`] trait and the exact reference multiplier.
+
+use std::fmt;
+
+/// Activation operand width in bits (the "8" of 8A4W).
+pub const X_BITS: u32 = 8;
+/// Weight operand width in bits (the "4" of 8A4W).
+pub const W_BITS: u32 = 4;
+/// Largest activation magnitude: `2⁸ − 1`.
+pub const MAX_X_MAG: u32 = (1 << X_BITS) - 1;
+/// Largest weight magnitude: `2⁴ − 1`.
+pub const MAX_W_MAG: u32 = (1 << W_BITS) - 1;
+/// Largest activation *code* magnitude under symmetric signed 8-bit
+/// quantization: `2⁷ − 1`. The paper's MRE figures correspond to this
+/// operand domain (see [`stats`](crate::stats)).
+pub const MAX_X_CODE: u32 = (1 << (X_BITS - 1)) - 1;
+/// Largest weight *code* magnitude under symmetric signed 4-bit
+/// quantization: `2³ − 1`.
+pub const MAX_W_CODE: u32 = (1 << (W_BITS - 1)) - 1;
+
+/// A behavioural 8×4-bit multiplier model.
+///
+/// Implementations define the unsigned-magnitude product
+/// [`mul_mag`](Multiplier::mul_mag) on the domain
+/// `x ∈ [0, 255], w ∈ [0, 15]` — the domain over which the paper's eq. (14)
+/// enumerates the MRE. Signed operands are handled sign-magnitude by the
+/// provided [`mul_signed`](Multiplier::mul_signed), mirroring how
+/// array/truncated multipliers are characterized in the literature.
+///
+/// Implementations must be deterministic: the same operands always produce
+/// the same product (the hardware is approximate, not stochastic).
+pub trait Multiplier: fmt::Debug + Send + Sync {
+    /// Approximate product of unsigned magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x > 255` or `w > 15`.
+    fn mul_mag(&self, x: u32, w: u32) -> u32;
+
+    /// Short identifier, e.g. `trunc5` or `evo228`.
+    fn name(&self) -> &str;
+
+    /// Approximate product of signed operand codes, sign-magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|x| > 255` or `|w| > 15`.
+    fn mul_signed(&self, x: i32, w: i32) -> i64 {
+        let mag = self.mul_mag(x.unsigned_abs(), w.unsigned_abs()) as i64;
+        if (x < 0) ^ (w < 0) {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// The exact multiplier — the accurate `g(·)` of eq. (14), and the baseline
+/// arithmetic of the quantization stage.
+///
+/// ```
+/// use axnn_axmul::{ExactMul, Multiplier};
+///
+/// let m = ExactMul;
+/// assert_eq!(m.mul_mag(255, 15), 3825);
+/// assert_eq!(m.mul_signed(-5, 3), -15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMul;
+
+impl Multiplier for ExactMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        x * w
+    }
+
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_covers_domain_corners() {
+        let m = ExactMul;
+        assert_eq!(m.mul_mag(0, 0), 0);
+        assert_eq!(m.mul_mag(0, 15), 0);
+        assert_eq!(m.mul_mag(255, 0), 0);
+        assert_eq!(m.mul_mag(255, 15), 3825);
+    }
+
+    #[test]
+    fn signed_products_follow_sign_magnitude() {
+        let m = ExactMul;
+        assert_eq!(m.mul_signed(7, 3), 21);
+        assert_eq!(m.mul_signed(-7, 3), -21);
+        assert_eq!(m.mul_signed(7, -3), -21);
+        assert_eq!(m.mul_signed(-7, -3), 21);
+        assert_eq!(m.mul_signed(0, -3), 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m: Box<dyn Multiplier> = Box::new(ExactMul);
+        assert_eq!(m.name(), "exact");
+    }
+}

@@ -1,0 +1,199 @@
+//! Exhaustive multiplier error characterization (the paper's eq. 14).
+
+use crate::mult::{Multiplier, MAX_W_CODE, MAX_W_MAG, MAX_X_CODE, MAX_X_MAG};
+
+/// Exhaustive error statistics of a multiplier.
+///
+/// `mre` is the paper's eq. (14):
+///
+/// ```text
+/// MRE = 1/(2^Nx·2^Nw) · Σⱼ Σₖ |g(j,k) − g̃(j,k)| / max(g(j,k), 1)
+/// ```
+///
+/// [`measure`](MulStats::measure) enumerates the **signed-code magnitude
+/// domain** `x ∈ [0, 127], w ∈ [0, 7]` (symmetric 8A4W quantization has
+/// 7-bit/3-bit magnitudes plus sign). This convention reproduces the
+/// paper's published truncated-multiplier MREs to within 0.2 percentage
+/// points; [`measure_full`](MulStats::measure_full) covers the full
+/// unsigned `[0, 255] × [0, 15]` trait domain instead.
+///
+/// Errors are signed as `g̃ − g`, so a negative
+/// [`mean_error`](MulStats::mean_error) indicates the truncation-style
+/// "approximation never exceeds exact" bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulStats {
+    /// Mean relative error (fraction, not percent) — eq. 14.
+    pub mre: f32,
+    /// Mean signed error `E[g̃ − g]` in absolute product units.
+    pub mean_error: f32,
+    /// Mean absolute error in product units.
+    pub mean_abs_error: f32,
+    /// Worst-case absolute error in product units.
+    pub max_abs_error: u32,
+    /// Root-mean-square error in product units.
+    pub rmse: f32,
+}
+
+impl MulStats {
+    /// Measures `m` over the signed-code magnitude domain (128×8 products) —
+    /// the convention matching the paper's published MREs.
+    pub fn measure(m: &dyn Multiplier) -> Self {
+        Self::measure_domain(m, MAX_X_CODE, MAX_W_CODE)
+    }
+
+    /// Measures `m` over the full unsigned trait domain (256×16 products).
+    pub fn measure_full(m: &dyn Multiplier) -> Self {
+        Self::measure_domain(m, MAX_X_MAG, MAX_W_MAG)
+    }
+
+    fn measure_domain(m: &dyn Multiplier, x_max: u32, w_max: u32) -> Self {
+        let mut sum_rel = 0.0f64;
+        let mut sum_err = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut max_abs = 0u32;
+        let total = ((x_max + 1) * (w_max + 1)) as f64;
+        for x in 0..=x_max {
+            for w in 0..=w_max {
+                let exact = (x * w) as i64;
+                let approx = m.mul_mag(x, w) as i64;
+                let err = approx - exact;
+                let abs = err.unsigned_abs() as u32;
+                sum_rel += abs as f64 / (exact.max(1)) as f64;
+                sum_err += err as f64;
+                sum_abs += abs as f64;
+                sum_sq += (err * err) as f64;
+                max_abs = max_abs.max(abs);
+            }
+        }
+        Self {
+            mre: (sum_rel / total) as f32,
+            mean_error: (sum_err / total) as f32,
+            mean_abs_error: (sum_abs / total) as f32,
+            max_abs_error: max_abs,
+            rmse: (sum_sq / total).sqrt() as f32,
+        }
+    }
+
+    /// Whether the error is essentially one-sided/biased: the magnitude of
+    /// the mean signed error is a large fraction of the mean absolute error.
+    ///
+    /// Biased multipliers (truncated family) admit a non-zero fitted error
+    /// slope, making gradient estimation effective; unbiased ones
+    /// (EvoApprox family) reduce GE to the plain STE (paper §IV-B).
+    pub fn is_biased(&self) -> bool {
+        self.mean_abs_error > 0.0 && self.mean_error.abs() > 0.5 * self.mean_abs_error
+    }
+}
+
+/// Mean signed error `E[g̃ − g]` as a function of the exact product
+/// magnitude, in `bins` equal-width bins over the signed-code domain
+/// `[0, 127·7]`.
+///
+/// Returns `(bin_center, mean_error, count)` triples; bins with no products
+/// are omitted. This is the raw material of the paper's Figs. 2–3.
+pub fn error_profile(m: &dyn Multiplier, bins: usize) -> Vec<(f32, f32, usize)> {
+    assert!(bins > 0, "need at least one bin");
+    let max_p = (MAX_X_CODE * MAX_W_CODE) as f32;
+    let width = max_p / bins as f32;
+    let mut sums = vec![0.0f64; bins];
+    let mut counts = vec![0usize; bins];
+    for x in 0..=MAX_X_CODE {
+        for w in 0..=MAX_W_CODE {
+            let exact = x * w;
+            let err = m.mul_mag(x, w) as i64 - exact as i64;
+            let bin = (((exact as f32) / width) as usize).min(bins - 1);
+            sums[bin] += err as f64;
+            counts[bin] += 1;
+        }
+    }
+    (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| {
+            (
+                (b as f32 + 0.5) * width,
+                (sums[b] / counts[b] as f64) as f32,
+                counts[b],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExactMul, TruncatedMul};
+
+    #[test]
+    fn exact_multiplier_has_zero_error() {
+        let s = MulStats::measure(&ExactMul);
+        assert_eq!(s.mre, 0.0);
+        assert_eq!(s.mean_error, 0.0);
+        assert_eq!(s.max_abs_error, 0);
+        assert!(!s.is_biased());
+        let f = MulStats::measure_full(&ExactMul);
+        assert_eq!(f.mre, 0.0);
+    }
+
+    #[test]
+    fn truncated_mre_matches_paper_values() {
+        // Paper Table V: 0.5, 2.1, 5.5, 11.0, 19.8 (%).
+        let paper = [0.005f32, 0.021, 0.055, 0.110, 0.198];
+        for (t, &want) in (1..=5).zip(&paper) {
+            let s = MulStats::measure(&TruncatedMul::new(t));
+            assert!(
+                (s.mre - want).abs() < 0.003,
+                "trunc{t}: measured {} vs paper {}",
+                s.mre,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_bias_is_negative_and_detected() {
+        let s = MulStats::measure(&TruncatedMul::new(4));
+        assert!(s.mean_error < 0.0);
+        assert!(s.is_biased());
+    }
+
+    #[test]
+    fn mre_grows_with_truncation() {
+        let mut last = 0.0;
+        for t in 1..=5 {
+            let s = MulStats::measure(&TruncatedMul::new(t));
+            assert!(s.mre > last, "MRE must grow with t");
+            last = s.mre;
+        }
+    }
+
+    #[test]
+    fn full_domain_mre_is_smaller_than_code_domain() {
+        // Larger products dominate the full domain, shrinking relative error.
+        let m = TruncatedMul::new(5);
+        assert!(MulStats::measure_full(&m).mre < MulStats::measure(&m).mre);
+    }
+
+    #[test]
+    fn error_profile_shows_truncation_trend() {
+        let profile = error_profile(&TruncatedMul::new(5), 16);
+        assert!(!profile.is_empty());
+        for &(_, e, _) in &profile {
+            assert!(e <= 0.0, "truncation error is one-sided");
+        }
+        let total: usize = profile.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 128 * 8);
+        // The mean error magnitude grows with the product value (Fig. 2's
+        // negative slope).
+        let first = profile.first().unwrap().1;
+        let last = profile.last().unwrap().1;
+        assert!(last < first, "error grows with product: {first} -> {last}");
+    }
+
+    #[test]
+    fn error_profile_of_exact_is_flat_zero() {
+        for (_, e, _) in error_profile(&ExactMul, 8) {
+            assert_eq!(e, 0.0);
+        }
+    }
+}

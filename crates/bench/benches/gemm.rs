@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the execution engines: exact f32 GEMM, quantized
+//! GEMM, and LUT-served approximate GEMM (the ProxSim trick), plus LUT
+//! construction cost and the LUT-vs-direct multiplier evaluation ablation.
+
+use axnn_axmul::{ExactMul, Multiplier, TruncatedMul};
+use axnn_nn::{ExactExecutor, LayerExecutor, Mode};
+use axnn_proxsim::{approx_matmul, SignedLut};
+use axnn_quant::QuantExecutor;
+use axnn_tensor::{gemm, init};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const OC: usize = 32;
+const K: usize = 144; // 16 channels x 3x3 kernel
+const M: usize = 64;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let wmat = init::uniform(&[OC, K], -0.5, 0.5, &mut rng);
+    let col = init::uniform(&[K, M], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("gemm_engines");
+    group.sample_size(20);
+
+    group.bench_function("exact_f32", |b| {
+        b.iter(|| black_box(gemm::matmul(black_box(&wmat), black_box(&col))))
+    });
+
+    group.bench_function("exact_executor", |b| {
+        let mut ex = ExactExecutor::new();
+        b.iter(|| black_box(ex.forward(black_box(&wmat), black_box(&col), Mode::Eval)))
+    });
+
+    group.bench_function("quantized_executor", |b| {
+        let mut ex = QuantExecutor::new_8a4w();
+        b.iter(|| black_box(ex.forward(black_box(&wmat), black_box(&col), Mode::Eval)))
+    });
+
+    group.bench_function("approx_lut_gemm", |b| {
+        let lut = SignedLut::build(&TruncatedMul::new(5));
+        let w_codes: Vec<i32> = wmat.as_slice().iter().map(|&v| (v * 14.0) as i32).collect();
+        let x_codes: Vec<i32> = col.as_slice().iter().map(|&v| (v * 127.0) as i32).collect();
+        b.iter(|| {
+            black_box(approx_matmul(
+                black_box(&w_codes),
+                black_box(&x_codes),
+                OC,
+                K,
+                M,
+                &lut,
+                1.0,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_lut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut");
+    group.sample_size(30);
+
+    group.bench_function("build_signed_lut", |b| {
+        let m = TruncatedMul::new(5);
+        b.iter(|| black_box(SignedLut::build(black_box(&m))))
+    });
+
+    // Ablation: direct behavioural evaluation vs LUT lookup.
+    group.bench_function("direct_eval_4096_products", |b| {
+        let m = TruncatedMul::new(5);
+        b.iter(|| {
+            let mut acc = 0i64;
+            for x in -64i32..64 {
+                for w in -8i32..8 {
+                    acc += m.mul_signed(black_box(x), black_box(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lut_eval_4096_products", |b| {
+        let lut = SignedLut::build(&TruncatedMul::new(5));
+        b.iter(|| {
+            let mut acc = 0i64;
+            for x in -64i32..64 {
+                for w in -8i32..8 {
+                    acc += lut.get(black_box(x), black_box(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("exact_mul_baseline_4096", |b| {
+        let m = ExactMul;
+        b.iter(|| {
+            let mut acc = 0i64;
+            for x in -64i32..64 {
+                for w in -8i32..8 {
+                    acc += m.mul_signed(black_box(x), black_box(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_lut);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the loss functions (the per-batch cost the paper's
+//! Table IV attributes to ApproxKD) and of the Monte-Carlo error fit (the
+//! one-off GE setup cost the paper reports as "< 1 second").
+
+use approxkd::ge::{fit_error_model, McConfig};
+use approxkd::{kd_loss, soft_cross_entropy};
+use axnn_axmul::TruncatedMul;
+use axnn_nn::loss::softmax_cross_entropy;
+use axnn_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_losses(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let student = init::uniform(&[128, 10], -4.0, 4.0, &mut rng);
+    let teacher = init::uniform(&[128, 10], -4.0, 4.0, &mut rng);
+    let labels: Vec<usize> = (0..128).map(|i| i % 10).collect();
+
+    let mut group = c.benchmark_group("losses");
+    group.sample_size(50);
+    group.bench_function("hard_ce_128x10", |b| {
+        b.iter(|| black_box(softmax_cross_entropy(black_box(&student), black_box(&labels))))
+    });
+    group.bench_function("soft_kd_128x10_T5", |b| {
+        b.iter(|| {
+            black_box(soft_cross_entropy(
+                black_box(&student),
+                black_box(&teacher),
+                5.0,
+            ))
+        })
+    });
+    group.bench_function("combined_kd_loss_128x10", |b| {
+        b.iter(|| {
+            black_box(kd_loss(
+                black_box(&student),
+                black_box(&teacher),
+                black_box(&labels),
+                5.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ge_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ge_fit");
+    group.sample_size(10);
+    // The paper's setting: 50 MC simulations of a single convolution.
+    group.bench_function("fit_error_model_50sims", |b| {
+        let m = TruncatedMul::new(5);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(fit_error_model(black_box(&m), McConfig::default(), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_losses, bench_ge_fit);
+criterion_main!(benches);

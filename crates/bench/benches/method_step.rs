@@ -1,0 +1,97 @@
+//! Per-method fine-tuning step cost (the micro view of the paper's
+//! Table IV): one forward+backward+update over a single mini-batch of an
+//! approximate network, per method, plus the GE grad-scale ablation
+//! (fitted slope vs forced-zero slope ≡ STE).
+
+use approxkd::ge::{fit_error_model, McConfig};
+use approxkd::kd_loss;
+use axnn_axmul::TruncatedMul;
+use axnn_nn::loss::softmax_cross_entropy;
+use axnn_nn::{ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Layer, Linear, Mode, Sequential, Sgd};
+use axnn_proxsim::{approximate_network, PiecewiseLinearError};
+use axnn_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn small_convnet(rng: &mut StdRng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(ConvBlock::new(3, 8, 3, 1, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(ConvBlock::new(8, 16, 3, 2, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(16, 10, true, rng)),
+    ])
+}
+
+fn step(
+    net: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    teacher: Option<&Tensor>,
+    opt: &mut Sgd,
+) {
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train);
+    let (_, d) = match teacher {
+        Some(t) => kd_loss(&logits, t, labels, 5.0),
+        None => softmax_cross_entropy(&logits, labels),
+    };
+    net.backward(&d);
+    opt.step(net);
+}
+
+fn bench_method_steps(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let x = init::uniform(&[16, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let teacher = init::uniform(&[16, 10], -2.0, 2.0, &mut rng);
+    let mult = TruncatedMul::new(5);
+    let fit = fit_error_model(&mult, McConfig::default(), &mut StdRng::seed_from_u64(7));
+
+    let mut group = c.benchmark_group("method_step");
+    group.sample_size(20);
+
+    group.bench_function("normal_ste", |b| {
+        let mut net = small_convnet(&mut StdRng::seed_from_u64(8));
+        approximate_network(&mut net, &mult, None);
+        let mut opt = Sgd::new(1e-3).momentum(0.9);
+        b.iter(|| step(&mut net, black_box(&x), &labels, None, &mut opt))
+    });
+
+    group.bench_function("ge", |b| {
+        let mut net = small_convnet(&mut StdRng::seed_from_u64(8));
+        approximate_network(&mut net, &mult, Some(fit.model));
+        let mut opt = Sgd::new(1e-3).momentum(0.9);
+        b.iter(|| step(&mut net, black_box(&x), &labels, None, &mut opt))
+    });
+
+    group.bench_function("approx_kd", |b| {
+        let mut net = small_convnet(&mut StdRng::seed_from_u64(8));
+        approximate_network(&mut net, &mult, None);
+        let mut opt = Sgd::new(1e-3).momentum(0.9);
+        b.iter(|| step(&mut net, black_box(&x), &labels, Some(&teacher), &mut opt))
+    });
+
+    group.bench_function("approx_kd_ge", |b| {
+        let mut net = small_convnet(&mut StdRng::seed_from_u64(8));
+        approximate_network(&mut net, &mult, Some(fit.model));
+        let mut opt = Sgd::new(1e-3).momentum(0.9);
+        b.iter(|| step(&mut net, black_box(&x), &labels, Some(&teacher), &mut opt))
+    });
+
+    // Ablation: a zero-slope model must cost the same as no model (GE ≡ STE
+    // when ∂f/∂y = 0 — Algorithm 1's branch).
+    group.bench_function("ge_zero_slope_ablation", |b| {
+        let mut net = small_convnet(&mut StdRng::seed_from_u64(8));
+        approximate_network(&mut net, &mult, Some(PiecewiseLinearError::constant(-3.0)));
+        let mut opt = Sgd::new(1e-3).momentum(0.9);
+        b.iter(|| step(&mut net, black_box(&x), &labels, None, &mut opt))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_method_steps);
+criterion_main!(benches);

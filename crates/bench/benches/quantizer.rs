@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the quantization substrate: tensor fake-quant,
+//! code extraction, MinPropQE calibration, and the power-of-two rounding
+//! ablation (pow2 vs exact step).
+
+use axnn_quant::{min_prop_qe, round_step_pow2, QuantSpec, Quantizer};
+use axnn_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = init::uniform(&[64, 1024], -2.0, 2.0, &mut rng);
+    let q = Quantizer::for_abs_max(2.0, QuantSpec::activations_8bit());
+
+    let mut group = c.benchmark_group("quantizer");
+    group.sample_size(30);
+
+    group.bench_function("fake_quant_64k", |b| {
+        b.iter(|| black_box(q.fake_quant_tensor(black_box(&t))))
+    });
+    group.bench_function("quantize_codes_64k", |b| {
+        b.iter(|| black_box(q.quantize_tensor(black_box(&t))))
+    });
+    group.bench_function("round_step_pow2", |b| {
+        b.iter(|| black_box(round_step_pow2(black_box(0.013))))
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let wmat = init::uniform(&[16, 64], -0.5, 0.5, &mut rng);
+    let col = init::uniform(&[64, 64], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(20);
+    group.bench_function("min_prop_qe", |b| {
+        b.iter(|| {
+            black_box(min_prop_qe(
+                black_box(&wmat),
+                black_box(&col),
+                QuantSpec::activations_8bit(),
+            ))
+        })
+    });
+
+    // Ablation: quantization error of pow2 step vs exact abs-max step.
+    group.bench_function("pow2_step_error_eval", |b| {
+        let spec_pow2 = QuantSpec {
+            bits: 8,
+            pow2_step: true,
+        };
+        let spec_exact = QuantSpec {
+            bits: 8,
+            pow2_step: false,
+        };
+        b.iter(|| {
+            let qp = Quantizer::for_abs_max(1.0, spec_pow2);
+            let qe = Quantizer::for_abs_max(1.0, spec_exact);
+            let ep = (&qp.fake_quant_tensor(&col) - &col).sq_norm();
+            let ee = (&qe.fake_quant_tensor(&col) - &col).sq_norm();
+            black_box((ep, ee))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizer, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Extension experiment: quantization-granularity ablation.
+//!
+//! The paper quantizes layer-wise ("Layer-wise quantization of parameters
+//! and activations", §III). This harness compares that choice with
+//! per-output-channel weight scales at several weight widths, without any
+//! fine-tuning, to show how much accuracy the coarser (cheaper) granularity
+//! costs.
+
+use approxkd::pipeline::ModelKind;
+use approxkd::ExperimentEnv;
+use axnn_bench::{pct, print_table, Scale};
+use axnn_nn::train::{calibrate, evaluate};
+use axnn_quant::{quantize_network, quantize_network_per_channel, QuantSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut env = ExperimentEnv::new(
+        ModelKind::ResNet20,
+        scale.model_cfg(),
+        scale.train,
+        scale.test,
+        Scale::seed(),
+    );
+    eprintln!("[ext_granularity] training FP teacher ...");
+    let fp = env.train_fp(&scale.fp_stage());
+    eprintln!("[ext_granularity] FP accuracy {:.2} %", fp * 100.0);
+
+    let x_spec = QuantSpec::activations_8bit();
+    let mut rows = Vec::new();
+    for bits in [8u32, 4, 3, 2] {
+        let w_spec = QuantSpec::symmetric(bits);
+        let mut layer_net = env.quantized_copy_of_fp();
+        quantize_network(&mut layer_net, x_spec, w_spec);
+        calibrate(&mut layer_net, env.train_data(), scale.batch, 2);
+        let layer_acc = evaluate(&mut layer_net, env.test_data(), scale.batch);
+
+        let mut chan_net = env.quantized_copy_of_fp();
+        quantize_network_per_channel(&mut chan_net, x_spec, w_spec);
+        calibrate(&mut chan_net, env.train_data(), scale.batch, 2);
+        let chan_acc = evaluate(&mut chan_net, env.test_data(), scale.batch);
+
+        eprintln!(
+            "[ext_granularity] {bits}-bit: layer {:.2} % | channel {:.2} %",
+            layer_acc * 100.0,
+            chan_acc * 100.0
+        );
+        rows.push(vec![
+            format!("8A{bits}W"),
+            pct(layer_acc),
+            pct(chan_acc),
+            format!("{:+.2}", (chan_acc - layer_acc) * 100.0),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Extension: weight-scale granularity, no fine-tuning (FP = {} %)",
+            pct(fp)
+        ),
+        &["config", "layer-wise%", "per-channel%", "gain pp"],
+        &rows,
+    );
+    println!("\nExpected shape: per-channel scales matter little at 8 bits, and");
+    println!("increasingly much as the weight width shrinks — quantifying what the");
+    println!("paper's layer-wise choice trades for its simpler hardware.");
+}

@@ -1,0 +1,57 @@
+//! Fig. 2: estimation of the approximation error of truncated multiplier 5.
+//!
+//! Runs the paper's 50 Monte-Carlo simulations of a single convolution,
+//! prints the binned `(y, ε)` scatter and the fitted piecewise-linear
+//! `f(y) = min(a, max(k·y + c, b))` evaluated over the same range.
+
+use approxkd::ge::{fit_error_model, McConfig};
+use axnn_axmul::TruncatedMul;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = axnn_bench::Scale::seed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fit = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng);
+
+    println!("== Fig. 2: error estimation, truncated multiplier 5 ==");
+    println!(
+        "fitted f(y): slope k = {:.5}, constant-fit = {}, samples = {}",
+        fit.model.slope(),
+        fit.is_constant(),
+        fit.samples.len()
+    );
+    println!("\n{:>12} {:>12} {:>12} {:>8}", "y (center)", "mean eps", "f(y)", "count");
+
+    // Bin the Monte-Carlo samples over y.
+    let (min_y, max_y) = fit
+        .samples
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(y, _)| {
+            (lo.min(y), hi.max(y))
+        });
+    const BINS: usize = 24;
+    let width = (max_y - min_y) / BINS as f32;
+    let mut sums = [0.0f64; BINS];
+    let mut counts = [0usize; BINS];
+    for &(y, e) in &fit.samples {
+        let b = (((y - min_y) / width) as usize).min(BINS - 1);
+        sums[b] += e as f64;
+        counts[b] += 1;
+    }
+    for b in 0..BINS {
+        if counts[b] == 0 {
+            continue;
+        }
+        let center = min_y + (b as f32 + 0.5) * width;
+        println!(
+            "{:>12.0} {:>12.2} {:>12.2} {:>8}",
+            center,
+            sums[b] / counts[b] as f64,
+            fit.model.value(center),
+            counts[b]
+        );
+    }
+    println!("\nShape targets (paper Fig. 2): biased error, negative slope, mean error");
+    println!("magnitude growing with |y|, clamped plateaus at the extremes.");
+}

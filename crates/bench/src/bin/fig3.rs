@@ -1,0 +1,58 @@
+//! Fig. 3: error of an EvoApprox-228-like multiplier.
+//!
+//! Same Monte-Carlo harness as Fig. 2, demonstrating the unbiased case:
+//! the fit degenerates to a constant, so `∂f/∂y = 0` and gradient
+//! estimation is exactly the plain STE (paper §IV-B).
+
+use approxkd::ge::{fit_error_model, McConfig};
+use axnn_axmul::catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = axnn_bench::Scale::seed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = catalog::by_id("evo228").expect("catalogued");
+    let fit = fit_error_model(spec.build().as_ref(), McConfig::default(), &mut rng);
+
+    println!("== Fig. 3: error of {} (unbiased family) ==", spec.id);
+    println!(
+        "fitted f(y): slope = {:.6}, constant-fit = {}, mean eps = {:.2}",
+        fit.model.slope(),
+        fit.is_constant(),
+        fit.mean_error()
+    );
+    println!("\n{:>12} {:>12} {:>12} {:>8}", "y (center)", "mean eps", "f(y)", "count");
+
+    let (min_y, max_y) = fit
+        .samples
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &(y, _)| {
+            (lo.min(y), hi.max(y))
+        });
+    const BINS: usize = 24;
+    let width = (max_y - min_y) / BINS as f32;
+    let mut sums = [0.0f64; BINS];
+    let mut counts = [0usize; BINS];
+    for &(y, e) in &fit.samples {
+        let b = (((y - min_y) / width) as usize).min(BINS - 1);
+        sums[b] += e as f64;
+        counts[b] += 1;
+    }
+    for b in 0..BINS {
+        if counts[b] == 0 {
+            continue;
+        }
+        let center = min_y + (b as f32 + 0.5) * width;
+        println!(
+            "{:>12.0} {:>12.2} {:>12.2} {:>8}",
+            center,
+            sums[b] / counts[b] as f64,
+            fit.model.value(center),
+            counts[b]
+        );
+    }
+    println!("\nShape targets (paper Fig. 3): no usable trend of eps with y; the only");
+    println!("sensible fit is a constant, so fine-tuning with ApproxKD and ApproxKD+GE");
+    println!("delivers identical results for this multiplier family.");
+}

@@ -1,0 +1,99 @@
+//! Seed-stability check: the headline comparison (ResNet-20 + trunc5, all
+//! five methods) repeated over several seeds, reported as mean ± std.
+//!
+//! The mini-scale reproduction runs are noisy (±2–4 pp per run); this
+//! harness quantifies that noise so single-seed table rows can be read with
+//! the right error bars. Control the seed list with `AXNN_SEED_LIST`
+//! (comma-separated, default `1,2,3`).
+
+use approxkd::pipeline::ModelKind;
+use approxkd::{ExperimentEnv, Method};
+use axnn_axmul::catalog;
+use axnn_bench::{paper_best_t2, print_table, Scale};
+
+fn seeds() -> Vec<u64> {
+    std::env::var("AXNN_SEED_LIST")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 3])
+}
+
+fn mean_std(xs: &[f32]) -> (f32, f32) {
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = catalog::by_id("trunc5").expect("catalogued");
+    let t2 = paper_best_t2(spec.id);
+    let methods = [
+        Method::Normal,
+        Method::alpha_default(),
+        Method::Ge,
+        Method::approx_kd(t2),
+        Method::approx_kd_ge(t2),
+    ];
+
+    let seed_list = seeds();
+    let mut finals: Vec<Vec<f32>> = vec![Vec::new(); methods.len()];
+    let mut initials = Vec::new();
+    for &seed in &seed_list {
+        eprintln!("[seed_stability] seed {seed} ...");
+        let mut env = ExperimentEnv::new(
+            ModelKind::ResNet20,
+            scale.model_cfg(),
+            scale.train,
+            scale.test,
+            seed,
+        );
+        env.train_fp(&scale.fp_stage());
+        env.quantization_stage(&scale.ft_stage(), true);
+        for (mi, m) in methods.iter().enumerate() {
+            let r = env.approximation_stage(spec, *m, &scale.ft_stage());
+            if mi == 0 {
+                initials.push(r.initial_acc);
+            }
+            finals[mi].push(r.final_acc);
+            eprintln!(
+                "[seed_stability]   {}: {:.2} %",
+                m.label(),
+                r.final_acc * 100.0
+            );
+        }
+    }
+
+    let (im, is) = mean_std(&initials);
+    let mut rows = vec![vec![
+        "initial".to_string(),
+        format!("{:.2}", im * 100.0),
+        format!("{:.2}", is * 100.0),
+    ]];
+    for (m, accs) in methods.iter().zip(&finals) {
+        let (mean, std) = mean_std(accs);
+        rows.push(vec![
+            m.label().to_string(),
+            format!("{:.2}", mean * 100.0),
+            format!("{:.2}", std * 100.0),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Seed stability: ResNet-20 + trunc5, {} seeds {:?}",
+            seed_list.len(),
+            seed_list
+        ),
+        &["method", "mean acc%", "std pp"],
+        &rows,
+    );
+    println!("\nRead the single-seed tables with these error bars in mind; method");
+    println!("orderings within one std of each other are not distinguishable at");
+    println!("this scale.");
+}

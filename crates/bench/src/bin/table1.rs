@@ -1,0 +1,72 @@
+//! Table I: evaluated CNNs — parameters, MAC operations, FP accuracy.
+//!
+//! Parameter/MAC counts are measured on the *full-width* architectures
+//! (32×32 inputs) and compared against the paper; FP accuracies are
+//! measured by training the width-reduced mini variants on SynthCIFAR.
+
+use approxkd::pipeline::ModelKind;
+use approxkd::ExperimentEnv;
+use axnn_bench::{pct, print_table, Scale};
+use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig, ModelProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let paper = [
+        (ModelKind::ResNet20, 0.3, 0.041, 91.04),
+        (ModelKind::ResNet32, 0.5, 0.069, 91.88),
+        (ModelKind::MobileNetV2, 2.2, 0.296, 94.89),
+    ];
+
+    let mut rows = Vec::new();
+    for &(kind, p_params, p_macs, p_acc) in &paper {
+        // Full-width profile for the paper's architecture columns.
+        let cfg = ModelConfig::paper();
+        let mut rng = StdRng::seed_from_u64(Scale::seed());
+        let mut full = match kind {
+            ModelKind::ResNet20 => resnet20(&cfg, &mut rng),
+            ModelKind::ResNet32 => resnet32(&cfg, &mut rng),
+            ModelKind::MobileNetV2 => mobilenet_v2(&cfg, &mut rng),
+        };
+        let profile = ModelProfile::measure(&mut full, &cfg.input_shape(1));
+        drop(full);
+
+        // Mini-model FP accuracy on SynthCIFAR.
+        let mut env = ExperimentEnv::new(
+            kind,
+            scale.model_cfg(),
+            scale.train,
+            scale.test,
+            Scale::seed(),
+        );
+        let acc = env.train_fp(&scale.fp_stage());
+
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{p_params:.1}"),
+            format!("{:.2}", profile.params_millions()),
+            format!("{p_macs:.3}"),
+            format!("{:.3}", profile.macs_billions()),
+            format!("{p_acc:.2}"),
+            pct(acc),
+        ]);
+    }
+
+    print_table(
+        "Table I: Evaluated CNNs (paper vs measured)",
+        &[
+            "CNN",
+            "paper #P(1e6)",
+            "ours #P(1e6)",
+            "paper MACs(1e9)",
+            "ours MACs(1e9)",
+            "paper FP Acc%",
+            "ours FP Acc% (mini/SynthCIFAR)",
+        ],
+        &rows,
+    );
+    println!("\nNote: parameter/MAC columns are the full-width architectures; FP accuracy");
+    println!("is the width-reduced mini model on SynthCIFAR (absolute values differ from");
+    println!("the paper by construction — see DESIGN.md).");
+}

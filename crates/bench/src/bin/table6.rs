@@ -1,0 +1,70 @@
+//! Table VI: comparison of retraining methods for approximate ResNet-32,
+//! same hyper-parameters as the ResNet-20 run (paper §IV-B).
+
+use approxkd::pipeline::ModelKind;
+use approxkd::Method;
+use axnn_axmul::catalog;
+use axnn_bench::{paper_best_t2, pct, print_table, Scale};
+
+/// Paper Table VI: (id, init, [normal, ge, alpha, kd, kd+ge]).
+const PAPER: &[(&str, f32, [f32; 5])] = &[
+    ("trunc1", 91.11, [f32::NAN; 5]),
+    ("trunc2", 90.79, [91.19, 91.21, 91.18, 91.28, 91.29]),
+    ("trunc3", 87.40, [90.56, 90.72, 90.61, 90.84, 90.96]),
+    ("trunc4", 45.37, [89.54, 90.08, 89.75, 90.10, 90.19]),
+    ("trunc5", 10.01, [86.77, 87.95, 86.78, 88.12, 88.93]),
+    ("evo29", 54.92, [89.73, f32::NAN, 89.72, 90.32, 90.32]),
+    ("evo111", 63.43, [88.13, f32::NAN, 88.16, 89.05, 89.05]),
+    ("evo104", 58.70, [82.29, f32::NAN, 83.33, 86.11, 86.11]),
+    ("evo469", 48.73, [81.67, f32::NAN, 82.95, 84.57, 84.57]),
+    ("evo228", 48.70, [81.61, f32::NAN, 82.70, 84.29, 84.29]),
+    ("evo145", 48.81, [80.75, f32::NAN, 81.45, 84.19, 84.19]),
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut env = scale.prepared_env(ModelKind::ResNet32);
+    let fp = env.fp_accuracy();
+
+    let mut rows = Vec::new();
+    for &(id, p_init, p_finals) in PAPER {
+        let spec = catalog::by_id(id).expect("catalogued");
+        let t2 = paper_best_t2(id);
+        let init = env.initial_approx_accuracy(spec, scale.batch);
+        eprintln!("[table6] {id}: initial {:.2} %", init * 100.0);
+        let skip = init >= fp - 0.01;
+        let methods = [
+            Method::Normal,
+            Method::Ge,
+            Method::alpha_default(),
+            Method::approx_kd(t2),
+            Method::approx_kd_ge(t2),
+        ];
+        let mut cells = vec![id.to_string(), format!("{p_init:.2}"), pct(init)];
+        for (m, p) in methods.iter().zip(&p_finals) {
+            cells.push(if p.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{p:.2}")
+            });
+            cells.push(if skip {
+                "-".to_string()
+            } else {
+                let r = env.approximation_stage(spec, *m, &scale.ft_stage());
+                eprintln!("[table6]   {}: {:.2} %", m.label(), r.final_acc * 100.0);
+                pct(r.final_acc)
+            });
+        }
+        rows.push(cells);
+    }
+
+    print_table(
+        "Table VI: retraining methods, approximate ResNet-32 (paper | measured)",
+        &[
+            "mult", "p.init", "init", "p.Norm", "Norm", "p.GE", "GE", "p.alpha", "alpha",
+            "p.KD", "KD", "p.KD+GE", "KD+GE",
+        ],
+        &rows,
+    );
+    println!("\nShape target: the same method ordering as ResNet-20 — ApproxKD+GE on top.");
+}

@@ -1,0 +1,223 @@
+//! # axnn-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper, plus Criterion micro-benchmarks.
+//!
+//! Each `table*`/`fig*` binary prints the paper's reported numbers next to
+//! the numbers measured on this reproduction (SynthCIFAR + width-reduced
+//! models — see `DESIGN.md` for the substitutions and `EXPERIMENTS.md` for
+//! recorded outcomes). Absolute accuracies differ by construction; the
+//! reproduction targets are the *shapes*: method orderings, temperature/MRE
+//! correlations, collapse thresholds, and overhead ratios.
+//!
+//! Scale is controlled by environment variables:
+//!
+//! | variable | default | effect |
+//! |---|---|---|
+//! | `AXNN_SCALE` | `mini` | `tiny` / `mini` / `midi` experiment scale |
+//! | `AXNN_SEED`  | `1`    | RNG seed for data, models and fitting |
+//! | `AXNN_EPOCHS`| scale-dependent | fine-tuning epochs per stage |
+//! | `AXNN_SWEEP_T2` | unset | `1` = re-run the T2 ablation instead of using the paper's best temperatures |
+
+use approxkd::pipeline::ModelKind;
+use approxkd::{ExperimentEnv, StageConfig};
+use axnn_models::ModelConfig;
+use axnn_nn::StepDecay;
+
+/// Experiment scale resolved from the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Model width multiplier.
+    pub width: f32,
+    /// Input resolution.
+    pub hw: usize,
+    /// Training samples.
+    pub train: usize,
+    /// Test samples.
+    pub test: usize,
+    /// FP training epochs.
+    pub fp_epochs: usize,
+    /// Fine-tuning epochs per stage.
+    pub stage_epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Scale {
+    /// Reads `AXNN_SCALE` / `AXNN_EPOCHS` from the environment
+    /// (default: `mini`).
+    pub fn from_env() -> Self {
+        let mut s = match std::env::var("AXNN_SCALE").as_deref() {
+            Ok("tiny") => Self {
+                width: 0.2,
+                hw: 8,
+                train: 160,
+                test: 80,
+                fp_epochs: 10,
+                stage_epochs: 2,
+                batch: 32,
+            },
+            Ok("midi") => Self {
+                width: 0.5,
+                hw: 16,
+                train: 1280,
+                test: 512,
+                fp_epochs: 20,
+                stage_epochs: 6,
+                batch: 32,
+            },
+            _ => Self {
+                width: 0.25,
+                hw: 16,
+                train: 640,
+                test: 256,
+                fp_epochs: 15,
+                stage_epochs: 4,
+                batch: 32,
+            },
+        };
+        if let Ok(e) = std::env::var("AXNN_EPOCHS") {
+            if let Ok(e) = e.parse() {
+                s.stage_epochs = e;
+            }
+        }
+        s
+    }
+
+    /// The experiment seed (`AXNN_SEED`, default 1).
+    pub fn seed() -> u64 {
+        std::env::var("AXNN_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1)
+    }
+
+    /// The model configuration at this scale.
+    pub fn model_cfg(&self) -> ModelConfig {
+        ModelConfig::paper()
+            .with_width(self.width)
+            .with_input_hw(self.hw)
+    }
+
+    /// FP-training stage configuration.
+    pub fn fp_stage(&self) -> StageConfig {
+        StageConfig {
+            epochs: self.fp_epochs,
+            batch: self.batch,
+            lr: StepDecay::new(0.05, (self.fp_epochs / 2).max(1), 0.5),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        }
+    }
+
+    /// Fine-tuning stage configuration (quantization & approximation
+    /// stages; mirrors the paper's lr-decay-every-half-run schedule).
+    pub fn ft_stage(&self) -> StageConfig {
+        StageConfig {
+            epochs: self.stage_epochs,
+            batch: self.batch,
+            lr: StepDecay::new(2e-3, (self.stage_epochs / 2).max(1), 0.1),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        }
+    }
+
+    /// Builds an environment and runs FP training + the quantization stage
+    /// (with KD, `T1 = 1` — the paper's Algorithm-1 prefix shared by all
+    /// approximation experiments). Progress goes to stderr.
+    pub fn prepared_env(&self, kind: ModelKind) -> ExperimentEnv {
+        // MobileNetV2 is ~7x the MACs of the mini ResNets; trim width.
+        let cfg = if kind == ModelKind::MobileNetV2 {
+            self.model_cfg().with_width(self.width * 0.8)
+        } else {
+            self.model_cfg()
+        };
+        let mut env = ExperimentEnv::new(kind, cfg, self.train, self.test, Self::seed());
+        eprintln!("[prep] training FP {} ...", kind.label());
+        let fp = env.train_fp(&self.fp_stage());
+        eprintln!("[prep] FP accuracy {:.2} %", fp * 100.0);
+        eprintln!("[prep] quantization stage (8A4W + KD, T1=1) ...");
+        let q = env.quantization_stage(&self.ft_stage(), true);
+        eprintln!(
+            "[prep] 8A4W: {:.2} % -> {:.2} %",
+            q.acc_before_ft * 100.0,
+            q.acc_after_ft * 100.0
+        );
+        env
+    }
+}
+
+/// The paper's best stage-2 temperature per multiplier (Table III's "best
+/// Temp." column; multipliers absent from Table III default to 2).
+pub fn paper_best_t2(id: &str) -> f32 {
+    match id {
+        "trunc3" | "evo470" => 2.0,
+        "trunc4" | "trunc5" | "evo29" | "evo111" => 5.0,
+        "evo104" | "evo469" | "evo228" | "evo145" | "evo249" => 10.0,
+        _ => 2.0,
+    }
+}
+
+/// Formats a fraction as a percent string with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Prints a markdown-ish table: a header row and aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_mini() {
+        let s = Scale::from_env();
+        assert_eq!(s.hw, 16);
+        assert!(s.width > 0.0);
+    }
+
+    #[test]
+    fn best_t2_covers_catalogue() {
+        for spec in axnn_axmul::catalog::PAPER_MULTIPLIERS {
+            let t = paper_best_t2(spec.id);
+            assert!([1.0, 2.0, 5.0, 10.0].contains(&t), "{}: {t}", spec.id);
+        }
+        // Spot-check against Table III.
+        assert_eq!(paper_best_t2("trunc3"), 2.0);
+        assert_eq!(paper_best_t2("trunc5"), 5.0);
+        assert_eq!(paper_best_t2("evo228"), 10.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9051), "90.51");
+    }
+}

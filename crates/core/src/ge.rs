@@ -1,0 +1,350 @@
+//! Gradient estimation: Monte-Carlo fitting of the approximation-error
+//! function `f(y)` (paper §III-B, eq. 11, Figs. 2–3).
+//!
+//! The paper estimates `f(y_q)` from "50 Monte-Carlo simulations of a
+//! single convolution with values drawn from normal distributions, within
+//! the corresponding quantization ranges". This module reproduces that
+//! procedure: random weight/activation codes within the symmetric 8A4W
+//! ranges, one lowered convolution GEMM computed both exactly and through
+//! the approximate multiplier's LUT, and a clamped-linear least-squares fit
+//! of the pooled `(y, ε)` samples.
+//!
+//! All quantities are in integer-accumulator (code-product) units, which
+//! are invariant to the per-layer quantization scales — see
+//! [`PiecewiseLinearError`] for how the executor consumes the fit.
+
+use axnn_axmul::Multiplier;
+use axnn_proxsim::{PiecewiseLinearError, SignedLut};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of a Monte-Carlo error fit: the model plus the raw samples
+/// (what the paper plots in Figs. 2–3).
+#[derive(Debug, Clone)]
+pub struct ErrorFit {
+    /// The fitted piecewise-linear error model.
+    pub model: PiecewiseLinearError,
+    /// Pooled `(y_exact, ε)` samples in code-product units.
+    pub samples: Vec<(f32, f32)>,
+    /// Multiplier the fit belongs to.
+    pub multiplier: String,
+}
+
+impl ErrorFit {
+    /// Mean signed error over the samples.
+    pub fn mean_error(&self) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, e)| e).sum::<f32>() / self.samples.len() as f32
+    }
+
+    /// Whether the fit degenerated to a constant (unbiased multiplier) —
+    /// in which case GE is exactly the plain STE (paper §IV-B).
+    pub fn is_constant(&self) -> bool {
+        self.model.is_constant()
+    }
+
+    /// Coefficient of determination of the *linear* trend over the samples:
+    /// the fraction of error variance explained by `k·y + c`. Near zero for
+    /// unbiased multipliers, substantial for the truncated family.
+    pub fn r_squared(&self) -> f32 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let n = self.samples.len() as f32;
+        let mean_y = self.samples.iter().map(|&(y, _)| y).sum::<f32>() / n;
+        let mean_e = self.samples.iter().map(|&(_, e)| e).sum::<f32>() / n;
+        let mut cov = 0.0f32;
+        let mut var_y = 0.0f32;
+        let mut var_e = 0.0f32;
+        for &(y, e) in &self.samples {
+            cov += (y - mean_y) * (e - mean_e);
+            var_y += (y - mean_y) * (y - mean_y);
+            var_e += (e - mean_e) * (e - mean_e);
+        }
+        if var_y <= f32::EPSILON || var_e <= f32::EPSILON {
+            return 0.0;
+        }
+        (cov * cov) / (var_y * var_e)
+    }
+
+    /// Root-mean-square residual of the fitted model over the samples —
+    /// the error the GE approximation itself leaves unmodelled.
+    pub fn rms_residual(&self) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sq: f32 = self
+            .samples
+            .iter()
+            .map(|&(y, e)| {
+                let r = e - self.model.value(y);
+                r * r
+            })
+            .sum();
+        (sq / self.samples.len() as f32).sqrt()
+    }
+}
+
+/// Geometry of the simulated convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of Monte-Carlo simulations (paper: 50).
+    pub sims: usize,
+    /// Accumulation depth `n = C·K·K` of the simulated GEMM.
+    pub depth: usize,
+    /// Output pixels per simulation (GEMM columns).
+    pub cols: usize,
+    /// Output channels per simulation (GEMM rows).
+    pub rows: usize,
+}
+
+impl Default for McConfig {
+    /// The paper's setting: 50 simulations of a small convolution
+    /// (here 3×3 kernel over 8 channels → depth 72).
+    fn default() -> Self {
+        Self {
+            sims: 50,
+            depth: 72,
+            cols: 16,
+            rows: 8,
+        }
+    }
+}
+
+/// Runs the Monte-Carlo simulations and fits `f(y)` for `multiplier`.
+///
+/// Weights and activation codes are drawn from centred normal
+/// distributions with σ at one third of the symmetric code range
+/// (so ±3σ spans the range), clamped to `[−7, 7]` / `[−127, 127]`.
+///
+/// ```
+/// use approxkd::ge::{fit_error_model, McConfig};
+/// use axnn_axmul::TruncatedMul;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let fit = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng);
+/// assert!(fit.model.slope() < 0.0, "truncation error has a negative slope");
+/// assert!(!fit.is_constant());
+/// ```
+pub fn fit_error_model(
+    multiplier: &dyn Multiplier,
+    cfg: McConfig,
+    rng: &mut StdRng,
+) -> ErrorFit {
+    assert!(cfg.sims > 0 && cfg.depth > 0 && cfg.cols > 0 && cfg.rows > 0);
+    let lut = SignedLut::build(multiplier);
+    let mut samples = Vec::with_capacity(cfg.sims * cfg.rows * cfg.cols);
+
+    let draw = |rng: &mut StdRng, sigma: f32, max: i32| -> i32 {
+        // Box–Muller normal, clamped to the symmetric code range.
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        ((z * sigma).round() as i32).clamp(-max, max)
+    };
+
+    for _ in 0..cfg.sims {
+        // One simulated convolution as a lowered GEMM.
+        let w: Vec<i32> = (0..cfg.rows * cfg.depth)
+            .map(|_| draw(rng, 7.0 / 3.0, 7))
+            .collect();
+        let x: Vec<i32> = (0..cfg.depth * cfg.cols)
+            .map(|_| draw(rng, 127.0 / 3.0, 127))
+            .collect();
+        for i in 0..cfg.rows {
+            for j in 0..cfg.cols {
+                let mut exact = 0i64;
+                let mut approx = 0i64;
+                for k in 0..cfg.depth {
+                    let wv = w[i * cfg.depth + k];
+                    let xv = x[k * cfg.cols + j];
+                    exact += (wv * xv) as i64;
+                    approx += lut.get(xv, wv);
+                }
+                samples.push((exact as f32, (approx - exact) as f32));
+            }
+        }
+    }
+
+    let model = fit_piecewise(&samples);
+    ErrorFit {
+        model,
+        samples,
+        multiplier: multiplier.name().to_string(),
+    }
+}
+
+/// Least-squares line through the samples, clamped at the 5th/95th error
+/// percentiles (the plateaus `b`/`a` of eq. 11). Degenerates to a constant
+/// when the linear trend explains too little of the error variance —
+/// the unbiased-multiplier case.
+fn fit_piecewise(samples: &[(f32, f32)]) -> PiecewiseLinearError {
+    assert!(!samples.is_empty(), "cannot fit an empty sample set");
+    let n = samples.len() as f32;
+    let mean_y = samples.iter().map(|&(y, _)| y).sum::<f32>() / n;
+    let mean_e = samples.iter().map(|&(_, e)| e).sum::<f32>() / n;
+    let mut cov = 0.0f32;
+    let mut var_y = 0.0f32;
+    let mut var_e = 0.0f32;
+    for &(y, e) in samples {
+        cov += (y - mean_y) * (e - mean_e);
+        var_y += (y - mean_y) * (y - mean_y);
+        var_e += (e - mean_e) * (e - mean_e);
+    }
+    if var_y <= f32::EPSILON || var_e <= f32::EPSILON {
+        return PiecewiseLinearError::constant(mean_e);
+    }
+    let slope = cov / var_y;
+    let intercept = mean_e - slope * mean_y;
+
+    // Explained-variance test: R² below threshold ⇒ no usable trend.
+    let r2 = (cov * cov) / (var_y * var_e);
+    if r2 < 0.05 {
+        return PiecewiseLinearError::constant(mean_e);
+    }
+
+    // Plateaus from the error percentiles.
+    let mut errs: Vec<f32> = samples.iter().map(|&(_, e)| e).collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let pct = |p: f32| errs[(((errs.len() - 1) as f32) * p) as usize];
+    let lo = pct(0.05);
+    let hi = pct(0.95);
+    if lo >= hi {
+        return PiecewiseLinearError::constant(mean_e);
+    }
+    PiecewiseLinearError::new(slope, intercept, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::{EvoLikeMul, ExactMul, TruncatedMul};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(120)
+    }
+
+    #[test]
+    fn exact_multiplier_fits_zero() {
+        let fit = fit_error_model(&ExactMul, McConfig::default(), &mut rng());
+        assert!(fit.is_constant());
+        assert_eq!(fit.mean_error(), 0.0);
+        assert_eq!(fit.model.value(1000.0), 0.0);
+    }
+
+    #[test]
+    fn truncated_multiplier_has_negative_slope() {
+        // Fig. 2: the truncated multiplier's error trends down with y.
+        let fit = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng());
+        assert!(!fit.is_constant(), "biased error must produce a slope");
+        assert!(fit.model.slope() < 0.0, "slope {}", fit.model.slope());
+        // With signed operands the truncation error is antisymmetric in y:
+        // positive outputs shrink (ε < 0), negative outputs grow toward zero
+        // (ε > 0) — which is exactly the negative slope of Fig. 2.
+        let mean_pos: f32 = {
+            let pos: Vec<f32> = fit
+                .samples
+                .iter()
+                .filter(|&&(y, _)| y > 0.0)
+                .map(|&(_, e)| e)
+                .collect();
+            pos.iter().sum::<f32>() / pos.len() as f32
+        };
+        assert!(mean_pos < 0.0, "positive outputs must shrink: {mean_pos}");
+    }
+
+    #[test]
+    fn evo_multiplier_fits_constant() {
+        // Fig. 3: unbiased error ⇒ constant fit ⇒ GE ≡ STE.
+        let fit = fit_error_model(
+            &EvoLikeMul::calibrated(228, 0.19),
+            McConfig::default(),
+            &mut rng(),
+        );
+        assert!(fit.is_constant(), "slope {}", fit.model.slope());
+    }
+
+    #[test]
+    fn fit_quality_separates_bias_classes() {
+        let trunc = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng());
+        let evo = fit_error_model(
+            &EvoLikeMul::calibrated(228, 0.19),
+            McConfig::default(),
+            &mut rng(),
+        );
+        assert!(
+            trunc.r_squared() > 0.3,
+            "truncated trend is strong: R2 {}",
+            trunc.r_squared()
+        );
+        assert!(
+            evo.r_squared() < 0.05,
+            "unbiased error has no trend: R2 {}",
+            evo.r_squared()
+        );
+        // The model explains part of the truncated error: residual < raw std.
+        let raw_std = {
+            let n = trunc.samples.len() as f32;
+            let mean = trunc.samples.iter().map(|&(_, e)| e).sum::<f32>() / n;
+            (trunc
+                .samples
+                .iter()
+                .map(|&(_, e)| (e - mean) * (e - mean))
+                .sum::<f32>()
+                / n)
+                .sqrt()
+        };
+        assert!(trunc.rms_residual() < raw_std);
+    }
+
+    #[test]
+    fn sample_count_matches_config() {
+        let cfg = McConfig {
+            sims: 3,
+            depth: 8,
+            cols: 4,
+            rows: 2,
+        };
+        let fit = fit_error_model(&TruncatedMul::new(4), cfg, &mut rng());
+        assert_eq!(fit.samples.len(), 3 * 4 * 2);
+        assert_eq!(fit.multiplier, "trunc4");
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seed() {
+        let cfg = McConfig::default();
+        let a = fit_error_model(&TruncatedMul::new(5), cfg, &mut StdRng::seed_from_u64(9));
+        let b = fit_error_model(&TruncatedMul::new(5), cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn deeper_accumulation_widens_plateaus() {
+        let shallow = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig {
+                depth: 16,
+                ..McConfig::default()
+            },
+            &mut rng(),
+        );
+        let deep = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig {
+                depth: 144,
+                ..McConfig::default()
+            },
+            &mut rng(),
+        );
+        let spread = |f: &ErrorFit| {
+            let es: Vec<f32> = f.samples.iter().map(|&(_, e)| e).collect();
+            es.iter().cloned().fold(f32::INFINITY, f32::min).abs()
+        };
+        assert!(spread(&deep) > spread(&shallow));
+    }
+}

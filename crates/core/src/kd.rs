@@ -1,0 +1,165 @@
+//! Knowledge-distillation losses (paper eq. 1–3, Fig. 1).
+
+use axnn_nn::loss::{log_softmax_rows, softmax_cross_entropy, softmax_rows};
+use axnn_tensor::Tensor;
+
+/// The soft distillation loss of eq. (2), averaged over the batch:
+///
+/// ```text
+/// C_soft = −T² Σₖ σ(y_teacher/T)ₖ · log σ(y_student/T)ₖ
+/// ```
+///
+/// The `T²` factor compensates the `1/T²` scaling of the soft gradients
+/// (paper §III-A1), so hard and soft terms stay comparable across
+/// temperatures. Returns `(loss, dstudent_logits)` with the gradient of the
+/// batch-mean loss.
+///
+/// # Panics
+///
+/// Panics if the logit shapes differ, are not 2-D, or `t <= 0`.
+pub fn soft_cross_entropy(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    t: f32,
+) -> (f32, Tensor) {
+    assert!(t > 0.0, "temperature must be positive");
+    assert_eq!(student_logits.shape().len(), 2, "expected [N, C] logits");
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "student/teacher shapes differ"
+    );
+    let n = student_logits.shape()[0];
+    let scaled_student = student_logits.map(|v| v / t);
+    let scaled_teacher = teacher_logits.map(|v| v / t);
+    let p_teacher = softmax_rows(&scaled_teacher);
+    let log_p_student = log_softmax_rows(&scaled_student);
+    let p_student = softmax_rows(&scaled_student);
+
+    let mut loss = 0.0f32;
+    for (pt, lps) in p_teacher
+        .as_slice()
+        .iter()
+        .zip(log_p_student.as_slice())
+    {
+        loss -= pt * lps;
+    }
+    // d/ds [−T² Σ p_t · log σ(s/T)] = T · (σ(s/T) − p_t)
+    let mut dlogits = p_student.zip_map(&p_teacher, |ps, pt| t * (ps - pt));
+    let inv_n = 1.0 / n as f32;
+    dlogits.scale(inv_n);
+    (loss * t * t * inv_n, dlogits)
+}
+
+/// The combined stage loss of eq. (3) / Fig. 1:
+/// `C = C_hard(labels) + C_soft(teacher, T)`.
+///
+/// This is `C_s1` when the teacher is the FP model and the student the
+/// 8A4W-quantized model (temperature `T1`), and `C_s2` when the teacher is
+/// the quantized model and the student the approximate model (`T2 > T1`).
+///
+/// Returns `(loss, dlogits)` for the batch mean.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or non-positive temperature.
+pub fn kd_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    labels: &[usize],
+    t: f32,
+) -> (f32, Tensor) {
+    let (hard, d_hard) = softmax_cross_entropy(student_logits, labels);
+    let (soft, d_soft) = soft_cross_entropy(student_logits, teacher_logits, t);
+    (hard + soft, &d_hard + &d_soft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn soft_loss_is_minimal_when_student_matches_teacher() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let teacher = init::uniform(&[4, 5], -2.0, 2.0, &mut rng);
+        let (match_loss, _) = soft_cross_entropy(&teacher, &teacher, 2.0);
+        for _ in 0..5 {
+            let other = init::uniform(&[4, 5], -2.0, 2.0, &mut rng);
+            let (l, _) = soft_cross_entropy(&other, &teacher, 2.0);
+            assert!(l >= match_loss - 1e-5, "{l} < {match_loss}");
+        }
+    }
+
+    #[test]
+    fn matched_logits_have_zero_gradient() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let logits = init::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let (_, d) = soft_cross_entropy(&logits, &logits, 5.0);
+        assert!(d.abs_max() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let mut student = init::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        let teacher = init::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        for &t in &[1.0f32, 2.0, 5.0, 10.0] {
+            let (_, d) = soft_cross_entropy(&student, &teacher, t);
+            let eps = 1e-2;
+            for idx in 0..student.len() {
+                let orig = student.as_slice()[idx];
+                student.as_mut_slice()[idx] = orig + eps;
+                let (lp, _) = soft_cross_entropy(&student, &teacher, t);
+                student.as_mut_slice()[idx] = orig - eps;
+                let (lm, _) = soft_cross_entropy(&student, &teacher, t);
+                student.as_mut_slice()[idx] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let got = d.as_slice()[idx];
+                assert!(
+                    (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "T={t} idx {idx}: {numeric} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_temperature_softens_gradients_toward_uniformity() {
+        // At very high T both distributions flatten to uniform, so the
+        // pre-scaling softmax gap shrinks; the T factor keeps magnitudes
+        // comparable (that is the point of the T² loss scale).
+        let student = Tensor::from_vec(vec![4.0, 0.0, -4.0], &[1, 3]).unwrap();
+        let teacher = Tensor::from_vec(vec![-4.0, 0.0, 4.0], &[1, 3]).unwrap();
+        let (l1, _) = soft_cross_entropy(&student, &teacher, 1.0);
+        let (l10, _) = soft_cross_entropy(&student, &teacher, 10.0);
+        assert!(l1.is_finite() && l10.is_finite());
+        // The T² scale keeps the high-T loss within an order of magnitude.
+        assert!(l10 > 0.1 * l1, "{l10} vs {l1}");
+    }
+
+    #[test]
+    fn kd_loss_adds_hard_and_soft_terms() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let student = init::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let teacher = init::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2];
+        let (total, d_total) = kd_loss(&student, &teacher, &labels, 2.0);
+        let (hard, d_hard) = softmax_cross_entropy(&student, &labels);
+        let (soft, d_soft) = soft_cross_entropy(&student, &teacher, 2.0);
+        assert!((total - hard - soft).abs() < 1e-6);
+        let want = &d_hard + &d_soft;
+        for (a, b) in d_total.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_zero_temperature() {
+        let t = Tensor::zeros(&[1, 2]);
+        let _ = soft_cross_entropy(&t, &t, 0.0);
+    }
+}

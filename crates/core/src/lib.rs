@@ -1,0 +1,48 @@
+//! # approxkd
+//!
+//! The primary contribution of *"Knowledge Distillation and Gradient
+//! Estimation for Active Error Compensation in Approximate Neural
+//! Networks"* (De la Parra, Wu, Guntoro, Kumar — DATE 2021), rebuilt on the
+//! ApproxNN workspace substrates:
+//!
+//! - [`kd`]: the distillation losses — hard cross-entropy (eq. 1), the
+//!   temperature-scaled soft loss (eq. 2) and the combined stage losses
+//!   `C_s1`/`C_s2` (eq. 3);
+//! - [`ge`]: gradient estimation — Monte-Carlo simulation of a single
+//!   approximate convolution and the piecewise-linear fit of the
+//!   approximation error `f(y)` (eq. 11, Figs. 2–3);
+//! - [`methods`]: the five fine-tuning methods compared in Tables V–VII —
+//!   `Normal`, `Alpha`, `Ge`, `ApproxKd`, `ApproxKdGe` — behind one
+//!   [`methods::fine_tune`] entry point;
+//! - [`pipeline`]: Algorithm 1 end to end — FP training, the quantization
+//!   stage (8A4W + KD at `T1`), and the approximation stage (approximate
+//!   multipliers + KD at `T2` + GE).
+//!
+//! # Example: two-stage optimization of a small CNN
+//!
+//! ```no_run
+//! use approxkd::pipeline::{ExperimentEnv, StageConfig};
+//! use axnn_axmul::catalog;
+//!
+//! let mut env = ExperimentEnv::quick(0);
+//! env.train_fp(&StageConfig::quick());
+//! env.quantization_stage(&StageConfig::quick(), true);
+//! let spec = catalog::by_id("trunc5").expect("in catalogue");
+//! let result = env.approximation_stage(
+//!     spec,
+//!     approxkd::methods::Method::approx_kd_ge(5.0),
+//!     &StageConfig::quick(),
+//! );
+//! println!("final accuracy {:.2} %", result.final_acc * 100.0);
+//! ```
+
+pub mod ge;
+pub mod kd;
+pub mod methods;
+pub mod pipeline;
+pub mod resiliency;
+
+pub use ge::{fit_error_model, ErrorFit, McConfig};
+pub use kd::{kd_loss, soft_cross_entropy};
+pub use methods::{fine_tune, FineTuneResult, Method, StageConfig};
+pub use pipeline::{ExperimentEnv, ModelKind, QuantStageResult, TeacherSource};

@@ -1,0 +1,516 @@
+//! Algorithm 1 end to end: FP training, the quantization stage and the
+//! approximation stage, packaged as a reusable experiment environment.
+
+use crate::ge::{fit_error_model, ErrorFit, McConfig};
+use crate::methods::{fine_tune, FineTuneResult, Method};
+use axnn_axmul::catalog::MultiplierSpec;
+use axnn_data::SynthCifar;
+use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
+use axnn_nn::train::{calibrate, evaluate, logits_over, Dataset};
+use axnn_nn::{Layer, Sequential};
+use axnn_proxsim::approximate_network;
+use axnn_quant::{quantize_network, QuantSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use crate::methods::StageConfig;
+
+/// Which evaluated CNN an experiment uses (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// ResNet-20 \[6\] — BN folded before quantization.
+    ResNet20,
+    /// ResNet-32 \[6\] — BN folded before quantization.
+    ResNet32,
+    /// MobileNetV2 \[7\] — BN kept (paper §IV).
+    MobileNetV2,
+}
+
+impl ModelKind {
+    /// Whether the paper folds this model's batch norm before quantization.
+    pub fn folds_bn(self) -> bool {
+        !matches!(self, ModelKind::MobileNetV2)
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::ResNet20 => "ResNet20",
+            ModelKind::ResNet32 => "ResNet32",
+            ModelKind::MobileNetV2 => "MobileNetV2",
+        }
+    }
+}
+
+/// Which model supplies the stage-2 soft labels.
+///
+/// The paper's ApproxKD uses the *quantized* model (two-stage distillation);
+/// [`TeacherSource::FullPrecision`] reproduces the single-stage alternative
+/// the paper argues against in §III-A ("a single KD stage is not enough").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TeacherSource {
+    /// Two-stage (the paper's ApproxKD): soft labels from the quantized model.
+    Quantized,
+    /// Single-stage ablation: soft labels directly from the FP model.
+    FullPrecision,
+}
+
+/// Result of the quantization stage (paper Table II row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantStageResult {
+    /// 8A4W accuracy before any fine-tuning.
+    pub acc_before_ft: f32,
+    /// Accuracy after stage-1 fine-tuning.
+    pub acc_after_ft: f32,
+    /// Whether KD (vs normal FT) was used.
+    pub used_kd: bool,
+}
+
+/// A self-contained experiment environment: dataset, FP teacher, quantized
+/// intermediate model, and the Algorithm-1 stages as methods.
+///
+/// The environment owns everything an experiment needs so the table
+/// harnesses in `axnn-bench` stay declarative. Scale is controlled by the
+/// [`ModelConfig`] and dataset sizes; [`ExperimentEnv::quick`] builds a
+/// CPU-tractable mini environment.
+pub struct ExperimentEnv {
+    kind: ModelKind,
+    model_cfg: ModelConfig,
+    train: Dataset,
+    test: Dataset,
+    fp_net: Sequential,
+    fp_test_acc: f32,
+    fp_logits: Option<axnn_tensor::Tensor>,
+    quant_net: Option<Sequential>,
+    quant_logits: Option<axnn_tensor::Tensor>,
+    seed: u64,
+}
+
+impl ExperimentEnv {
+    /// Creates an environment with freshly generated SynthCIFAR splits and
+    /// an untrained FP model.
+    pub fn new(
+        kind: ModelKind,
+        model_cfg: ModelConfig,
+        train_size: usize,
+        test_size: usize,
+        seed: u64,
+    ) -> Self {
+        let gen = SynthCifar::new(model_cfg.input_hw);
+        let (train, test) = gen.generate(train_size, test_size, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fp_net = Self::build(kind, &model_cfg, &mut rng);
+        Self {
+            kind,
+            model_cfg,
+            train,
+            test,
+            fp_net,
+            fp_test_acc: 0.0,
+            fp_logits: None,
+            quant_net: None,
+            quant_logits: None,
+            seed,
+        }
+    }
+
+    /// A CPU-tractable mini environment: width-0.25 ResNet-20 on 16×16
+    /// images, 320/160 train/test samples.
+    pub fn quick(seed: u64) -> Self {
+        Self::new(ModelKind::ResNet20, ModelConfig::mini(), 320, 160, seed)
+    }
+
+    fn build(kind: ModelKind, cfg: &ModelConfig, rng: &mut StdRng) -> Sequential {
+        match kind {
+            ModelKind::ResNet20 => resnet20(cfg, rng),
+            ModelKind::ResNet32 => resnet32(cfg, rng),
+            ModelKind::MobileNetV2 => mobilenet_v2(cfg, rng),
+        }
+    }
+
+    /// The model kind.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The training split.
+    pub fn train_data(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// The held-out split.
+    pub fn test_data(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// Full-precision test accuracy (Table I's "FP Acc." after
+    /// [`train_fp`](Self::train_fp)).
+    pub fn fp_accuracy(&self) -> f32 {
+        self.fp_test_acc
+    }
+
+    /// The FP network (the stage-1 teacher).
+    pub fn fp_net_mut(&mut self) -> &mut Sequential {
+        &mut self.fp_net
+    }
+
+    /// Trains the FP model with plain cross-entropy, then (for the ResNets)
+    /// folds batch norm — the paper's §IV preprocessing. Returns the FP
+    /// test accuracy.
+    pub fn train_fp(&mut self, cfg: &StageConfig) -> f32 {
+        fine_tune(
+            &mut self.fp_net,
+            None,
+            &self.train,
+            &self.test,
+            cfg,
+            0.0,
+            "fp-train",
+        );
+        if self.kind.folds_bn() {
+            self.fp_net.fold_batch_norm();
+        }
+        self.fp_test_acc = evaluate(&mut self.fp_net, &self.test, cfg.batch);
+        self.fp_logits = Some(logits_over(&mut self.fp_net, &self.train, cfg.batch));
+        self.fp_test_acc
+    }
+
+    /// Builds an architecture-matched copy of the current FP network and
+    /// copies parameters (+ BN buffers when applicable).
+    fn copy_fp(&mut self) -> Sequential {
+        let mut cfg = self.model_cfg;
+        if self.kind.folds_bn() && self.fp_logits.is_some() {
+            cfg.batch_norm = false; // FP net is already folded
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc0_ffee);
+        let mut student = Self::build(self.kind, &cfg, &mut rng);
+        student.copy_params_from(&mut self.fp_net);
+        student.copy_buffers_from(&mut self.fp_net);
+        student
+    }
+
+    /// Builds an architecture-matched copy of the quantized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run.
+    fn copy_quant(&mut self) -> Sequential {
+        let mut cfg = self.model_cfg;
+        if self.kind.folds_bn() {
+            cfg.batch_norm = false;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdead);
+        let mut student = Self::build(self.kind, &cfg, &mut rng);
+        let quant = self
+            .quant_net
+            .as_mut()
+            .expect("run quantization_stage first");
+        student.copy_params_from(quant);
+        student.copy_buffers_from(quant);
+        student
+    }
+
+    /// Stage 1 of Algorithm 1: 8A4W quantization plus fine-tuning, with or
+    /// without KD from the FP teacher at temperature `t1`
+    /// (`cfg` carries the optimizer settings; `t1` only matters when
+    /// `use_kd`). Stores the quantized model as the stage-2 teacher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`train_fp`](Self::train_fp) has not run.
+    pub fn quantization_stage(&mut self, cfg: &StageConfig, use_kd: bool) -> QuantStageResult {
+        self.quantization_stage_at(cfg, use_kd, 1.0)
+    }
+
+    /// [`quantization_stage`](Self::quantization_stage) with an explicit
+    /// `T1` (the paper uses `T1 = 1`).
+    pub fn quantization_stage_at(
+        &mut self,
+        cfg: &StageConfig,
+        use_kd: bool,
+        t1: f32,
+    ) -> QuantStageResult {
+        self.quantization_stage_with(
+            cfg,
+            use_kd,
+            t1,
+            QuantSpec::activations_8bit(),
+            QuantSpec::weights_4bit(),
+        )
+    }
+
+    /// [`quantization_stage`](Self::quantization_stage) with explicit
+    /// quantizer specs — the entry point for the paper's lower-bit-width
+    /// outlook (e.g. 8A3W or 8A2W).
+    pub fn quantization_stage_with(
+        &mut self,
+        cfg: &StageConfig,
+        use_kd: bool,
+        t1: f32,
+        x_spec: QuantSpec,
+        w_spec: QuantSpec,
+    ) -> QuantStageResult {
+        assert!(self.fp_logits.is_some(), "run train_fp first");
+        let mut student = self.copy_fp();
+        quantize_network(&mut student, x_spec, w_spec);
+        calibrate(&mut student, &self.train, cfg.batch, 2);
+        let acc_before = evaluate(&mut student, &self.test, cfg.batch);
+
+        let fp_logits = self.fp_logits.clone().expect("checked above");
+        let teacher = use_kd.then_some((&fp_logits, t1));
+        let r = fine_tune(
+            &mut student,
+            teacher,
+            &self.train,
+            &self.test,
+            cfg,
+            0.0,
+            if use_kd { "quant-kd" } else { "quant-normal" },
+        );
+        self.quant_logits = Some(logits_over(&mut student, &self.train, cfg.batch));
+        self.quant_net = Some(student);
+        QuantStageResult {
+            acc_before_ft: acc_before,
+            acc_after_ft: r.final_acc,
+            used_kd: use_kd,
+        }
+    }
+
+    /// Accuracy of the stored quantized model on the test split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run.
+    pub fn quant_accuracy(&mut self, batch: usize) -> f32 {
+        let net = self
+            .quant_net
+            .as_mut()
+            .expect("run quantization_stage first");
+        evaluate(net, &self.test, batch)
+    }
+
+    /// Public architecture-matched copy of the (possibly BN-folded) FP
+    /// network, with exact executors — callers quantize as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`train_fp`](Self::train_fp) has not run.
+    pub fn quantized_copy_of_fp(&mut self) -> Sequential {
+        assert!(self.fp_logits.is_some(), "run train_fp first");
+        self.copy_fp()
+    }
+
+    /// Public architecture-matched copy of the quantized network (exact
+    /// executors; callers re-quantize/approximate as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run.
+    pub fn quantized_copy(&mut self) -> Sequential {
+        self.copy_quant()
+    }
+
+    /// Number of GEMM-lowered (conv/FC) layers in the model.
+    pub fn gemm_layer_count(&mut self) -> usize {
+        let mut n = 0;
+        self.fp_net.visit_gemm_cores(&mut |_| n += 1);
+        n
+    }
+
+    /// Fits the gradient-estimation error model for a multiplier
+    /// (50 Monte-Carlo simulations of one convolution, paper §IV-B).
+    pub fn fit_ge(&self, spec: &MultiplierSpec) -> ErrorFit {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6e5);
+        fit_error_model(spec.build().as_ref(), McConfig::default(), &mut rng)
+    }
+
+    /// Stage 2 of Algorithm 1: approximates the quantized model with
+    /// `spec`'s multiplier and fine-tunes it with `method`.
+    ///
+    /// The stage-2 teacher is the quantized model's logits (`y_q`), per
+    /// eq. (3). GE methods fit the error model first; per Algorithm 1 a
+    /// zero-slope fit silently degenerates to the plain STE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run.
+    pub fn approximation_stage(
+        &mut self,
+        spec: &MultiplierSpec,
+        method: Method,
+        cfg: &StageConfig,
+    ) -> FineTuneResult {
+        self.approximation_stage_where(spec, method, cfg, |_, _| true)
+    }
+
+    /// Partial-approximation variant of
+    /// [`approximation_stage`](Self::approximation_stage): only the GEMM
+    /// layers selected by `select(index, label)` are computed with the
+    /// approximate multiplier; the rest stay 8A4W-quantized but exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run.
+    pub fn approximation_stage_where(
+        &mut self,
+        spec: &MultiplierSpec,
+        method: Method,
+        cfg: &StageConfig,
+        select: impl FnMut(usize, &str) -> bool,
+    ) -> FineTuneResult {
+        self.approximation_stage_full(spec, method, cfg, TeacherSource::Quantized, select)
+    }
+
+    /// The most general stage-2 entry point: choose the multiplier, method,
+    /// teacher source (two-stage vs single-stage KD) and the approximated
+    /// layer subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run, or if
+    /// `TeacherSource::FullPrecision` is requested before
+    /// [`train_fp`](Self::train_fp).
+    pub fn approximation_stage_full(
+        &mut self,
+        spec: &MultiplierSpec,
+        method: Method,
+        cfg: &StageConfig,
+        teacher_source: TeacherSource,
+        select: impl FnMut(usize, &str) -> bool,
+    ) -> FineTuneResult {
+        let mut student = self.copy_quant();
+        let error_model = method.uses_ge().then(|| self.fit_ge(spec).model);
+        let multiplier = spec.build();
+        axnn_proxsim::approximate_network_where(
+            &mut student,
+            multiplier.as_ref(),
+            error_model,
+            select,
+        );
+        // Non-selected layers keep their quantized-stage executors? They
+        // were re-created by copy_quant with exact executors, so quantize
+        // them for a uniform 8A4W baseline.
+        student.visit_gemm_cores(&mut |core| {
+            if core.executor.kind() == axnn_nn::ExecutorKind::Exact {
+                core.set_executor(Box::new(axnn_quant::QuantExecutor::new_8a4w()));
+            }
+        });
+        calibrate(&mut student, &self.train, cfg.batch, 2);
+
+        let teacher_logits = match teacher_source {
+            TeacherSource::Quantized => self
+                .quant_logits
+                .clone()
+                .expect("run quantization_stage first"),
+            TeacherSource::FullPrecision => {
+                self.fp_logits.clone().expect("run train_fp first")
+            }
+        };
+        let teacher = method.temperature().map(|t2| (&teacher_logits, t2));
+        let mut result = fine_tune(
+            &mut student,
+            teacher,
+            &self.train,
+            &self.test,
+            cfg,
+            method.alpha(),
+            method.label(),
+        );
+        result.method = format!("{}:{}", spec.id, method.label());
+        result
+    }
+
+    /// Accuracy of the approximated (not yet fine-tuned) model — the
+    /// tables' "Initial Acc." column, also returned by
+    /// [`approximation_stage`](Self::approximation_stage) as
+    /// `initial_acc`.
+    pub fn initial_approx_accuracy(&mut self, spec: &MultiplierSpec, batch: usize) -> f32 {
+        let mut student = self.copy_quant();
+        let multiplier = spec.build();
+        approximate_network(&mut student, multiplier.as_ref(), None);
+        calibrate(&mut student, &self.train, batch, 2);
+        evaluate(&mut student, &self.test, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::catalog;
+
+    fn tiny_env() -> ExperimentEnv {
+        let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+        ExperimentEnv::new(ModelKind::ResNet20, cfg, 80, 40, 7)
+    }
+
+    fn tiny_stage(epochs: usize) -> StageConfig {
+        StageConfig::quick()
+            .with_epochs(epochs)
+            .with_lr(axnn_nn::StepDecay::new(0.05, 8, 0.5))
+    }
+
+    #[test]
+    fn fp_training_learns_something() {
+        let mut env = tiny_env();
+        let acc = env.train_fp(&tiny_stage(12));
+        assert!(acc > 0.25, "FP accuracy {acc} barely above chance");
+        assert_eq!(acc, env.fp_accuracy());
+    }
+
+    #[test]
+    fn quantization_stage_runs_and_stores_teacher() {
+        let mut env = tiny_env();
+        env.train_fp(&tiny_stage(5));
+        let r = env.quantization_stage(&tiny_stage(2), true);
+        assert!(r.used_kd);
+        assert!(r.acc_before_ft >= 0.0 && r.acc_before_ft <= 1.0);
+        assert!(env.quant_net.is_some());
+        assert!(env.quant_logits.is_some());
+        let qa = env.quant_accuracy(32);
+        assert!((qa - r.acc_after_ft).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "run train_fp first")]
+    fn quantization_requires_fp_training() {
+        let mut env = tiny_env();
+        env.quantization_stage(&tiny_stage(1), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "run quantization_stage first")]
+    fn approximation_requires_quantization() {
+        let mut env = tiny_env();
+        env.train_fp(&tiny_stage(1));
+        let spec = catalog::by_id("trunc3").unwrap();
+        env.approximation_stage(spec, Method::Normal, &tiny_stage(1));
+    }
+
+    #[test]
+    fn approximation_stage_all_methods_run() {
+        let mut env = tiny_env();
+        env.train_fp(&tiny_stage(5));
+        env.quantization_stage(&tiny_stage(2), true);
+        let spec = catalog::by_id("trunc4").unwrap();
+        for method in [
+            Method::Normal,
+            Method::alpha_default(),
+            Method::Ge,
+            Method::approx_kd(5.0),
+            Method::approx_kd_ge(5.0),
+        ] {
+            let r = env.approximation_stage(spec, method, &tiny_stage(1));
+            assert!(r.final_acc >= 0.0 && r.final_acc <= 1.0, "{r:?}");
+            assert!(r.method.starts_with("trunc4:"));
+        }
+    }
+
+    #[test]
+    fn ge_fit_for_truncated_has_slope_and_for_evo_is_constant() {
+        let env = tiny_env();
+        let trunc = env.fit_ge(catalog::by_id("trunc5").unwrap());
+        assert!(!trunc.is_constant());
+        let evo = env.fit_ge(catalog::by_id("evo228").unwrap());
+        assert!(evo.is_constant());
+    }
+}

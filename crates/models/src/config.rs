@@ -1,0 +1,107 @@
+//! Shared model-builder configuration.
+
+/// Configuration shared by all model builders.
+///
+/// `width_mult` scales every channel count (rounded up to at least 1);
+/// `input_hw` is the square input resolution. The paper's models are
+/// `ModelConfig::paper()` (width 1.0, 32×32 CIFAR-10 inputs); the
+/// CPU-tractable experiment models are `ModelConfig::mini()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Channel width multiplier (1.0 = the paper's architecture).
+    pub width_mult: f32,
+    /// Square input resolution (32 for CIFAR-10).
+    pub input_hw: usize,
+    /// Number of input channels (3 for RGB).
+    pub input_channels: usize,
+    /// Number of output classes (10 for CIFAR-10).
+    pub classes: usize,
+    /// Build batch-norm layers. The paper folds BN into the ResNet convs
+    /// before quantization — that is done *after* FP training via
+    /// [`Layer::fold_batch_norm`](axnn_nn::Layer::fold_batch_norm), so
+    /// builders always start with BN unless this is `false`.
+    pub batch_norm: bool,
+}
+
+impl ModelConfig {
+    /// The paper's full-size configuration: width 1.0, 32×32×3, 10 classes.
+    pub fn paper() -> Self {
+        Self {
+            width_mult: 1.0,
+            input_hw: 32,
+            input_channels: 3,
+            classes: 10,
+            batch_norm: true,
+        }
+    }
+
+    /// A CPU-tractable configuration: width 0.25, 16×16×3, 10 classes.
+    pub fn mini() -> Self {
+        Self {
+            width_mult: 0.25,
+            input_hw: 16,
+            input_channels: 3,
+            classes: 10,
+            batch_norm: true,
+        }
+    }
+
+    /// Builder-style width override.
+    pub fn with_width(mut self, width_mult: f32) -> Self {
+        assert!(width_mult > 0.0, "width multiplier must be positive");
+        self.width_mult = width_mult;
+        self
+    }
+
+    /// Builder-style input-resolution override.
+    pub fn with_input_hw(mut self, hw: usize) -> Self {
+        assert!(hw > 0, "input resolution must be positive");
+        self.input_hw = hw;
+        self
+    }
+
+    /// Scales a base channel count by the width multiplier (min 1).
+    pub fn ch(&self, base: usize) -> usize {
+        ((base as f32 * self.width_mult).round() as usize).max(1)
+    }
+
+    /// The input shape `[N, C, H, W]` for batch size `n`.
+    pub fn input_shape(&self, n: usize) -> Vec<usize> {
+        vec![n, self.input_channels, self.input_hw, self.input_hw]
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_scaling_rounds_and_floors() {
+        let cfg = ModelConfig::paper().with_width(0.25);
+        assert_eq!(cfg.ch(16), 4);
+        assert_eq!(cfg.ch(64), 16);
+        assert_eq!(cfg.ch(1), 1);
+        assert_eq!(ModelConfig::paper().with_width(0.01).ch(16), 1);
+    }
+
+    #[test]
+    fn paper_config_matches_cifar10() {
+        let cfg = ModelConfig::paper();
+        assert_eq!(cfg.input_shape(128), vec![128, 3, 32, 32]);
+        assert_eq!(cfg.classes, 10);
+        assert_eq!(cfg.ch(16), 16);
+    }
+
+    #[test]
+    fn mini_is_smaller() {
+        let mini = ModelConfig::mini();
+        assert!(mini.input_hw < ModelConfig::paper().input_hw);
+        assert!(mini.ch(64) < 64);
+    }
+}

@@ -1,0 +1,135 @@
+//! A LeNet-style plain CNN — the smallest credible approximation target,
+//! used by quick experiments and as a template for custom architectures
+//! built from the full layer toolbox (max pooling, dropout).
+
+use crate::config::ModelConfig;
+use axnn_nn::{
+    ActivationKind, ConvBlock, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Sequential,
+};
+use rand::Rng;
+
+/// Builds a LeNet-style network: two conv+pool stages, dropout, and a
+/// linear classifier. Channel counts scale with `cfg.width_mult`
+/// (base 16/32).
+///
+/// # Panics
+///
+/// Panics if `cfg.input_hw` is not divisible by 4 (two 2×2 pools).
+///
+/// # Example
+///
+/// ```
+/// use axnn_models::{lenet, ModelConfig};
+/// use axnn_nn::{Layer, Mode};
+/// use axnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = lenet(&ModelConfig::mini(), &mut rng);
+/// let y = net.forward(&Tensor::ones(&[1, 3, 16, 16]), Mode::Eval);
+/// assert_eq!(y.shape(), &[1, 10]);
+/// ```
+pub fn lenet(cfg: &ModelConfig, rng: &mut impl Rng) -> Sequential {
+    assert_eq!(
+        cfg.input_hw % 4,
+        0,
+        "LeNet needs an input divisible by 4 (two 2x2 pools)"
+    );
+    let c1 = cfg.ch(16);
+    let c2 = cfg.ch(32);
+    let dropout_seed = rng.gen();
+    Sequential::new(vec![
+        Box::new(ConvBlock::new(
+            cfg.input_channels,
+            c1,
+            3,
+            1,
+            1,
+            1,
+            cfg.batch_norm,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(MaxPool2d::new(2)),
+        Box::new(ConvBlock::new(
+            c1,
+            c2,
+            3,
+            1,
+            1,
+            1,
+            cfg.batch_norm,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(MaxPool2d::new(2)),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dropout::new(0.25, dropout_seed)),
+        Box::new(Linear::new(c2, cfg.classes, true, rng)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_nn::train::{evaluate, hard_loss, train_epoch, Dataset};
+    use axnn_nn::{Layer, Mode, Sgd};
+    use axnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_counts() {
+        let mut rng = StdRng::seed_from_u64(140);
+        let cfg = ModelConfig::mini();
+        let mut net = lenet(&cfg, &mut rng);
+        assert_eq!(net.output_shape(&cfg.input_shape(2)), vec![2, 10]);
+        assert!(net.param_count() > 100);
+        let mut gemm_layers = 0;
+        net.visit_gemm_cores(&mut |_| gemm_layers += 1);
+        assert_eq!(gemm_layers, 3, "two convs + classifier");
+    }
+
+    #[test]
+    fn trains_on_synthetic_data() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let cfg = ModelConfig::mini().with_input_hw(8);
+        let mut net = lenet(&cfg, &mut rng);
+        // Two visually distinct classes: constant-bright vs constant-dark.
+        let n = 40;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let v = if i % 2 == 0 { 0.8 } else { -0.8 };
+            images.push(Tensor::full(&[3, 8, 8], v));
+            labels.push(i % 2);
+        }
+        let data = Dataset::new(Tensor::stack(&images).unwrap(), labels);
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        for _ in 0..15 {
+            train_epoch(&mut net, &data, 8, &mut opt, &mut hard_loss);
+        }
+        let acc = evaluate(&mut net, &data, 8);
+        assert!(acc > 0.9, "LeNet failed a trivial task: {acc}");
+    }
+
+    #[test]
+    fn backward_runs_through_pool_and_dropout() {
+        let mut rng = StdRng::seed_from_u64(142);
+        let cfg = ModelConfig::mini().with_input_hw(8);
+        let mut net = lenet(&cfg, &mut rng);
+        let x = Tensor::ones(&cfg.input_shape(2));
+        let y = net.forward(&x, Mode::Train);
+        let dx = net.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn rejects_unpoolable_input() {
+        let mut rng = StdRng::seed_from_u64(143);
+        let cfg = ModelConfig::mini().with_input_hw(6);
+        let _ = lenet(&cfg, &mut rng);
+    }
+}

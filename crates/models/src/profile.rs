@@ -1,0 +1,76 @@
+//! Model profiling: the parameter/MAC numbers of the paper's Table I.
+
+use axnn_nn::{Layer, Sequential};
+
+/// Static cost profile of a model: trainable parameters and
+/// multiply-accumulate operations for one forward pass.
+///
+/// ```
+/// use axnn_models::{resnet20, ModelConfig, ModelProfile};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = ModelConfig::paper();
+/// let mut net = resnet20(&cfg, &mut rng);
+/// let profile = ModelProfile::measure(&mut net, &cfg.input_shape(1));
+/// assert!(profile.params > 100_000);
+/// assert!(profile.macs > profile.params as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelProfile {
+    /// Trainable parameter count.
+    pub params: u64,
+    /// MAC operations for a single forward pass at the given input shape.
+    pub macs: u64,
+}
+
+impl ModelProfile {
+    /// Profiles `net` for one sample of shape `input_shape` (`[1, C, H, W]`).
+    pub fn measure(net: &mut Sequential, input_shape: &[usize]) -> Self {
+        Self {
+            params: net.param_count(),
+            macs: net.mac_count(input_shape),
+        }
+    }
+
+    /// Parameters in the paper's Table I unit (×10⁶).
+    pub fn params_millions(&self) -> f64 {
+        self.params as f64 / 1e6
+    }
+
+    /// MACs in the paper's Table I unit (×10⁹).
+    pub fn macs_billions(&self) -> f64 {
+        self.macs as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mobilenet_v2, resnet20, resnet32, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_ordering_holds() {
+        // Table I: params ResNet20 < ResNet32 < MobileNetV2, and MACs too.
+        let mut rng = StdRng::seed_from_u64(100);
+        let cfg = ModelConfig::paper();
+        let shape = cfg.input_shape(1);
+        let p20 = ModelProfile::measure(&mut resnet20(&cfg, &mut rng), &shape);
+        let p32 = ModelProfile::measure(&mut resnet32(&cfg, &mut rng), &shape);
+        let pmb = ModelProfile::measure(&mut mobilenet_v2(&cfg, &mut rng), &shape);
+        assert!(p20.params < p32.params && p32.params < pmb.params);
+        assert!(p20.macs < p32.macs && p32.macs < pmb.macs);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = ModelProfile {
+            params: 2_200_000,
+            macs: 296_000_000,
+        };
+        assert!((p.params_millions() - 2.2).abs() < 1e-9);
+        assert!((p.macs_billions() - 0.296).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! CIFAR-style ResNets (He et al. \[6\]): ResNet-20 and ResNet-32.
+
+use crate::config::ModelConfig;
+use axnn_nn::{
+    ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Linear, Residual, Sequential,
+};
+use rand::Rng;
+
+/// Builds one basic block: two 3×3 conv(+BN) layers with a post-add ReLU.
+/// A 1×1 projection shortcut is used when the shape changes (the original
+/// paper's option A zero-pads instead; the projection variant is the common
+/// reproduction choice and changes parameter counts by < 3 %).
+fn basic_block(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    bn: bool,
+    rng: &mut impl Rng,
+) -> Residual {
+    let main = Sequential::new(vec![
+        Box::new(ConvBlock::new(
+            in_ch,
+            out_ch,
+            3,
+            stride,
+            1,
+            1,
+            bn,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(ConvBlock::new(
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            1,
+            bn,
+            ActivationKind::Identity,
+            rng,
+        )),
+    ]);
+    let shortcut = (stride != 1 || in_ch != out_ch).then(|| {
+        Sequential::new(vec![Box::new(ConvBlock::new(
+            in_ch,
+            out_ch,
+            1,
+            stride,
+            0,
+            1,
+            bn,
+            ActivationKind::Identity,
+            rng,
+        )) as Box<dyn axnn_nn::Layer>])
+    });
+    Residual::new(main, shortcut, ActivationKind::Relu)
+}
+
+/// Builds a CIFAR ResNet with `n` basic blocks per stage (depth `6n + 2`):
+/// `n = 3` is ResNet-20, `n = 5` is ResNet-32.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn resnet_cifar(n: usize, cfg: &ModelConfig, rng: &mut impl Rng) -> Sequential {
+    assert!(n > 0, "need at least one block per stage");
+    let widths = [cfg.ch(16), cfg.ch(32), cfg.ch(64)];
+    let mut net = Sequential::empty();
+    net.push(Box::new(ConvBlock::new(
+        cfg.input_channels,
+        widths[0],
+        3,
+        1,
+        1,
+        1,
+        cfg.batch_norm,
+        ActivationKind::Relu,
+        rng,
+    )));
+    let mut in_ch = widths[0];
+    for (stage, &out_ch) in widths.iter().enumerate() {
+        for block in 0..n {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            net.push(Box::new(basic_block(in_ch, out_ch, stride, cfg.batch_norm, rng)));
+            in_ch = out_ch;
+        }
+    }
+    net.push(Box::new(GlobalAvgPool::new()));
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(in_ch, cfg.classes, true, rng)));
+    net
+}
+
+/// ResNet-20 for CIFAR-10 (paper Table I: 0.27 M params, 41 M MACs at
+/// width 1.0).
+///
+/// ```
+/// use axnn_models::{resnet20, ModelConfig};
+/// use axnn_nn::Layer;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = resnet20(&ModelConfig::paper(), &mut rng);
+/// let params = net.param_count();
+/// assert!(params > 250_000 && params < 310_000);
+/// ```
+pub fn resnet20(cfg: &ModelConfig, rng: &mut impl Rng) -> Sequential {
+    resnet_cifar(3, cfg, rng)
+}
+
+/// ResNet-32 for CIFAR-10 (paper Table I: 0.47 M params, 69 M MACs at
+/// width 1.0).
+pub fn resnet32(cfg: &ModelConfig, rng: &mut impl Rng) -> Sequential {
+    resnet_cifar(5, cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_nn::{Layer, Mode};
+    use axnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet20_shapes_and_counts() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let cfg = ModelConfig::paper();
+        let mut net = resnet20(&cfg, &mut rng);
+        // Paper Table I: ~0.3e6 params, ~0.041e9 MACs.
+        let params = net.param_count();
+        assert!(
+            (250_000..310_000).contains(&params),
+            "ResNet-20 params {params}"
+        );
+        let macs = net.mac_count(&cfg.input_shape(1));
+        assert!(
+            (38_000_000..48_000_000).contains(&macs),
+            "ResNet-20 MACs {macs}"
+        );
+        assert_eq!(net.output_shape(&cfg.input_shape(4)), vec![4, 10]);
+    }
+
+    #[test]
+    fn resnet32_is_deeper_than_resnet20() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let cfg = ModelConfig::paper();
+        let p20 = resnet20(&cfg, &mut rng).param_count();
+        let p32 = resnet32(&cfg, &mut rng).param_count();
+        // Paper Table I: 0.3e6 vs 0.5e6.
+        assert!(p32 > p20);
+        assert!((430_000..500_000).contains(&p32), "ResNet-32 params {p32}");
+    }
+
+    #[test]
+    fn mini_resnet_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let cfg = ModelConfig::mini();
+        let mut net = resnet20(&cfg, &mut rng);
+        let x = Tensor::ones(&cfg.input_shape(2));
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 10]);
+        let dx = net.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn bn_folding_preserves_eval_output() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let cfg = ModelConfig::mini();
+        let mut net = resnet20(&cfg, &mut rng);
+        // Warm BN statistics with a few train-mode passes.
+        for _ in 0..20 {
+            let x = axnn_tensor::init::normal(&cfg.input_shape(4), 0.0, 1.0, &mut rng);
+            net.forward(&x, Mode::Train);
+        }
+        let x = axnn_tensor::init::normal(&cfg.input_shape(2), 0.0, 1.0, &mut rng);
+        let before = net.forward(&x, Mode::Eval);
+        let params_before = net.param_count();
+        net.fold_batch_norm();
+        let after = net.forward(&x, Mode::Eval);
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        // Folding removes gamma/beta and adds conv biases: net param change.
+        assert_ne!(net.param_count(), params_before);
+    }
+
+    #[test]
+    fn stage_transitions_downsample() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let cfg = ModelConfig::paper();
+        let net = resnet20(&cfg, &mut rng);
+        // 32x32 -> three stages -> 8x8 before pooling; the final output is
+        // still [N, classes].
+        assert_eq!(net.output_shape(&[1, 3, 32, 32]), vec![1, 10]);
+    }
+}

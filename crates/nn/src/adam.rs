@@ -1,0 +1,320 @@
+//! The Adam optimizer and the shared [`Optimizer`] trait.
+//!
+//! The paper fine-tunes with SGD ([`Sgd`](crate::Sgd)); Adam is provided as
+//! a library feature for downstream users (and as a sanity baseline — at
+//! the reproduction's mini scale it converges in fewer epochs on the FP
+//! training stage).
+
+use crate::layer::Layer;
+use axnn_tensor::Tensor;
+
+/// A first-order optimizer over a network's parameters.
+///
+/// Implementations read the accumulated gradients (see
+/// [`Param::grad`](crate::Param)) and update the parameter values in place;
+/// they do not clear gradients.
+pub trait Optimizer {
+    /// Applies one update step to every parameter reachable from `layer`.
+    fn step(&mut self, layer: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+impl Optimizer for crate::Sgd {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        crate::Sgd::step(self, layer);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr()
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.set_lr(lr);
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with optional decoupled weight decay
+/// (AdamW-style: decay applied to the parameter, not the moments).
+///
+/// Moment buffers are keyed by parameter visitation order, so the network
+/// architecture must not change between steps.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::{Adam, Layer, Linear, Mode, Optimizer};
+/// use axnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut fc = Linear::new(2, 1, false, &mut rng);
+/// let mut opt = Adam::new(1e-3);
+/// let y = fc.forward(&Tensor::ones(&[1, 2]), Mode::Train);
+/// fc.backward(&Tensor::ones(y.shape()));
+/// opt.step(&mut fc);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Sets decoupled (AdamW-style) weight decay (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd` is negative.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets the β coefficients (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas are in `[0, 1)`.
+    pub fn betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (m_all, v_all) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        layer.visit_params(&mut |p| {
+            if m_all.len() <= idx {
+                m_all.push(Tensor::zeros(p.value.shape()));
+                v_all.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut m_all[idx];
+            let v = &mut v_all[idx];
+            assert_eq!(
+                m.shape(),
+                p.value.shape(),
+                "network architecture changed between Adam steps"
+            );
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            let w = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                mv[i] = b1 * mv[i] + (1.0 - b1) * g[i];
+                vv[i] = b2 * vv[i] + (1.0 - b2) * g[i] * g[i];
+                let m_hat = mv[i] / bc1;
+                let v_hat = vv[i] / bc2;
+                w[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                if wd > 0.0 && p.decay {
+                    w[i] -= lr * wd * w[i];
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Cosine-annealing learning-rate schedule over a fixed horizon:
+/// `lr(e) = lr_min + (lr_max − lr_min) · (1 + cos(π·e/E)) / 2`.
+///
+/// ```
+/// let s = axnn_nn::CosineSchedule::new(0.1, 0.001, 10);
+/// assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+/// assert!(s.lr_at(5) < 0.06);
+/// assert!((s.lr_at(10) - 0.001).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    lr_max: f32,
+    lr_min: f32,
+    horizon: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule decaying from `lr_max` to `lr_min` over
+    /// `horizon` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or `lr_min > lr_max`.
+    pub fn new(lr_max: f32, lr_min: f32, horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(lr_min <= lr_max, "lr_min must not exceed lr_max");
+        Self {
+            lr_max,
+            lr_min,
+            horizon,
+        }
+    }
+
+    /// Learning rate at 0-based `epoch` (clamped to the horizon).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let e = epoch.min(self.horizon) as f32 / self.horizon as f32;
+        self.lr_min
+            + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * e).cos()) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Mode, Sgd};
+    use axnn_tensor::{gemm, init};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_loss(fc: &mut Linear, x: &Tensor, t: &Tensor) -> f32 {
+        let y = fc.forward(x, Mode::Train);
+        (&y - t).sq_norm()
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut fc = Linear::new(3, 1, false, &mut rng);
+        let x = init::uniform(&[8, 3], -1.0, 1.0, &mut rng);
+        let w_true = Tensor::from_vec(vec![0.4, -0.9, 1.2], &[1, 3]).unwrap();
+        let t = gemm::matmul_nt(&x, &w_true);
+        let mut opt = Adam::new(0.05);
+        let first = quadratic_loss(&mut fc, &x, &t);
+        for _ in 0..200 {
+            fc.visit_params(&mut |p| p.zero_grad());
+            let y = fc.forward(&x, Mode::Train);
+            let d = &(&y - &t) * 2.0;
+            fc.backward(&d);
+            opt.step(&mut fc);
+        }
+        let last = quadratic_loss(&mut fc, &x, &t);
+        assert!(last < first * 0.01, "{first} -> {last}");
+    }
+
+    #[test]
+    fn adam_handles_ill_scaled_gradients_better_than_sgd() {
+        // One input dimension is 100x larger: SGD with a stable lr crawls,
+        // Adam normalizes per-coordinate.
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut x = init::uniform(&[16, 2], -1.0, 1.0, &mut rng);
+        for v in x.as_mut_slice().chunks_mut(2) {
+            v[0] *= 100.0;
+        }
+        let w_true = Tensor::from_vec(vec![0.01, 1.0], &[1, 2]).unwrap();
+        let t = gemm::matmul_nt(&x, &w_true);
+
+        let run = |use_adam: bool| -> f32 {
+            let mut fc = Linear::new(2, 1, false, &mut StdRng::seed_from_u64(52));
+            let mut adam = Adam::new(0.05);
+            // SGD lr limited by the large-coordinate curvature.
+            let mut sgd = Sgd::new(1e-5);
+            for _ in 0..150 {
+                fc.visit_params(&mut |p| p.zero_grad());
+                let y = fc.forward(&x, Mode::Train);
+                let d = &(&y - &t) * 2.0;
+                fc.backward(&d);
+                if use_adam {
+                    Optimizer::step(&mut adam, &mut fc);
+                } else {
+                    Optimizer::step(&mut sgd, &mut fc);
+                }
+            }
+            quadratic_loss(&mut fc, &x, &t)
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn decoupled_weight_decay_shrinks_parameters() {
+        let mut fc = Linear::new(4, 4, false, &mut StdRng::seed_from_u64(53));
+        let before = fc.core().weight.value.sq_norm();
+        let mut opt = Adam::new(1e-3).weight_decay(1.0);
+        for _ in 0..20 {
+            fc.visit_params(&mut |p| p.zero_grad());
+            opt.step(&mut fc);
+        }
+        assert!(fc.core().weight.value.sq_norm() < before);
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let mut fc = Linear::new(2, 2, false, &mut StdRng::seed_from_u64(54));
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Sgd::new(0.1)),
+            Box::new(Adam::new(0.001)),
+        ];
+        for opt in &mut opts {
+            opt.set_learning_rate(0.5);
+            assert_eq!(opt.learning_rate(), 0.5);
+            opt.step(&mut fc);
+        }
+    }
+
+    #[test]
+    fn cosine_schedule_is_monotone_decreasing() {
+        let s = CosineSchedule::new(1.0, 0.0, 20);
+        let mut last = f32::INFINITY;
+        for e in 0..=20 {
+            let lr = s.lr_at(e);
+            assert!(lr <= last + 1e-7);
+            last = lr;
+        }
+        assert_eq!(s.lr_at(25), s.lr_at(20), "clamped past horizon");
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture changed")]
+    fn adam_rejects_architecture_changes() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut a = Linear::new(2, 2, false, &mut rng);
+        let mut b = Linear::new(3, 3, false, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        opt.step(&mut a);
+        opt.step(&mut b);
+    }
+}

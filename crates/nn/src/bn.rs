@@ -1,0 +1,351 @@
+//! Batch normalisation over the channel dimension of NCHW activations.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use axnn_tensor::Tensor;
+
+/// 2-D batch normalisation (`y = γ·(x−μ)/√(σ²+ε) + β`), with running
+/// statistics for inference.
+///
+/// The paper folds BN into the preceding convolution for the ResNets
+/// (see [`ConvBlock::fold_bn`](crate::ConvBlock::fold_bn)) and keeps BN
+/// layers in MobileNetV2; both paths go through this type.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::{BatchNorm2d, Layer, Mode};
+/// use axnn_tensor::Tensor;
+///
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), Mode::Train);
+/// assert_eq!(y.shape(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    /// Scale γ.
+    pub gamma: Param,
+    /// Shift β.
+    pub beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    shape: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ=1, β=0 and running stats (0, 1).
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new_no_decay(Tensor::ones(&[channels])),
+            beta: Param::new_no_decay(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Running mean per channel (inference statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance per channel (inference statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Per-channel `(scale, shift)` of the affine transform the layer applies
+    /// at inference time: `y = scale·x + shift`. This is what BN folding
+    /// merges into the preceding convolution (paper ref. \[9\]).
+    pub fn inference_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scales = Vec::with_capacity(self.channels);
+        let mut shifts = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let inv_std = 1.0 / (self.running_var.as_slice()[c] + self.eps).sqrt();
+            let s = self.gamma.value.as_slice()[c] * inv_std;
+            scales.push(s);
+            shifts.push(self.beta.value.as_slice()[c] - s * self.running_mean.as_slice()[c]);
+        }
+        (scales, shifts)
+    }
+
+    fn channel_stats(x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let hw = h * w;
+        let count = (n * hw) as f32;
+        let data = x.as_slice();
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ni in 0..n {
+            for (ci, m) in means.iter_mut().enumerate() {
+                let base = (ni * c + ci) * hw;
+                *m += data[base..base + hw].iter().sum::<f32>();
+            }
+        }
+        for m in &mut means {
+            *m /= count;
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let m = means[ci];
+                vars[ci] += data[base..base + hw].iter().map(|&v| (v - m) * (v - m)).sum::<f32>();
+            }
+        }
+        for v in &mut vars {
+            *v /= count;
+        }
+        (means, vars)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.channels);
+        let hw = h * w;
+
+        let (means, vars) = if mode.uses_batch_stats() {
+            let (m, v) = Self::channel_stats(input);
+            // Update running statistics.
+            for ci in 0..c {
+                let rm = &mut self.running_mean.as_mut_slice()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * m[ci];
+                let rv = &mut self.running_var.as_mut_slice()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * v[ci];
+            }
+            (m, v)
+        } else {
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        {
+            let src = input.as_slice();
+            let xh = x_hat.as_mut_slice();
+            let o = out.as_mut_slice();
+            let g = self.gamma.value.as_slice();
+            let b = self.beta.value.as_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * hw;
+                    for i in base..base + hw {
+                        let xhv = (src[i] - means[ci]) * inv_std[ci];
+                        xh[i] = xhv;
+                        o[i] = g[ci] * xhv + b[ci];
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std,
+                shape: [n, c, h, w],
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward called without a Train-mode forward");
+        let [n, c, h, w] = cache.shape;
+        let hw = h * w;
+        let count = (n * hw) as f32;
+        let dy = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+
+        // Per-channel reductions: Σdy and Σdy·x̂.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                for i in base..base + hw {
+                    sum_dy[ci] += dy[i];
+                    sum_dy_xhat[ci] += dy[i] * xh[i];
+                }
+            }
+        }
+        self.beta
+            .accumulate(&Tensor::from_vec(sum_dy.clone(), &[c]).expect("len matches"));
+        self.gamma
+            .accumulate(&Tensor::from_vec(sum_dy_xhat.clone(), &[c]).expect("len matches"));
+
+        // dx = (γ·inv_std) · (dy − mean(dy) − x̂·mean(dy·x̂))
+        let g = self.gamma.value.as_slice();
+        let mut dx = Tensor::zeros(grad_out.shape());
+        let d = dx.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let k = g[ci] * cache.inv_std[ci];
+                let mean_dy = sum_dy[ci] / count;
+                let mean_dy_xhat = sum_dy_xhat[ci] / count;
+                for i in base..base + hw {
+                    d[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn describe(&self) -> String {
+        format!("bn({})", self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::normal(&[8, 2, 4, 4], 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ~0, var ~1.
+        let (m, v) = BatchNorm2d::channel_stats(&y);
+        for ci in 0..2 {
+            assert!(m[ci].abs() < 1e-4, "mean {}", m[ci]);
+            assert!((v[ci] - 1.0).abs() < 1e-3, "var {}", v[ci]);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(1);
+        // Warm up running stats.
+        for _ in 0..200 {
+            let x = init::normal(&[16, 1, 2, 2], 5.0, 1.0, &mut rng);
+            bn.forward(&x, Mode::Train);
+        }
+        let x = init::normal(&[16, 1, 2, 2], 5.0, 1.0, &mut rng);
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.mean().abs() < 0.3, "eval mean {}", y.mean());
+        assert!(bn.cache.is_none(), "eval must not cache");
+    }
+
+    #[test]
+    fn inference_affine_matches_eval_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new(2);
+        for _ in 0..50 {
+            let x = init::normal(&[8, 2, 3, 3], 1.0, 2.0, &mut rng);
+            bn.forward(&x, Mode::Train);
+        }
+        let (scale, shift) = bn.inference_affine();
+        let x = init::normal(&[2, 2, 3, 3], 1.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Eval);
+        for ni in 0..2 {
+            for ci in 0..2 {
+                for hi in 0..3 {
+                    for wi in 0..3 {
+                        let want = scale[ci] * x.at(&[ni, ci, hi, wi]) + shift[ci];
+                        let got = y.at(&[ni, ci, hi, wi]);
+                        assert!((want - got).abs() < 1e-5);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma.value = Tensor::from_vec(vec![1.5, 0.7], &[2]).unwrap();
+        let mut x = init::uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut rng);
+        let y0 = bn.forward(&x, Mode::Train);
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = bn.backward(&mask);
+
+        // Snapshot running stats so repeated forwards don't drift them:
+        // use fresh BN clones via value copies.
+        let eps = 1e-3;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let saved_m = bn.running_mean.clone();
+            let saved_v = bn.running_var.clone();
+            let y = bn.forward(x, Mode::Train);
+            bn.cache = None;
+            bn.running_mean = saved_m;
+            bn.running_var = saved_v;
+            y.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        for idx in [0usize, 5, x.len() - 1] {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut bn, &x);
+            x.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut bn, &x);
+            x.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = dx.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: {numeric} vs {got}"
+            );
+        }
+        // Gamma gradient.
+        for ci in 0..2 {
+            let orig = bn.gamma.value.as_slice()[ci];
+            bn.gamma.value.as_mut_slice()[ci] = orig + eps;
+            let lp = loss(&mut bn, &x);
+            bn.gamma.value.as_mut_slice()[ci] = orig - eps;
+            let lm = loss(&mut bn, &x);
+            bn.gamma.value.as_mut_slice()[ci] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = bn.gamma.grad.as_slice()[ci];
+            assert!((numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Checkpointing: serializable snapshots of a network's learnable state.
+//!
+//! A [`Checkpoint`] captures every trainable parameter *and* every
+//! non-trainable buffer (batch-norm running statistics) in visitation
+//! order, so an architecture-matched network restored from it reproduces
+//! the original bit-for-bit — including its inference behaviour.
+
+use crate::layer::Layer;
+use crate::seq::Sequential;
+use axnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A serializable snapshot of a network's parameters and buffers.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::{Checkpoint, Layer, Linear, Mode, Sequential};
+/// use axnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut a = Sequential::new(vec![Box::new(Linear::new(3, 2, true, &mut rng))]);
+/// let mut b = Sequential::new(vec![Box::new(Linear::new(3, 2, true, &mut rng))]);
+/// let ckpt = Checkpoint::capture(&mut a);
+/// ckpt.restore(&mut b)?;
+/// let x = Tensor::ones(&[1, 3]);
+/// assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    params: Vec<Tensor>,
+    buffers: Vec<Tensor>,
+}
+
+/// Error returned when a checkpoint does not match the target network's
+/// architecture (different parameter/buffer counts or shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreCheckpointError {
+    message: String,
+}
+
+impl fmt::Display for RestoreCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint mismatch: {}", self.message)
+    }
+}
+
+impl Error for RestoreCheckpointError {}
+
+impl Checkpoint {
+    /// Captures the current parameters and buffers of `net`.
+    pub fn capture(net: &mut Sequential) -> Self {
+        let mut params = Vec::new();
+        net.visit_params(&mut |p| params.push(p.value.clone()));
+        let mut buffers = Vec::new();
+        net.visit_buffers(&mut |b| buffers.push(b.clone()));
+        Self { params, buffers }
+    }
+
+    /// Number of captured parameter tensors.
+    pub fn param_tensors(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Writes the checkpoint into an architecture-matched network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreCheckpointError`] if the parameter/buffer counts or
+    /// shapes differ; on error the network may be partially updated.
+    pub fn restore(&self, net: &mut Sequential) -> Result<(), RestoreCheckpointError> {
+        let mut err = None;
+        let mut i = 0;
+        net.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            match self.params.get(i) {
+                Some(v) if v.shape() == p.value.shape() => p.value = v.clone(),
+                Some(v) => {
+                    err = Some(format!(
+                        "parameter {i}: shape {:?} vs checkpoint {:?}",
+                        p.value.shape(),
+                        v.shape()
+                    ))
+                }
+                None => err = Some(format!("network has more than {i} parameters")),
+            }
+            i += 1;
+        });
+        if err.is_none() && i != self.params.len() {
+            err = Some(format!(
+                "checkpoint has {} parameter tensors, network has {i}",
+                self.params.len()
+            ));
+        }
+        let mut j = 0;
+        net.visit_buffers(&mut |b| {
+            if err.is_some() {
+                return;
+            }
+            match self.buffers.get(j) {
+                Some(v) if v.shape() == b.shape() => *b = v.clone(),
+                Some(v) => {
+                    err = Some(format!(
+                        "buffer {j}: shape {:?} vs checkpoint {:?}",
+                        b.shape(),
+                        v.shape()
+                    ))
+                }
+                None => err = Some(format!("network has more than {j} buffers")),
+            }
+            j += 1;
+        });
+        if err.is_none() && j != self.buffers.len() {
+            err = Some(format!(
+                "checkpoint has {} buffer tensors, network has {j}",
+                self.buffers.len()
+            ));
+        }
+        match err {
+            Some(message) => Err(RestoreCheckpointError { message }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, ActivationKind, BatchNorm2d, ConvBlock, Linear, Mode};
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_with_bn(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(ConvBlock::new(2, 4, 3, 1, 1, 1, true, ActivationKind::Relu, &mut rng)),
+            Box::new(crate::GlobalAvgPool::new()),
+            Box::new(crate::Flatten::new()),
+            Box::new(Linear::new(4, 3, true, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn capture_restore_round_trip_including_bn_stats() {
+        let mut a = net_with_bn(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Drift BN running stats away from their defaults.
+        for _ in 0..10 {
+            let x = init::normal(&[4, 2, 6, 6], 1.0, 2.0, &mut rng);
+            a.forward(&x, Mode::Train);
+        }
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut b = net_with_bn(2);
+        ckpt.restore(&mut b).expect("matched architecture");
+        let x = init::normal(&[2, 2, 6, 6], 1.0, 2.0, &mut rng);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture() {
+        let mut a = net_with_bn(1);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut other = Sequential::new(vec![Box::new(Linear::new(5, 2, true, &mut rng))]);
+        let err = ckpt.restore(&mut other).expect_err("mismatch");
+        assert!(err.to_string().contains("checkpoint mismatch"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut a = net_with_bn(4);
+        let ckpt = Checkpoint::capture(&mut a);
+        let json = serde_json::to_string(&ckpt).expect("serializable");
+        let back: Checkpoint = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn layers_without_buffers_capture_empty_buffer_list() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 2, false, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Relu)),
+        ]);
+        let ckpt = Checkpoint::capture(&mut net);
+        assert_eq!(ckpt.param_tensors(), 1);
+        assert_eq!(ckpt.buffers.len(), 0);
+        let _ = BatchNorm2d::new(1); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,385 @@
+//! 2-D convolution (with grouped/depthwise support), lowered to GEMM.
+
+use crate::executor::ExecOutput;
+use crate::layer::{GemmCore, Layer, Mode};
+use crate::param::Param;
+use axnn_tensor::im2col::{col2im, gemm_out_to_nchw, im2col, nchw_to_gemm_out, ConvGeometry};
+use axnn_tensor::{gemm, init, Tensor};
+use rand::Rng;
+
+/// Per-group cache kept between forward and backward.
+#[derive(Debug)]
+struct GroupCache {
+    exec: ExecOutput,
+}
+
+/// A 2-D convolution layer computed as `W_mat · im2col(x)` through the
+/// layer's [`LayerExecutor`](crate::LayerExecutor).
+///
+/// Supports grouped convolution (`groups > 1`), including the depthwise case
+/// `groups == in_channels` used by MobileNetV2. Weight layout is
+/// `[OC, C/groups, K, K]`.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::{Conv2d, Layer, Mode};
+/// use axnn_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1, true, &mut rng);
+/// let x = Tensor::ones(&[2, 3, 8, 8]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    core: GemmCore,
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    groups: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    input_shape: [usize; 4],
+    groups: Vec<GroupCache>,
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_channels` or `out_channels` is not divisible by
+    /// `groups`, or if `kernel`/`stride` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(in_channels % groups, 0, "in_channels % groups != 0");
+        assert_eq!(out_channels % groups, 0, "out_channels % groups != 0");
+        let geom = ConvGeometry::new(kernel, stride, pad);
+        let weight = init::kaiming_normal(
+            &[out_channels, in_channels / groups, kernel, kernel],
+            rng,
+        );
+        let bias = bias.then(|| Tensor::zeros(&[out_channels]));
+        let label = format!(
+            "conv{k}x{k}({in_channels}->{out_channels})/s{s}g{groups}",
+            k = kernel,
+            s = stride
+        );
+        Self {
+            core: GemmCore::new(weight, bias, label),
+            in_channels,
+            out_channels,
+            geom,
+            groups,
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry (kernel/stride/pad).
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Number of groups (1 = dense, `in_channels` = depthwise).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Shared GEMM-layer state (weights, bias, executor).
+    pub fn core(&self) -> &GemmCore {
+        &self.core
+    }
+
+    /// Mutable access to the shared GEMM-layer state.
+    pub fn core_mut(&mut self) -> &mut GemmCore {
+        &mut self.core
+    }
+
+    fn k_per_group(&self) -> usize {
+        (self.in_channels / self.groups) * self.geom.kernel * self.geom.kernel
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "Conv2d expects NCHW input");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "channel mismatch in {}", self.core.label);
+        let oh = self.geom.out_dim(h);
+        let ow = self.geom.out_dim(w);
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        let kpg = self.k_per_group();
+
+        let wmat = self
+            .core
+            .weight
+            .value
+            .reshape(&[self.out_channels, kpg])
+            .expect("weight reshape is size-preserving");
+
+        let mut group_caches = Vec::with_capacity(self.groups);
+        let mut out_rows = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let input_g = if self.groups == 1 {
+                input.clone()
+            } else {
+                input.slice_channels(g * cg, (g + 1) * cg)
+            };
+            let col = im2col(&input_g, self.geom);
+            let wmat_g = wmat.slice_outer(g * ocg, (g + 1) * ocg);
+            let exec = self.core.executor.forward(&wmat_g, &col, mode);
+            out_rows.push(exec.y.clone());
+            group_caches.push(GroupCache { exec });
+        }
+
+        // Group outputs are consecutive row blocks of the full [OC, M] matrix.
+        let out_mat = if self.groups == 1 {
+            out_rows.pop().expect("one group")
+        } else {
+            let m = n * oh * ow;
+            let mut data = Vec::with_capacity(self.out_channels * m);
+            for y in &out_rows {
+                data.extend_from_slice(y.as_slice());
+            }
+            Tensor::from_vec(data, &[self.out_channels, m]).expect("row-block concat")
+        };
+
+        let mut out = gemm_out_to_nchw(&out_mat, n, self.out_channels, oh, ow);
+        if let Some(b) = &self.core.bias {
+            out.add_channel_bias(&b.value);
+        }
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache {
+                input_shape: [n, c, h, w],
+                groups: group_caches,
+                out_hw: (oh, ow),
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without a Train-mode forward");
+        let [n, _c, h, w] = cache.input_shape;
+        let (oh, ow) = cache.out_hw;
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        assert_eq!(grad_out.shape(), &[n, self.out_channels, oh, ow]);
+
+        if let Some(b) = &mut self.core.bias {
+            b.accumulate(&grad_out.sum_channels());
+        }
+
+        let dy_mat = nchw_to_gemm_out(grad_out); // [OC, M]
+        let kpg = self.k_per_group();
+        let mut dw_rows: Vec<Tensor> = Vec::with_capacity(self.groups);
+        let mut dinput_groups: Vec<Tensor> = Vec::with_capacity(self.groups);
+        for (g, gc) in cache.groups.iter().enumerate() {
+            let mut dy_g = dy_mat.slice_outer(g * ocg, (g + 1) * ocg);
+            if let Some(scale) = &gc.exec.grad_scale {
+                dy_g = dy_g.zip_map(scale, |d, s| d * s);
+            }
+            // STE: differentiate the exact GEMM of the effective operands.
+            dw_rows.push(gemm::matmul_nt(&dy_g, &gc.exec.col_eff)); // [OCg, Kpg]
+            let dcol = gemm::matmul_tn(&gc.exec.wmat_eff, &dy_g); // [Kpg, M]
+            dinput_groups.push(col2im(&dcol, &[n, cg, h, w], self.geom));
+        }
+
+        // Accumulate weight gradient (reassemble group row blocks).
+        let mut dw_data = Vec::with_capacity(self.out_channels * kpg);
+        for dw in &dw_rows {
+            dw_data.extend_from_slice(dw.as_slice());
+        }
+        let dw = Tensor::from_vec(dw_data, self.core.weight.value.shape())
+            .expect("dW matches weight shape");
+        self.core.weight.accumulate(&dw);
+
+        if self.groups == 1 {
+            dinput_groups.pop().expect("one group")
+        } else {
+            Tensor::concat_channels(&dinput_groups).expect("same batch/spatial dims")
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.core.weight);
+        if let Some(b) = &mut self.core.bias {
+            f(b);
+        }
+    }
+
+    fn visit_gemm_cores(&mut self, f: &mut dyn FnMut(&mut GemmCore)) {
+        f(&mut self.core);
+    }
+
+    fn describe(&self) -> String {
+        self.core.label.clone()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![
+            input_shape[0],
+            self.out_channels,
+            self.geom.out_dim(input_shape[2]),
+            self.geom.out_dim(input_shape[3]),
+        ]
+    }
+
+    fn mac_count(&self, input_shape: &[usize]) -> u64 {
+        let out = self.output_shape(input_shape);
+        let per_pixel = self.k_per_group() as u64;
+        (out[0] * out[1] * out[2] * out[3]) as u64 * per_pixel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, 1, true, &mut rng());
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+        assert_eq!(conv.output_shape(&[2, 3, 8, 8]), vec![2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn grouped_equals_per_group_dense() {
+        // A 2-group conv must equal two dense convs on channel halves.
+        let mut r = rng();
+        let mut grouped = Conv2d::new(4, 6, 3, 1, 1, 2, false, &mut r);
+        let x = init::uniform(&[1, 4, 5, 5], -1.0, 1.0, &mut r);
+        let y = grouped.forward(&x, Mode::Eval);
+
+        let w = grouped.core().weight.value.clone(); // [6, 2, 3, 3]
+        let mut dense_a = Conv2d::new(2, 3, 3, 1, 1, 1, false, &mut r);
+        let mut dense_b = Conv2d::new(2, 3, 3, 1, 1, 1, false, &mut r);
+        dense_a.core_mut().weight.value = w.slice_outer(0, 3);
+        dense_b.core_mut().weight.value = w.slice_outer(3, 6);
+        let ya = dense_a.forward(&x.slice_channels(0, 2), Mode::Eval);
+        let yb = dense_b.forward(&x.slice_channels(2, 4), Mode::Eval);
+        let want = Tensor::concat_channels(&[ya, yb]).unwrap();
+        for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn depthwise_runs() {
+        let mut conv = Conv2d::new(4, 4, 3, 1, 1, 4, false, &mut rng());
+        let x = Tensor::ones(&[1, 4, 6, 6]);
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 4, 6, 6]);
+        let dx = conv.backward(&Tensor::ones(&[1, 4, 6, 6]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    /// Numerical gradient check of the conv weight gradient.
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 1, true, &mut r);
+        let x = init::uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut r);
+
+        // Loss = sum(y * mask) for a fixed random mask.
+        let y0 = conv.forward(&x, Mode::Train);
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut r);
+        conv.backward(&mask);
+        let analytic = conv.core().weight.grad.clone();
+
+        let eps = 1e-3;
+        for idx in [0usize, 7, 20, analytic.len() - 1] {
+            let orig = conv.core().weight.value.as_slice()[idx];
+            conv.core_mut().weight.value.as_mut_slice()[idx] = orig + eps;
+            let yp = conv.forward(&x, Mode::Eval);
+            conv.core_mut().weight.value.as_mut_slice()[idx] = orig - eps;
+            let ym = conv.forward(&x, Mode::Eval);
+            conv.core_mut().weight.value.as_mut_slice()[idx] = orig;
+            let lp: f32 = yp.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = ym.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = analytic.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    /// Numerical gradient check of the conv input gradient.
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, 1, false, &mut r);
+        let mut x = init::uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut r);
+        let y0 = conv.forward(&x, Mode::Train);
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut r);
+        let dx = conv.backward(&mask);
+
+        let eps = 1e-3;
+        for idx in [0usize, 13, x.len() - 1] {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let yp = conv.forward(&x, Mode::Eval);
+            x.as_mut_slice()[idx] = orig - eps;
+            let ym = conv.forward(&x, Mode::Eval);
+            x.as_mut_slice()[idx] = orig;
+            let lp: f32 = yp.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = ym.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = dx.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn mac_count_dense_and_grouped() {
+        let conv = Conv2d::new(16, 32, 3, 1, 1, 1, false, &mut rng());
+        // 32x32 input: 32*32*32 outputs * 16*9 taps
+        assert_eq!(
+            conv.mac_count(&[1, 16, 32, 32]),
+            32 * 32 * 32 * 16 * 9
+        );
+        let dw = Conv2d::new(16, 16, 3, 1, 1, 16, false, &mut rng());
+        assert_eq!(dw.mac_count(&[1, 16, 32, 32]), 16 * 32 * 32 * 9);
+    }
+}

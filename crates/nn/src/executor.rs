@@ -1,0 +1,132 @@
+//! Pluggable arithmetic for GEMM-lowered layers.
+//!
+//! Every [`Conv2d`](crate::Conv2d) and [`Linear`](crate::Linear) layer
+//! computes its forward product through a [`LayerExecutor`]. The default
+//! [`ExactExecutor`] is plain f32 GEMM; the quantization crate swaps in an
+//! 8A4W executor, and the ProxSim crate swaps in an approximate-multiplier
+//! executor. The *backward* pass never changes: it is always the exact GEMM
+//! gradient of the effective operands returned by the executor — the
+//! straight-through estimator of the paper's eq. (5) — with an optional
+//! elementwise upstream scale implementing gradient estimation (eq. 10/12).
+
+use crate::Mode;
+use axnn_tensor::{gemm, Tensor};
+use std::fmt;
+
+/// Result of an executor forward pass over one lowered GEMM.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// Output matrix `[OC, M]` — possibly quantized/approximate.
+    pub y: Tensor,
+    /// Effective weight matrix used for the STE backward (e.g. the
+    /// quantize-dequantized weights). Shape `[OC, K]`.
+    pub wmat_eff: Tensor,
+    /// Effective input (column) matrix for the STE backward. Shape `[K, M]`.
+    pub col_eff: Tensor,
+    /// Optional elementwise factor applied to the upstream gradient
+    /// `∂C/∂ỹ` before the GEMM backward products — the `(1 + K)` matrix of
+    /// the paper's eq. (12). Shape `[OC, M]` when present.
+    pub grad_scale: Option<Tensor>,
+}
+
+/// Coarse identification of an executor, used by reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// Full-precision f32 GEMM.
+    Exact,
+    /// Quantize-dequantize (fake-quant) GEMM.
+    Quantized,
+    /// Quantized GEMM computed with an approximate multiplier.
+    Approximate,
+}
+
+impl fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecutorKind::Exact => "exact",
+            ExecutorKind::Quantized => "quantized",
+            ExecutorKind::Approximate => "approximate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic backend for a GEMM-lowered layer.
+///
+/// Implementations may be stateful (e.g. they record activation ranges when
+/// `mode == Mode::Calibrate`, or hold a fitted error model for gradient
+/// estimation). One executor instance is owned per layer.
+pub trait LayerExecutor: fmt::Debug {
+    /// Computes `y ≈ wmat · col`.
+    ///
+    /// `wmat` is `[OC, K]` (full-precision weights), `col` is `[K, M]`
+    /// (full-precision lowered inputs). The returned
+    /// [`ExecOutput::wmat_eff`]/[`col_eff`](ExecOutput::col_eff) are the
+    /// operands the backward pass should differentiate through.
+    fn forward(&mut self, wmat: &Tensor, col: &Tensor, mode: Mode) -> ExecOutput;
+
+    /// Which family this executor belongs to.
+    fn kind(&self) -> ExecutorKind;
+}
+
+/// Full-precision executor: plain f32 GEMM, identity effective operands.
+///
+/// ```
+/// use axnn_nn::{ExactExecutor, LayerExecutor, Mode};
+/// use axnn_tensor::Tensor;
+///
+/// let mut ex = ExactExecutor::new();
+/// let w = Tensor::eye(2);
+/// let x = Tensor::ones(&[2, 3]);
+/// let out = ex.forward(&w, &x, Mode::Train);
+/// assert_eq!(out.y.as_slice(), x.as_slice());
+/// assert!(out.grad_scale.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactExecutor;
+
+impl ExactExecutor {
+    /// Creates the exact executor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl LayerExecutor for ExactExecutor {
+    fn forward(&mut self, wmat: &Tensor, col: &Tensor, _mode: Mode) -> ExecOutput {
+        ExecOutput {
+            y: gemm::matmul(wmat, col),
+            wmat_eff: wmat.clone(),
+            col_eff: col.clone(),
+            grad_scale: None,
+        }
+    }
+
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_executor_is_plain_gemm() {
+        let mut ex = ExactExecutor::new();
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let out = ex.forward(&w, &x, Mode::Eval);
+        assert_eq!(out.y, w);
+        assert_eq!(out.wmat_eff, w);
+        assert_eq!(out.col_eff, x);
+        assert_eq!(ex.kind(), ExecutorKind::Exact);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ExecutorKind::Exact.to_string(), "exact");
+        assert_eq!(ExecutorKind::Quantized.to_string(), "quantized");
+        assert_eq!(ExecutorKind::Approximate.to_string(), "approximate");
+    }
+}

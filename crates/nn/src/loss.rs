@@ -1,0 +1,207 @@
+//! Losses and probability utilities.
+//!
+//! Provides the numerically-stable softmax family and the hard-label
+//! cross-entropy of the paper's eq. (1). The knowledge-distillation soft
+//! losses (eq. 2–3) live in the `approxkd` crate, built on
+//! [`softmax_rows`]/[`log_softmax_rows`].
+
+use axnn_tensor::Tensor;
+
+/// Row-wise numerically-stable softmax of a `[N, C]` logit matrix.
+///
+/// ```
+/// use axnn_nn::loss::softmax_rows;
+/// use axnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), axnn_tensor::ShapeError> {
+/// let p = softmax_rows(&Tensor::from_vec(vec![0.0, 0.0], &[1, 2])?);
+/// assert!((p.at(&[0, 0]) - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax_rows expects [N, C]");
+    let cols = logits.shape()[1];
+    let mut out = Tensor::zeros(logits.shape());
+    for (dst, src) in out
+        .as_mut_slice()
+        .chunks_mut(cols)
+        .zip(logits.as_slice().chunks(cols))
+    {
+        let max = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = (s - max).exp();
+            sum += *d;
+        }
+        for d in dst.iter_mut() {
+            *d /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax of a `[N, C]` logit matrix.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "log_softmax_rows expects [N, C]");
+    let cols = logits.shape()[1];
+    let mut out = Tensor::zeros(logits.shape());
+    for (dst, src) in out
+        .as_mut_slice()
+        .chunks_mut(cols)
+        .zip(logits.as_slice().chunks(cols))
+    {
+        let max = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = src.iter().map(|&s| (s - max).exp()).sum::<f32>().ln() + max;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = s - log_sum;
+        }
+    }
+    out
+}
+
+/// Hard-label cross-entropy — the paper's eq. (1) — averaged over the batch.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax(y) − onehot(p)) / N`
+/// is the gradient of the mean loss with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, C]`, `labels.len() != N`, or any label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "expected [N, C] logits");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count must equal batch size");
+    let log_p = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut dlogits = softmax_rows(logits);
+    {
+        let d = dlogits.as_mut_slice();
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            loss -= log_p.as_slice()[i * c + label];
+            d[i * c + label] -= 1.0;
+        }
+    }
+    let inv_n = 1.0 / n as f32;
+    dlogits.scale(inv_n);
+    (loss * inv_n, dlogits)
+}
+
+/// Classification accuracy of `[N, C]` logits against labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().len(), 2);
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n);
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[i * c..(i + 1) * c];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let logits = init::uniform(&[5, 7], -4.0, 4.0, &mut rng);
+        let p = softmax_rows(&logits);
+        for row in p.as_slice().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let p = softmax_rows(&a);
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let q = softmax_rows(&b);
+        for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let logits = init::uniform(&[3, 4], -2.0, 2.0, &mut rng);
+        let lp = log_softmax_rows(&logits);
+        let p = softmax_rows(&logits);
+        for (a, b) in lp.as_slice().iter().zip(p.as_slice()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+        let (bad_loss, _) = softmax_cross_entropy(&logits, &[1, 0]);
+        assert!(bad_loss > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut logits = init::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let (_, d) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let orig = logits.as_slice()[idx];
+            logits.as_mut_slice()[idx] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.as_mut_slice()[idx] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - d.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: {numeric} vs {}",
+                d.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(accuracy(&logits, &[2, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+        assert_eq!(accuracy(&logits, &[0, 1]), 0.0);
+    }
+}

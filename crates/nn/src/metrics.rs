@@ -1,0 +1,234 @@
+//! Classification metrics beyond plain accuracy: top-k, per-class recall,
+//! and confusion matrices — the evaluation toolkit a downstream user of the
+//! approximate-CNN pipeline needs to debug *where* approximation hurts.
+
+use axnn_tensor::Tensor;
+
+/// A `C × C` confusion matrix: `entry[true][predicted]` counts.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::metrics::ConfusionMatrix;
+/// use axnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), axnn_tensor::ShapeError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.update(&logits, &[0, 0]);
+/// assert_eq!(cm.count(0, 0), 1); // first sample correct
+/// assert_eq!(cm.count(0, 1), 1); // second sample confused 0 -> 1
+/// assert_eq!(cm.accuracy(), 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Accumulates a batch of `[N, C]` logits against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) {
+        assert_eq!(logits.shape().len(), 2, "expected [N, C] logits");
+        let (n, c) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(c, self.classes, "class count mismatch");
+        assert_eq!(labels.len(), n, "label count mismatch");
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range");
+            let row = &logits.as_slice()[i * c..(i + 1) * c];
+            let mut pred = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[pred] {
+                    pred = j;
+                }
+            }
+            self.counts[label * c + pred] += 1;
+        }
+    }
+
+    /// Raw count for `(true_class, predicted_class)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        assert!(true_class < self.classes && predicted < self.classes);
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Total samples accumulated.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0.0 when empty).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn per_class_recall(&self) -> Vec<Option<f32>> {
+        (0..self.classes)
+            .map(|c| {
+                let row: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
+                (row > 0).then(|| self.count(c, c) as f32 / row as f32)
+            })
+            .collect()
+    }
+
+    /// The most-confused off-diagonal pair `(true, predicted, count)`, if
+    /// any misclassification happened.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t == p {
+                    continue;
+                }
+                let n = self.count(t, p);
+                if n > 0 && best.is_none_or(|(_, _, b)| n > b) {
+                    best = Some((t, p, n));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Top-k accuracy of `[N, C]` logits: the fraction of samples whose label
+/// is among the `k` highest logits.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, shapes disagree, or a label is out of range.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(logits.shape().len(), 2, "expected [N, C] logits");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n);
+    if n == 0 {
+        return 0.0;
+    }
+    let k = k.min(c);
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range");
+        let row = &logits.as_slice()[i * c..(i + 1) * c];
+        let target = row[label];
+        // The label is in the top k iff fewer than k entries beat it
+        // (ties broken toward the earlier index, matching argmax).
+        let better = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| v > target || (v == target && j < label))
+            .count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(rows: &[&[f32]]) -> Tensor {
+        let c = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, &[rows.len(), c]).unwrap()
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        let l = logits(&[
+            &[3.0, 0.0, 0.0], // pred 0
+            &[0.0, 3.0, 0.0], // pred 1
+            &[0.0, 0.0, 3.0], // pred 2
+            &[3.0, 0.0, 0.0], // pred 0
+        ]);
+        cm.update(&l, &[0, 1, 1, 2]);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 2), 1);
+        assert_eq!(cm.count(2, 0), 1);
+        assert_eq!(cm.accuracy(), 0.5);
+        assert!(cm.worst_confusion().map(|(t, p, _)| (t, p)).unwrap_or((9, 9)).0 < 3);
+    }
+
+    #[test]
+    fn per_class_recall_handles_missing_classes() {
+        let mut cm = ConfusionMatrix::new(3);
+        let l = logits(&[&[3.0, 0.0, 0.0], &[3.0, 0.0, 0.0]]);
+        cm.update(&l, &[0, 1]);
+        let recall = cm.per_class_recall();
+        assert_eq!(recall[0], Some(1.0));
+        assert_eq!(recall[1], Some(0.0));
+        assert_eq!(recall[2], None, "class 2 never appeared");
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy_and_no_confusion() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.worst_confusion(), None);
+    }
+
+    #[test]
+    fn top_k_expands_with_k() {
+        // Label 1 ranks 3rd in the first row and 2nd in the second.
+        let l = logits(&[&[1.0, 2.0, 3.0, 4.0], &[4.0, 3.0, 2.0, 1.0]]);
+        let labels = [1usize, 1];
+        assert_eq!(top_k_accuracy(&l, &labels, 1), 0.0);
+        assert_eq!(top_k_accuracy(&l, &labels, 2), 0.5);
+        assert_eq!(top_k_accuracy(&l, &labels, 3), 1.0);
+        assert_eq!(top_k_accuracy(&l, &labels, 100), 1.0, "k clamps to C");
+    }
+
+    #[test]
+    fn top_1_matches_plain_accuracy() {
+        let l = logits(&[&[1.0, 5.0], &[2.0, 0.0], &[0.0, 1.0]]);
+        let labels = [1usize, 0, 0];
+        assert_eq!(
+            top_k_accuracy(&l, &labels, 1),
+            crate::loss::accuracy(&l, &labels)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn update_rejects_bad_labels() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.update(&logits(&[&[1.0, 0.0]]), &[3]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Trainable parameters.
+
+use axnn_tensor::Tensor;
+
+/// A trainable parameter: its value, the gradient accumulated by the current
+/// backward pass, and the momentum buffer owned by the optimizer.
+///
+/// ```
+/// use axnn_nn::Param;
+/// use axnn_tensor::Tensor;
+///
+/// let p = Param::new(Tensor::zeros(&[2, 2]));
+/// assert_eq!(p.grad.shape(), &[2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated since the last [`zero_grad`](Param::zero_grad).
+    pub grad: Tensor,
+    /// Momentum buffer (velocity); created lazily by the optimizer.
+    pub velocity: Option<Tensor>,
+    /// Whether the optimizer should apply weight decay to this parameter
+    /// (`false` for biases and batch-norm affine parameters, by convention).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a tensor as a decayed trainable parameter with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            value,
+            grad,
+            velocity: None,
+            decay: true,
+        }
+    }
+
+    /// Wraps a tensor as a parameter exempt from weight decay.
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let mut p = Self::new(value);
+        p.decay = false;
+        p
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape());
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad += g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[3]));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.decay);
+        assert!(p.velocity.is_none());
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::ones(&[2]));
+        p.accumulate(&Tensor::ones(&[2]));
+        assert_eq!(p.grad.as_slice(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay(Tensor::zeros(&[1]));
+        assert!(!p.decay);
+    }
+}

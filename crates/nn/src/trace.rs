@@ -1,0 +1,167 @@
+//! Training traces: structured per-epoch records with CSV export.
+//!
+//! Fine-tuning experiments produce learning curves (the paper's Fig. 4);
+//! this module gives downstream users a typed container for them instead of
+//! ad-hoc stdout parsing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One epoch's worth of training measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Held-out accuracy, if evaluated this epoch.
+    pub test_accuracy: Option<f32>,
+    /// Learning rate in effect.
+    pub learning_rate: f32,
+}
+
+/// An append-only training trace.
+///
+/// # Example
+///
+/// ```
+/// use axnn_nn::trace::{EpochRecord, TrainTrace};
+///
+/// let mut trace = TrainTrace::new("resnet20/trunc5/approx_kd_ge");
+/// trace.push(EpochRecord {
+///     epoch: 1,
+///     train_loss: 1.9,
+///     test_accuracy: Some(0.71),
+///     learning_rate: 1e-3,
+/// });
+/// assert_eq!(trace.len(), 1);
+/// assert!(trace.to_csv().contains("resnet20/trunc5/approx_kd_ge"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainTrace {
+    /// Free-form run label (model/multiplier/method).
+    pub label: String,
+    records: Vec<EpochRecord>,
+}
+
+impl TrainTrace {
+    /// Creates an empty trace.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one epoch record.
+    pub fn push(&mut self, record: EpochRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in epoch order.
+    pub fn iter(&self) -> std::slice::Iter<'_, EpochRecord> {
+        self.records.iter()
+    }
+
+    /// The best recorded test accuracy, if any epoch was evaluated.
+    pub fn best_accuracy(&self) -> Option<f32> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f32| b.max(a))))
+    }
+
+    /// The final recorded loss, if any.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.records.last().map(|r| r.train_loss)
+    }
+
+    /// Renders the trace as CSV (`label,epoch,train_loss,test_accuracy,lr`;
+    /// missing accuracies render empty).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,epoch,train_loss,test_accuracy,learning_rate\n");
+        for r in &self.records {
+            let acc = r
+                .test_accuracy
+                .map(|a| format!("{a}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                self.label, r.epoch, r.train_loss, acc, r.learning_rate
+            );
+        }
+        out
+    }
+}
+
+impl Extend<EpochRecord> for TrainTrace {
+    fn extend<T: IntoIterator<Item = EpochRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, loss: f32, acc: Option<f32>) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            train_loss: loss,
+            test_accuracy: acc,
+            learning_rate: 1e-3,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = TrainTrace::new("run");
+        assert!(t.is_empty());
+        t.push(record(1, 2.0, Some(0.4)));
+        t.push(record(2, 1.0, None));
+        t.push(record(3, 0.5, Some(0.8)));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.best_accuracy(), Some(0.8));
+        assert_eq!(t.final_loss(), Some(0.5));
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn best_accuracy_none_when_never_evaluated() {
+        let mut t = TrainTrace::new("run");
+        t.push(record(1, 2.0, None));
+        assert_eq!(t.best_accuracy(), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = TrainTrace::new("m1");
+        t.extend([record(1, 2.0, Some(0.5)), record(2, 1.5, None)]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,epoch"));
+        assert!(lines[1].starts_with("m1,1,2,0.5,"));
+        assert!(lines[2].contains("m1,2,1.5,,"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = TrainTrace::new("x");
+        t.push(record(1, 1.0, Some(0.9)));
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: TrainTrace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's piecewise-linear approximation-error model (eq. 11–13).
+
+use axnn_tensor::Tensor;
+
+/// The error model of eq. (11): `f(y) = clamp(k·y + c, lo, hi)` — the
+/// paper writes it as `min(a, max(k·y + c, b))` with `a = hi`, `b = lo`.
+///
+/// Its derivative is `k` inside the linear region and `0` on the plateaus
+/// (eq. 13); the gradient-estimation factor applied to the upstream
+/// gradient is `1 + f'(y)` (eq. 10/12).
+///
+/// For unbiased multipliers (the EvoApprox family) the fit degenerates to a
+/// constant (`k = 0`), making GE identical to the plain STE — the paper's
+/// §IV-B observation, which [`is_constant`](Self::is_constant) exposes.
+///
+/// ```
+/// use axnn_proxsim::PiecewiseLinearError;
+///
+/// let f = PiecewiseLinearError::new(-0.02, 0.0, -3.0, 0.5);
+/// assert_eq!(f.value(0.0), 0.0);
+/// assert_eq!(f.value(1000.0), -3.0);    // lower plateau
+/// assert_eq!(f.derivative(10.0), -0.02);
+/// assert_eq!(f.derivative(1000.0), 0.0);
+/// assert!(!f.is_constant());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiecewiseLinearError {
+    slope: f32,
+    intercept: f32,
+    lo: f32,
+    hi: f32,
+}
+
+impl PiecewiseLinearError {
+    /// Creates a model with the given slope `k`, intercept `c` and plateau
+    /// clamps `lo ≤ hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or any parameter is not finite.
+    pub fn new(slope: f32, intercept: f32, lo: f32, hi: f32) -> Self {
+        assert!(
+            slope.is_finite() && intercept.is_finite() && lo.is_finite() && hi.is_finite(),
+            "model parameters must be finite"
+        );
+        assert!(lo <= hi, "plateaus must satisfy lo <= hi");
+        Self {
+            slope,
+            intercept,
+            lo,
+            hi,
+        }
+    }
+
+    /// A constant model `f(y) = c` (zero derivative everywhere) — the
+    /// unbiased-multiplier case where GE ≡ STE.
+    pub fn constant(c: f32) -> Self {
+        Self::new(0.0, c, c, c)
+    }
+
+    /// The linear-region slope `k̃`.
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+
+    /// Estimated error `f(y)` at output value `y`.
+    pub fn value(&self, y: f32) -> f32 {
+        (self.slope * y + self.intercept).clamp(self.lo, self.hi)
+    }
+
+    /// Derivative `f'(y)`: the slope inside the linear region, zero on the
+    /// plateaus (eq. 13).
+    pub fn derivative(&self, y: f32) -> f32 {
+        let lin = self.slope * y + self.intercept;
+        if lin > self.lo && lin < self.hi {
+            self.slope
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the model is constant (`∂f/∂y = 0` everywhere): gradient
+    /// estimation with this model is exactly the straight-through estimator.
+    pub fn is_constant(&self) -> bool {
+        self.slope == 0.0 || self.lo == self.hi
+    }
+
+    /// The `(1 + K)` elementwise factor of eq. (12) for an output tensor
+    /// `y` (the *accurate* GEMM output, per the paper's `f(y_q)`).
+    pub fn grad_scale(&self, y: &Tensor) -> Tensor {
+        y.map(|v| 1.0 + self.derivative(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_clamps_to_plateaus() {
+        let f = PiecewiseLinearError::new(-0.1, 1.0, -2.0, 1.5);
+        assert_eq!(f.value(-100.0), 1.5);
+        assert_eq!(f.value(0.0), 1.0);
+        assert_eq!(f.value(100.0), -2.0);
+    }
+
+    #[test]
+    fn derivative_is_zero_on_plateaus() {
+        let f = PiecewiseLinearError::new(-0.1, 1.0, -2.0, 1.5);
+        assert_eq!(f.derivative(-100.0), 0.0);
+        assert_eq!(f.derivative(0.0), -0.1);
+        assert_eq!(f.derivative(100.0), 0.0);
+    }
+
+    #[test]
+    fn constant_model_is_ste() {
+        let f = PiecewiseLinearError::constant(-0.5);
+        assert!(f.is_constant());
+        assert_eq!(f.value(42.0), -0.5);
+        assert_eq!(f.derivative(42.0), 0.0);
+        let y = Tensor::from_vec(vec![-1.0, 0.0, 5.0], &[3]).unwrap();
+        assert_eq!(f.grad_scale(&y).as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_scale_applies_one_plus_derivative() {
+        let f = PiecewiseLinearError::new(-0.25, 0.0, -10.0, 10.0);
+        let y = Tensor::from_vec(vec![1.0, 1000.0], &[2]).unwrap();
+        let s = f.grad_scale(&y);
+        assert_eq!(s.as_slice()[0], 0.75);
+        assert_eq!(s.as_slice()[1], 1.0); // clamped region
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn rejects_inverted_plateaus() {
+        let _ = PiecewiseLinearError::new(0.0, 0.0, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The approximate-multiplier layer executor.
+
+use crate::error_model::PiecewiseLinearError;
+use crate::gemm::{approx_matmul, approx_matmul_with_adder};
+use axnn_axmul::adder::Adder;
+use crate::signed_lut::SignedLut;
+use axnn_axmul::Multiplier;
+use axnn_nn::{ExecOutput, ExecutorKind, Layer, LayerExecutor, Mode, Sequential};
+use axnn_quant::{ActRangeCalibrator, QuantSpec, Quantizer};
+use axnn_tensor::{gemm, Tensor};
+use std::sync::Arc;
+
+/// Layer executor computing `y ≈ W_q · X_q` with an approximate multiplier
+/// over 8A4W-quantized codes (the ProxSim execution model).
+///
+/// - Weights are quantized layer-wise from their current abs-max (power-of-
+///   two step); activations use a step frozen by MinPropQE calibration.
+/// - The forward GEMM accumulates LUT-served approximate products in `i64`
+///   (eq. 4) and rescales by `s_w · s_x`.
+/// - The backward pass (in `axnn-nn`) is the exact-GEMM STE of eq. (5); if
+///   an error model is attached, the upstream gradient is scaled by
+///   `1 + f'(y)` evaluated on the *accurate* quantized output (eq. 10/12) —
+///   gradient estimation. A constant model degenerates to the plain STE.
+#[derive(Debug)]
+pub struct ApproxExecutor {
+    lut: Arc<SignedLut>,
+    x_spec: QuantSpec,
+    w_spec: QuantSpec,
+    calibrator: ActRangeCalibrator,
+    x_quantizer: Option<Quantizer>,
+    error_model: Option<PiecewiseLinearError>,
+    adder: Option<Arc<dyn Adder>>,
+}
+
+impl ApproxExecutor {
+    /// Creates an 8A4W approximate executor over a prebuilt LUT.
+    ///
+    /// `error_model` enables gradient estimation; pass `None` for the plain
+    /// STE backward.
+    pub fn new(lut: Arc<SignedLut>, error_model: Option<PiecewiseLinearError>) -> Self {
+        Self {
+            lut,
+            x_spec: QuantSpec::activations_8bit(),
+            w_spec: QuantSpec::weights_4bit(),
+            calibrator: ActRangeCalibrator::new(),
+            x_quantizer: None,
+            error_model,
+            adder: None,
+        }
+    }
+
+    /// Accumulates through a behavioural approximate adder instead of exact
+    /// `+` (builder style) — the paper's outlook of stacking a second
+    /// approximation technique. `None`/unset keeps exact accumulation.
+    pub fn with_adder(mut self, adder: Arc<dyn Adder>) -> Self {
+        self.adder = Some(adder);
+        self
+    }
+
+    /// Pre-sets the frozen activation quantizer (e.g. transferred from the
+    /// quantization stage) instead of calibrating from scratch.
+    pub fn with_activation_quantizer(mut self, q: Quantizer) -> Self {
+        self.x_quantizer = Some(q);
+        self
+    }
+
+    /// The attached error model, if any.
+    pub fn error_model(&self) -> Option<PiecewiseLinearError> {
+        self.error_model
+    }
+
+    /// The multiplier name served by the LUT.
+    pub fn multiplier_name(&self) -> &str {
+        self.lut.name()
+    }
+
+    fn batch_x_quantizer(&mut self, col: &Tensor) -> Option<Quantizer> {
+        if self.x_quantizer.is_none() {
+            if let Some(q) = self.calibrator.freeze(self.x_spec) {
+                self.x_quantizer = Some(q);
+            }
+        }
+        self.x_quantizer.or_else(|| {
+            let abs_max = col.abs_max();
+            (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.x_spec))
+        })
+    }
+}
+
+impl LayerExecutor for ApproxExecutor {
+    fn forward(&mut self, wmat: &Tensor, col: &Tensor, mode: Mode) -> ExecOutput {
+        if mode == Mode::Calibrate {
+            self.calibrator.observe(wmat, col, self.x_spec);
+            self.x_quantizer = None;
+        }
+        let w_abs = wmat.abs_max();
+        let wq = if w_abs > 0.0 {
+            Quantizer::for_abs_max(w_abs, self.w_spec)
+        } else {
+            Quantizer::with_step(1.0, self.w_spec)
+        };
+        let xq = self
+            .batch_x_quantizer(col)
+            .unwrap_or_else(|| Quantizer::with_step(1.0, self.x_spec));
+
+        let (w_codes, w_eff) = wq.quantize_tensor(wmat);
+        let (x_codes, col_eff) = xq.quantize_tensor(col);
+        let (oc, k) = (wmat.shape()[0], wmat.shape()[1]);
+        let m = col.shape()[1];
+        let scale = wq.step() * xq.step();
+        let y = match &self.adder {
+            Some(adder) => approx_matmul_with_adder(
+                &w_codes,
+                &x_codes,
+                oc,
+                k,
+                m,
+                &self.lut,
+                adder.as_ref(),
+                scale,
+            ),
+            None => approx_matmul(&w_codes, &x_codes, oc, k, m, &self.lut, scale),
+        };
+
+        // GE needs f'(y) on the accurate quantized output y_q (eq. 10);
+        // compute it only when a non-constant model is attached. The model
+        // is fitted in integer-accumulator (code-product) units, which are
+        // scale-invariant across layers, so evaluate on y_exact / scale.
+        let grad_scale = match &self.error_model {
+            Some(model) if !model.is_constant() => {
+                let mut y_codes = gemm::matmul(&w_eff, &col_eff);
+                y_codes.scale(1.0 / scale);
+                Some(model.grad_scale(&y_codes))
+            }
+            _ => None,
+        };
+
+        ExecOutput {
+            y,
+            wmat_eff: w_eff,
+            col_eff,
+            grad_scale,
+        }
+    }
+
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Approximate
+    }
+}
+
+/// Swaps an [`ApproxExecutor`] into every conv/FC layer of `net`, sharing
+/// one LUT for the given multiplier (uniform approximation, as in the
+/// paper's experiments).
+///
+/// Run a [`Mode::Calibrate`] pass afterwards to freeze activation steps.
+pub fn approximate_network(
+    net: &mut Sequential,
+    multiplier: &dyn Multiplier,
+    error_model: Option<PiecewiseLinearError>,
+) {
+    approximate_network_where(net, multiplier, error_model, |_, _| true);
+}
+
+/// Partial approximation: swaps an [`ApproxExecutor`] only into the conv/FC
+/// layers selected by `select(index, label)`, where `index` counts GEMM
+/// layers in network order. Unselected layers keep their current executor.
+///
+/// This implements the *partial approximation* regime the paper contrasts
+/// with its uniform ("full") approximation (§II): savings are bounded by
+/// the fraction of approximated MACs, but so is the accuracy degradation.
+pub fn approximate_network_where(
+    net: &mut Sequential,
+    multiplier: &dyn Multiplier,
+    error_model: Option<PiecewiseLinearError>,
+    mut select: impl FnMut(usize, &str) -> bool,
+) {
+    let lut = Arc::new(SignedLut::build(multiplier));
+    let mut index = 0usize;
+    net.visit_gemm_cores(&mut |core| {
+        if select(index, &core.label) {
+            core.set_executor(Box::new(ApproxExecutor::new(
+                Arc::clone(&lut),
+                error_model,
+            )));
+        }
+        index += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::{EvoLikeMul, ExactMul, TruncatedMul};
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lut(m: &dyn Multiplier) -> Arc<SignedLut> {
+        Arc::new(SignedLut::build(m))
+    }
+
+    #[test]
+    fn exact_multiplier_reduces_to_quantized_executor() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let wmat = init::uniform(&[4, 8], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[8, 6], -1.0, 1.0, &mut rng);
+        let mut approx = ApproxExecutor::new(lut(&ExactMul), None);
+        let mut quant = axnn_quant::QuantExecutor::new_8a4w();
+        let ya = approx.forward(&wmat, &col, Mode::Eval);
+        let yq = quant.forward(&wmat, &col, Mode::Eval);
+        for (a, b) in ya.y.as_slice().iter().zip(yq.y.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert_eq!(approx.kind(), ExecutorKind::Approximate);
+    }
+
+    #[test]
+    fn truncated_multiplier_shrinks_magnitudes() {
+        let mut rng = StdRng::seed_from_u64(71);
+        // All-positive operands make the truncation bias visible.
+        let wmat = init::uniform(&[4, 16], 0.1, 0.5, &mut rng);
+        let col = init::uniform(&[16, 8], 0.1, 1.0, &mut rng);
+        let mut approx = ApproxExecutor::new(lut(&TruncatedMul::new(5)), None);
+        let mut exact = ApproxExecutor::new(lut(&ExactMul), None);
+        let ya = approx.forward(&wmat, &col, Mode::Eval);
+        let ye = exact.forward(&wmat, &col, Mode::Eval);
+        let mut shrunk = 0;
+        for (a, e) in ya.y.as_slice().iter().zip(ye.y.as_slice()) {
+            assert!(*a <= *e + 1e-4, "truncation can only shrink: {a} vs {e}");
+            if *a < *e - 1e-4 {
+                shrunk += 1;
+            }
+        }
+        assert!(shrunk > 0, "trunc5 must actually lose magnitude");
+    }
+
+    #[test]
+    fn grad_scale_present_only_with_sloped_model() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let wmat = init::uniform(&[2, 4], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let l = lut(&TruncatedMul::new(5));
+
+        let mut no_model = ApproxExecutor::new(Arc::clone(&l), None);
+        assert!(no_model.forward(&wmat, &col, Mode::Train).grad_scale.is_none());
+
+        let constant = PiecewiseLinearError::constant(-0.3);
+        let mut const_model = ApproxExecutor::new(Arc::clone(&l), Some(constant));
+        assert!(
+            const_model.forward(&wmat, &col, Mode::Train).grad_scale.is_none(),
+            "constant model is STE; no scale materialised"
+        );
+
+        let sloped = PiecewiseLinearError::new(-0.05, 0.0, -10.0, 10.0);
+        let mut ge = ApproxExecutor::new(l, Some(sloped));
+        let out = ge.forward(&wmat, &col, Mode::Train);
+        let scale = out.grad_scale.expect("sloped model produces a scale");
+        assert_eq!(scale.shape(), out.y.shape());
+        assert!(scale.as_slice().iter().any(|&s| (s - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn approximate_network_swaps_every_core() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut net = Sequential::new(vec![
+            Box::new(axnn_nn::Linear::new(4, 6, true, &mut rng)),
+            Box::new(axnn_nn::Activation::new(axnn_nn::ActivationKind::Relu)),
+            Box::new(axnn_nn::Linear::new(6, 2, true, &mut rng)),
+        ]);
+        approximate_network(&mut net, &EvoLikeMul::calibrated(228, 0.19), None);
+        let mut kinds = Vec::new();
+        net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
+        assert_eq!(kinds, vec![ExecutorKind::Approximate; 2]);
+        // Forward still works end to end.
+        let y = net.forward(&init::uniform(&[3, 4], -1.0, 1.0, &mut rng), Mode::Eval);
+        assert_eq!(y.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn approximate_adder_changes_outputs_and_exact_adder_does_not() {
+        use axnn_axmul::adder::{ExactAdder, LoaAdder};
+        let mut rng = StdRng::seed_from_u64(75);
+        let wmat = init::uniform(&[4, 32], 0.05, 0.5, &mut rng);
+        let col = init::uniform(&[32, 8], 0.05, 1.0, &mut rng);
+        let l = lut(&ExactMul);
+        let mut plain = ApproxExecutor::new(Arc::clone(&l), None);
+        let mut exact_add =
+            ApproxExecutor::new(Arc::clone(&l), None).with_adder(Arc::new(ExactAdder));
+        let mut loa = ApproxExecutor::new(l, None).with_adder(Arc::new(LoaAdder::new(5)));
+        let y0 = plain.forward(&wmat, &col, Mode::Eval).y;
+        let y1 = exact_add.forward(&wmat, &col, Mode::Eval).y;
+        let y2 = loa.forward(&wmat, &col, Mode::Eval).y;
+        assert_eq!(y0, y1, "exact adder is a no-op");
+        assert_ne!(y0, y2, "LOA accumulation must perturb the output");
+    }
+
+    #[test]
+    fn transferred_activation_quantizer_is_respected() {
+        let q = Quantizer::with_step(0.125, QuantSpec::activations_8bit());
+        let mut ex = ApproxExecutor::new(lut(&ExactMul), None).with_activation_quantizer(q);
+        let mut rng = StdRng::seed_from_u64(74);
+        let wmat = init::uniform(&[2, 4], -0.5, 0.5, &mut rng);
+        // Inputs far outside the preset range are clipped by the preset step.
+        let col = init::uniform(&[4, 3], -100.0, 100.0, &mut rng);
+        let out = ex.forward(&wmat, &col, Mode::Eval);
+        let clip = 127.0 * 0.125;
+        for &v in out.col_eff.as_slice() {
+            assert!(v.abs() <= clip + 1e-5, "{v} beyond preset clip {clip}");
+        }
+    }
+}

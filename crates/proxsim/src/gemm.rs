@@ -1,0 +1,164 @@
+//! Approximate integer GEMM over quantizer codes (paper eq. 4).
+
+use crate::signed_lut::SignedLut;
+use axnn_tensor::Tensor;
+
+/// Computes `ỹᵢⱼ = Σₖ g̃(Wᵢₖ, Xₖⱼ)` over integer codes, accumulating in
+/// `i64`, and returns the result scaled by `scale = s_w · s_x` as an f32
+/// tensor of shape `[OC, M]`.
+///
+/// `w_codes` is the row-major `[OC, K]` weight-code matrix and `col_codes`
+/// the `[K, M]` input-code matrix.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(oc, k, m)`.
+pub fn approx_matmul(
+    w_codes: &[i32],
+    col_codes: &[i32],
+    oc: usize,
+    k: usize,
+    m: usize,
+    lut: &SignedLut,
+    scale: f32,
+) -> Tensor {
+    assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
+    assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
+    let mut out = vec![0.0f32; oc * m];
+    for i in 0..oc {
+        let w_row = &w_codes[i * k..(i + 1) * k];
+        // Accumulate into an i64 row to keep the integer semantics exact.
+        let mut acc = vec![0i64; m];
+        for (kk, &wik) in w_row.iter().enumerate() {
+            if wik == 0 {
+                continue; // exact and approximate products are both zero
+            }
+            let col_row = &col_codes[kk * m..(kk + 1) * m];
+            for (a, &xkj) in acc.iter_mut().zip(col_row) {
+                *a += lut.get(xkj, wik);
+            }
+        }
+        for (o, a) in out[i * m..(i + 1) * m].iter_mut().zip(&acc) {
+            *o = *a as f32 * scale;
+        }
+    }
+    Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+}
+
+/// [`approx_matmul`] with an **approximate accumulator**: every partial sum
+/// goes through the behavioural adder instead of exact `+` — the paper's
+/// outlook of combining "more than one approximation technique into the CNN
+/// computation".
+///
+/// With [`ExactAdder`](axnn_axmul::adder::ExactAdder) this is bit-identical
+/// to [`approx_matmul`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(oc, k, m)`.
+#[allow(clippy::too_many_arguments)]
+pub fn approx_matmul_with_adder(
+    w_codes: &[i32],
+    col_codes: &[i32],
+    oc: usize,
+    k: usize,
+    m: usize,
+    lut: &SignedLut,
+    adder: &dyn axnn_axmul::adder::Adder,
+    scale: f32,
+) -> Tensor {
+    assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
+    assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
+    let mut out = vec![0.0f32; oc * m];
+    for i in 0..oc {
+        let w_row = &w_codes[i * k..(i + 1) * k];
+        for j in 0..m {
+            let mut acc = 0i64;
+            for (kk, &wik) in w_row.iter().enumerate() {
+                if wik == 0 {
+                    continue;
+                }
+                acc = adder.add(acc, lut.get(col_codes[kk * m + j], wik));
+            }
+            out[i * m + j] = acc as f32 * scale;
+        }
+    }
+    Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::adder::{ExactAdder, LoaAdder};
+    use axnn_axmul::{ExactMul, TruncatedMul};
+    use axnn_tensor::gemm;
+
+    fn codes(v: &[i32]) -> Vec<i32> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn exact_lut_matches_f32_gemm() {
+        let lut = SignedLut::build(&ExactMul);
+        let w = codes(&[1, -2, 3, 0, 5, -6]); // [2, 3]
+        let x = codes(&[7, -1, 2, 4, 0, -3]); // [3, 2]
+        let y = approx_matmul(&w, &x, 2, 3, 2, &lut, 1.0);
+        let wf = Tensor::from_vec(w.iter().map(|&v| v as f32).collect(), &[2, 3]).unwrap();
+        let xf = Tensor::from_vec(x.iter().map(|&v| v as f32).collect(), &[3, 2]).unwrap();
+        assert_eq!(y, gemm::matmul(&wf, &xf));
+    }
+
+    #[test]
+    fn scale_is_applied() {
+        let lut = SignedLut::build(&ExactMul);
+        let y = approx_matmul(&[2], &[3], 1, 1, 1, &lut, 0.25);
+        assert_eq!(y.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn truncated_gemm_never_exceeds_exact_magnitude() {
+        let lut = SignedLut::build(&TruncatedMul::new(5));
+        // All-positive codes so products accumulate one-sidedly.
+        let w: Vec<i32> = (1..=6).collect();
+        let x: Vec<i32> = (10..=21).map(|v| v * 5).collect();
+        let approx = approx_matmul(&w, &x, 2, 3, 4, &lut, 1.0);
+        let exact_lut = SignedLut::build(&ExactMul);
+        let exact = approx_matmul(&w, &x, 2, 3, 4, &exact_lut, 1.0);
+        for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+            assert!(a <= e, "{a} > {e}");
+            assert!(*a >= e - 6.0 * 32.0, "error bounded by taps × 2^t");
+        }
+    }
+
+    #[test]
+    fn exact_adder_matches_plain_approx_matmul() {
+        let lut = SignedLut::build(&TruncatedMul::new(4));
+        let w = codes(&[1, -2, 3, 0, 5, -6]);
+        let x = codes(&[7, -1, 2, 4, 0, -3]);
+        let plain = approx_matmul(&w, &x, 2, 3, 2, &lut, 0.5);
+        let with_adder = approx_matmul_with_adder(&w, &x, 2, 3, 2, &lut, &ExactAdder, 0.5);
+        assert_eq!(plain, with_adder);
+    }
+
+    #[test]
+    fn loa_accumulation_adds_further_error() {
+        let lut = SignedLut::build(&ExactMul);
+        // Long accumulation with positive odd products exercises the OR'd
+        // low bits on almost every step.
+        let k = 32usize;
+        let w: Vec<i32> = (0..k).map(|i| 1 + (i as i32 % 7)).collect();
+        let x: Vec<i32> = (0..k).map(|i| 1 + (i as i32 % 13) * 2).collect();
+        let exact = approx_matmul_with_adder(&w, &x, 1, k, 1, &lut, &ExactAdder, 1.0);
+        let loa = approx_matmul_with_adder(&w, &x, 1, k, 1, &lut, &LoaAdder::new(4), 1.0);
+        assert_ne!(exact, loa, "LOA must perturb a long accumulation");
+        let rel = (loa.as_slice()[0] - exact.as_slice()[0]).abs() / exact.as_slice()[0];
+        assert!(rel < 0.25, "LOA error stays moderate: {rel}");
+    }
+
+    #[test]
+    fn zero_weights_short_circuit_to_zero() {
+        let lut = SignedLut::build(&TruncatedMul::new(5));
+        let y = approx_matmul(&[0, 0], &[99, -99], 1, 2, 1, &lut, 1.0);
+        assert_eq!(y.as_slice(), &[0.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Signed product lookup tables over the 8A4W code range.
+
+use axnn_axmul::Multiplier;
+
+const X_OFFSET: i32 = 128;
+const W_OFFSET: i32 = 8;
+const X_SPAN: usize = 256; // codes −128..=127 (symmetric quantizers use −127..=127)
+const W_SPAN: usize = 16; // codes −8..=7
+
+/// An exhaustive signed product table: every `(x, w)` code pair of the
+/// 8A4W range maps to the multiplier's signed product.
+///
+/// This is the ProxSim trick that makes approximate simulation cheap: the
+/// behavioural model runs once per operand pair at table-build time, and
+/// every GEMM MAC afterwards is a single indexed load.
+///
+/// ```
+/// use axnn_axmul::{ExactMul, Multiplier};
+/// use axnn_proxsim::SignedLut;
+///
+/// let lut = SignedLut::build(&ExactMul);
+/// assert_eq!(lut.get(-127, 7), -889);
+/// assert_eq!(lut.get(5, -3), -15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedLut {
+    table: Vec<i32>,
+    name: String,
+}
+
+impl SignedLut {
+    /// Tabulates a multiplier over the full signed code range.
+    pub fn build(m: &dyn Multiplier) -> Self {
+        let mut table = vec![0i32; X_SPAN * W_SPAN];
+        for x in -X_OFFSET..X_OFFSET {
+            for w in -W_OFFSET..W_OFFSET {
+                let idx = Self::index(x, w);
+                table[idx] = m.mul_signed(x, w) as i32;
+            }
+        }
+        Self {
+            table,
+            name: m.name().to_string(),
+        }
+    }
+
+    #[inline]
+    fn index(x: i32, w: i32) -> usize {
+        debug_assert!((-X_OFFSET..X_OFFSET).contains(&x), "x code {x} out of range");
+        debug_assert!((-W_OFFSET..W_OFFSET).contains(&w), "w code {w} out of range");
+        (((x + X_OFFSET) as usize) << 4) | ((w + W_OFFSET) as usize)
+    }
+
+    /// Signed product of two quantizer codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `x ∉ [−128, 127]` or `w ∉ [−8, 7]`.
+    #[inline]
+    pub fn get(&self, x: i32, w: i32) -> i64 {
+        self.table[Self::index(x, w)] as i64
+    }
+
+    /// Name of the tabulated multiplier.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::{EvoLikeMul, ExactMul, TruncatedMul};
+
+    #[test]
+    fn exact_table_matches_products() {
+        let lut = SignedLut::build(&ExactMul);
+        for x in [-127i32, -50, -1, 0, 1, 99, 127] {
+            for w in [-7i32, -3, 0, 2, 7] {
+                assert_eq!(lut.get(x, w), (x * w) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_behavioural_model_everywhere() {
+        let m = TruncatedMul::new(4);
+        let lut = SignedLut::build(&m);
+        for x in -127i32..=127 {
+            for w in -7i32..=7 {
+                assert_eq!(lut.get(x, w), m.mul_signed(x, w), "({x},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn evo_table_is_deterministic() {
+        let m = EvoLikeMul::calibrated(228, 0.19);
+        let a = SignedLut::build(&m);
+        let b = SignedLut::build(&m);
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "evo228");
+    }
+}

@@ -1,0 +1,164 @@
+//! Asymmetric (zero-point) quantization — the road the paper *didn't* take.
+//!
+//! §III: "No zero-points. We use a symmetric linear quantizer, which can be
+//! less precise, but which eliminates cross-terms resulting from GEMM
+//! involving zero-points". This module provides the affine alternative so
+//! that trade-off can be measured: on one-sided (post-ReLU) activations the
+//! affine quantizer wastes no codes on the empty negative range, halving
+//! the step size — at the cost of the GEMM cross-terms
+//! `z_x·ΣW + z_w·ΣX − n·z_x·z_w` a hardware datapath would have to carry.
+
+use crate::quantizer::QuantSpec;
+use axnn_tensor::Tensor;
+
+/// An asymmetric linear quantizer: `code = clamp(round(x/s) + z, 0, 2ᵇ−1)`.
+///
+/// ```
+/// use axnn_quant::{AffineQuantizer, QuantSpec};
+///
+/// // Post-ReLU range [0, 6]: all 255 steps land inside it.
+/// let q = AffineQuantizer::for_range(0.0, 6.0, QuantSpec::activations_8bit());
+/// assert_eq!(q.zero_point(), 0);
+/// assert!((q.fake_quant(3.0) - 3.0).abs() <= q.step() * 0.51);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineQuantizer {
+    spec: QuantSpec,
+    step: f32,
+    zero_point: i32,
+}
+
+impl AffineQuantizer {
+    /// Creates a quantizer covering `[lo, hi]` with `2^bits` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn for_range(lo: f32, hi: f32, spec: QuantSpec) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        let levels = (1u32 << spec.bits) - 1;
+        let step = (hi - lo) / levels as f32;
+        // Zero point: the code representing real 0, clamped into range so
+        // zero stays exactly representable when it is inside [lo, hi].
+        let zero_point = (-lo / step).round().clamp(0.0, levels as f32) as i32;
+        Self {
+            spec,
+            step,
+            zero_point,
+        }
+    }
+
+    /// The step size.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// The zero-point code.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes one value to its unsigned code.
+    pub fn quantize_code(&self, x: f32) -> i32 {
+        let levels = ((1u32 << self.spec.bits) - 1) as i32;
+        ((x / self.step).round() as i32 + self.zero_point).clamp(0, levels)
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        (code - self.zero_point) as f32 * self.step
+    }
+
+    /// Quantize-dequantize one value.
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize_code(x))
+    }
+
+    /// Quantize-dequantizes a whole tensor.
+    pub fn fake_quant_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.fake_quant(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::Quantizer;
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_is_exactly_representable_when_in_range() {
+        for &(lo, hi) in &[(-1.0f32, 3.0f32), (0.0, 6.0), (-5.0, 5.0)] {
+            let q = AffineQuantizer::for_range(lo, hi, QuantSpec::activations_8bit());
+            assert_eq!(q.fake_quant(0.0), 0.0, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_step_inside_range() {
+        let q = AffineQuantizer::for_range(-1.0, 3.0, QuantSpec::activations_8bit());
+        for i in 0..100 {
+            let x = -1.0 + 4.0 * (i as f32 / 99.0);
+            assert!((q.fake_quant(x) - x).abs() <= q.step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let q = AffineQuantizer::for_range(0.0, 6.0, QuantSpec::activations_8bit());
+        assert_eq!(q.quantize_code(-5.0), 0);
+        assert_eq!(q.quantize_code(100.0), 255);
+    }
+
+    /// The trade-off the paper describes: on one-sided post-ReLU data the
+    /// affine quantizer is ~2x more precise than the symmetric one, because
+    /// the symmetric quantizer wastes half its codes on negatives that
+    /// never occur.
+    #[test]
+    fn affine_beats_symmetric_on_one_sided_activations() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let relu_acts = init::uniform(&[4096], 0.0, 6.0, &mut rng);
+        let spec = QuantSpec {
+            bits: 8,
+            pow2_step: false,
+        };
+        let affine = AffineQuantizer::for_range(0.0, 6.0, spec);
+        let symmetric = Quantizer::for_abs_max(6.0, spec);
+        let err = |deq: Tensor| (&deq - &relu_acts).sq_norm();
+        let e_affine = err(affine.fake_quant_tensor(&relu_acts));
+        let e_symmetric = err(symmetric.fake_quant_tensor(&relu_acts));
+        // Half the step -> a quarter of the squared error (plus rounding).
+        assert!(
+            e_affine < e_symmetric * 0.4,
+            "affine {e_affine} vs symmetric {e_symmetric}"
+        );
+    }
+
+    /// On symmetric (weight-like) data the advantage disappears — which is
+    /// why the paper's symmetric choice only costs precision on
+    /// activations.
+    #[test]
+    fn affine_matches_symmetric_on_two_sided_data() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let weights = init::uniform(&[4096], -1.0, 1.0, &mut rng);
+        let spec = QuantSpec {
+            bits: 8,
+            pow2_step: false,
+        };
+        let affine = AffineQuantizer::for_range(-1.0, 1.0, spec);
+        let symmetric = Quantizer::for_abs_max(1.0, spec);
+        let err = |deq: Tensor| (&deq - &weights).sq_norm();
+        let e_affine = err(affine.fake_quant_tensor(&weights));
+        let e_symmetric = err(symmetric.fake_quant_tensor(&weights));
+        let ratio = e_affine / e_symmetric;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need lo < hi")]
+    fn rejects_empty_range() {
+        let _ = AffineQuantizer::for_range(1.0, 1.0, QuantSpec::activations_8bit());
+    }
+}

@@ -1,0 +1,402 @@
+//! The quantized (8A4W) layer executor and network-wide quantization.
+
+use crate::quantizer::{QuantSpec, Quantizer};
+use axnn_nn::{ExecOutput, ExecutorKind, Layer, LayerExecutor, Mode, Sequential};
+use axnn_tensor::{gemm, Tensor};
+use std::collections::BTreeMap;
+
+/// Accumulates activation statistics over calibration batches and selects
+/// the activation step by MinPropQE (paper ref. \[1\]).
+///
+/// For every calibration batch, candidate power-of-two steps around the
+/// batch abs-max are scored by the propagated error
+/// `‖W·deq(q(X)) − W·X‖²`; the exponent with the lowest mean score wins.
+#[derive(Debug, Clone, Default)]
+pub struct ActRangeCalibrator {
+    scores: BTreeMap<i32, (f64, u32)>,
+    abs_max: f32,
+}
+
+impl ActRangeCalibrator {
+    /// Creates an empty calibrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any batch has been observed.
+    pub fn has_data(&self) -> bool {
+        !self.scores.is_empty() || self.abs_max > 0.0
+    }
+
+    /// Scores candidate steps on one calibration batch.
+    pub fn observe(&mut self, wmat: &Tensor, col: &Tensor, spec: QuantSpec) {
+        let abs_max = col.abs_max();
+        if abs_max == 0.0 {
+            return;
+        }
+        self.abs_max = self.abs_max.max(abs_max);
+        let base_exp = (self.abs_max / spec.qmax() as f32).log2().ceil() as i32;
+        let reference = gemm::matmul(wmat, col);
+        for e in (base_exp - 3)..=(base_exp + 1) {
+            let q = Quantizer::with_step(2f32.powi(e), spec);
+            let err = (&gemm::matmul(wmat, &q.fake_quant_tensor(col)) - &reference).sq_norm();
+            let entry = self.scores.entry(e).or_insert((0.0, 0));
+            entry.0 += err as f64;
+            entry.1 += 1;
+        }
+    }
+
+    /// Picks the winning quantizer. Returns `None` if nothing was observed.
+    pub fn freeze(&self, spec: QuantSpec) -> Option<Quantizer> {
+        let (&best_exp, _) = self
+            .scores
+            .iter()
+            .min_by(|a, b| {
+                let ma = a.1 .0 / a.1 .1 as f64;
+                let mb = b.1 .0 / b.1 .1 as f64;
+                ma.partial_cmp(&mb).expect("scores are finite")
+            })?;
+        Some(Quantizer::with_step(2f32.powi(best_exp), spec))
+    }
+}
+
+/// The 8A4W fake-quantization executor.
+///
+/// Forward: weights are quantized layer-wise from their current abs-max
+/// (they change every optimizer step); activations use a step frozen by
+/// MinPropQE calibration (run the network in [`Mode::Calibrate`] first —
+/// e.g. via `axnn_nn::train::calibrate`). The GEMM itself is computed on
+/// the dequantized operands, which is bit-equivalent to integer GEMM scaled
+/// by `s_x·s_w` for these ranges.
+///
+/// Backward (performed by `axnn-nn`): exact GEMM over the returned
+/// effective operands — the straight-through estimator of eq. (5).
+#[derive(Debug)]
+pub struct QuantExecutor {
+    x_spec: QuantSpec,
+    w_spec: QuantSpec,
+    calibrator: ActRangeCalibrator,
+    x_quantizer: Option<Quantizer>,
+    per_channel: bool,
+}
+
+impl QuantExecutor {
+    /// Creates an 8A4W executor (8-bit activations, 4-bit weights).
+    pub fn new_8a4w() -> Self {
+        Self::new(QuantSpec::activations_8bit(), QuantSpec::weights_4bit())
+    }
+
+    /// Creates an executor with explicit specs.
+    pub fn new(x_spec: QuantSpec, w_spec: QuantSpec) -> Self {
+        Self {
+            x_spec,
+            w_spec,
+            calibrator: ActRangeCalibrator::new(),
+            x_quantizer: None,
+            per_channel: false,
+        }
+    }
+
+    /// Enables per-output-channel weight scales (builder style).
+    ///
+    /// The paper quantizes layer-wise (one scale per tensor); per-channel
+    /// scales are the standard finer-grained alternative, exposed here as
+    /// an ablation. Activations always stay layer-wise.
+    pub fn per_channel_weights(mut self, enable: bool) -> Self {
+        self.per_channel = enable;
+        self
+    }
+
+    /// Whether per-channel weight scales are enabled.
+    pub fn is_per_channel(&self) -> bool {
+        self.per_channel
+    }
+
+    /// Quantize-dequantizes the weight matrix with one scale per output
+    /// channel (matrix row). All-zero rows pass through unchanged.
+    fn fake_quant_per_channel(&self, wmat: &Tensor) -> Tensor {
+        let rows = wmat.shape()[0];
+        let cols = wmat.len() / rows.max(1);
+        let mut out = wmat.clone();
+        for r in 0..rows {
+            let range = r * cols..(r + 1) * cols;
+            let abs_max = wmat.as_slice()[range.clone()]
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            if abs_max == 0.0 {
+                continue;
+            }
+            let q = Quantizer::for_abs_max(abs_max, self.w_spec);
+            for v in &mut out.as_mut_slice()[range] {
+                *v = q.fake_quant(*v);
+            }
+        }
+        out
+    }
+
+    /// The frozen activation quantizer, if calibration has completed.
+    pub fn activation_quantizer(&self) -> Option<Quantizer> {
+        self.x_quantizer
+    }
+
+    /// Quantizer for the current weights (recomputed from their abs-max).
+    pub fn weight_quantizer(&self, wmat: &Tensor) -> Option<Quantizer> {
+        let abs_max = wmat.abs_max();
+        (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.w_spec))
+    }
+
+    /// Activation quantizer for this batch: the frozen one, else a dynamic
+    /// abs-max fallback (used if the network was never calibrated).
+    fn batch_x_quantizer(&mut self, col: &Tensor) -> Option<Quantizer> {
+        if self.x_quantizer.is_none() {
+            if let Some(q) = self.calibrator.freeze(self.x_spec) {
+                self.x_quantizer = Some(q);
+            }
+        }
+        self.x_quantizer.or_else(|| {
+            let abs_max = col.abs_max();
+            (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.x_spec))
+        })
+    }
+}
+
+impl LayerExecutor for QuantExecutor {
+    fn forward(&mut self, wmat: &Tensor, col: &Tensor, mode: Mode) -> ExecOutput {
+        if mode == Mode::Calibrate {
+            self.calibrator.observe(wmat, col, self.x_spec);
+            self.x_quantizer = None; // re-freeze after more data
+        }
+        let w_eff = if self.per_channel {
+            self.fake_quant_per_channel(wmat)
+        } else {
+            match self.weight_quantizer(wmat) {
+                Some(q) => q.fake_quant_tensor(wmat),
+                None => wmat.clone(),
+            }
+        };
+        let col_eff = match self.batch_x_quantizer(col) {
+            Some(q) => q.fake_quant_tensor(col),
+            None => col.clone(),
+        };
+        ExecOutput {
+            y: gemm::matmul(&w_eff, &col_eff),
+            wmat_eff: w_eff,
+            col_eff,
+            grad_scale: None,
+        }
+    }
+
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Quantized
+    }
+}
+
+/// Swaps fresh per-channel-weight [`QuantExecutor`]s into every conv/FC
+/// layer of `net` — the finer-grained ablation of [`quantize_network`].
+pub fn quantize_network_per_channel(net: &mut Sequential, x_spec: QuantSpec, w_spec: QuantSpec) {
+    net.visit_gemm_cores(&mut |core| {
+        core.set_executor(Box::new(
+            QuantExecutor::new(x_spec, w_spec).per_channel_weights(true),
+        ));
+    });
+}
+
+/// Swaps a fresh [`QuantExecutor`] into every conv/FC layer of `net`.
+///
+/// Run a calibration pass afterwards (forwards in [`Mode::Calibrate`]) so
+/// the activation steps are chosen by MinPropQE rather than the dynamic
+/// abs-max fallback.
+pub fn quantize_network(net: &mut Sequential, x_spec: QuantSpec, w_spec: QuantSpec) {
+    net.visit_gemm_cores(&mut |core| {
+        core.set_executor(Box::new(QuantExecutor::new(x_spec, w_spec)));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_nn::train::{calibrate, evaluate, Dataset};
+    use axnn_nn::{Activation, ActivationKind, Linear};
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantized_forward_is_close_to_exact_for_8bit() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let wmat = init::uniform(&[4, 16], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[16, 8], -1.0, 1.0, &mut rng);
+        let spec8 = QuantSpec::activations_8bit();
+        let mut ex = QuantExecutor::new(spec8, spec8);
+        let out = ex.forward(&wmat, &col, Mode::Eval);
+        let exact = gemm::matmul(&wmat, &col);
+        let rel = (&out.y - &exact).sq_norm().sqrt() / exact.sq_norm().sqrt();
+        assert!(rel < 0.02, "8-bit relative error {rel}");
+    }
+
+    #[test]
+    fn four_bit_weights_are_coarser_than_eight_bit() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let wmat = init::uniform(&[4, 16], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[16, 8], -1.0, 1.0, &mut rng);
+        let exact = gemm::matmul(&wmat, &col);
+        let err = |w_spec: QuantSpec| {
+            let mut ex = QuantExecutor::new(QuantSpec::activations_8bit(), w_spec);
+            (&ex.forward(&wmat, &col, Mode::Eval).y - &exact).sq_norm()
+        };
+        assert!(err(QuantSpec::weights_4bit()) > err(QuantSpec::activations_8bit()));
+    }
+
+    #[test]
+    fn effective_operands_are_quantization_grids() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let wmat = init::uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        let col = init::uniform(&[5, 4], -2.0, 2.0, &mut rng);
+        let mut ex = QuantExecutor::new_8a4w();
+        let out = ex.forward(&wmat, &col, Mode::Eval);
+        let wq = ex.weight_quantizer(&wmat).expect("nonzero weights");
+        for &v in out.wmat_eff.as_slice() {
+            let code = v / wq.step();
+            assert!((code - code.round()).abs() < 1e-5, "not on grid: {v}");
+            assert!(code.round().abs() <= 7.0);
+        }
+        assert!(out.grad_scale.is_none(), "plain quantization has no GE");
+        assert_eq!(ex.kind(), ExecutorKind::Quantized);
+    }
+
+    #[test]
+    fn calibration_freezes_activation_step() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let wmat = init::uniform(&[4, 8], -0.5, 0.5, &mut rng);
+        let mut ex = QuantExecutor::new_8a4w();
+        for _ in 0..3 {
+            let col = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+            ex.forward(&wmat, &col, Mode::Calibrate);
+        }
+        let col = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        ex.forward(&wmat, &col, Mode::Eval);
+        let q = ex.activation_quantizer().expect("frozen after first eval");
+        // Frozen step stays fixed across batches with different ranges.
+        let wild = init::uniform(&[8, 16], -100.0, 100.0, &mut rng);
+        ex.forward(&wmat, &wild, Mode::Eval);
+        assert_eq!(ex.activation_quantizer().expect("still frozen"), q);
+    }
+
+    #[test]
+    fn per_channel_beats_layer_wise_on_skewed_rows() {
+        // Row 0 has tiny weights, row 1 huge ones: a single layer scale
+        // wastes row 0's resolution entirely at 4 bits.
+        let mut wmat = Tensor::zeros(&[2, 8]);
+        for i in 0..8 {
+            wmat.as_mut_slice()[i] = 0.01 * (i as f32 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 };
+            wmat.as_mut_slice()[8 + i] = 3.0 * (i as f32 + 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(65);
+        let col = init::uniform(&[8, 6], -1.0, 1.0, &mut rng);
+        let exact = gemm::matmul(&wmat, &col);
+
+        // Row 1 (the huge weights) sets the shared scale, so compare the
+        // quantization error of the *small* row's outputs, where the wasted
+        // resolution shows.
+        let row0_err = |per_channel: bool| {
+            let mut ex = QuantExecutor::new_8a4w().per_channel_weights(per_channel);
+            let y = ex.forward(&wmat, &col, Mode::Eval).y;
+            (&y.slice_outer(0, 1) - &exact.slice_outer(0, 1)).sq_norm()
+        };
+        assert!(
+            row0_err(true) < row0_err(false) * 0.5,
+            "per-channel {} vs layer-wise {}",
+            row0_err(true),
+            row0_err(false)
+        );
+    }
+
+    #[test]
+    fn per_channel_rows_stay_on_their_own_grids() {
+        let mut wmat = Tensor::zeros(&[2, 4]);
+        wmat.as_mut_slice()[..4].copy_from_slice(&[0.1, -0.05, 0.07, 0.02]);
+        wmat.as_mut_slice()[4..].copy_from_slice(&[5.0, -3.0, 7.0, 1.0]);
+        let ex = QuantExecutor::new_8a4w().per_channel_weights(true);
+        let deq = ex.fake_quant_per_channel(&wmat);
+        // Row 1's step would flatten row 0 to zero under a shared scale;
+        // per channel it survives.
+        assert!(deq.as_slice()[..4].iter().any(|&v| v != 0.0));
+        assert!(ex.is_per_channel());
+    }
+
+    #[test]
+    fn quantize_network_per_channel_swaps_cores() {
+        let mut rng = StdRng::seed_from_u64(66);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(4, 4, true, &mut rng)) as Box<dyn axnn_nn::Layer>,
+        ]);
+        quantize_network_per_channel(
+            &mut net,
+            QuantSpec::activations_8bit(),
+            QuantSpec::weights_4bit(),
+        );
+        let mut kinds = Vec::new();
+        net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
+        assert_eq!(kinds, vec![ExecutorKind::Quantized]);
+    }
+
+    #[test]
+    fn all_zero_inputs_pass_through() {
+        let wmat = Tensor::zeros(&[2, 3]);
+        let col = Tensor::zeros(&[3, 2]);
+        let mut ex = QuantExecutor::new_8a4w();
+        let out = ex.forward(&wmat, &col, Mode::Train);
+        assert_eq!(out.y.sum(), 0.0);
+    }
+
+    #[test]
+    fn quantize_network_swaps_all_cores_and_mild_accuracy_drop() {
+        let mut rng = StdRng::seed_from_u64(64);
+        // Train a small FP MLP on separable data, then quantize.
+        let n = 96;
+        let mut inputs = init::uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let s: f32 = inputs.as_slice()[i * 4..i * 4 + 4].iter().sum();
+            labels.push(usize::from(s > 0.0));
+            let l = (s > 0.0) as i32 as f32 * 2.0 - 1.0;
+            for v in &mut inputs.as_mut_slice()[i * 4..i * 4 + 4] {
+                *v += 0.2 * l;
+            }
+        }
+        let data = Dataset::new(inputs, labels);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(4, 12, true, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Relu)),
+            Box::new(Linear::new(12, 2, true, &mut rng)),
+        ]);
+        let mut opt = axnn_nn::Sgd::new(0.1).momentum(0.9);
+        for _ in 0..40 {
+            axnn_nn::train::train_epoch(
+                &mut net,
+                &data,
+                32,
+                &mut opt,
+                &mut axnn_nn::train::hard_loss,
+            );
+        }
+        let fp_acc = evaluate(&mut net, &data, 32);
+        assert!(fp_acc > 0.9, "FP training failed: {fp_acc}");
+
+        quantize_network(
+            &mut net,
+            QuantSpec::activations_8bit(),
+            QuantSpec::weights_4bit(),
+        );
+        let mut kinds = Vec::new();
+        net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
+        assert_eq!(kinds, vec![ExecutorKind::Quantized; 2]);
+
+        calibrate(&mut net, &data, 32, 2);
+        let q_acc = evaluate(&mut net, &data, 32);
+        assert!(
+            q_acc > fp_acc - 0.25,
+            "8A4W should not destroy this easy task: {fp_acc} -> {q_acc}"
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! The symmetric linear quantizer and step-size selection (MinPropQE).
+
+use axnn_tensor::{gemm, Tensor};
+
+/// Bit-width and step-size policy of one quantizer.
+///
+/// The paper's configuration is 8-bit activations / 4-bit weights
+/// ("8A4W"), both symmetric with power-of-two steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantSpec {
+    /// Total bit width including sign (e.g. 8 or 4).
+    pub bits: u32,
+    /// Round the step to the next power of two (paper §III: quantize with a
+    /// simple shift).
+    pub pow2_step: bool,
+}
+
+impl QuantSpec {
+    /// The paper's 8-bit activation quantizer.
+    pub fn activations_8bit() -> Self {
+        Self {
+            bits: 8,
+            pow2_step: true,
+        }
+    }
+
+    /// The paper's 4-bit weight quantizer.
+    pub fn weights_4bit() -> Self {
+        Self::symmetric(4)
+    }
+
+    /// A symmetric power-of-two-step quantizer of arbitrary width — the
+    /// paper's outlook ("will be further extended for lower bitwidth
+    /// quantization") is explored through this constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` (a symmetric quantizer needs sign + magnitude).
+    pub fn symmetric(bits: u32) -> Self {
+        assert!(bits >= 2, "symmetric quantization needs at least 2 bits");
+        Self {
+            bits,
+            pow2_step: true,
+        }
+    }
+
+    /// Largest positive code: `2^(bits−1) − 1` (symmetric, no zero point).
+    pub fn qmax(self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+}
+
+/// A symmetric linear quantizer with a fixed step size.
+///
+/// Codes are `clamp(round(x / step), −qmax, qmax)`; dequantization is
+/// `code · step`. There is no zero point (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    spec: QuantSpec,
+    step: f32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with an explicit step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not finite and positive.
+    pub fn with_step(step: f32, spec: QuantSpec) -> Self {
+        assert!(step.is_finite() && step > 0.0, "step must be positive");
+        let step = if spec.pow2_step {
+            round_step_pow2(step)
+        } else {
+            step
+        };
+        Self { spec, step }
+    }
+
+    /// Creates a quantizer whose range covers `[−abs_max, abs_max]`,
+    /// applying the spec's power-of-two rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abs_max` is not finite and positive.
+    pub fn for_abs_max(abs_max: f32, spec: QuantSpec) -> Self {
+        assert!(
+            abs_max.is_finite() && abs_max > 0.0,
+            "abs_max must be positive"
+        );
+        Self::with_step(abs_max / spec.qmax() as f32, spec)
+    }
+
+    /// The effective (possibly pow2-rounded) step size.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// The quantizer's spec.
+    pub fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    /// Quantizes one value to its integer code.
+    pub fn quantize_code(&self, x: f32) -> i32 {
+        let q = (x / self.step).round() as i64;
+        let m = self.spec.qmax() as i64;
+        q.clamp(-m, m) as i32
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        code as f32 * self.step
+    }
+
+    /// Quantize-dequantize one value ("fake quantization").
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize_code(x))
+    }
+
+    /// Quantizes a tensor to integer codes (stored as exact `f32` integers
+    /// alongside an `i32` vector for LUT indexing).
+    pub fn quantize_tensor(&self, t: &Tensor) -> (Vec<i32>, Tensor) {
+        let codes: Vec<i32> = t.as_slice().iter().map(|&x| self.quantize_code(x)).collect();
+        let deq = Tensor::from_vec(
+            codes.iter().map(|&c| self.dequantize(c)).collect(),
+            t.shape(),
+        )
+        .expect("same element count");
+        (codes, deq)
+    }
+
+    /// Quantize-dequantizes a whole tensor.
+    pub fn fake_quant_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.fake_quant(x))
+    }
+}
+
+/// Rounds a step size to the nearest power of two **at or above** it, so the
+/// quantizer range still covers the calibrated `abs_max` (paper §III:
+/// "rounded to the next power-of-two").
+///
+/// ```
+/// assert_eq!(axnn_quant::round_step_pow2(0.3), 0.5);
+/// assert_eq!(axnn_quant::round_step_pow2(0.5), 0.5);
+/// assert_eq!(axnn_quant::round_step_pow2(0.6), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `step` is not finite and positive.
+pub fn round_step_pow2(step: f32) -> f32 {
+    assert!(step.is_finite() && step > 0.0, "step must be positive");
+    2f32.powi(step.log2().ceil() as i32)
+}
+
+/// Selects the activation quantization step by **Min**imization of the
+/// **Prop**agated **Q**uantization **E**rror (MinPropQE, paper ref. \[1\]):
+/// among power-of-two candidate steps around the abs-max step, pick the one
+/// minimizing `‖W·deq(q(X)) − W·X‖²` — the error after the layer's GEMM,
+/// not the raw input error.
+///
+/// `wmat` is the layer's `[OC, K]` weight matrix and `col` a representative
+/// `[K, M]` input sample. Returns the winning quantizer.
+///
+/// # Panics
+///
+/// Panics if `col` is all zeros (no scale can be calibrated).
+pub fn min_prop_qe(wmat: &Tensor, col: &Tensor, spec: QuantSpec) -> Quantizer {
+    let abs_max = col.abs_max();
+    assert!(abs_max > 0.0, "cannot calibrate on an all-zero sample");
+    let base = Quantizer::for_abs_max(abs_max, spec).step();
+    let reference = gemm::matmul(wmat, col);
+    let mut best_step = base;
+    let mut best_err = f32::INFINITY;
+    for e in -3i32..=1 {
+        let step = base * 2f32.powi(e);
+        let q = Quantizer::with_step(step, spec);
+        let deq = q.fake_quant_tensor(col);
+        let err = (&gemm::matmul(wmat, &deq) - &reference).sq_norm();
+        if err < best_err {
+            best_err = err;
+            best_step = step;
+        }
+    }
+    Quantizer::with_step(best_step, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(QuantSpec::activations_8bit().qmax(), 127);
+        assert_eq!(QuantSpec::weights_4bit().qmax(), 7);
+    }
+
+    #[test]
+    fn codes_clamp_to_symmetric_range() {
+        let q = Quantizer::with_step(0.5, QuantSpec::weights_4bit());
+        assert_eq!(q.quantize_code(100.0), 7);
+        assert_eq!(q.quantize_code(-100.0), -7);
+        assert_eq!(q.quantize_code(0.0), 0);
+        assert_eq!(q.quantize_code(0.26), 1);
+        assert_eq!(q.quantize_code(-0.26), -1);
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let q = Quantizer::with_step(0.25, QuantSpec::activations_8bit());
+        for &x in &[-3.7f32, -0.1, 0.0, 0.12, 5.9] {
+            let once = q.fake_quant(x);
+            assert_eq!(q.fake_quant(once), once);
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let q = Quantizer::with_step(0.25, QuantSpec::activations_8bit());
+        let limit = 127.0 * 0.25;
+        for i in -100..=100 {
+            let x = i as f32 * 0.031;
+            if x.abs() <= limit {
+                assert!((q.fake_quant(x) - x).abs() <= 0.125 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_rounding_covers_range() {
+        let spec = QuantSpec::activations_8bit();
+        let q = Quantizer::for_abs_max(3.0, spec);
+        // step >= 3/127 and is a power of two
+        assert!(q.step() >= 3.0 / 127.0);
+        assert_eq!(q.step().log2().fract(), 0.0);
+        // Largest representable magnitude covers abs_max.
+        assert!(q.dequantize(spec.qmax()) >= 3.0);
+    }
+
+    #[test]
+    fn non_pow2_spec_keeps_exact_step() {
+        let spec = QuantSpec {
+            bits: 8,
+            pow2_step: false,
+        };
+        let q = Quantizer::with_step(0.3, spec);
+        assert_eq!(q.step(), 0.3);
+    }
+
+    #[test]
+    fn quantize_tensor_codes_match_dequantized_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = init::uniform(&[4, 4], -2.0, 2.0, &mut rng);
+        let q = Quantizer::for_abs_max(2.0, QuantSpec::weights_4bit());
+        let (codes, deq) = q.quantize_tensor(&t);
+        for (c, d) in codes.iter().zip(deq.as_slice()) {
+            assert_eq!(q.dequantize(*c), *d);
+            assert!(c.abs() <= 7);
+        }
+    }
+
+    #[test]
+    fn min_prop_qe_beats_or_matches_naive_absmax_step() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let spec = QuantSpec::activations_8bit();
+        // Heavy-tailed input: a few large outliers, mass near zero — the
+        // regime where abs-max calibration wastes resolution.
+        let mut col = init::normal(&[16, 32], 0.0, 0.1, &mut rng);
+        col.as_mut_slice()[0] = 8.0;
+        col.as_mut_slice()[100] = -8.0;
+        let wmat = init::normal(&[8, 16], 0.0, 0.5, &mut rng);
+
+        let naive = Quantizer::for_abs_max(col.abs_max(), spec);
+        let tuned = min_prop_qe(&wmat, &col, spec);
+        let reference = gemm::matmul(&wmat, &col);
+        let err = |q: &Quantizer| {
+            (&gemm::matmul(&wmat, &q.fake_quant_tensor(&col)) - &reference).sq_norm()
+        };
+        assert!(err(&tuned) <= err(&naive) + 1e-9);
+        assert!(tuned.step() < naive.step(), "outliers should be clipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn min_prop_qe_rejects_zero_sample() {
+        let wmat = Tensor::ones(&[2, 2]);
+        let col = Tensor::zeros(&[2, 2]);
+        let _ = min_prop_qe(&wmat, &col, QuantSpec::activations_8bit());
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with the requested
+/// operation (e.g. constructing a tensor from a buffer of the wrong length,
+/// or reshaping to a different element count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with a human-readable description.
+    ///
+    /// ```
+    /// let err = axnn_tensor::ShapeError::new("expected 4 elements, got 3");
+    /// assert!(err.to_string().contains("4 elements"));
+    /// ```
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ShapeError::new("bad reshape");
+        assert_eq!(err.to_string(), "shape error: bad reshape");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

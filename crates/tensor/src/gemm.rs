@@ -1,0 +1,191 @@
+//! Dense matrix multiplication.
+//!
+//! The accurate (exact-arithmetic) GEMM used for all full-precision forward
+//! passes and — per the straight-through estimator of the paper's eq. (5) —
+//! for the *backward* pass of approximate layers. The approximate forward
+//! GEMM lives in `axnn-proxsim`.
+
+use crate::Tensor;
+
+/// Computes `C = A · B` for row-major 2-D tensors.
+///
+/// Uses an i-k-j loop order so the innermost loop streams contiguously over
+/// both `B` and `C`, which is the standard cache-friendly ordering for
+/// row-major naive GEMM.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use axnn_tensor::{gemm, Tensor};
+///
+/// # fn main() -> Result<(), axnn_tensor::ShapeError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = gemm::matmul(&a, &b);
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+
+    let mut c = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let c_row = &mut cv[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    c
+}
+
+/// Computes `C = Aᵀ · B` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or `A` and `B` disagree on their shared
+/// (row) dimension.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2);
+    assert_eq!(b.shape().len(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
+
+    let mut c = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for kk in 0..k {
+        let a_row = &av[kk * m..(kk + 1) * m];
+        let b_row = &bv[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let c_row = &mut cv[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aki * bj;
+            }
+        }
+    }
+    c
+}
+
+/// Computes `C = A · Bᵀ` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or `A` and `B` disagree on their shared
+/// (column) dimension.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2);
+    assert_eq!(b.shape().len(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
+
+    let mut c = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            cv[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+impl Tensor {
+    /// Convenience method for [`matmul`]`(self, rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        matmul(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn non_square() {
+        let a = t(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3, 1]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[32.0]);
+        assert_eq!(matmul(&b, &a).shape(), &[3, 3]);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = t((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let b = t((0..12).map(|x| (x as f32) * 0.5).collect(), &[3, 4]);
+        assert_eq!(matmul_tn(&a, &b), matmul(&a.transpose2(), &b));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = t((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = t((0..12).map(|x| (x as f32) * 0.5).collect(), &[4, 3]);
+        assert_eq!(matmul_nt(&a, &b), matmul(&a, &b.transpose2()));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,343 @@
+//! Convolution lowering: `im2col` / `col2im` and layout shuffles.
+//!
+//! The paper computes convolutional layers as GEMMs (section III-B, "as in
+//! ProxSim"); this module provides the lowering that turns an `[N, C, H, W]`
+//! activation and an `[OC, C, KH, KW]` kernel into the matrices
+//!
+//! ```text
+//!   W_mat : [OC, C·KH·KW]
+//!   col   : [C·KH·KW, N·OH·OW]
+//!   out   = W_mat · col : [OC, N·OH·OW]
+//! ```
+//!
+//! plus the inverse scatter (`col2im`) needed for input gradients and the
+//! layout shuffles between the GEMM output and NCHW activations.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding
+/// (square in both axes).
+///
+/// ```
+/// use axnn_tensor::im2col::ConvGeometry;
+///
+/// let g = ConvGeometry::new(3, 1, 1);
+/// assert_eq!(g.out_dim(8), 8); // "same" convolution
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both axes.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of size `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_dim(&self, input: usize) -> usize {
+        let padded = input + 2 * self.pad;
+        assert!(
+            padded >= self.kernel,
+            "padded input {} smaller than kernel {}",
+            padded,
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Lowers an `[N, C, H, W]` tensor to the `[C·KH·KW, N·OH·OW]` column matrix.
+///
+/// Column `q = (n·OH + oh)·OW + ow` holds the receptive field of output pixel
+/// `(n, oh, ow)`; row `r = (c·KH + kh)·KW + kw` selects one tap. Out-of-bounds
+/// taps (from padding) are zero.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D.
+pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Tensor {
+    assert_eq!(input.shape().len(), 4, "im2col requires an NCHW tensor");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
+    let oh = geom.out_dim(h);
+    let ow = geom.out_dim(w);
+    let rows = c * k * k;
+    let cols = n * oh * ow;
+
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for ci in 0..c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                let row_base = row * cols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for ohi in 0..oh {
+                        let ih = (ohi * s + kh) as isize - p as isize;
+                        let col_base = row_base + (ni * oh + ohi) * ow;
+                        if ih < 0 || ih as usize >= h {
+                            continue; // row of zeros from padding
+                        }
+                        let src_row = img_base + ih as usize * w;
+                        for owi in 0..ow {
+                            let iw = (owi * s + kw) as isize - p as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            dst[col_base + owi] = src[src_row + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`im2col`]: scatters a `[C·KH·KW, N·OH·OW]` column-gradient
+/// matrix back onto an `[N, C, H, W]` input-gradient tensor, accumulating
+/// overlapping taps.
+///
+/// # Panics
+///
+/// Panics if `cols` is not 2-D or its shape is inconsistent with
+/// `(input_shape, geom)`.
+pub fn col2im(cols: &Tensor, input_shape: &[usize; 4], geom: ConvGeometry) -> Tensor {
+    assert_eq!(cols.shape().len(), 2, "col2im requires a 2-D matrix");
+    let [n, c, h, w] = *input_shape;
+    let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
+    let oh = geom.out_dim(h);
+    let ow = geom.out_dim(w);
+    assert_eq!(
+        cols.shape(),
+        &[c * k * k, n * oh * ow],
+        "col matrix shape inconsistent with input shape/geometry"
+    );
+
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let dst = out.as_mut_slice();
+    let src = cols.as_slice();
+    let total_cols = n * oh * ow;
+    for ci in 0..c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                let row_base = row * total_cols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for ohi in 0..oh {
+                        let ih = (ohi * s + kh) as isize - p as isize;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        let dst_row = img_base + ih as usize * w;
+                        let col_base = row_base + (ni * oh + ohi) * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * s + kw) as isize - p as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            dst[dst_row + iw as usize] += src[col_base + owi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reorders a GEMM output `[OC, N·OH·OW]` into an `[N, OC, OH, OW]` tensor.
+///
+/// # Panics
+///
+/// Panics if the matrix shape is inconsistent with `(n, oc, oh, ow)`.
+pub fn gemm_out_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+    assert_eq!(mat.shape(), &[oc, n * oh * ow]);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let dst = out.as_mut_slice();
+    let src = mat.as_slice();
+    let spatial = oh * ow;
+    for o in 0..oc {
+        for ni in 0..n {
+            let src_base = o * n * spatial + ni * spatial;
+            let dst_base = (ni * oc + o) * spatial;
+            dst[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`gemm_out_to_nchw`]: flattens `[N, OC, OH, OW]` to
+/// `[OC, N·OH·OW]` (used to lower the output gradient before the GEMM
+/// backward products).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+pub fn nchw_to_gemm_out(t: &Tensor) -> Tensor {
+    assert_eq!(t.shape().len(), 4);
+    let (n, oc, oh, ow) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+    let spatial = oh * ow;
+    let mut out = Tensor::zeros(&[oc, n * spatial]);
+    let dst = out.as_mut_slice();
+    let src = t.as_slice();
+    for ni in 0..n {
+        for o in 0..oc {
+            let src_base = (ni * oc + o) * spatial;
+            let dst_base = o * n * spatial + ni * spatial;
+            dst[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    /// Reference direct convolution for validating the lowered path.
+    fn conv_direct(input: &Tensor, weight: &Tensor, geom: ConvGeometry) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oc, _, k, _) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let oh = geom.out_dim(h);
+        let ow = geom.out_dim(w);
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for o in 0..oc {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let ih = (y * geom.stride + kh) as isize - geom.pad as isize;
+                                    let iw = (x * geom.stride + kw) as isize - geom.pad as isize;
+                                    if ih < 0
+                                        || iw < 0
+                                        || ih as usize >= h
+                                        || iw as usize >= w
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, ih as usize, iw as usize])
+                                        * weight.at(&[o, ci, kh, kw]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, o, y, x], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn arange(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| (i as f32) * 0.1 - 1.0).collect(), shape).unwrap()
+    }
+
+    #[test]
+    fn out_dim_formulas() {
+        assert_eq!(ConvGeometry::new(3, 1, 1).out_dim(8), 8);
+        assert_eq!(ConvGeometry::new(3, 2, 1).out_dim(8), 4);
+        assert_eq!(ConvGeometry::new(1, 1, 0).out_dim(5), 5);
+        assert_eq!(ConvGeometry::new(2, 2, 0).out_dim(8), 4);
+    }
+
+    #[test]
+    fn lowered_conv_matches_direct() {
+        for &(k, s, p) in &[(3, 1, 1), (3, 2, 1), (1, 1, 0), (2, 2, 0)] {
+            let geom = ConvGeometry::new(k, s, p);
+            let input = arange(&[2, 3, 6, 6]);
+            let weight = arange(&[4, 3, k, k]);
+            let oh = geom.out_dim(6);
+            let ow = geom.out_dim(6);
+
+            let col = im2col(&input, geom);
+            let wmat = weight.reshape(&[4, 3 * k * k]).unwrap();
+            let out_mat = gemm::matmul(&wmat, &col);
+            let got = gemm_out_to_nchw(&out_mat, 2, 4, oh, ow);
+
+            let want = conv_direct(&input, &weight, geom);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-4, "k={k} s={s} p={p}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn nchw_round_trip() {
+        let t = arange(&[2, 3, 4, 5]);
+        let mat = nchw_to_gemm_out(&t);
+        assert_eq!(mat.shape(), &[3, 2 * 4 * 5]);
+        let back = gemm_out_to_nchw(&mat, 2, 3, 4, 5);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // 1x1x3x3 input, 2x2 kernel, stride 1, no pad -> 2x2 output, 4 cols.
+        let geom = ConvGeometry::new(2, 1, 0);
+        let cols = Tensor::ones(&[4, 4]);
+        let img = col2im(&cols, &[1, 1, 3, 3], geom);
+        // Centre pixel is covered by all 4 receptive fields.
+        assert_eq!(img.at(&[0, 0, 1, 1]), 4.0);
+        // Corners by exactly one.
+        assert_eq!(img.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(img.at(&[0, 0, 2, 2]), 1.0);
+        // Edges by two.
+        assert_eq!(img.at(&[0, 0, 0, 1]), 2.0);
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let col = im2col(&input, geom);
+        // Top-left output pixel: only taps (1,1),(1,2),(2,1),(2,2) are inside.
+        let col0: Vec<f32> = (0..9).map(|r| col.at(&[r, 0])).collect();
+        assert_eq!(col0.iter().filter(|&&x| x == 1.0).count(), 4);
+        assert_eq!(col0.iter().filter(|&&x| x == 0.0).count(), 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Random tensor initialisation.
+//!
+//! All constructors take an explicit RNG so that every experiment in the
+//! workspace is reproducible from a seed.
+
+use crate::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand_distr_normal::Normal;
+
+/// Minimal Box–Muller normal distribution so we avoid pulling `rand_distr`.
+mod rand_distr_normal {
+    use rand::distributions::Distribution;
+    use rand::Rng;
+
+    /// Normal distribution `N(mean, std²)` sampled via Box–Muller.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Normal {
+        pub(super) mean: f32,
+        pub(super) std: f32,
+    }
+
+    impl Normal {
+        /// Creates a normal distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `std` is negative or not finite.
+        pub fn new(mean: f32, std: f32) -> Self {
+            assert!(std >= 0.0 && std.is_finite(), "std must be finite and >= 0");
+            Self { mean, std }
+        }
+    }
+
+    impl Distribution<f32> for Normal {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // Box–Muller transform; u1 in (0, 1] to avoid ln(0).
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let mag = (-2.0 * u1.ln()).sqrt();
+            self.mean + self.std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+        }
+    }
+}
+
+pub use rand_distr_normal::Normal as NormalDist;
+
+/// Samples a tensor of the given shape from `N(mean, std²)`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = axnn_tensor::init::normal(&[4, 4], 0.0, 1.0, &mut rng);
+/// assert_eq!(t.shape(), &[4, 4]);
+/// ```
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let dist = Normal::new(mean, std);
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, shape).expect("length matches shape by construction")
+}
+
+/// Samples a tensor uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo <= hi, "uniform requires lo <= hi");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    Tensor::from_vec(data, shape).expect("length matches shape by construction")
+}
+
+/// Kaiming/He normal initialisation for a conv or FC weight tensor:
+/// `N(0, sqrt(2 / fan_in))` where `fan_in` is the product of all non-leading
+/// dimensions. This is the initialisation used for the ResNet/MobileNet
+/// models in `axnn-models`.
+///
+/// # Panics
+///
+/// Panics if `shape` has fewer than 2 dimensions.
+pub fn kaiming_normal(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+    assert!(shape.len() >= 2, "kaiming init requires rank >= 2");
+    let fan_in: usize = shape[1..].iter().product();
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = normal(&[10_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.min() >= -0.5);
+        assert!(t.max() <= 0.5);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small_fan = normalised_std(&kaiming_normal(&[64, 4], &mut rng));
+        let large_fan = normalised_std(&kaiming_normal(&[64, 400], &mut rng));
+        assert!(small_fan > large_fan * 5.0);
+    }
+
+    fn normalised_std(t: &Tensor) -> f32 {
+        let m = t.mean();
+        t.map(|x| (x - m) * (x - m)).mean().sqrt()
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let a = normal(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = normal(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! # axnn-tensor
+//!
+//! Minimal dense tensor library underpinning the ApproxNN workspace.
+//!
+//! The reproduction of *"Knowledge Distillation and Gradient Estimation for
+//! Active Error Compensation in Approximate Neural Networks"* (DATE 2021)
+//! needs a self-contained training substrate. This crate provides the lowest
+//! layer of it:
+//!
+//! - [`Tensor`]: a dense, row-major `f32` tensor with shape tracking,
+//! - elementwise and scalar arithmetic ([`ops`]),
+//! - matrix multiplication ([`gemm`]),
+//! - convolution lowering via [`im2col`]/[`col2im`](im2col::col2im),
+//! - random initialisation helpers ([`init`]).
+//!
+//! Everything is deterministic given a seed, pure CPU, and dependency-light:
+//! the only runtime dependency is `rand` for initialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use axnn_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), axnn_tensor::ShapeError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod gemm;
+pub mod im2col;
+pub mod init;
+pub mod ops;
+
+pub use error::ShapeError;
+pub use shape::{numel, strides_for};
+pub use tensor::Tensor;

@@ -1,0 +1,124 @@
+//! Property-based tests for the tensor substrate.
+
+use axnn_tensor::im2col::{col2im, gemm_out_to_nchw, im2col, nchw_to_gemm_out, ConvGeometry};
+use axnn_tensor::{gemm, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..=4, 1usize..=4)
+        .prop_flat_map(move |(r, c)| {
+            let n = (r * c).min(max_elems);
+            (
+                Just((r, c)),
+                prop::collection::vec(-100.0f32..100.0, n..=n),
+            )
+        })
+        .prop_map(|((r, c), data)| Tensor::from_vec(data, &[r, c]).expect("length matches"))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left(t in tensor_strategy(16)) {
+        let i = Tensor::eye(t.shape()[0]);
+        let got = gemm::matmul(&i, &t);
+        prop_assert_eq!(got, t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(16),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = a.shape()[1];
+        let b = axnn_tensor::init::uniform(&[k, 3], -1.0, 1.0, &mut rng);
+        let c = axnn_tensor::init::uniform(&[k, 3], -1.0, 1.0, &mut rng);
+        let lhs = gemm::matmul(&a, &(&b + &c));
+        let rhs = &gemm::matmul(&a, &b) + &gemm::matmul(&a, &c);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in tensor_strategy(16)) {
+        prop_assert_eq!(t.transpose2().transpose2(), t);
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent(
+        seed in 0u64..1000,
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = axnn_tensor::init::uniform(&[k, m], -2.0, 2.0, &mut rng);
+        let b = axnn_tensor::init::uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let tn = gemm::matmul_tn(&a, &b);
+        let explicit = gemm::matmul(&a.transpose2(), &b);
+        prop_assert_eq!(tn, explicit);
+
+        let c = axnn_tensor::init::uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let d = axnn_tensor::init::uniform(&[n, k], -2.0, 2.0, &mut rng);
+        let nt = gemm::matmul_nt(&c, &d);
+        let explicit = gemm::matmul(&c, &d.transpose2());
+        prop_assert_eq!(nt, explicit);
+    }
+
+    #[test]
+    fn gemm_layout_round_trip(
+        n in 1usize..3,
+        c in 1usize..4,
+        h in 1usize..4,
+        w in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = axnn_tensor::init::uniform(&[n, c, h, w], -1.0, 1.0, &mut rng);
+        let back = gemm_out_to_nchw(&nchw_to_gemm_out(&t), n, c, h, w);
+        prop_assert_eq!(back, t);
+    }
+
+    /// col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+    /// This is exactly the property the conv backward pass relies on.
+    #[test]
+    fn col2im_is_adjoint_of_im2col(
+        seed in 0u64..200,
+        k in 1usize..4,
+        pad in 0usize..2,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geom = ConvGeometry::new(k, 1, pad);
+        let shape = [1usize, 2, 5, 5];
+        let x = axnn_tensor::init::uniform(&shape, -1.0, 1.0, &mut rng);
+        let cx = im2col(&x, geom);
+        let y = axnn_tensor::init::uniform(cx.shape(), -1.0, 1.0, &mut rng);
+        let lhs: f32 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let ciy = col2im(&y, &shape, geom);
+        let rhs: f32 = x.as_slice().iter().zip(ciy.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn stack_then_slice_outer_round_trip(
+        seed in 0u64..100,
+        parts in 1usize..5,
+        inner in 1usize..6,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tensors: Vec<Tensor> = (0..parts)
+            .map(|_| axnn_tensor::init::uniform(&[inner], -1.0, 1.0, &mut rng))
+            .collect();
+        let stacked = Tensor::stack(&tensors).expect("same shapes");
+        for (i, t) in tensors.iter().enumerate() {
+            let s = stacked.slice_outer(i, i + 1);
+            prop_assert_eq!(s.as_slice(), t.as_slice());
+        }
+    }
+}

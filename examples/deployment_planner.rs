@@ -1,0 +1,82 @@
+//! Deployment planner: the paper's end-use scenario.
+//!
+//! Given an accuracy-loss budget (w.r.t. the 8A4W-quantized model), sweep
+//! the truncated-multiplier family, fine-tune each candidate with
+//! ApproxKD + GE, and report the highest-energy-saving multiplier that
+//! stays within budget — the "up to 38 % savings under 3 % loss" headline
+//! of the paper's abstract, as a tool.
+//!
+//! Run with:
+//! `cargo run --release --example deployment_planner -- 3.0`
+//! (accuracy-loss budget in percentage points; default 3.0)
+
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::catalog;
+use approxnn::nn::StepDecay;
+
+fn main() {
+    let budget_pp: f32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    let fp_cfg = StageConfig {
+        epochs: 12,
+        batch: 32,
+        lr: StepDecay::new(0.05, 6, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+    let ft_cfg = StageConfig {
+        epochs: 3,
+        batch: 32,
+        lr: StepDecay::new(5e-4, 2, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+
+    println!("accuracy-loss budget: {budget_pp:.1} pp w.r.t. the 8A4W model\n");
+    let mut env = ExperimentEnv::quick(1);
+    println!("preparing: FP training + 8A4W quantization stage ...");
+    env.train_fp(&fp_cfg);
+    let q = env.quantization_stage(&ft_cfg, true);
+    let reference = q.acc_after_ft;
+    println!("8A4W reference accuracy: {:.2} %\n", reference * 100.0);
+
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>9}",
+        "mult", "sav%", "final %", "loss pp", "verdict"
+    );
+    let mut best: Option<(&str, f32, f32)> = None;
+    for id in ["trunc1", "trunc2", "trunc3", "trunc4", "trunc5"] {
+        let spec = catalog::by_id(id).expect("catalogued");
+        // Paper heuristic: higher-MRE multipliers want higher T2.
+        let t2 = if spec.paper_mre_pct < 4.0 { 2.0 } else { 5.0 };
+        let r = env.approximation_stage(spec, Method::approx_kd_ge(t2), &ft_cfg);
+        let loss_pp = (reference - r.final_acc) * 100.0;
+        let ok = loss_pp <= budget_pp;
+        println!(
+            "{:>8} {:>6.0} {:>10.2} {:>+10.2} {:>9}",
+            id,
+            spec.paper_savings_pct,
+            r.final_acc * 100.0,
+            loss_pp,
+            if ok { "within" } else { "over" }
+        );
+        if ok && best.is_none_or(|(_, s, _)| spec.paper_savings_pct > s) {
+            best = Some((id, spec.paper_savings_pct, r.final_acc));
+        }
+    }
+
+    match best {
+        Some((id, savings, acc)) => println!(
+            "\nplan: deploy {id} — {savings:.0} % multiplier energy saving at \
+             {:.2} % accuracy ({:+.2} pp vs 8A4W)",
+            acc * 100.0,
+            (acc - reference) * 100.0
+        ),
+        None => println!("\nplan: no multiplier fits the budget; stay exact at 8A4W"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Multiplier explorer: characterize any behavioural 8×4 approximate
+//! multiplier — exhaustive MRE (eq. 14), bias class, error profile, energy
+//! estimate, and the Monte-Carlo gradient-estimation fit.
+//!
+//! Run with:
+//! `cargo run --release --example multiplier_explorer -- trunc5`
+//! `cargo run --release --example multiplier_explorer -- drum3`
+//! `cargo run --release --example multiplier_explorer -- mitchell`
+
+use approxnn::approxkd::ge::{fit_error_model, McConfig};
+use approxnn::axmul::stats::{error_profile, MulStats};
+use approxnn::axmul::{
+    catalog, energy, DrumMul, MitchellLogMul, Multiplier, ProductTruncMul, TruncatedMul,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(name: &str) -> Option<Box<dyn Multiplier>> {
+    if let Some(spec) = catalog::by_id(name) {
+        return Some(spec.build());
+    }
+    if let Some(t) = name.strip_prefix("ptrunc") {
+        return Some(Box::new(ProductTruncMul::new(t.parse().ok()?)));
+    }
+    if let Some(t) = name.strip_prefix("trunc") {
+        return Some(Box::new(TruncatedMul::new(t.parse().ok()?)));
+    }
+    if let Some(k) = name.strip_prefix("drum") {
+        return Some(Box::new(DrumMul::new(k.parse().ok()?)));
+    }
+    if name == "mitchell" {
+        return Some(Box::new(MitchellLogMul::new()));
+    }
+    None
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "trunc5".into());
+    let Some(m) = build(&name) else {
+        eprintln!("unknown multiplier '{name}'");
+        eprintln!("known: any catalogue id (trunc1..5, evo*), truncN, ptruncN, drumK, mitchell");
+        std::process::exit(1);
+    };
+
+    println!("== {} ==", m.name());
+    let s = MulStats::measure(m.as_ref());
+    println!("MRE (eq. 14, signed-code domain): {:.2} %", s.mre * 100.0);
+    println!(
+        "mean error {:.2}, mean |error| {:.2}, max |error| {}, RMSE {:.2}",
+        s.mean_error, s.mean_abs_error, s.max_abs_error, s.rmse
+    );
+    println!(
+        "bias class: {} (GE {} a slope to exploit)",
+        if s.is_biased() { "biased" } else { "unbiased" },
+        if s.is_biased() { "has" } else { "does not have" }
+    );
+
+    if let Some(t) = name.strip_prefix("trunc").and_then(|t| t.parse().ok()) {
+        println!(
+            "energy model (array-cell activity): {:.0} % savings",
+            energy::truncation_savings(t) * 100.0
+        );
+    } else if let Some(k) = name.strip_prefix("drum").and_then(|k| k.parse().ok()) {
+        println!(
+            "energy model (reduced core): {:.0} % savings",
+            energy::drum_savings(k) * 100.0
+        );
+    } else if let Some(spec) = catalog::by_id(&name) {
+        println!("published energy savings: {:.0} %", spec.paper_savings_pct);
+    }
+
+    println!("\nerror profile over exact product magnitude (8 bins):");
+    for (center, mean_err, count) in error_profile(m.as_ref(), 8) {
+        println!("  y ~ {center:>6.0}: mean eps {mean_err:>8.3}  ({count} products)");
+    }
+
+    println!("\nMonte-Carlo GE fit (50 simulated convolutions):");
+    let mut rng = StdRng::seed_from_u64(42);
+    let fit = fit_error_model(m.as_ref(), McConfig::default(), &mut rng);
+    println!(
+        "  f(y): slope {:.6}, constant fit: {}",
+        fit.model.slope(),
+        fit.is_constant()
+    );
+    if fit.is_constant() {
+        println!("  -> gradient estimation degenerates to the plain STE for this design");
+    } else {
+        println!("  -> gradient estimation scales upstream gradients by 1 + f'(y)");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the paper's full Algorithm 1 on a pocket-sized setup.
+//!
+//! Trains a small full-precision ResNet-20 on SynthCIFAR, quantizes it to
+//! 8A4W with stage-1 KD, approximates it with truncated multiplier 3, and
+//! recovers the lost accuracy with ApproxKD + gradient estimation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::catalog;
+use approxnn::nn::StepDecay;
+
+fn main() {
+    let fp_cfg = StageConfig {
+        epochs: 12,
+        batch: 32,
+        lr: StepDecay::new(0.05, 6, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+    let ft_cfg = StageConfig {
+        epochs: 3,
+        batch: 32,
+        lr: StepDecay::new(5e-4, 2, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+
+    println!("1. building a mini ResNet-20 + SynthCIFAR environment ...");
+    let mut env = ExperimentEnv::quick(1);
+
+    println!("2. training the full-precision teacher ...");
+    let fp = env.train_fp(&fp_cfg);
+    println!("   FP accuracy: {:.2} %", fp * 100.0);
+
+    println!("3. quantization stage: 8A4W + KD from the FP teacher (T1 = 1) ...");
+    let q = env.quantization_stage(&ft_cfg, true);
+    println!(
+        "   8A4W accuracy: {:.2} % before fine-tuning, {:.2} % after",
+        q.acc_before_ft * 100.0,
+        q.acc_after_ft * 100.0
+    );
+
+    let spec = catalog::by_id("trunc3").expect("trunc3 is in the catalogue");
+    println!("4. approximation stage: {} ({}):", spec, spec.id);
+
+    let normal = env.approximation_stage(spec, Method::Normal, &ft_cfg);
+    println!(
+        "   normal fine-tuning:  {:.2} % -> {:.2} %",
+        normal.initial_acc * 100.0,
+        normal.final_acc * 100.0
+    );
+
+    let kdge = env.approximation_stage(spec, Method::approx_kd_ge(2.0), &ft_cfg);
+    println!(
+        "   ApproxKD + GE:       {:.2} % -> {:.2} %",
+        kdge.initial_acc * 100.0,
+        kdge.final_acc * 100.0
+    );
+
+    println!(
+        "\nEnergy saving of {}: {:.0} % (paper's published value) at {:.2} % final accuracy.",
+        spec.id,
+        spec.paper_savings_pct,
+        kdge.final_acc * 100.0
+    );
+}

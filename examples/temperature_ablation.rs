@@ -1,0 +1,69 @@
+//! Temperature ablation (the paper's Table III experiment, one multiplier):
+//! fine-tune the approximate model with ApproxKD at several distillation
+//! temperatures and see how the best `T2` depends on the multiplier's MRE.
+//!
+//! Run with:
+//! `cargo run --release --example temperature_ablation -- trunc5`
+
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::catalog;
+use approxnn::axmul::stats::MulStats;
+use approxnn::nn::StepDecay;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "trunc5".into());
+    let Some(spec) = catalog::by_id(&id) else {
+        eprintln!("unknown catalogue multiplier '{id}'");
+        std::process::exit(1);
+    };
+    let stats = MulStats::measure(spec.build().as_ref());
+    println!(
+        "multiplier {} — MRE {:.1} %, published savings {:.0} %",
+        spec.id,
+        stats.mre * 100.0,
+        spec.paper_savings_pct
+    );
+
+    let fp_cfg = StageConfig {
+        epochs: 12,
+        batch: 32,
+        lr: StepDecay::new(0.05, 6, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+    let ft_cfg = StageConfig {
+        epochs: 3,
+        batch: 32,
+        lr: StepDecay::new(5e-4, 2, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+
+    let mut env = ExperimentEnv::quick(1);
+    println!("preparing teacher (FP training + quantization stage) ...");
+    env.train_fp(&fp_cfg);
+    env.quantization_stage(&ft_cfg, true);
+
+    println!("\n{:>6} {:>10} {:>10}", "T2", "initial %", "final %");
+    let mut best = (0.0f32, 0.0f32);
+    for t2 in [1.0f32, 2.0, 5.0, 10.0] {
+        let r = env.approximation_stage(spec, Method::approx_kd(t2), &ft_cfg);
+        println!(
+            "{:>6} {:>10.2} {:>10.2}",
+            t2,
+            r.initial_acc * 100.0,
+            r.final_acc * 100.0
+        );
+        if r.final_acc > best.1 {
+            best = (t2, r.final_acc);
+        }
+    }
+    println!(
+        "\nbest T2 = {} ({:.2} %). Paper's rule of thumb: high-MRE multipliers",
+        best.0,
+        best.1 * 100.0
+    );
+    println!("want high temperatures (softer teacher distributions), low-MRE want low.");
+}

@@ -1,0 +1,264 @@
+//! `axnn` — the ApproxNN command-line tool.
+//!
+//! ```text
+//! axnn characterize <multiplier>             multiplier MRE / bias / GE fit
+//! axnn pipeline [flags]                      run Algorithm 1 end to end
+//! axnn evaluate --checkpoint <file> [flags]  restore a checkpoint and evaluate
+//! axnn help                                  this text
+//! ```
+//!
+//! Pipeline flags (defaults in brackets):
+//!
+//! ```text
+//! --model <resnet20|resnet32|mobilenetv2|lenet>   [resnet20]
+//! --mult <catalogue id>                           [trunc5]
+//! --method <normal|alpha|ge|kd|kd_ge>             [kd_ge]
+//! --t2 <temperature>                              [5]
+//! --epochs <fine-tuning epochs per stage>         [3]
+//! --fp-epochs <FP training epochs>                [12]
+//! --seed <u64>                                    [1]
+//! --width <multiplier>                            [0.25]
+//! --hw <input resolution>                         [16]
+//! --train <samples> / --test <samples>            [320 / 160]
+//! --save <file.json>       save the fine-tuned student as a checkpoint
+//! ```
+
+use approxnn::approxkd::pipeline::ModelKind;
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::catalog;
+use approxnn::axmul::stats::MulStats;
+use approxnn::models::ModelConfig;
+use approxnn::nn::StepDecay;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{key}")),
+    }
+}
+
+fn model_kind(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "resnet20" => Ok(ModelKind::ResNet20),
+        "resnet32" => Ok(ModelKind::ResNet32),
+        "mobilenetv2" => Ok(ModelKind::MobileNetV2),
+        other => Err(format!(
+            "unknown model '{other}' (use resnet20|resnet32|mobilenetv2)"
+        )),
+    }
+}
+
+fn method(name: &str, t2: f32) -> Result<Method, String> {
+    match name {
+        "normal" => Ok(Method::Normal),
+        "alpha" => Ok(Method::alpha_default()),
+        "ge" => Ok(Method::Ge),
+        "kd" => Ok(Method::approx_kd(t2)),
+        "kd_ge" => Ok(Method::approx_kd_ge(t2)),
+        other => Err(format!(
+            "unknown method '{other}' (use normal|alpha|ge|kd|kd_ge)"
+        )),
+    }
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let id = args.first().ok_or("usage: axnn characterize <multiplier>")?;
+    let spec = catalog::by_id(id).ok_or_else(|| {
+        format!(
+            "unknown multiplier '{id}'; known: {}",
+            catalog::PAPER_MULTIPLIERS
+                .iter()
+                .map(|s| s.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let m = spec.build();
+    let s = MulStats::measure(m.as_ref());
+    println!("{spec}");
+    println!("measured MRE (eq. 14): {:.2} %", s.mre * 100.0);
+    println!(
+        "mean error {:.2}, mean |error| {:.2}, max |error| {}",
+        s.mean_error, s.mean_abs_error, s.max_abs_error
+    );
+    println!(
+        "bias class: {}",
+        if s.is_biased() { "biased (GE has a slope)" } else { "unbiased (GE == STE)" }
+    );
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let fit = approxnn::approxkd::fit_error_model(
+        m.as_ref(),
+        approxnn::approxkd::McConfig::default(),
+        &mut rng,
+    );
+    println!(
+        "GE fit: slope {:.6}, R^2 {:.3}, constant = {}",
+        fit.model.slope(),
+        fit.r_squared(),
+        fit.is_constant()
+    );
+    Ok(())
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let kind = model_kind(&get_parsed(&flags, "model", "resnet20".to_string())?)?;
+    let mult_id = get_parsed(&flags, "mult", "trunc5".to_string())?;
+    let spec = catalog::by_id(&mult_id).ok_or_else(|| format!("unknown multiplier '{mult_id}'"))?;
+    let t2: f32 = get_parsed(&flags, "t2", 5.0)?;
+    let method = method(&get_parsed(&flags, "method", "kd_ge".to_string())?, t2)?;
+    let seed: u64 = get_parsed(&flags, "seed", 1)?;
+    let epochs: usize = get_parsed(&flags, "epochs", 3)?;
+    let fp_epochs: usize = get_parsed(&flags, "fp-epochs", 12)?;
+    let width: f32 = get_parsed(&flags, "width", 0.25)?;
+    let hw: usize = get_parsed(&flags, "hw", 16)?;
+    let train: usize = get_parsed(&flags, "train", 320)?;
+    let test: usize = get_parsed(&flags, "test", 160)?;
+
+    let cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
+    let mut env = ExperimentEnv::new(kind, cfg, train, test, seed);
+    let fp_cfg = StageConfig {
+        epochs: fp_epochs,
+        batch: 32,
+        lr: StepDecay::new(0.05, (fp_epochs / 2).max(1), 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+    let ft_cfg = StageConfig {
+        epochs,
+        batch: 32,
+        lr: StepDecay::new(5e-4, (epochs / 2).max(1), 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+
+    eprintln!("training FP {} ...", kind.label());
+    let fp = env.train_fp(&fp_cfg);
+    eprintln!("FP accuracy: {:.2} %", fp * 100.0);
+    eprintln!("quantization stage (8A4W + KD, T1 = 1) ...");
+    let q = env.quantization_stage(&ft_cfg, true);
+    eprintln!(
+        "8A4W: {:.2} % -> {:.2} %",
+        q.acc_before_ft * 100.0,
+        q.acc_after_ft * 100.0
+    );
+    eprintln!("approximation stage: {} with {} ...", spec.id, method.label());
+    let r = env.approximation_stage(spec, method, &ft_cfg);
+    println!(
+        "{}: initial {:.2} % -> final {:.2} % ({} epochs, {:.1} s)",
+        r.method,
+        r.initial_acc * 100.0,
+        r.final_acc * 100.0,
+        epochs,
+        r.seconds
+    );
+    println!(
+        "published multiplier energy saving: {:.0} %",
+        spec.paper_savings_pct
+    );
+
+    if let Some(path) = flags.get("save") {
+        // Re-run the winning configuration's final student is not kept by
+        // the env API; capture the quantized teacher instead, which is the
+        // deployable intermediate.
+        let ckpt = approxnn::nn::Checkpoint::capture(&mut env.quantized_copy());
+        let json = serde_json::to_string(&ckpt).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("saved quantized-model checkpoint to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = flags
+        .get("checkpoint")
+        .ok_or("usage: axnn evaluate --checkpoint <file> [--model ...]")?;
+    let kind = model_kind(&get_parsed(&flags, "model", "resnet20".to_string())?)?;
+    let seed: u64 = get_parsed(&flags, "seed", 1)?;
+    let width: f32 = get_parsed(&flags, "width", 0.25)?;
+    let hw: usize = get_parsed(&flags, "hw", 16)?;
+    let test: usize = get_parsed(&flags, "test", 160)?;
+
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let ckpt: approxnn::nn::Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+
+    // The pipeline saves the BN-folded quantized model for the ResNets.
+    let mut cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
+    if kind.folds_bn() {
+        cfg.batch_norm = false;
+    }
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead);
+    let mut net = match kind {
+        ModelKind::ResNet20 => approxnn::models::resnet20(&cfg, &mut rng),
+        ModelKind::ResNet32 => approxnn::models::resnet32(&cfg, &mut rng),
+        ModelKind::MobileNetV2 => approxnn::models::mobilenet_v2(&cfg, &mut rng),
+    };
+    ckpt.restore(&mut net).map_err(|e| e.to_string())?;
+
+    let (_, test_data) = approxnn::data::SynthCifar::new(hw).generate(0, test, seed);
+    let acc = approxnn::nn::train::evaluate(&mut net, &test_data, 32);
+    println!("checkpoint accuracy on SynthCIFAR(seed {seed}): {:.2} %", acc * 100.0);
+    Ok(())
+}
+
+fn usage() {
+    println!("axnn — approximate-CNN optimization (DATE 2021 reproduction)");
+    println!();
+    println!("commands:");
+    println!("  characterize <multiplier>   MRE / bias / GE fit of a catalogue multiplier");
+    println!("  pipeline [--flags]          run FP training + 8A4W + approximation");
+    println!("  evaluate --checkpoint <f>   restore a checkpoint and evaluate");
+    println!("  help                        this text");
+    println!();
+    println!("see `src/bin/axnn.rs` docs for the full flag list");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("pipeline") => cmd_pipeline(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("help") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # approxnn
+//!
+//! Facade crate for the ApproxNN workspace — a Rust reproduction of
+//! *"Knowledge Distillation and Gradient Estimation for Active Error
+//! Compensation in Approximate Neural Networks"* (De la Parra, Wu, Guntoro,
+//! Kumar — DATE 2021).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `axnn-tensor` | dense tensors, GEMM, im2col |
+//! | [`nn`] | `axnn-nn` | layers, SGD, losses, training loop |
+//! | [`quant`] | `axnn-quant` | 8A4W symmetric quantization, MinPropQE |
+//! | [`axmul`] | `axnn-axmul` | behavioural 8×4 approximate multipliers |
+//! | [`proxsim`] | `axnn-proxsim` | approximate GEMM execution engine |
+//! | [`models`] | `axnn-models` | ResNet-20/32, MobileNetV2 builders |
+//! | [`data`] | `axnn-data` | SynthCIFAR dataset generator |
+//! | [`approxkd`] | `approxkd` | ApproxKD + gradient estimation (the paper)|
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+//! use approxnn::axmul::catalog;
+//!
+//! let mut env = ExperimentEnv::quick(0);
+//! env.train_fp(&StageConfig::quick().with_epochs(10));
+//! env.quantization_stage(&StageConfig::quick(), true);
+//! let spec = catalog::by_id("trunc5").expect("in catalogue");
+//! let result = env.approximation_stage(spec, Method::approx_kd_ge(5.0), &StageConfig::quick());
+//! println!("{} -> {:.1} %", result.method, result.final_acc * 100.0);
+//! ```
+
+pub use approxkd;
+pub use axnn_axmul as axmul;
+pub use axnn_data as data;
+pub use axnn_models as models;
+pub use axnn_nn as nn;
+pub use axnn_proxsim as proxsim;
+pub use axnn_quant as quant;
+pub use axnn_tensor as tensor;

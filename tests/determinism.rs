@@ -1,0 +1,72 @@
+//! Determinism guarantees: every experiment is reproducible from its seed.
+
+use approxnn::approxkd::ge::{fit_error_model, McConfig};
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::{catalog, EvoLikeMul, TruncatedMul};
+use approxnn::data::SynthCifar;
+use approxnn::models::ModelConfig;
+use approxnn::nn::StepDecay;
+use approxnn::proxsim::SignedLut;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dataset_generation_is_seed_deterministic() {
+    let gen = SynthCifar::new(12);
+    let (a_train, a_test) = gen.generate(50, 20, 99);
+    let (b_train, b_test) = gen.generate(50, 20, 99);
+    assert_eq!(a_train.inputs.as_slice(), b_train.inputs.as_slice());
+    assert_eq!(a_train.labels, b_train.labels);
+    assert_eq!(a_test.inputs.as_slice(), b_test.inputs.as_slice());
+
+    let (c_train, _) = gen.generate(50, 20, 100);
+    assert_ne!(a_train.inputs.as_slice(), c_train.inputs.as_slice());
+}
+
+#[test]
+fn luts_and_fits_are_deterministic() {
+    let evo = EvoLikeMul::calibrated(104, 0.192);
+    assert_eq!(SignedLut::build(&evo), SignedLut::build(&evo));
+
+    let a = fit_error_model(
+        &TruncatedMul::new(5),
+        McConfig::default(),
+        &mut StdRng::seed_from_u64(5),
+    );
+    let b = fit_error_model(
+        &TruncatedMul::new(5),
+        McConfig::default(),
+        &mut StdRng::seed_from_u64(5),
+    );
+    assert_eq!(a.model, b.model);
+}
+
+#[test]
+fn full_pipeline_is_seed_deterministic() {
+    let run = || {
+        let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+        let mut env = ExperimentEnv::new(
+            approxnn::approxkd::pipeline::ModelKind::ResNet20,
+            cfg,
+            80,
+            40,
+            11,
+        );
+        let stage = StageConfig {
+            epochs: 2,
+            batch: 16,
+            lr: StepDecay::new(5e-3, 2, 0.5),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        };
+        let fp = env.train_fp(&stage);
+        let q = env.quantization_stage(&stage, true);
+        let spec = catalog::by_id("trunc4").expect("catalogued");
+        let r = env.approximation_stage(spec, Method::approx_kd_ge(5.0), &stage);
+        (fp, q.acc_before_ft, q.acc_after_ft, r.initial_acc, r.final_acc)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must give identical pipelines");
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration tests: the full Algorithm-1 pipeline across all
+//! workspace crates at tiny scale.
+
+use approxnn::approxkd::pipeline::ModelKind;
+use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
+use approxnn::axmul::catalog;
+use approxnn::models::ModelConfig;
+use approxnn::nn::StepDecay;
+
+fn fp_cfg() -> StageConfig {
+    StageConfig {
+        epochs: 12,
+        batch: 16,
+        lr: StepDecay::new(0.05, 6, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    }
+}
+
+fn ft_cfg() -> StageConfig {
+    StageConfig {
+        epochs: 2,
+        batch: 16,
+        lr: StepDecay::new(2e-3, 2, 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    }
+}
+
+fn tiny_env(kind: ModelKind, seed: u64) -> ExperimentEnv {
+    let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+    ExperimentEnv::new(kind, cfg, 120, 60, seed)
+}
+
+#[test]
+fn resnet_pipeline_learns_quantizes_and_recovers() {
+    let mut env = tiny_env(ModelKind::ResNet20, 3);
+    let fp = env.train_fp(&fp_cfg());
+    assert!(fp > 0.4, "FP training failed: {fp}");
+
+    let q = env.quantization_stage(&ft_cfg(), true);
+    // 8A4W costs accuracy before fine-tuning but stays above chance;
+    // fine-tuning recovers most of the drop (Table II shape).
+    assert!(q.acc_before_ft > 0.15, "8A4W collapsed: {}", q.acc_before_ft);
+    assert!(
+        q.acc_after_ft > q.acc_before_ft - 0.05,
+        "stage-1 FT regressed: {} -> {}",
+        q.acc_before_ft,
+        q.acc_after_ft
+    );
+
+    // A harsh multiplier degrades the quantized model; fine-tuning recovers.
+    let spec = catalog::by_id("trunc4").expect("catalogued");
+    let r = env.approximation_stage(spec, Method::approx_kd_ge(5.0), &ft_cfg());
+    assert!(r.final_acc >= r.initial_acc - 0.05, "{r:?}");
+    assert!(r.final_acc <= 1.0 && r.initial_acc >= 0.0);
+}
+
+#[test]
+fn evo249_cannot_be_recovered() {
+    // Paper §IV-B: at 48.8 % MRE the network only performs random guessing,
+    // no matter the fine-tuning method.
+    let mut env = tiny_env(ModelKind::ResNet20, 4);
+    env.train_fp(&fp_cfg());
+    env.quantization_stage(&ft_cfg(), true);
+    let spec = catalog::by_id("evo249").expect("catalogued");
+    for method in [Method::Normal, Method::approx_kd_ge(10.0)] {
+        let r = env.approximation_stage(spec, method, &ft_cfg());
+        assert!(
+            r.final_acc < 0.45,
+            "evo249 should stay near chance, got {}",
+            r.final_acc
+        );
+    }
+}
+
+#[test]
+fn ge_equals_plain_ste_for_unbiased_multipliers() {
+    // Paper §IV-B: the EvoApprox error fits a constant, so GE and normal
+    // fine-tuning follow identical trajectories (same seeds, same updates).
+    let mut env = tiny_env(ModelKind::ResNet20, 5);
+    env.train_fp(&fp_cfg());
+    env.quantization_stage(&ft_cfg(), true);
+    let spec = catalog::by_id("evo228").expect("catalogued");
+    let normal = env.approximation_stage(spec, Method::Normal, &ft_cfg());
+    let ge = env.approximation_stage(spec, Method::Ge, &ft_cfg());
+    assert_eq!(
+        normal.initial_acc, ge.initial_acc,
+        "same deterministic setup"
+    );
+    assert!(
+        (normal.final_acc - ge.final_acc).abs() < 1e-6,
+        "GE must equal Normal for unbiased multipliers: {} vs {}",
+        normal.final_acc,
+        ge.final_acc
+    );
+}
+
+#[test]
+fn mobilenet_pipeline_runs_with_kept_bn() {
+    let cfg = ModelConfig::mini().with_width(0.25).with_input_hw(8);
+    let mut env = ExperimentEnv::new(ModelKind::MobileNetV2, cfg, 160, 60, 6);
+    let mut mb_fp = fp_cfg();
+    mb_fp.epochs = 20; // the deep inverted-residual stack needs more steps
+    let fp = env.train_fp(&mb_fp);
+    assert!(fp > 0.3, "MobileNetV2 FP training collapsed: {fp}");
+    let q = env.quantization_stage(&ft_cfg(), true);
+    assert!(q.acc_after_ft >= 0.0 && q.acc_after_ft <= 1.0);
+    let spec = catalog::by_id("trunc3").expect("catalogued");
+    let r = env.approximation_stage(spec, Method::approx_kd_ge(6.0), &ft_cfg());
+    assert!(r.final_acc >= 0.0 && r.final_acc <= 1.0);
+}
+
+#[test]
+fn resnet32_pipeline_runs() {
+    let mut env = tiny_env(ModelKind::ResNet32, 7);
+    let fp = env.train_fp(&fp_cfg());
+    assert!(fp > 0.3, "ResNet-32 FP training failed: {fp}");
+    env.quantization_stage(&ft_cfg(), true);
+    let spec = catalog::by_id("trunc3").expect("catalogued");
+    let r = env.approximation_stage(spec, Method::approx_kd(2.0), &ft_cfg());
+    assert!(r.final_acc > 0.1, "{r:?}");
+}

@@ -1,0 +1,141 @@
+//! Cross-crate consistency of the three execution engines: exact,
+//! quantized (8A4W) and approximate (LUT-served).
+
+use approxnn::axmul::{ExactMul, TruncatedMul};
+use approxnn::nn::{
+    ActivationKind, ConvBlock, ExecutorKind, Flatten, GlobalAvgPool, Layer, Linear, Mode,
+    Sequential,
+};
+use approxnn::proxsim::approximate_network;
+use approxnn::quant::{quantize_network, QuantSpec};
+use approxnn::tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn convnet(rng: &mut StdRng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(ConvBlock::new(3, 6, 3, 1, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(ConvBlock::new(6, 12, 3, 2, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(12, 10, true, rng)),
+    ])
+}
+
+fn logits(net: &mut Sequential, x: &Tensor) -> Tensor {
+    net.forward(x, Mode::Eval)
+}
+
+#[test]
+fn approximate_with_exact_multiplier_equals_quantized() {
+    let mut rng = StdRng::seed_from_u64(40);
+    let mut quant_net = convnet(&mut rng);
+    let mut rng2 = StdRng::seed_from_u64(40);
+    let mut approx_net = convnet(&mut rng2);
+
+    quantize_network(
+        &mut quant_net,
+        QuantSpec::activations_8bit(),
+        QuantSpec::weights_4bit(),
+    );
+    approximate_network(&mut approx_net, &ExactMul, None);
+
+    let x = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let a = logits(&mut quant_net, &x);
+    let b = logits(&mut approx_net, &x);
+    for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((p - q).abs() < 1e-3, "{p} vs {q}");
+    }
+}
+
+#[test]
+fn quantized_network_is_close_to_fp_network() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut net = convnet(&mut rng);
+    let x = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let fp = logits(&mut net, &x);
+    quantize_network(
+        &mut net,
+        QuantSpec::activations_8bit(),
+        QuantSpec::weights_4bit(),
+    );
+    let q = logits(&mut net, &x);
+    // 4-bit weights are coarse; demand ballpark agreement, not equality.
+    let rel = (&q - &fp).sq_norm().sqrt() / fp.sq_norm().sqrt().max(1e-6);
+    assert!(rel < 0.5, "relative logit deviation {rel}");
+}
+
+#[test]
+fn executor_swaps_preserve_parameters_and_report_kind() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut net = convnet(&mut rng);
+    let params_before = net.param_count();
+
+    let mut kinds = Vec::new();
+    net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
+    assert!(kinds.iter().all(|&k| k == ExecutorKind::Exact));
+
+    quantize_network(
+        &mut net,
+        QuantSpec::activations_8bit(),
+        QuantSpec::weights_4bit(),
+    );
+    assert_eq!(net.param_count(), params_before);
+
+    approximate_network(&mut net, &TruncatedMul::new(4), None);
+    let mut kinds = Vec::new();
+    net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
+    assert!(kinds.iter().all(|&k| k == ExecutorKind::Approximate));
+    assert_eq!(net.param_count(), params_before);
+}
+
+#[test]
+fn approximate_backward_trains_without_nans() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut net = convnet(&mut rng);
+    approximate_network(&mut net, &TruncatedMul::new(5), None);
+    let x = init::uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let mut opt = approxnn::nn::Sgd::new(1e-3).momentum(0.9);
+    for _ in 0..5 {
+        net.zero_grad();
+        let y = net.forward(&x, Mode::Train);
+        let (_, d) = approxnn::nn::loss::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        net.backward(&d);
+        opt.step(&mut net);
+    }
+    let mut finite = true;
+    net.visit_params(&mut |p| finite &= p.value.as_slice().iter().all(|v| v.is_finite()));
+    assert!(finite, "weights must stay finite under approximate training");
+}
+
+#[test]
+fn depthwise_conv_works_under_all_executors() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let build = |rng: &mut StdRng| {
+        Sequential::new(vec![
+            Box::new(ConvBlock::new(4, 4, 3, 1, 1, 4, false, ActivationKind::Relu6, rng))
+                as Box<dyn Layer>,
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+        ])
+    };
+    let x = init::uniform(&[1, 4, 6, 6], -1.0, 1.0, &mut rng);
+    let mut fp = build(&mut StdRng::seed_from_u64(99));
+    let y_fp = fp.forward(&x, Mode::Eval);
+
+    let mut qn = build(&mut StdRng::seed_from_u64(99));
+    quantize_network(
+        &mut qn,
+        QuantSpec::activations_8bit(),
+        QuantSpec::activations_8bit(),
+    );
+    let y_q = qn.forward(&x, Mode::Eval);
+    for (a, b) in y_fp.as_slice().iter().zip(y_q.as_slice()) {
+        assert!((a - b).abs() < 0.05, "8-bit depthwise deviates: {a} vs {b}");
+    }
+
+    let mut an = build(&mut StdRng::seed_from_u64(99));
+    approximate_network(&mut an, &ExactMul, None);
+    let y_a = an.forward(&x, Mode::Eval);
+    assert_eq!(y_a.shape(), y_fp.shape());
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property-based tests on the reproduction's core invariants.
+
+use approxnn::approxkd::soft_cross_entropy;
+use approxnn::axmul::{Multiplier, TruncatedMul, MAX_W_CODE, MAX_X_CODE};
+use approxnn::proxsim::{approx_matmul, PiecewiseLinearError, SignedLut};
+use approxnn::quant::{QuantSpec, Quantizer};
+use approxnn::tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Symmetric quantization: |x - deq(q(x))| <= step/2 inside the range,
+    /// and codes never exceed qmax.
+    #[test]
+    fn quantizer_error_bound(step_exp in -6i32..3, x in -200.0f32..200.0) {
+        let step = 2f32.powi(step_exp);
+        let spec = QuantSpec::activations_8bit();
+        let q = Quantizer::with_step(step, spec);
+        let code = q.quantize_code(x);
+        prop_assert!(code.abs() <= spec.qmax());
+        let clip = spec.qmax() as f32 * step;
+        if x.abs() <= clip {
+            prop_assert!((q.fake_quant(x) - x).abs() <= step / 2.0 + 1e-6);
+        } else {
+            prop_assert_eq!(code.abs(), spec.qmax());
+        }
+    }
+
+    /// The approximate GEMM with the exact multiplier equals the integer
+    /// reference product for arbitrary code matrices.
+    #[test]
+    fn approx_gemm_exact_reference(
+        seed in 0u64..500,
+        oc in 1usize..4,
+        k in 1usize..6,
+        m in 1usize..4,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<i32> = (0..oc * k).map(|_| rng.gen_range(-7..=7)).collect();
+        let x: Vec<i32> = (0..k * m).map(|_| rng.gen_range(-127..=127)).collect();
+        let lut = SignedLut::build(&approxnn::axmul::ExactMul);
+        let y = approx_matmul(&w, &x, oc, k, m, &lut, 1.0);
+        for i in 0..oc {
+            for j in 0..m {
+                let want: i64 = (0..k).map(|kk| (w[i * k + kk] * x[kk * m + j]) as i64).sum();
+                prop_assert_eq!(y.at(&[i, j]) as i64, want);
+            }
+        }
+    }
+
+    /// Truncated-multiplier GEMM never exceeds the exact GEMM in magnitude
+    /// elementwise... in the all-positive-operand regime where errors
+    /// cannot cancel.
+    #[test]
+    fn truncated_gemm_one_sided_on_positive_codes(
+        seed in 0u64..200,
+        t in 1u32..6,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (oc, k, m) = (2usize, 5usize, 3usize);
+        let w: Vec<i32> = (0..oc * k).map(|_| rng.gen_range(0..=7)).collect();
+        let x: Vec<i32> = (0..k * m).map(|_| rng.gen_range(0..=127)).collect();
+        let approx = SignedLut::build(&TruncatedMul::new(t));
+        let exact = SignedLut::build(&approxnn::axmul::ExactMul);
+        let ya = approx_matmul(&w, &x, oc, k, m, &approx, 1.0);
+        let ye = approx_matmul(&w, &x, oc, k, m, &exact, 1.0);
+        for (a, e) in ya.as_slice().iter().zip(ye.as_slice()) {
+            prop_assert!(a <= e, "{} > {}", a, e);
+        }
+    }
+
+    /// The piecewise-linear error model's value always lies inside its
+    /// plateaus, and the derivative is zero exactly on them.
+    #[test]
+    fn error_model_clamps(
+        slope in -0.5f32..0.5,
+        intercept in -10.0f32..10.0,
+        span in 0.1f32..50.0,
+        y in -1e4f32..1e4,
+    ) {
+        let lo = intercept - span;
+        let hi = intercept + span;
+        let f = PiecewiseLinearError::new(slope, intercept, lo, hi);
+        let v = f.value(y);
+        prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        let d = f.derivative(y);
+        prop_assert!(d == 0.0 || d == slope);
+        let lin = slope * y + intercept;
+        if lin <= lo || lin >= hi {
+            prop_assert_eq!(d, 0.0);
+        }
+    }
+
+    /// KD soft loss is minimized (zero gradient) when student == teacher,
+    /// for any temperature.
+    #[test]
+    fn kd_loss_zero_grad_at_match(seed in 0u64..300, t in 1u32..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = init::uniform(&[3, 5], -3.0, 3.0, &mut rng);
+        let (_, d) = soft_cross_entropy(&logits, &logits, t as f32);
+        prop_assert!(d.abs_max() < 1e-5);
+    }
+
+    /// Signed sign-magnitude products: g̃(-x, w) == -g̃(x, w) for every
+    /// multiplier (the sign is handled outside the magnitude model).
+    #[test]
+    fn multiplier_sign_antisymmetry(x in 0i32..=127, w in 0i32..=7, t in 0u32..6) {
+        let m = TruncatedMul::new(t);
+        prop_assert_eq!(m.mul_signed(-x, w), -m.mul_signed(x, w));
+        prop_assert_eq!(m.mul_signed(x, -w), -m.mul_signed(x, w));
+        prop_assert_eq!(m.mul_signed(-x, -w), m.mul_signed(x, w));
+    }
+}
+
+#[test]
+fn code_domain_constants_match_quant_specs() {
+    assert_eq!(MAX_X_CODE as i32, QuantSpec::activations_8bit().qmax());
+    assert_eq!(MAX_W_CODE as i32, QuantSpec::weights_4bit().qmax());
+}
+
+#[test]
+fn kd_gradient_matches_finite_difference_integration() {
+    // A cross-crate version of the unit check: logits from an actual
+    // network, not synthetic tensors.
+    use approxnn::nn::{Layer, Linear, Mode};
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut fc = Linear::new(4, 3, true, &mut rng);
+    let x = init::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+    let teacher = init::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+    let mut logits = fc.forward(&x, Mode::Eval);
+    let (_, d) = soft_cross_entropy(&logits, &teacher, 5.0);
+    let eps = 1e-2;
+    for idx in 0..logits.len() {
+        let orig = logits.as_slice()[idx];
+        logits.as_mut_slice()[idx] = orig + eps;
+        let (lp, _) = soft_cross_entropy(&logits, &teacher, 5.0);
+        logits.as_mut_slice()[idx] = orig - eps;
+        let (lm, _) = soft_cross_entropy(&logits, &teacher, 5.0);
+        logits.as_mut_slice()[idx] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - d.as_slice()[idx]).abs() < 1e-2,
+            "idx {idx}: {numeric} vs {}",
+            d.as_slice()[idx]
+        );
+    }
+    let _ = Tensor::zeros(&[1]);
+}
