@@ -1,16 +1,18 @@
 //! Micro-benchmarks of the execution engines: exact f32 GEMM, quantized
 //! GEMM, and LUT-served approximate GEMM (the ProxSim trick), plus LUT
-//! construction cost and the LUT-vs-direct multiplier evaluation ablation.
+//! construction cost, the LUT-vs-direct multiplier evaluation ablation,
+//! and the thread-scaling sweep behind `results/BENCH_gemm.json`.
 
 use axnn_axmul::{ExactMul, Multiplier, TruncatedMul};
 use axnn_nn::{ExactExecutor, LayerExecutor, Mode};
 use axnn_proxsim::{approx_matmul, SignedLut};
 use axnn_quant::QuantExecutor;
-use axnn_tensor::{gemm, init};
+use axnn_tensor::{gemm, init, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
 
 const OC: usize = 32;
 const K: usize = 144; // 16 channels x 3x3 kernel
@@ -108,5 +110,153 @@ fn bench_lut(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_lut);
+/// Side of the square GEMM used for the thread-scaling sweep.
+const SWEEP: usize = 256;
+/// Thread counts swept (the deterministic row partition makes results
+/// bit-identical across all of them).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Thread-scaling sweep of the blocked exact and approximate GEMMs against
+/// their single-thread naive reference kernels. Besides registering the
+/// criterion benchmarks, this writes `results/BENCH_gemm.json` from its own
+/// min-of-N wall-clock measurements so the perf trajectory is captured in a
+/// machine-readable artifact.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = init::uniform(&[SWEEP, SWEEP], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[SWEEP, SWEEP], -1.0, 1.0, &mut rng);
+    let w_codes: Vec<i32> = (0..SWEEP * SWEEP).map(|_| rng.gen_range(-7..=7)).collect();
+    let x_codes: Vec<i32> = (0..SWEEP * SWEEP).map(|_| rng.gen_range(-127..=127)).collect();
+    let lut = SignedLut::build(&TruncatedMul::new(5));
+
+    let mut group = c.benchmark_group("gemm_threads");
+    group.sample_size(10);
+
+    group.bench_function("exact_256_reference", |bch| {
+        bch.iter(|| black_box(gemm::reference::matmul(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("approx_256_reference", |bch| {
+        bch.iter(|| {
+            black_box(axnn_proxsim::gemm::reference::approx_matmul(
+                black_box(&w_codes),
+                black_box(&x_codes),
+                SWEEP,
+                SWEEP,
+                SWEEP,
+                &lut,
+                1.0,
+            ))
+        })
+    });
+    for &t in &THREADS {
+        axnn_par::set_threads(t);
+        let name = format!("exact_256_t{t}");
+        group.bench_function(name.as_str(), |bch| {
+            bch.iter(|| black_box(gemm::matmul(black_box(&a), black_box(&b))))
+        });
+        let name = format!("approx_256_t{t}");
+        group.bench_function(name.as_str(), |bch| {
+            bch.iter(|| {
+                black_box(approx_matmul(
+                    black_box(&w_codes),
+                    black_box(&x_codes),
+                    SWEEP,
+                    SWEEP,
+                    SWEEP,
+                    &lut,
+                    1.0,
+                ))
+            })
+        });
+    }
+    group.finish();
+    axnn_par::set_threads(0); // restore the AXNN_THREADS / core-count default
+
+    write_gemm_report(&a, &b, &w_codes, &x_codes, &lut);
+}
+
+/// One timed run, in milliseconds.
+fn time_once_ms<F: FnMut()>(f: &mut F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures the sweep with plain `Instant` timing and hand-writes
+/// `results/BENCH_gemm.json` (no serde needed for a flat report). All
+/// configurations of a kernel are timed *interleaved*, taking per-config
+/// minima across rounds, so slow drift on a shared host (frequency scaling,
+/// co-tenants) hits every configuration equally instead of skewing ratios.
+fn write_gemm_report(a: &Tensor, b: &Tensor, w_codes: &[i32], x_codes: &[i32], lut: &SignedLut) {
+    const REPS: usize = 9;
+    let mut exact_ref = f64::INFINITY;
+    let mut approx_ref = f64::INFINITY;
+    let mut exact_ms = vec![f64::INFINITY; THREADS.len()];
+    let mut approx_ms = vec![f64::INFINITY; THREADS.len()];
+    for _ in 0..REPS {
+        exact_ref = exact_ref.min(time_once_ms(&mut || {
+            black_box(gemm::reference::matmul(black_box(a), black_box(b)));
+        }));
+        approx_ref = approx_ref.min(time_once_ms(&mut || {
+            black_box(axnn_proxsim::gemm::reference::approx_matmul(
+                black_box(w_codes),
+                black_box(x_codes),
+                SWEEP,
+                SWEEP,
+                SWEEP,
+                lut,
+                1.0,
+            ));
+        }));
+        for (ti, &t) in THREADS.iter().enumerate() {
+            axnn_par::set_threads(t);
+            exact_ms[ti] = exact_ms[ti].min(time_once_ms(&mut || {
+                black_box(gemm::matmul(black_box(a), black_box(b)));
+            }));
+            approx_ms[ti] = approx_ms[ti].min(time_once_ms(&mut || {
+                black_box(approx_matmul(
+                    black_box(w_codes),
+                    black_box(x_codes),
+                    SWEEP,
+                    SWEEP,
+                    SWEEP,
+                    lut,
+                    1.0,
+                ));
+            }));
+        }
+        axnn_par::set_threads(0);
+    }
+
+    let row = |name: &str, reference: f64, ms: &[f64]| {
+        let threads: Vec<String> = THREADS
+            .iter()
+            .zip(ms)
+            .map(|(&t, &m)| {
+                format!(
+                    "{{\"threads\": {t}, \"ms\": {m:.3}, \"speedup_vs_reference\": {:.2}}}",
+                    reference / m
+                )
+            })
+            .collect();
+        format!(
+            "    {{\n      \"kernel\": \"{name}\",\n      \"reference_ms\": {reference:.3},\n      \"by_threads\": [{}]\n    }}",
+            threads.join(", ")
+        )
+    };
+    let report = format!(
+        "{{\n  \"bench\": \"gemm_{s}x{s}x{s}\",\n  \"timing\": \"min of {REPS} interleaved repetitions, release build, milliseconds\",\n  \"baseline\": \"reference_ms is the serial naive kernel (gemm::reference / proxsim::gemm::reference), i.e. the single-thread baseline\",\n  \"note\": \"row-partitioned outputs make every configuration bit-identical; on a single-core host the thread rows coincide and the speedup comes from the blocked kernels\",\n  \"kernels\": [\n{},\n{}\n  ]\n}}\n",
+        row("exact_matmul", exact_ref, &exact_ms),
+        row("approx_matmul", approx_ref, &approx_ms),
+        s = SWEEP,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_gemm.json");
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_engines, bench_lut, bench_thread_scaling);
 criterion_main!(benches);

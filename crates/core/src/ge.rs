@@ -16,7 +16,7 @@
 use axnn_axmul::Multiplier;
 use axnn_proxsim::{PiecewiseLinearError, SignedLut};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Result of a Monte-Carlo error fit: the model plus the raw samples
 /// (what the paper plots in Figs. 2–3).
@@ -119,6 +119,11 @@ impl Default for McConfig {
 /// distributions with σ at one third of the symmetric code range
 /// (so ±3σ spans the range), clamped to `[−7, 7]` / `[−127, 127]`.
 ///
+/// Simulations execute in parallel (see `axnn_par`): each draws its codes
+/// from an independent generator seeded from the caller's `rng`, so the
+/// result is a pure function of the caller's seed and identical for any
+/// thread count.
+///
 /// ```
 /// use approxkd::ge::{fit_error_model, McConfig};
 /// use axnn_axmul::TruncatedMul;
@@ -136,7 +141,13 @@ pub fn fit_error_model(
 ) -> ErrorFit {
     assert!(cfg.sims > 0 && cfg.depth > 0 && cfg.cols > 0 && cfg.rows > 0);
     let lut = SignedLut::build(multiplier);
-    let mut samples = Vec::with_capacity(cfg.sims * cfg.rows * cfg.cols);
+
+    // One independent generator per simulation, seeded sequentially from the
+    // caller's stream: simulations then run in parallel, while the pooled
+    // samples depend only on the caller's seed — never on the thread count.
+    let seeds: Vec<u64> = (0..cfg.sims).map(|_| rng.gen::<u64>()).collect();
+    let per_sim = cfg.rows * cfg.cols;
+    let mut samples = vec![(0.0f32, 0.0f32); cfg.sims * per_sim];
 
     let draw = |rng: &mut StdRng, sigma: f32, max: i32| -> i32 {
         // Box–Muller normal, clamped to the symmetric code range.
@@ -146,7 +157,8 @@ pub fn fit_error_model(
         ((z * sigma).round() as i32).clamp(-max, max)
     };
 
-    for _ in 0..cfg.sims {
+    axnn_par::par_chunks_mut(&mut samples, per_sim, |sim, out| {
+        let rng = &mut StdRng::seed_from_u64(seeds[sim]);
         // One simulated convolution as a lowered GEMM.
         let w: Vec<i32> = (0..cfg.rows * cfg.depth)
             .map(|_| draw(rng, 7.0 / 3.0, 7))
@@ -164,10 +176,10 @@ pub fn fit_error_model(
                     exact += (wv * xv) as i64;
                     approx += lut.get(xv, wv);
                 }
-                samples.push((exact as f32, (approx - exact) as f32));
+                out[i * cfg.cols + j] = (exact as f32, (approx - exact) as f32);
             }
         }
-    }
+    });
 
     let model = fit_piecewise(&samples);
     ErrorFit {
@@ -321,6 +333,20 @@ mod tests {
         let b = fit_error_model(&TruncatedMul::new(5), cfg, &mut StdRng::seed_from_u64(9));
         assert_eq!(a.model, b.model);
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
+        let cfg = McConfig::default();
+        axnn_par::set_threads(1);
+        let a = fit_error_model(&TruncatedMul::new(5), cfg, &mut StdRng::seed_from_u64(9));
+        for threads in [2, 7] {
+            axnn_par::set_threads(threads);
+            let b = fit_error_model(&TruncatedMul::new(5), cfg, &mut StdRng::seed_from_u64(9));
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.model, b.model);
+        }
+        axnn_par::set_threads(1);
     }
 
     #[test]

@@ -57,15 +57,25 @@ impl ConfusionMatrix {
         let (n, c) = (logits.shape()[0], logits.shape()[1]);
         assert_eq!(c, self.classes, "class count mismatch");
         assert_eq!(labels.len(), n, "label count mismatch");
-        for (i, &label) in labels.iter().enumerate() {
-            assert!(label < c, "label {label} out of range");
-            let row = &logits.as_slice()[i * c..(i + 1) * c];
+        if n == 0 {
+            return;
+        }
+        // Row argmaxes are independent — compute them batch-parallel, then
+        // fold the (integer, order-insensitive) counts serially.
+        let mut preds = vec![0usize; n];
+        let data = logits.as_slice();
+        axnn_par::par_chunks_mut(&mut preds, 1, |i, slot| {
+            let row = &data[i * c..(i + 1) * c];
             let mut pred = 0;
             for (j, &v) in row.iter().enumerate() {
                 if v > row[pred] {
                     pred = j;
                 }
             }
+            slot[0] = pred;
+        });
+        for (&label, &pred) in labels.iter().zip(&preds) {
+            assert!(label < c, "label {label} out of range");
             self.counts[label * c + pred] += 1;
         }
     }
@@ -139,10 +149,16 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
         return 0.0;
     }
     let k = k.min(c);
-    let mut correct = 0usize;
-    for (i, &label) in labels.iter().enumerate() {
+    for &label in labels {
         assert!(label < c, "label {label} out of range");
-        let row = &logits.as_slice()[i * c..(i + 1) * c];
+    }
+    // Per-row membership tests are independent — run them batch-parallel
+    // and reduce the (integer) hit count afterwards.
+    let mut hits = vec![0u8; n];
+    let data = logits.as_slice();
+    axnn_par::par_chunks_mut(&mut hits, 1, |i, slot| {
+        let label = labels[i];
+        let row = &data[i * c..(i + 1) * c];
         let target = row[label];
         // The label is in the top k iff fewer than k entries beat it
         // (ties broken toward the earlier index, matching argmax).
@@ -151,10 +167,9 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
             .enumerate()
             .filter(|&(j, &v)| v > target || (v == target && j < label))
             .count();
-        if better < k {
-            correct += 1;
-        }
-    }
+        slot[0] = (better < k) as u8;
+    });
+    let correct: usize = hits.iter().map(|&h| h as usize).sum();
     correct as f32 / n as f32
 }
 

@@ -1,7 +1,45 @@
 //! Approximate integer GEMM over quantizer codes (paper eq. 4).
+//!
+//! The hot loops are organised around the w-major [`SignedLut`] layout:
+//! activation codes are packed once into `u8` table offsets (4× denser in
+//! cache than the incoming `i32` codes), and each weight code pins one
+//! contiguous 1 KiB LUT row while a whole activation stripe streams past
+//! it. Work is partitioned across threads by output row, so every output
+//! element is produced by exactly one thread with the same k-ascending
+//! accumulation order as the serial [`reference`] kernels — results are
+//! bit-identical for any thread count (and, since the accumulator is exact
+//! `i64`, for [`approx_matmul`] the order could not matter anyway).
 
 use crate::signed_lut::SignedLut;
 use axnn_tensor::Tensor;
+
+/// Weight rows sharing one streamed activation stripe per block.
+const IB: usize = 4;
+
+/// Column block for the approximate-accumulator path: `JB` i64 partial sums
+/// plus the matching code segment stay L1-resident across the k loop.
+const JB: usize = 256;
+
+/// All-zero stand-in for the LUT row of a zero weight code: the reference
+/// kernels skip `w = 0` taps outright (comment there: "exact and approximate
+/// products are both zero"), and adding 0 to an exact integer accumulator is
+/// the bit-identical branchless equivalent.
+static ZERO_ROW: [i32; 256] = [0; 256];
+
+/// Packs `i32` activation codes into `u8` LUT offsets (`code + 128`).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a code is outside `[-128, 127]`.
+fn pack_x(col_codes: &[i32]) -> Vec<u8> {
+    col_codes
+        .iter()
+        .map(|&x| {
+            debug_assert!((-128..=127).contains(&x), "x code {x} out of range");
+            (x + 128) as u8
+        })
+        .collect()
+}
 
 /// Computes `ỹᵢⱼ = Σₖ g̃(Wᵢₖ, Xₖⱼ)` over integer codes, accumulating in
 /// `i64`, and returns the result scaled by `scale = s_w · s_x` as an f32
@@ -25,24 +63,122 @@ pub fn approx_matmul(
     assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
     assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
     let mut out = vec![0.0f32; oc * m];
-    for i in 0..oc {
-        let w_row = &w_codes[i * k..(i + 1) * k];
-        // Accumulate into an i64 row to keep the integer semantics exact.
-        let mut acc = vec![0i64; m];
-        for (kk, &wik) in w_row.iter().enumerate() {
-            if wik == 0 {
-                continue; // exact and approximate products are both zero
+    if oc == 0 || m == 0 {
+        return Tensor::from_vec(out, &[oc, m]).expect("size computed above");
+    }
+    let xi = pack_x(col_codes);
+    axnn_par::par_chunks_mut(&mut out, IB * m, |blk, out_blk| {
+        let rows = out_blk.len() / m;
+        approx_rows(w_codes, &xi, blk * IB, rows, k, m, lut, scale, out_blk);
+    });
+    Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+}
+
+/// LUT row for weight code `w`, with `w = 0` redirected to [`ZERO_ROW`].
+#[inline]
+fn lut_row(lut: &SignedLut, w: i32) -> &[i32] {
+    if w == 0 {
+        &ZERO_ROW
+    } else {
+        lut.w_row(w)
+    }
+}
+
+/// Accumulates `rows` output rows starting at `i0`, blocking `IB` weight
+/// rows over one streamed activation stripe (each packed-code load feeds
+/// `IB` gathers) and unrolling k by two (each accumulator load/store is
+/// amortised over two taps). Per output element the taps still fold in
+/// ascending-k order, so the result is bit-identical to the serial
+/// reference kernel.
+#[allow(clippy::too_many_arguments)]
+fn approx_rows(
+    w_codes: &[i32],
+    xi: &[u8],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    lut: &SignedLut,
+    scale: f32,
+    out_blk: &mut [f32],
+) {
+    let mut acc = vec![0i64; rows * m];
+    let mut r = 0;
+    while r + IB <= rows {
+        let (head, _) = acc.split_at_mut((r + IB) * m);
+        let (_, blk) = head.split_at_mut(r * m);
+        let (a0, blk) = blk.split_at_mut(m);
+        let (a1, blk) = blk.split_at_mut(m);
+        let (a2, a3) = blk.split_at_mut(m);
+        let w_at = |rr: usize, kk: usize| w_codes[(i0 + r + rr) * k + kk];
+        let mut kk = 0;
+        while kk + 2 <= k {
+            let x0_row = &xi[kk * m..(kk + 1) * m];
+            let x1_row = &xi[(kk + 1) * m..(kk + 2) * m];
+            let r00 = lut_row(lut, w_at(0, kk));
+            let r01 = lut_row(lut, w_at(0, kk + 1));
+            let r10 = lut_row(lut, w_at(1, kk));
+            let r11 = lut_row(lut, w_at(1, kk + 1));
+            let r20 = lut_row(lut, w_at(2, kk));
+            let r21 = lut_row(lut, w_at(2, kk + 1));
+            let r30 = lut_row(lut, w_at(3, kk));
+            let r31 = lut_row(lut, w_at(3, kk + 1));
+            for (((((&x0, &x1), a0), a1), a2), a3) in x0_row
+                .iter()
+                .zip(x1_row)
+                .zip(a0.iter_mut())
+                .zip(a1.iter_mut())
+                .zip(a2.iter_mut())
+                .zip(a3.iter_mut())
+            {
+                let (x0, x1) = (x0 as usize, x1 as usize);
+                *a0 = *a0 + r00[x0] as i64 + r01[x1] as i64;
+                *a1 = *a1 + r10[x0] as i64 + r11[x1] as i64;
+                *a2 = *a2 + r20[x0] as i64 + r21[x1] as i64;
+                *a3 = *a3 + r30[x0] as i64 + r31[x1] as i64;
             }
-            let col_row = &col_codes[kk * m..(kk + 1) * m];
-            for (a, &xkj) in acc.iter_mut().zip(col_row) {
-                *a += lut.get(xkj, wik);
+            kk += 2;
+        }
+        if kk < k {
+            let x_row = &xi[kk * m..(kk + 1) * m];
+            let r0 = lut_row(lut, w_at(0, kk));
+            let r1 = lut_row(lut, w_at(1, kk));
+            let r2 = lut_row(lut, w_at(2, kk));
+            let r3 = lut_row(lut, w_at(3, kk));
+            for ((((&x, a0), a1), a2), a3) in x_row
+                .iter()
+                .zip(a0.iter_mut())
+                .zip(a1.iter_mut())
+                .zip(a2.iter_mut())
+                .zip(a3.iter_mut())
+            {
+                let x = x as usize;
+                *a0 += r0[x] as i64;
+                *a1 += r1[x] as i64;
+                *a2 += r2[x] as i64;
+                *a3 += r3[x] as i64;
             }
         }
-        for (o, a) in out[i * m..(i + 1) * m].iter_mut().zip(&acc) {
-            *o = *a as f32 * scale;
+        r += IB;
+    }
+    // Tail rows (fewer than IB left in this block).
+    for rr in r..rows {
+        let a = &mut acc[rr * m..(rr + 1) * m];
+        for kk in 0..k {
+            let wik = w_codes[(i0 + rr) * k + kk];
+            if wik == 0 {
+                continue;
+            }
+            let row = lut.w_row(wik);
+            let x_row = &xi[kk * m..(kk + 1) * m];
+            for (a_j, &x) in a.iter_mut().zip(x_row) {
+                *a_j += row[x as usize] as i64;
+            }
         }
     }
-    Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+    for (o, &a) in out_blk.iter_mut().zip(&acc) {
+        *o = a as f32 * scale;
+    }
 }
 
 /// [`approx_matmul`] with an **approximate accumulator**: every partial sum
@@ -52,6 +188,12 @@ pub fn approx_matmul(
 ///
 /// With [`ExactAdder`](axnn_axmul::adder::ExactAdder) this is bit-identical
 /// to [`approx_matmul`].
+///
+/// Each output element folds its taps through the adder in ascending-`k`
+/// order (zero weight codes skipped), exactly as the serial reference
+/// kernel does; columns are processed in blocks of [`JB`] so the partial
+/// sums and code segment stay cache-resident instead of striding the whole
+/// `[K, M]` code matrix per output element.
 ///
 /// # Panics
 ///
@@ -70,31 +212,138 @@ pub fn approx_matmul_with_adder(
     assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
     assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
     let mut out = vec![0.0f32; oc * m];
-    for i in 0..oc {
-        let w_row = &w_codes[i * k..(i + 1) * k];
-        for j in 0..m {
-            let mut acc = 0i64;
-            for (kk, &wik) in w_row.iter().enumerate() {
+    if oc == 0 || m == 0 {
+        return Tensor::from_vec(out, &[oc, m]).expect("size computed above");
+    }
+    let xi = pack_x(col_codes);
+    axnn_par::par_chunks_mut(&mut out, m, |i, out_row| {
+        let w_row_codes = &w_codes[i * k..(i + 1) * k];
+        let mut acc = [0i64; JB];
+        let mut j0 = 0;
+        while j0 < m {
+            let jn = (m - j0).min(JB);
+            acc[..jn].fill(0);
+            for (kk, &wik) in w_row_codes.iter().enumerate() {
                 if wik == 0 {
                     continue;
                 }
-                acc = adder.add(acc, lut.get(col_codes[kk * m + j], wik));
+                let row = lut.w_row(wik);
+                let x_seg = &xi[kk * m + j0..kk * m + j0 + jn];
+                for (a, &x) in acc[..jn].iter_mut().zip(x_seg) {
+                    *a = adder.add(*a, row[x as usize] as i64);
+                }
             }
-            out[i * m + j] = acc as f32 * scale;
+            for (o, &a) in out_row[j0..j0 + jn].iter_mut().zip(&acc[..jn]) {
+                *o = a as f32 * scale;
+            }
+            j0 += jn;
         }
-    }
+    });
     Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+}
+
+/// The original serial kernels, kept verbatim as the bit-identity oracle
+/// for the blocked/parallel paths above and as the single-thread baseline
+/// for the thread-scaling benchmarks.
+pub mod reference {
+    use super::*;
+
+    /// Serial row-at-a-time `approx_matmul` (original implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent with `(oc, k, m)`.
+    pub fn approx_matmul(
+        w_codes: &[i32],
+        col_codes: &[i32],
+        oc: usize,
+        k: usize,
+        m: usize,
+        lut: &SignedLut,
+        scale: f32,
+    ) -> Tensor {
+        assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
+        assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
+        let mut out = vec![0.0f32; oc * m];
+        for i in 0..oc {
+            let w_row = &w_codes[i * k..(i + 1) * k];
+            // Accumulate into an i64 row to keep the integer semantics exact.
+            let mut acc = vec![0i64; m];
+            for (kk, &wik) in w_row.iter().enumerate() {
+                if wik == 0 {
+                    continue; // exact and approximate products are both zero
+                }
+                let col_row = &col_codes[kk * m..(kk + 1) * m];
+                for (a, &xkj) in acc.iter_mut().zip(col_row) {
+                    *a += lut.get(xkj, wik);
+                }
+            }
+            for (o, a) in out[i * m..(i + 1) * m].iter_mut().zip(&acc) {
+                *o = *a as f32 * scale;
+            }
+        }
+        Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+    }
+
+    /// Serial element-at-a-time `approx_matmul_with_adder` (original
+    /// implementation, column-strided inner loop and all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent with `(oc, k, m)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn approx_matmul_with_adder(
+        w_codes: &[i32],
+        col_codes: &[i32],
+        oc: usize,
+        k: usize,
+        m: usize,
+        lut: &SignedLut,
+        adder: &dyn axnn_axmul::adder::Adder,
+        scale: f32,
+    ) -> Tensor {
+        assert_eq!(w_codes.len(), oc * k, "weight code matrix size mismatch");
+        assert_eq!(col_codes.len(), k * m, "input code matrix size mismatch");
+        let mut out = vec![0.0f32; oc * m];
+        for i in 0..oc {
+            let w_row = &w_codes[i * k..(i + 1) * k];
+            for j in 0..m {
+                let mut acc = 0i64;
+                for (kk, &wik) in w_row.iter().enumerate() {
+                    if wik == 0 {
+                        continue;
+                    }
+                    acc = adder.add(acc, lut.get(col_codes[kk * m + j], wik));
+                }
+                out[i * m + j] = acc as f32 * scale;
+            }
+        }
+        Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use axnn_axmul::adder::{ExactAdder, LoaAdder};
-    use axnn_axmul::{ExactMul, TruncatedMul};
+    use axnn_axmul::adder::{Adder, ExactAdder, LoaAdder, TruncAdder};
+    use axnn_axmul::{EvoLikeMul, ExactMul, TruncatedMul};
     use axnn_tensor::gemm;
 
     fn codes(v: &[i32]) -> Vec<i32> {
         v.to_vec()
+    }
+
+    /// Deterministic pseudo-random codes in `[-limit, limit]` without a
+    /// `rand` dependency.
+    fn lcg_codes(n: usize, limit: i32, seed: u64) -> Vec<i32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let span = (2 * limit + 1) as u64;
+                ((state >> 33) % span) as i32 - limit
+            })
+            .collect()
     }
 
     #[test]
@@ -160,5 +409,59 @@ mod tests {
         let lut = SignedLut::build(&TruncatedMul::new(5));
         let y = approx_matmul(&[0, 0], &[99, -99], 1, 2, 1, &lut, 1.0);
         assert_eq!(y.as_slice(), &[0.0]);
+    }
+
+    /// The blocked/parallel kernels must reproduce the original serial
+    /// kernels bit-for-bit, across multiplier models, odd shapes (exercising
+    /// the `IB` tail and `JB` edge) and thread counts.
+    #[test]
+    fn blocked_kernels_bit_match_reference() {
+        let luts = [
+            SignedLut::build(&ExactMul),
+            SignedLut::build(&TruncatedMul::new(4)),
+            SignedLut::build(&EvoLikeMul::calibrated(228, 0.19)),
+        ];
+        let adders: [&dyn Adder; 3] = [&ExactAdder, &LoaAdder::new(4), &TruncAdder::new(3)];
+        for (shape_idx, &(oc, k, m)) in
+            [(1, 1, 1), (2, 3, 2), (4, 8, 16), (5, 7, 9), (9, 13, 300), (16, 20, 6)]
+                .iter()
+                .enumerate()
+        {
+            let w = lcg_codes(oc * k, 7, shape_idx as u64 + 1);
+            let x = lcg_codes(k * m, 127, shape_idx as u64 + 100);
+            for lut in &luts {
+                let want = reference::approx_matmul(&w, &x, oc, k, m, lut, 0.125);
+                for threads in [1, 3, 8] {
+                    axnn_par::set_threads(threads);
+                    let got = approx_matmul(&w, &x, oc, k, m, lut, 0.125);
+                    let same = want
+                        .as_slice()
+                        .iter()
+                        .zip(got.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "approx_matmul {}x{}x{} lut={}", oc, k, m, lut.name());
+                }
+                for adder in adders {
+                    let want =
+                        reference::approx_matmul_with_adder(&w, &x, oc, k, m, lut, adder, 0.125);
+                    let got = approx_matmul_with_adder(&w, &x, oc, k, m, lut, adder, 0.125);
+                    let same = want
+                        .as_slice()
+                        .iter()
+                        .zip(got.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        same,
+                        "with_adder {}x{}x{} lut={} adder={}",
+                        oc,
+                        k,
+                        m,
+                        lut.name(),
+                        adder.name()
+                    );
+                }
+            }
+        }
+        axnn_par::set_threads(1);
     }
 }

@@ -31,7 +31,7 @@
 
 mod error_model;
 mod executor;
-mod gemm;
+pub mod gemm;
 mod signed_lut;
 
 pub use error_model::PiecewiseLinearError;

@@ -14,6 +14,11 @@ const W_SPAN: usize = 16; // codes −8..=7
 /// behavioural model runs once per operand pair at table-build time, and
 /// every GEMM MAC afterwards is a single indexed load.
 ///
+/// The table is stored **w-major**: the 256 products of one weight code are
+/// contiguous (see [`SignedLut::w_row`]), so a GEMM inner loop that holds
+/// `w` fixed while streaming activation codes touches one cache-resident
+/// 1 KiB row instead of striding through the whole table.
+///
 /// ```
 /// use axnn_axmul::{ExactMul, Multiplier};
 /// use axnn_proxsim::SignedLut;
@@ -48,7 +53,7 @@ impl SignedLut {
     fn index(x: i32, w: i32) -> usize {
         debug_assert!((-X_OFFSET..X_OFFSET).contains(&x), "x code {x} out of range");
         debug_assert!((-W_OFFSET..W_OFFSET).contains(&w), "w code {w} out of range");
-        (((x + X_OFFSET) as usize) << 4) | ((w + W_OFFSET) as usize)
+        ((w + W_OFFSET) as usize) * X_SPAN + ((x + X_OFFSET) as usize)
     }
 
     /// Signed product of two quantizer codes.
@@ -59,6 +64,21 @@ impl SignedLut {
     #[inline]
     pub fn get(&self, x: i32, w: i32) -> i64 {
         self.table[Self::index(x, w)] as i64
+    }
+
+    /// The 256 contiguous products for weight code `w`, indexed by
+    /// `x + 128`. This is the cache-friendly GEMM access path: one row is
+    /// 1 KiB and stays resident while a whole activation stripe streams
+    /// past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `w ∉ [−8, 7]`.
+    #[inline]
+    pub fn w_row(&self, w: i32) -> &[i32] {
+        debug_assert!((-W_OFFSET..W_OFFSET).contains(&w), "w code {w} out of range");
+        let base = ((w + W_OFFSET) as usize) * X_SPAN;
+        &self.table[base..base + X_SPAN]
     }
 
     /// Name of the tabulated multiplier.
@@ -89,6 +109,18 @@ mod tests {
         for x in -127i32..=127 {
             for w in -7i32..=7 {
                 assert_eq!(lut.get(x, w), m.mul_signed(x, w), "({x},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn w_row_agrees_with_get() {
+        let lut = SignedLut::build(&TruncatedMul::new(3));
+        for w in -8i32..=7 {
+            let row = lut.w_row(w);
+            assert_eq!(row.len(), 256);
+            for x in -128i32..=127 {
+                assert_eq!(row[(x + 128) as usize] as i64, lut.get(x, w), "({x},{w})");
             }
         }
     }

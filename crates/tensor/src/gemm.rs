@@ -4,14 +4,66 @@
 //! passes and — per the straight-through estimator of the paper's eq. (5) —
 //! for the *backward* pass of approximate layers. The approximate forward
 //! GEMM lives in `axnn-proxsim`.
+//!
+//! # Kernels, parallelism, determinism
+//!
+//! All three products run register-blocked micro-kernels ([`MR`]×[`NR`]
+//! output tiles held in registers across the whole `k` loop) and are
+//! row-parallel: `axnn-par` partitions the rows of `C` into contiguous
+//! blocks, so each output element is written by exactly one thread.
+//!
+//! Every kernel accumulates each output element in **ascending `k` order
+//! from a `+0.0` start** — the same floating-point fold as the scalar
+//! reference kernels in [`reference`]. Blocking only changes *which* element
+//! is computed when, never the per-element operation sequence, so results
+//! are bit-identical to the reference and to themselves under any
+//! `AXNN_THREADS` setting.
+//!
+//! On x86-64 machines with AVX2 the same kernel bodies are additionally
+//! compiled with `#[target_feature(enable = "avx2")]` and selected at
+//! runtime. This only widens the vector registers the compiler may use
+//! (Rust never contracts `a * b + c` into an FMA, and the `fma` feature is
+//! deliberately left off), so the per-element operation sequence — and
+//! therefore the bit pattern of every result — is unchanged.
 
 use crate::Tensor;
 
+/// Micro-tile rows held in registers on the portable (SSE2) path.
+const MR: usize = 2;
+/// Micro-tile rows on the AVX2 path: twice the f32 lanes per register
+/// allow twice the rows before the accumulator tile spills.
+const MR_WIDE: usize = 4;
+/// Micro-tile columns held in registers (f32 lanes per block).
+const NR: usize = 16;
+/// Micro-tile columns of the `A·B` kernel on the AVX2 path (empirically the
+/// wider B stripe beats a taller tile there; the `Aᵀ·B` kernel prefers
+/// [`NR`] even with AVX2).
+const NR_WIDE: usize = 32;
+/// Column tile width of the `A·Bᵀ` dot-product kernel.
+const NT: usize = 4;
+
+/// Runtime CPU-feature gate for the wide kernels.
+#[cfg(target_arch = "x86_64")]
+fn has_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn has_avx2() -> bool {
+    false
+}
+
+/// Tile height used for row partitioning — a machine property, so chunking
+/// (and thus determinism for any thread count) is stable within a host.
+fn tile_rows() -> usize {
+    if has_avx2() {
+        MR_WIDE
+    } else {
+        MR
+    }
+}
+
 /// Computes `C = A · B` for row-major 2-D tensors.
-///
-/// Uses an i-k-j loop order so the innermost loop streams contiguously over
-/// both `B` and `C`, which is the standard cache-friendly ordering for
-/// row-major naive GEMM.
 ///
 /// # Panics
 ///
@@ -43,23 +95,84 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     );
 
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
     let av = a.as_slice();
     let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let c_row = &mut cv[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
+    let mr = tile_rows();
+    axnn_par::par_chunks_mut(c.as_mut_slice(), mr * n, |block, c_block| {
+        dispatch_nn(av, bv, c_block, block * mr, k, n);
+    });
+    c
+}
+
+/// Routes one row block to the widest kernel the CPU supports.
+fn dispatch_nn(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { kernel_nn_avx2(av, bv, c_block, i0, k, n) };
+        return;
+    }
+    kernel_nn::<MR, NR>(av, bv, c_block, i0, k, n);
+}
+
+/// The scalar body of [`kernel_nn`] recompiled with AVX2 enabled — same
+/// operation sequence, wider registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_nn_avx2(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    kernel_nn::<MR_WIDE, NR_WIDE>(av, bv, c_block, i0, k, n);
+}
+
+/// `C = A · B` micro-kernel over one block of `rows ≤ TILE_ROWS` output
+/// rows starting at row `i0`. `A` element: `av[(i0 + r) * k + kk]`.
+#[inline(always)]
+fn kernel_nn<const TILE_ROWS: usize, const TILE_COLS: usize>(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = c_block.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = TILE_COLS.min(n - j0);
+        if rows == TILE_ROWS && jw == TILE_COLS {
+            // Full tile: TILE_ROWS×TILE_COLS accumulators live in registers
+            // for the whole k loop; one contiguous TILE_COLS-wide load of B
+            // per (k, tile).
+            let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+            for kk in 0..k {
+                let b_seg = &bv[kk * n + j0..kk * n + j0 + TILE_COLS];
+                for r in 0..TILE_ROWS {
+                    let a_val = av[(i0 + r) * k + kk];
+                    for (dst, &bj) in acc[r].iter_mut().zip(b_seg) {
+                        *dst += a_val * bj;
+                    }
+                }
             }
-            let b_row = &bv[kk * n..(kk + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aik * bj;
+            for (r, acc_row) in acc.iter().enumerate() {
+                c_block[r * n + j0..r * n + j0 + TILE_COLS].copy_from_slice(acc_row);
+            }
+        } else {
+            // Edge tile: same ascending-k fold, scalar.
+            for r in 0..rows {
+                let a_row = &av[(i0 + r) * k..(i0 + r + 1) * k];
+                for j in j0..j0 + jw {
+                    let mut acc = 0.0f32;
+                    for (kk, &a_val) in a_row.iter().enumerate() {
+                        acc += a_val * bv[kk * n + j];
+                    }
+                    c_block[r * n + j] = acc;
+                }
             }
         }
+        j0 += jw;
     }
-    c
 }
 
 /// Computes `C = Aᵀ · B` without materialising the transpose.
@@ -76,23 +189,88 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
 
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
     let av = a.as_slice();
     let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for kk in 0..k {
-        let a_row = &av[kk * m..(kk + 1) * m];
-        let b_row = &bv[kk * n..(kk + 1) * n];
-        for (i, &aki) in a_row.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
+    let mr = tile_rows();
+    axnn_par::par_chunks_mut(c.as_mut_slice(), mr * n, |block, c_block| {
+        dispatch_tn(av, bv, c_block, block * mr, k, m, n);
+    });
+    c
+}
+
+/// Routes one row block to the widest kernel the CPU supports.
+fn dispatch_tn(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, m: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { kernel_tn_avx2(av, bv, c_block, i0, k, m, n) };
+        return;
+    }
+    kernel_tn::<MR>(av, bv, c_block, i0, k, m, n);
+}
+
+/// The scalar body of [`kernel_tn`] recompiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_tn_avx2(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    kernel_tn::<MR_WIDE>(av, bv, c_block, i0, k, m, n);
+}
+
+/// `C = Aᵀ · B` micro-kernel: as [`kernel_nn`], but the `A` element for
+/// output row `i0 + r` is `av[kk * m + i0 + r]` (contiguous across `r`).
+#[inline(always)]
+fn kernel_tn<const TILE_ROWS: usize>(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let rows = c_block.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NR.min(n - j0);
+        if rows == TILE_ROWS && jw == NR {
+            let mut acc = [[0.0f32; NR]; TILE_ROWS];
+            for kk in 0..k {
+                let b_seg = &bv[kk * n + j0..kk * n + j0 + NR];
+                let a_seg = &av[kk * m + i0..kk * m + i0 + TILE_ROWS];
+                for r in 0..TILE_ROWS {
+                    let a_val = a_seg[r];
+                    for (dst, &bj) in acc[r].iter_mut().zip(b_seg) {
+                        *dst += a_val * bj;
+                    }
+                }
             }
-            let c_row = &mut cv[i * n..(i + 1) * n];
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj += aki * bj;
+            for (r, acc_row) in acc.iter().enumerate() {
+                c_block[r * n + j0..r * n + j0 + NR].copy_from_slice(acc_row);
+            }
+        } else {
+            for r in 0..rows {
+                for j in j0..j0 + jw {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += av[kk * m + i0 + r] * bv[kk * n + j];
+                    }
+                    c_block[r * n + j] = acc;
+                }
             }
         }
+        j0 += jw;
     }
-    c
 }
 
 /// Computes `C = A · Bᵀ` without materialising the transpose.
@@ -109,21 +287,162 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
 
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
     let av = a.as_slice();
     let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            cv[i * n + j] = acc;
-        }
-    }
+    let mr = tile_rows();
+    axnn_par::par_chunks_mut(c.as_mut_slice(), mr * n, |block, c_block| {
+        dispatch_nt(av, bv, c_block, block * mr, k, n);
+    });
     c
+}
+
+/// Routes one row block to the widest kernel the CPU supports.
+fn dispatch_nt(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { kernel_nt_avx2(av, bv, c_block, i0, k, n) };
+        return;
+    }
+    kernel_nt::<MR>(av, bv, c_block, i0, k, n);
+}
+
+/// The scalar body of [`kernel_nt`] recompiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_nt_avx2(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    kernel_nt::<MR_WIDE>(av, bv, c_block, i0, k, n);
+}
+
+/// `C = A · Bᵀ` micro-kernel: TILE_ROWS×NT independent dot products advance
+/// together through `k`, giving instruction-level parallelism without
+/// reassociating any single element's sum.
+#[inline(always)]
+fn kernel_nt<const TILE_ROWS: usize>(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = c_block.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NT.min(n - j0);
+        if rows == TILE_ROWS && jw == NT {
+            let mut acc = [[0.0f32; NT]; TILE_ROWS];
+            for kk in 0..k {
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let a_val = av[(i0 + r) * k + kk];
+                    for (c, dst) in acc_row.iter_mut().enumerate() {
+                        *dst += a_val * bv[(j0 + c) * k + kk];
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                c_block[r * n + j0..r * n + j0 + NT].copy_from_slice(acc_row);
+            }
+        } else {
+            for r in 0..rows {
+                let a_row = &av[(i0 + r) * k..(i0 + r + 1) * k];
+                for j in j0..j0 + jw {
+                    let b_row = &bv[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    c_block[r * n + j] = acc;
+                }
+            }
+        }
+        j0 += jw;
+    }
+}
+
+/// Scalar reference kernels — the original naive loops.
+///
+/// They define the floating-point fold every blocked kernel must reproduce
+/// bit-for-bit, and serve as the single-thread baseline of the
+/// `results/BENCH_gemm.json` perf trajectory.
+pub mod reference {
+    use crate::Tensor;
+
+    /// Naive i-k-j `C = A · B` (streams `B` and `C` rows contiguously).
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        assert_eq!(k, b.shape()[0]);
+        let mut c = Tensor::zeros(&[m, n]);
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        let cv = c.as_mut_slice();
+        for i in 0..m {
+            let a_row = &av[i * k..(i + 1) * k];
+            let c_row = &mut cv[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bv[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Naive k-i-j `C = Aᵀ · B`.
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        assert_eq!(k, b.shape()[0]);
+        let mut c = Tensor::zeros(&[m, n]);
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        let cv = c.as_mut_slice();
+        for kk in 0..k {
+            let a_row = &av[kk * m..(kk + 1) * m];
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let c_row = &mut cv[i * n..(i + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aki * bj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Naive row-dot `C = A · Bᵀ`.
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[0];
+        assert_eq!(k, b.shape()[1]);
+        let mut c = Tensor::zeros(&[m, n]);
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        let cv = c.as_mut_slice();
+        for i in 0..m {
+            let a_row = &av[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                cv[i * n + j] = acc;
+            }
+        }
+        c
+    }
 }
 
 impl Tensor {
@@ -143,6 +462,21 @@ mod tests {
 
     fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
         Tensor::from_vec(v, s).unwrap()
+    }
+
+    /// Deterministic pseudo-random tensor (no `rand` needed here).
+    fn lcg_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, shape).unwrap()
     }
 
     #[test]
@@ -187,5 +521,72 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         let _ = matmul(&a, &b);
+    }
+
+    /// The blocked kernels must be *bit-identical* to the scalar reference
+    /// fold, across awkward (non-tile-multiple) shapes.
+    #[test]
+    fn blocked_kernels_bit_match_reference() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 19),
+            (8, 72, 33),
+            (13, 9, 50),
+        ] {
+            let a = lcg_tensor(&[m, k], 7 + (m * 31 + k) as u64);
+            let b = lcg_tensor(&[k, n], 11 + (k * 17 + n) as u64);
+            let fast = matmul(&a, &b);
+            let slow = reference::matmul(&a, &b);
+            assert_eq!(
+                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul {m}x{k}x{n}"
+            );
+
+            let at = lcg_tensor(&[k, m], 13 + (k + m) as u64);
+            let fast = matmul_tn(&at, &b);
+            let slow = reference::matmul_tn(&at, &b);
+            assert_eq!(
+                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul_tn {m}x{k}x{n}"
+            );
+
+            let bt = lcg_tensor(&[n, k], 17 + (n + k) as u64);
+            let fast = matmul_nt(&a, &bt);
+            let slow = reference::matmul_nt(&a, &bt);
+            assert_eq!(
+                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul_nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// Row partitioning makes results independent of the worker count.
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        let a = lcg_tensor(&[9, 23], 3);
+        let b = lcg_tensor(&[23, 21], 4);
+        axnn_par::set_threads(1);
+        let one = matmul(&a, &b);
+        for threads in [2, 5, 8] {
+            axnn_par::set_threads(threads);
+            let many = matmul(&a, &b);
+            assert_eq!(
+                one.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                many.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+        axnn_par::set_threads(1);
+    }
+
+    #[test]
+    fn zero_sized_dims_yield_zeros() {
+        assert_eq!(matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2])).shape(), &[0, 2]);
+        assert_eq!(matmul(&Tensor::zeros(&[2, 0]), &Tensor::zeros(&[0, 3])).as_slice(), &[0.0; 6]);
     }
 }

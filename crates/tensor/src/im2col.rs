@@ -91,34 +91,36 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Tensor {
     let cols = n * oh * ow;
 
     let mut out = Tensor::zeros(&[rows, cols]);
+    if rows == 0 || cols == 0 {
+        return out;
+    }
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
-    for ci in 0..c {
-        for kh in 0..k {
-            for kw in 0..k {
-                let row = (ci * k + kh) * k + kw;
-                let row_base = row * cols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        let ih = (ohi * s + kh) as isize - p as isize;
-                        let col_base = row_base + (ni * oh + ohi) * ow;
-                        if ih < 0 || ih as usize >= h {
-                            continue; // row of zeros from padding
-                        }
-                        let src_row = img_base + ih as usize * w;
-                        for owi in 0..ow {
-                            let iw = (owi * s + kw) as isize - p as isize;
-                            if iw < 0 || iw as usize >= w {
-                                continue;
-                            }
-                            dst[col_base + owi] = src[src_row + iw as usize];
-                        }
+    // Each matrix row holds one kernel tap (ci, kh, kw) and is written by
+    // exactly one thread: rows are disjoint, so the gather is trivially
+    // deterministic for any thread count.
+    axnn_par::par_chunks_mut(out.as_mut_slice(), cols, |row, dst_row| {
+        let kw = row % k;
+        let kh = (row / k) % k;
+        let ci = row / (k * k);
+        for ni in 0..n {
+            let img_base = (ni * c + ci) * h * w;
+            for ohi in 0..oh {
+                let ih = (ohi * s + kh) as isize - p as isize;
+                let col_base = (ni * oh + ohi) * ow;
+                if ih < 0 || ih as usize >= h {
+                    continue; // row of zeros from padding
+                }
+                let src_row = img_base + ih as usize * w;
+                for owi in 0..ow {
+                    let iw = (owi * s + kw) as isize - p as isize;
+                    if iw < 0 || iw as usize >= w {
+                        continue;
                     }
+                    dst_row[col_base + owi] = src[src_row + iw as usize];
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -143,35 +145,42 @@ pub fn col2im(cols: &Tensor, input_shape: &[usize; 4], geom: ConvGeometry) -> Te
     );
 
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    let dst = out.as_mut_slice();
+    if n == 0 || c * h * w == 0 {
+        return out;
+    }
     let src = cols.as_slice();
     let total_cols = n * oh * ow;
-    for ci in 0..c {
-        for kh in 0..k {
-            for kw in 0..k {
-                let row = (ci * k + kh) * k + kw;
-                let row_base = row * total_cols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
+    // Scatter-accumulate partitioned by image: every destination pixel
+    // belongs to exactly one `ni`, and within an image the (ci, kh, kw,
+    // ohi, owi) accumulation order below matches the serial loop nest, so
+    // each pixel sees its overlapping taps folded in the same order
+    // regardless of thread count.
+    axnn_par::par_chunks_mut(out.as_mut_slice(), c * h * w, |ni, img| {
+        for ci in 0..c {
+            let chan_base = ci * h * w;
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ci * k + kh) * k + kw;
+                    let row_base = row * total_cols;
                     for ohi in 0..oh {
                         let ih = (ohi * s + kh) as isize - p as isize;
                         if ih < 0 || ih as usize >= h {
                             continue;
                         }
-                        let dst_row = img_base + ih as usize * w;
+                        let dst_row = chan_base + ih as usize * w;
                         let col_base = row_base + (ni * oh + ohi) * ow;
                         for owi in 0..ow {
                             let iw = (owi * s + kw) as isize - p as isize;
                             if iw < 0 || iw as usize >= w {
                                 continue;
                             }
-                            dst[dst_row + iw as usize] += src[col_base + owi];
+                            img[dst_row + iw as usize] += src[col_base + owi];
                         }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -183,16 +192,19 @@ pub fn col2im(cols: &Tensor, input_shape: &[usize; 4], geom: ConvGeometry) -> Te
 pub fn gemm_out_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
     assert_eq!(mat.shape(), &[oc, n * oh * ow]);
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let dst = out.as_mut_slice();
-    let src = mat.as_slice();
     let spatial = oh * ow;
-    for o in 0..oc {
-        for ni in 0..n {
-            let src_base = o * n * spatial + ni * spatial;
-            let dst_base = (ni * oc + o) * spatial;
-            dst[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
-        }
+    if n * oc * spatial == 0 {
+        return out;
     }
+    let src = mat.as_slice();
+    // Pure permutation of disjoint spatial blocks, partitioned by image.
+    axnn_par::par_chunks_mut(out.as_mut_slice(), oc * spatial, |ni, img| {
+        for o in 0..oc {
+            let src_base = o * n * spatial + ni * spatial;
+            let dst_base = o * spatial;
+            img[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
+        }
+    });
     out
 }
 
@@ -208,15 +220,18 @@ pub fn nchw_to_gemm_out(t: &Tensor) -> Tensor {
     let (n, oc, oh, ow) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
     let spatial = oh * ow;
     let mut out = Tensor::zeros(&[oc, n * spatial]);
-    let dst = out.as_mut_slice();
-    let src = t.as_slice();
-    for ni in 0..n {
-        for o in 0..oc {
-            let src_base = (ni * oc + o) * spatial;
-            let dst_base = o * n * spatial + ni * spatial;
-            dst[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
-        }
+    if oc * n * spatial == 0 {
+        return out;
     }
+    let src = t.as_slice();
+    // Inverse permutation, partitioned by output row (one channel each).
+    axnn_par::par_chunks_mut(out.as_mut_slice(), n * spatial, |o, row| {
+        for ni in 0..n {
+            let src_base = (ni * oc + o) * spatial;
+            let dst_base = ni * spatial;
+            row[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
+        }
+    });
     out
 }
 
@@ -328,6 +343,30 @@ mod tests {
         assert_eq!(img.at(&[0, 0, 2, 2]), 1.0);
         // Edges by two.
         assert_eq!(img.at(&[0, 0, 0, 1]), 2.0);
+    }
+
+    #[test]
+    fn lowering_is_thread_count_invariant() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = arange(&[3, 2, 5, 5]);
+        axnn_par::set_threads(1);
+        let col1 = im2col(&input, geom);
+        let img1 = col2im(&col1, &[3, 2, 5, 5], geom);
+        let nchw1 = gemm_out_to_nchw(&col2mat(&col1), 3, 2, 15, 5);
+        for threads in [2, 5, 8] {
+            axnn_par::set_threads(threads);
+            assert_eq!(im2col(&input, geom), col1);
+            assert_eq!(col2im(&col1, &[3, 2, 5, 5], geom), img1);
+            assert_eq!(gemm_out_to_nchw(&col2mat(&col1), 3, 2, 15, 5), nchw1);
+        }
+        axnn_par::set_threads(1);
+    }
+
+    /// Reshapes the `[18, 225]` col matrix into a `[2, 225]`-style GEMM
+    /// output usable by `gemm_out_to_nchw` in the invariance test.
+    fn col2mat(col: &Tensor) -> Tensor {
+        let flat: Vec<f32> = col.as_slice()[..2 * 225].to_vec();
+        Tensor::from_vec(flat, &[2, 225]).unwrap()
     }
 
     #[test]

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: release build, full test suite, and a warning-free clippy
+# pass. Run from the repository root before merging.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

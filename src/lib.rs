@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`par`] | `axnn-par` | deterministic thread pool (`AXNN_THREADS`) |
 //! | [`tensor`] | `axnn-tensor` | dense tensors, GEMM, im2col |
 //! | [`nn`] | `axnn-nn` | layers, SGD, losses, training loop |
 //! | [`quant`] | `axnn-quant` | 8A4W symmetric quantization, MinPropQE |
@@ -37,6 +38,7 @@ pub use axnn_axmul as axmul;
 pub use axnn_data as data;
 pub use axnn_models as models;
 pub use axnn_nn as nn;
+pub use axnn_par as par;
 pub use axnn_proxsim as proxsim;
 pub use axnn_quant as quant;
 pub use axnn_tensor as tensor;

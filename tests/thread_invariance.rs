@@ -1,0 +1,127 @@
+//! Property tests for the central guarantee of the `axnn-par` execution
+//! layer: every parallelized kernel partitions work by *output* rows, so
+//! its results are **bit-identical** for any worker count.
+//!
+//! Each property computes once with one thread and once with an arbitrary
+//! thread count and compares raw bit patterns (`f32::to_bits`), not
+//! approximate equality. Note that `set_threads` is process-global, so
+//! concurrently running tests may race on it — which is harmless precisely
+//! *because* of the property under test: the result must not depend on the
+//! setting.
+
+use approxnn::approxkd::ge::{fit_error_model, McConfig};
+use approxnn::axmul::TruncatedMul;
+use approxnn::nn::{Conv2d, Layer, Mode};
+use approxnn::par;
+use approxnn::proxsim::{approx_matmul, SignedLut};
+use approxnn::tensor::{gemm, init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// Exact GEMM (all three transpose variants) is thread-count invariant.
+    #[test]
+    fn matmul_is_thread_invariant(
+        seed in 0u64..200,
+        m in 1usize..14,
+        k in 1usize..24,
+        n in 1usize..30,
+        threads in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = init::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let at = init::uniform(&[k, m], -1.0, 1.0, &mut rng);
+        let bt = init::uniform(&[n, k], -1.0, 1.0, &mut rng);
+
+        par::set_threads(1);
+        let nn1 = gemm::matmul(&a, &b);
+        let tn1 = gemm::matmul_tn(&at, &b);
+        let nt1 = gemm::matmul_nt(&a, &bt);
+        par::set_threads(threads);
+        prop_assert_eq!(bits(&nn1), bits(&gemm::matmul(&a, &b)));
+        prop_assert_eq!(bits(&tn1), bits(&gemm::matmul_tn(&at, &b)));
+        prop_assert_eq!(bits(&nt1), bits(&gemm::matmul_nt(&a, &bt)));
+        par::set_threads(0);
+    }
+
+    /// LUT-served approximate GEMM is thread-count invariant.
+    #[test]
+    fn approx_matmul_is_thread_invariant(
+        seed in 0u64..200,
+        oc in 1usize..10,
+        k in 1usize..16,
+        m in 1usize..20,
+        threads in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<i32> = (0..oc * k).map(|_| rng.gen_range(-7..=7)).collect();
+        let x: Vec<i32> = (0..k * m).map(|_| rng.gen_range(-127..=127)).collect();
+        let lut = SignedLut::build(&TruncatedMul::new(4));
+
+        par::set_threads(1);
+        let one = approx_matmul(&w, &x, oc, k, m, &lut, 0.017);
+        par::set_threads(threads);
+        let many = approx_matmul(&w, &x, oc, k, m, &lut, 0.017);
+        par::set_threads(0);
+        prop_assert_eq!(bits(&one), bits(&many));
+    }
+
+    /// Conv2d forward and backward (im2col + GEMM + col2im) are
+    /// thread-count invariant, including the propagated input gradient.
+    #[test]
+    fn conv_fwd_bwd_is_thread_invariant(
+        seed in 0u64..100,
+        n in 1usize..4,
+        c in 1usize..4,
+        hw in 3usize..9,
+        threads in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::uniform(&[n, c, hw, hw], -1.0, 1.0, &mut rng);
+
+        let run = |threads: usize, rng_seed: u64| {
+            par::set_threads(threads);
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let mut conv = Conv2d::new(c, 6, 3, 1, 1, 1, true, &mut rng);
+            let y = conv.forward(&x, Mode::Train);
+            let dy = init::uniform(y.shape(), -1.0, 1.0, &mut StdRng::seed_from_u64(rng_seed ^ 1));
+            let dx = conv.backward(&dy);
+            (y, dx)
+        };
+        let (y1, dx1) = run(1, seed ^ 0xC0);
+        let (ym, dxm) = run(threads, seed ^ 0xC0);
+        par::set_threads(0);
+        prop_assert_eq!(bits(&y1), bits(&ym));
+        prop_assert_eq!(bits(&dx1), bits(&dxm));
+    }
+
+    /// The Monte-Carlo error-model fit draws per-simulation seeds up front,
+    /// so the fitted model is thread-count invariant.
+    #[test]
+    fn ge_fit_is_thread_invariant(seed in 0u64..50, threads in 2usize..9) {
+        par::set_threads(1);
+        let one = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        par::set_threads(threads);
+        let many = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        par::set_threads(0);
+        prop_assert_eq!(&one.model, &many.model);
+        let sample_bits = |f: &approxnn::approxkd::ge::ErrorFit| -> Vec<(u32, u32)> {
+            f.samples.iter().map(|&(y, e)| (y.to_bits(), e.to_bits())).collect()
+        };
+        prop_assert_eq!(sample_bits(&one), sample_bits(&many));
+    }
+}
