@@ -43,9 +43,7 @@ impl MultiplierSpec {
     pub fn build(&self) -> Box<dyn Multiplier> {
         match self.family {
             Family::Truncated(t) => Box::new(TruncatedMul::new(t)),
-            Family::EvoLike(id) => {
-                Box::new(EvoLikeMul::calibrated(id, self.paper_mre_pct / 100.0))
-            }
+            Family::EvoLike(id) => Box::new(EvoLikeMul::calibrated(id, self.paper_mre_pct / 100.0)),
         }
     }
 

@@ -138,7 +138,12 @@ mod tests {
     fn error_is_unbiased() {
         let m = EvoLikeMul::calibrated(228, 0.19);
         let s = MulStats::measure(&m);
-        assert!(!s.is_biased(), "mean {} abs {}", s.mean_error, s.mean_abs_error);
+        assert!(
+            !s.is_biased(),
+            "mean {} abs {}",
+            s.mean_error,
+            s.mean_abs_error
+        );
     }
 
     #[test]

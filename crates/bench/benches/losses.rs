@@ -21,7 +21,12 @@ fn bench_losses(c: &mut Criterion) {
     let mut group = c.benchmark_group("losses");
     group.sample_size(50);
     group.bench_function("hard_ce_128x10", |b| {
-        b.iter(|| black_box(softmax_cross_entropy(black_box(&student), black_box(&labels))))
+        b.iter(|| {
+            black_box(softmax_cross_entropy(
+                black_box(&student),
+                black_box(&labels),
+            ))
+        })
     });
     group.bench_function("soft_kd_128x10_T5", |b| {
         b.iter(|| {
@@ -53,7 +58,11 @@ fn bench_ge_fit(c: &mut Criterion) {
         let m = TruncatedMul::new(5);
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(5);
-            black_box(fit_error_model(black_box(&m), McConfig::default(), &mut rng))
+            black_box(fit_error_model(
+                black_box(&m),
+                McConfig::default(),
+                &mut rng,
+            ))
         })
     });
     group.finish();

@@ -7,7 +7,9 @@ use approxkd::ge::{fit_error_model, McConfig};
 use approxkd::kd_loss;
 use axnn_axmul::TruncatedMul;
 use axnn_nn::loss::softmax_cross_entropy;
-use axnn_nn::{ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Layer, Linear, Mode, Sequential, Sgd};
+use axnn_nn::{
+    ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Layer, Linear, Mode, Sequential, Sgd,
+};
 use axnn_proxsim::{approximate_network, PiecewiseLinearError};
 use axnn_tensor::{init, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -17,8 +19,28 @@ use std::hint::black_box;
 
 fn small_convnet(rng: &mut StdRng) -> Sequential {
     Sequential::new(vec![
-        Box::new(ConvBlock::new(3, 8, 3, 1, 1, 1, false, ActivationKind::Relu, rng)),
-        Box::new(ConvBlock::new(8, 16, 3, 2, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(ConvBlock::new(
+            3,
+            8,
+            3,
+            1,
+            1,
+            1,
+            false,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(ConvBlock::new(
+            8,
+            16,
+            3,
+            2,
+            1,
+            1,
+            false,
+            ActivationKind::Relu,
+            rng,
+        )),
         Box::new(GlobalAvgPool::new()),
         Box::new(Flatten::new()),
         Box::new(Linear::new(16, 10, true, rng)),

@@ -17,6 +17,7 @@ use axnn_proxsim::{ApproxExecutor, SignedLut};
 use std::sync::Arc;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_adders");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
 

@@ -11,6 +11,7 @@ use axnn_bench::{pct, print_table, Scale};
 use axnn_quant::QuantSpec;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_bitwidth");
     let scale = Scale::from_env();
     let cfg = scale.model_cfg();
     let mut env = approxkd::ExperimentEnv::new(
@@ -29,8 +30,7 @@ fn main() {
     for bits in [8u32, 6, 4, 3, 2] {
         let w_spec = QuantSpec::symmetric(bits);
         eprintln!("[ext_bitwidth] 8A{bits}W ...");
-        let normal =
-            env.quantization_stage_with(&scale.ft_stage(), false, 1.0, x_spec, w_spec);
+        let normal = env.quantization_stage_with(&scale.ft_stage(), false, 1.0, x_spec, w_spec);
         let kd = env.quantization_stage_with(&scale.ft_stage(), true, 1.0, x_spec, w_spec);
         rows.push(vec![
             format!("8A{bits}W"),

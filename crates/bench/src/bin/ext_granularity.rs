@@ -13,6 +13,7 @@ use axnn_nn::train::{calibrate, evaluate};
 use axnn_quant::{quantize_network, quantize_network_per_channel, QuantSpec};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_granularity");
     let scale = Scale::from_env();
     let mut env = ExperimentEnv::new(
         ModelKind::ResNet20,

@@ -13,6 +13,7 @@ use axnn_axmul::catalog;
 use axnn_bench::{paper_best_t2, pct, print_table, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_partial");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
     let spec = catalog::by_id("trunc5").expect("catalogued");
@@ -44,12 +45,7 @@ fn main() {
 
     print_table(
         "Extension: partial approximation (trunc5, ApproxKD+GE)",
-        &[
-            "approx layers",
-            "fraction%",
-            "initial acc%",
-            "final acc%",
-        ],
+        &["approx layers", "fraction%", "initial acc%", "final acc%"],
         &rows,
     );
     println!("\nExpected shape: accuracy degrades monotonically-ish with the approximated");

@@ -9,10 +9,14 @@ use axnn_axmul::catalog;
 use axnn_bench::{pct, print_table, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_resiliency");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
     let spec = catalog::by_id("trunc5").expect("catalogued");
-    eprintln!("[ext_resiliency] sweeping {} layers ...", env.gemm_layer_count());
+    eprintln!(
+        "[ext_resiliency] sweeping {} layers ...",
+        env.gemm_layer_count()
+    );
     let report = analyze_resiliency(&mut env, spec, scale.batch);
 
     let mut rows = Vec::new();

@@ -18,6 +18,7 @@ use axnn_axmul::catalog;
 use axnn_bench::{paper_best_t2, pct, print_table, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("ext_single_stage");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
 

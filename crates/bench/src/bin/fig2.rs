@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("fig2");
     let seed = axnn_bench::Scale::seed();
     let mut rng = StdRng::seed_from_u64(seed);
     let fit = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng);
@@ -21,7 +22,10 @@ fn main() {
         fit.is_constant(),
         fit.samples.len()
     );
-    println!("\n{:>12} {:>12} {:>12} {:>8}", "y (center)", "mean eps", "f(y)", "count");
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>8}",
+        "y (center)", "mean eps", "f(y)", "count"
+    );
 
     // Bin the Monte-Carlo samples over y.
     let (min_y, max_y) = fit

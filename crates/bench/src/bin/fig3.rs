@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("fig3");
     let seed = axnn_bench::Scale::seed();
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = catalog::by_id("evo228").expect("catalogued");
@@ -22,7 +23,10 @@ fn main() {
         fit.is_constant(),
         fit.mean_error()
     );
-    println!("\n{:>12} {:>12} {:>12} {:>8}", "y (center)", "mean eps", "f(y)", "count");
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>8}",
+        "y (center)", "mean eps", "f(y)", "count"
+    );
 
     let (min_y, max_y) = fit
         .samples

@@ -7,6 +7,7 @@ use axnn_axmul::catalog;
 use axnn_bench::{paper_best_t2, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("fig4");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
     let spec = catalog::by_id("trunc5").expect("catalogued");

@@ -8,6 +8,7 @@ use axnn_axmul::stats::MulStats;
 use axnn_bench::print_table;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("multipliers");
     let mut rows = Vec::new();
     for spec in PAPER_MULTIPLIERS {
         let m = spec.build();

@@ -31,6 +31,7 @@ fn mean_std(xs: &[f32]) -> (f32, f32) {
 }
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("seed_stability");
     let scale = Scale::from_env();
     let spec = catalog::by_id("trunc5").expect("catalogued");
     let t2 = paper_best_t2(spec.id);

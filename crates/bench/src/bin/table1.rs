@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table1");
     let scale = Scale::from_env();
     let paper = [
         (ModelKind::ResNet20, 0.3, 0.041, 91.04),

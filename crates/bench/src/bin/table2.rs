@@ -6,6 +6,7 @@ use approxkd::ExperimentEnv;
 use axnn_bench::{pct, print_table, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table2");
     let scale = Scale::from_env();
     let paper = [
         (ModelKind::ResNet20, 82.88, 90.51, 90.60),
@@ -21,8 +22,7 @@ fn main() {
         } else {
             scale.model_cfg()
         };
-        let mut env =
-            ExperimentEnv::new(kind, cfg, scale.train, scale.test, Scale::seed());
+        let mut env = ExperimentEnv::new(kind, cfg, scale.train, scale.test, Scale::seed());
         let fp = env.train_fp(&scale.fp_stage());
         let normal = env.quantization_stage(&scale.ft_stage(), false);
         let kd = env.quantization_stage(&scale.ft_stage(), true);

@@ -29,6 +29,7 @@ const PAPER: &[(&str, f32, f32, f32, f32, f32)] = &[
 ];
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table3");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
 
@@ -83,19 +84,8 @@ fn main() {
     print_table(
         "Table III: ApproxKD temperature ablation, ResNet-20 (paper vs measured)",
         &[
-            "mult",
-            "MRE%",
-            "sav%",
-            "p.worstT",
-            "worstT",
-            "p.bestT",
-            "bestT",
-            "p.init%",
-            "init%",
-            "p.worst%",
-            "worst%",
-            "p.best%",
-            "best%",
+            "mult", "MRE%", "sav%", "p.worstT", "worstT", "p.bestT", "bestT", "p.init%", "init%",
+            "p.worst%", "worst%", "p.best%", "best%",
         ],
         &rows,
     );

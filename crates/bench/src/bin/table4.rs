@@ -11,6 +11,7 @@ use axnn_axmul::catalog;
 use axnn_bench::{paper_best_t2, print_table, Scale};
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table4");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
     let spec = catalog::by_id("trunc5").expect("catalogued");

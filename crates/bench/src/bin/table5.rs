@@ -14,17 +14,66 @@ use axnn_bench::{paper_best_t2, pct, print_table, Scale};
 /// `NAN` marks the paper's "-" cells.
 const PAPER: &[(&str, f32, f32, f32, [f32; 5])] = &[
     ("trunc1", 0.5, 2.0, 90.54, [f32::NAN; 5]),
-    ("trunc2", 2.1, 8.0, 89.67, [90.31, 90.35, 90.29, 90.39, 90.44]),
-    ("trunc3", 5.5, 16.0, 84.61, [90.17, 90.23, 90.16, 90.39, 90.41]),
-    ("trunc4", 11.0, 28.0, 40.22, [89.33, 89.45, 89.32, 89.44, 89.51]),
-    ("trunc5", 19.8, 38.0, 10.00, [84.63, 86.25, 84.96, 87.56, 87.79]),
-    ("evo470", 2.1, 1.0, 89.16, [90.50, f32::NAN, 90.47, 90.55, 90.55]),
-    ("evo29", 7.9, 9.0, 59.06, [89.90, f32::NAN, 89.93, 89.99, 89.99]),
-    ("evo228", 18.9, 19.0, 47.65, [84.09, f32::NAN, 83.93, 85.65, 85.65]),
-    ("evo249", 48.8, 61.0, 10.02, [10.00, f32::NAN, 10.04, 10.02, 10.02]),
+    (
+        "trunc2",
+        2.1,
+        8.0,
+        89.67,
+        [90.31, 90.35, 90.29, 90.39, 90.44],
+    ),
+    (
+        "trunc3",
+        5.5,
+        16.0,
+        84.61,
+        [90.17, 90.23, 90.16, 90.39, 90.41],
+    ),
+    (
+        "trunc4",
+        11.0,
+        28.0,
+        40.22,
+        [89.33, 89.45, 89.32, 89.44, 89.51],
+    ),
+    (
+        "trunc5",
+        19.8,
+        38.0,
+        10.00,
+        [84.63, 86.25, 84.96, 87.56, 87.79],
+    ),
+    (
+        "evo470",
+        2.1,
+        1.0,
+        89.16,
+        [90.50, f32::NAN, 90.47, 90.55, 90.55],
+    ),
+    (
+        "evo29",
+        7.9,
+        9.0,
+        59.06,
+        [89.90, f32::NAN, 89.93, 89.99, 89.99],
+    ),
+    (
+        "evo228",
+        18.9,
+        19.0,
+        47.65,
+        [84.09, f32::NAN, 83.93, 85.65, 85.65],
+    ),
+    (
+        "evo249",
+        48.8,
+        61.0,
+        10.02,
+        [10.00, f32::NAN, 10.04, 10.02, 10.02],
+    ),
 ];
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table5");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet20);
     let fp = env.fp_accuracy();
@@ -72,8 +121,8 @@ fn main() {
     print_table(
         "Table V: retraining methods, approximate ResNet-20 (paper | measured)",
         &[
-            "mult", "MRE%", "sav%", "p.init", "init", "p.Norm", "Norm", "p.GE", "GE",
-            "p.alpha", "alpha", "p.KD", "KD", "p.KD+GE", "KD+GE",
+            "mult", "MRE%", "sav%", "p.init", "init", "p.Norm", "Norm", "p.GE", "GE", "p.alpha",
+            "alpha", "p.KD", "KD", "p.KD+GE", "KD+GE",
         ],
         &rows,
     );

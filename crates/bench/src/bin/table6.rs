@@ -22,6 +22,7 @@ const PAPER: &[(&str, f32, [f32; 5])] = &[
 ];
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table6");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::ResNet32);
     let fp = env.fp_accuracy();
@@ -61,8 +62,8 @@ fn main() {
     print_table(
         "Table VI: retraining methods, approximate ResNet-32 (paper | measured)",
         &[
-            "mult", "p.init", "init", "p.Norm", "Norm", "p.GE", "GE", "p.alpha", "alpha",
-            "p.KD", "KD", "p.KD+GE", "KD+GE",
+            "mult", "p.init", "init", "p.Norm", "Norm", "p.GE", "GE", "p.alpha", "alpha", "p.KD",
+            "KD", "p.KD+GE", "KD+GE",
         ],
         &rows,
     );

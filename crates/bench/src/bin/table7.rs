@@ -20,6 +20,7 @@ const PAPER: &[(&str, f32, f32, f32)] = &[
 ];
 
 fn main() {
+    let _profile = axnn_bench::ProfileScope::from_env("table7");
     let scale = Scale::from_env();
     let mut env = scale.prepared_env(ModelKind::MobileNetV2);
 

@@ -18,6 +18,7 @@
 //! | `AXNN_SEED`  | `1`    | RNG seed for data, models and fitting |
 //! | `AXNN_EPOCHS`| scale-dependent | fine-tuning epochs per stage |
 //! | `AXNN_SWEEP_T2` | unset | `1` = re-run the T2 ablation instead of using the paper's best temperatures |
+//! | `AXNN_PROFILE` | unset | `1` = record a run profile to `results/OBS_<bin>.jsonl` |
 
 use approxkd::pipeline::ModelKind;
 use approxkd::{ExperimentEnv, StageConfig};
@@ -146,6 +147,48 @@ impl Scale {
             q.acc_after_ft * 100.0
         );
         env
+    }
+}
+
+/// Opt-in profiling for the experiment bins: when `AXNN_PROFILE=1`, enables
+/// the `axnn-obs` instrumentation for the guard's lifetime and, on drop,
+/// appends the captured [`RunProfile`](axnn_obs::RunProfile) to
+/// `results/OBS_<name>.jsonl` next to the bin's `results/*.txt` artifact.
+/// With the variable unset the guard is inert and the disabled-path cost
+/// applies (one relaxed atomic load per instrumentation site).
+pub struct ProfileScope {
+    name: Option<String>,
+}
+
+impl ProfileScope {
+    /// Creates the guard; profiling starts only if `AXNN_PROFILE=1`.
+    pub fn from_env(name: &str) -> Self {
+        let on = std::env::var("AXNN_PROFILE").as_deref() == Ok("1");
+        if on {
+            axnn_obs::reset();
+            axnn_obs::set_enabled(true);
+        }
+        Self {
+            name: on.then(|| name.to_string()),
+        }
+    }
+}
+
+impl Drop for ProfileScope {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else {
+            return;
+        };
+        axnn_obs::set_enabled(false);
+        let profile = axnn_obs::RunProfile::capture(&name);
+        let path = format!(
+            "{}/../../results/OBS_{name}.jsonl",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        match profile.append_jsonl(&path) {
+            Ok(()) => eprintln!("[obs] profile appended to {path}"),
+            Err(e) => eprintln!("[obs] could not write {path}: {e}"),
+        }
     }
 }
 

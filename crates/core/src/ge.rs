@@ -134,11 +134,7 @@ impl Default for McConfig {
 /// assert!(fit.model.slope() < 0.0, "truncation error has a negative slope");
 /// assert!(!fit.is_constant());
 /// ```
-pub fn fit_error_model(
-    multiplier: &dyn Multiplier,
-    cfg: McConfig,
-    rng: &mut StdRng,
-) -> ErrorFit {
+pub fn fit_error_model(multiplier: &dyn Multiplier, cfg: McConfig, rng: &mut StdRng) -> ErrorFit {
     assert!(cfg.sims > 0 && cfg.depth > 0 && cfg.cols > 0 && cfg.rows > 0);
     let lut = SignedLut::build(multiplier);
 
@@ -218,10 +214,13 @@ fn fit_piecewise(samples: &[(f32, f32)]) -> PiecewiseLinearError {
         return PiecewiseLinearError::constant(mean_e);
     }
 
-    // Plateaus from the error percentiles.
+    // Plateaus from the error percentiles, nearest-rank on the sorted
+    // errors. A flooring `as usize` cast here would bias the 95th
+    // percentile low at small sample counts (e.g. index 9 instead of 10 at
+    // n = 11); round to the nearest rank instead.
     let mut errs: Vec<f32> = samples.iter().map(|&(_, e)| e).collect();
     errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
-    let pct = |p: f32| errs[(((errs.len() - 1) as f32) * p) as usize];
+    let pct = |p: f32| errs[(((errs.len() - 1) as f32) * p).round() as usize];
     let lo = pct(0.05);
     let hi = pct(0.95);
     if lo >= hi {
@@ -238,6 +237,20 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(120)
+    }
+
+    #[test]
+    fn percentile_plateaus_use_nearest_rank_at_small_n() {
+        // 11 samples on the perfect line e = y (R² = 1, slope 1). Sorted
+        // errors are 0..=10; nearest-rank indices are round(10·0.05) = 1
+        // and round(10·0.95) = 10, so the plateaus must be 1 and 10. The
+        // old flooring cast picked indices 0 and 9 (plateaus 0 and 9),
+        // biasing the 95th-percentile plateau low.
+        let samples: Vec<(f32, f32)> = (0..=10).map(|i| (i as f32, i as f32)).collect();
+        let model = fit_piecewise(&samples);
+        assert!(!model.is_constant());
+        assert_eq!(model.value(-1e30), 1.0, "5th-percentile plateau");
+        assert_eq!(model.value(1e30), 10.0, "95th-percentile plateau");
     }
 
     #[test]

@@ -37,11 +37,7 @@ pub fn soft_cross_entropy(
     let p_student = softmax_rows(&scaled_student);
 
     let mut loss = 0.0f32;
-    for (pt, lps) in p_teacher
-        .as_slice()
-        .iter()
-        .zip(log_p_student.as_slice())
-    {
+    for (pt, lps) in p_teacher.as_slice().iter().zip(log_p_student.as_slice()) {
         loss -= pt * lps;
     }
     // d/ds [−T² Σ p_t · log σ(s/T)] = T · (σ(s/T) − p_t)

@@ -158,6 +158,7 @@ impl ExperimentEnv {
     /// folds batch norm — the paper's §IV preprocessing. Returns the FP
     /// test accuracy.
     pub fn train_fp(&mut self, cfg: &StageConfig) -> f32 {
+        let _span = axnn_obs::span("stage:fp_train");
         fine_tune(
             &mut self.fp_net,
             None,
@@ -251,6 +252,7 @@ impl ExperimentEnv {
         w_spec: QuantSpec,
     ) -> QuantStageResult {
         assert!(self.fp_logits.is_some(), "run train_fp first");
+        let _span = axnn_obs::span("stage:quantize");
         let mut student = self.copy_fp();
         quantize_network(&mut student, x_spec, w_spec);
         calibrate(&mut student, &self.train, cfg.batch, 2);
@@ -320,6 +322,7 @@ impl ExperimentEnv {
     /// Fits the gradient-estimation error model for a multiplier
     /// (50 Monte-Carlo simulations of one convolution, paper §IV-B).
     pub fn fit_ge(&self, spec: &MultiplierSpec) -> ErrorFit {
+        let _span = axnn_obs::span("ge_fit");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6e5);
         fit_error_model(spec.build().as_ref(), McConfig::default(), &mut rng)
     }
@@ -378,6 +381,7 @@ impl ExperimentEnv {
         teacher_source: TeacherSource,
         select: impl FnMut(usize, &str) -> bool,
     ) -> FineTuneResult {
+        let _span = axnn_obs::span("stage:approx_ft");
         let mut student = self.copy_quant();
         let error_model = method.uses_ge().then(|| self.fit_ge(spec).model);
         let multiplier = spec.build();
@@ -402,9 +406,7 @@ impl ExperimentEnv {
                 .quant_logits
                 .clone()
                 .expect("run quantization_stage first"),
-            TeacherSource::FullPrecision => {
-                self.fp_logits.clone().expect("run train_fp first")
-            }
+            TeacherSource::FullPrecision => self.fp_logits.clone().expect("run train_fp first"),
         };
         let teacher = method.temperature().map(|t2| (&teacher_logits, t2));
         let mut result = fine_tune(

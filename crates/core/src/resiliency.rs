@@ -45,9 +45,7 @@ impl ResiliencyReport {
 
     /// The most sensitive layer, if any.
     pub fn most_sensitive(&self) -> Option<&LayerSensitivity> {
-        self.layers
-            .iter()
-            .max_by(|a, b| a.drop.total_cmp(&b.drop))
+        self.layers.iter().max_by(|a, b| a.drop.total_cmp(&b.drop))
     }
 }
 

@@ -1,9 +1,7 @@
 //! MobileNetV2 (Sandler et al. \[7\]), CIFAR-10 adaptation.
 
 use crate::config::ModelConfig;
-use axnn_nn::{
-    ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Linear, Residual, Sequential,
-};
+use axnn_nn::{ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Linear, Residual, Sequential};
 use rand::Rng;
 
 /// One inverted-residual bottleneck: 1×1 expand (ReLU6) → 3×3 depthwise
@@ -110,7 +108,14 @@ pub fn mobilenet_v2(cfg: &ModelConfig, rng: &mut impl Rng) -> Sequential {
         let out_ch = cfg.ch(c);
         for i in 0..n {
             let stride = if i == 0 { s } else { 1 };
-            net.push(inverted_residual(in_ch, out_ch, stride, t, cfg.batch_norm, rng));
+            net.push(inverted_residual(
+                in_ch,
+                out_ch,
+                stride,
+                t,
+                cfg.batch_norm,
+                rng,
+            ));
             in_ch = out_ch;
         }
     }

@@ -1,9 +1,7 @@
 //! CIFAR-style ResNets (He et al. \[6\]): ResNet-20 and ResNet-32.
 
 use crate::config::ModelConfig;
-use axnn_nn::{
-    ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Linear, Residual, Sequential,
-};
+use axnn_nn::{ActivationKind, ConvBlock, Flatten, GlobalAvgPool, Linear, Residual, Sequential};
 use rand::Rng;
 
 /// Builds one basic block: two 3×3 conv(+BN) layers with a post-add ReLU.
@@ -82,7 +80,13 @@ pub fn resnet_cifar(n: usize, cfg: &ModelConfig, rng: &mut impl Rng) -> Sequenti
     for (stage, &out_ch) in widths.iter().enumerate() {
         for block in 0..n {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
-            net.push(Box::new(basic_block(in_ch, out_ch, stride, cfg.batch_norm, rng)));
+            net.push(Box::new(basic_block(
+                in_ch,
+                out_ch,
+                stride,
+                cfg.batch_norm,
+                rng,
+            )));
             in_ch = out_ch;
         }
     }

@@ -198,8 +198,7 @@ impl CosineSchedule {
     /// Learning rate at 0-based `epoch` (clamped to the horizon).
     pub fn lr_at(&self, epoch: usize) -> f32 {
         let e = epoch.min(self.horizon) as f32 / self.horizon as f32;
-        self.lr_min
-            + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * e).cos()) / 2.0
+        self.lr_min + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * e).cos()) / 2.0
     }
 }
 
@@ -284,10 +283,8 @@ mod tests {
     #[test]
     fn trait_object_dispatch() {
         let mut fc = Linear::new(2, 2, false, &mut StdRng::seed_from_u64(54));
-        let mut opts: Vec<Box<dyn Optimizer>> = vec![
-            Box::new(Sgd::new(0.1)),
-            Box::new(Adam::new(0.001)),
-        ];
+        let mut opts: Vec<Box<dyn Optimizer>> =
+            vec![Box::new(Sgd::new(0.1)), Box::new(Adam::new(0.001))];
         for opt in &mut opts {
             opt.set_learning_rate(0.5);
             assert_eq!(opt.learning_rate(), 0.5);

@@ -98,9 +98,7 @@ impl ConvBlock {
             .as_ref()
             .map(|b| b.value.as_slice().to_vec())
             .unwrap_or_else(|| vec![0.0; oc]);
-        let new_bias: Vec<f32> = (0..oc)
-            .map(|o| shift[o] + scale[o] * old_bias[o])
-            .collect();
+        let new_bias: Vec<f32> = (0..oc).map(|o| shift[o] + scale[o] * old_bias[o]).collect();
         self.conv.core_mut().bias = Some(Param::new_no_decay(
             Tensor::from_vec(new_bias, &[oc]).expect("bias length = OC"),
         ));
@@ -361,8 +359,18 @@ mod tests {
             x.as_mut_slice()[idx] = orig - eps;
             let ym = res.forward(&x, Mode::Eval);
             x.as_mut_slice()[idx] = orig;
-            let lp: f32 = yp.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ym.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = yp
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ym
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let got = dx.as_slice()[idx];
             assert!(

@@ -107,7 +107,10 @@ impl BatchNorm2d {
             for ci in 0..c {
                 let base = (ni * c + ci) * hw;
                 let m = means[ci];
-                vars[ci] += data[base..base + hw].iter().map(|&v| (v - m) * (v - m)).sum::<f32>();
+                vars[ci] += data[base..base + hw]
+                    .iter()
+                    .map(|&v| (v - m) * (v - m))
+                    .sum::<f32>();
             }
         }
         for v in &mut vars {
@@ -319,7 +322,11 @@ mod tests {
             bn.cache = None;
             bn.running_mean = saved_m;
             bn.running_var = saved_v;
-            y.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         for idx in [0usize, 5, x.len() - 1] {
             let orig = x.as_slice()[idx];

@@ -142,7 +142,17 @@ mod tests {
     fn net_with_bn(seed: u64) -> Sequential {
         let mut rng = StdRng::seed_from_u64(seed);
         Sequential::new(vec![
-            Box::new(ConvBlock::new(2, 4, 3, 1, 1, 1, true, ActivationKind::Relu, &mut rng)),
+            Box::new(ConvBlock::new(
+                2,
+                4,
+                3,
+                1,
+                1,
+                1,
+                true,
+                ActivationKind::Relu,
+                &mut rng,
+            )),
             Box::new(crate::GlobalAvgPool::new()),
             Box::new(crate::Flatten::new()),
             Box::new(Linear::new(4, 3, true, &mut rng)),

@@ -72,10 +72,8 @@ impl Conv2d {
         assert_eq!(in_channels % groups, 0, "in_channels % groups != 0");
         assert_eq!(out_channels % groups, 0, "out_channels % groups != 0");
         let geom = ConvGeometry::new(kernel, stride, pad);
-        let weight = init::kaiming_normal(
-            &[out_channels, in_channels / groups, kernel, kernel],
-            rng,
-        );
+        let weight =
+            init::kaiming_normal(&[out_channels, in_channels / groups, kernel, kernel], rng);
         let bias = bias.then(|| Tensor::zeros(&[out_channels]));
         let label = format!(
             "conv{k}x{k}({in_channels}->{out_channels})/s{s}g{groups}",
@@ -126,7 +124,11 @@ impl Layer for Conv2d {
             input.shape()[2],
             input.shape()[3],
         );
-        assert_eq!(c, self.in_channels, "channel mismatch in {}", self.core.label);
+        assert_eq!(
+            c, self.in_channels,
+            "channel mismatch in {}",
+            self.core.label
+        );
         let oh = self.geom.out_dim(h);
         let ow = self.geom.out_dim(w);
         let cg = self.in_channels / self.groups;
@@ -140,6 +142,7 @@ impl Layer for Conv2d {
             .reshape(&[self.out_channels, kpg])
             .expect("weight reshape is size-preserving");
 
+        let _span = axnn_obs::span2("fwd", &self.core.label);
         let mut group_caches = Vec::with_capacity(self.groups);
         let mut out_rows = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
@@ -149,6 +152,7 @@ impl Layer for Conv2d {
                 input.slice_channels(g * cg, (g + 1) * cg)
             };
             let col = im2col(&input_g, self.geom);
+            axnn_obs::count(axnn_obs::Counter::Im2colBytes, (col.len() * 4) as u64);
             let wmat_g = wmat.slice_outer(g * ocg, (g + 1) * ocg);
             let exec = self.core.executor.forward(&wmat_g, &col, mode);
             out_rows.push(exec.y.clone());
@@ -198,6 +202,7 @@ impl Layer for Conv2d {
             b.accumulate(&grad_out.sum_channels());
         }
 
+        let _span = axnn_obs::span2("bwd", &self.core.label);
         let dy_mat = nchw_to_gemm_out(grad_out); // [OC, M]
         let kpg = self.k_per_group();
         let mut dw_rows: Vec<Tensor> = Vec::with_capacity(self.groups);
@@ -207,9 +212,15 @@ impl Layer for Conv2d {
             if let Some(scale) = &gc.exec.grad_scale {
                 dy_g = dy_g.zip_map(scale, |d, s| d * s);
             }
+            if axnn_obs::enabled() {
+                // Two exact GEMMs (dW and dcol) of oc·k·m MACs each.
+                let m = dy_g.shape()[1];
+                axnn_obs::count(axnn_obs::Counter::GemmMacs, 2 * (ocg * kpg * m) as u64);
+            }
             // STE: differentiate the exact GEMM of the effective operands.
             dw_rows.push(gemm::matmul_nt(&dy_g, &gc.exec.col_eff)); // [OCg, Kpg]
             let dcol = gemm::matmul_tn(&gc.exec.wmat_eff, &dy_g); // [Kpg, M]
+            axnn_obs::count(axnn_obs::Counter::Im2colBytes, (dcol.len() * 4) as u64);
             dinput_groups.push(col2im(&dcol, &[n, cg, h, w], self.geom));
         }
 
@@ -331,8 +342,18 @@ mod tests {
             conv.core_mut().weight.value.as_mut_slice()[idx] = orig - eps;
             let ym = conv.forward(&x, Mode::Eval);
             conv.core_mut().weight.value.as_mut_slice()[idx] = orig;
-            let lp: f32 = yp.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ym.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = yp
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ym
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let got = analytic.as_slice()[idx];
             assert!(
@@ -360,8 +381,18 @@ mod tests {
             x.as_mut_slice()[idx] = orig - eps;
             let ym = conv.forward(&x, Mode::Eval);
             x.as_mut_slice()[idx] = orig;
-            let lp: f32 = yp.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ym.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = yp
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ym
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let got = dx.as_slice()[idx];
             assert!(
@@ -375,10 +406,7 @@ mod tests {
     fn mac_count_dense_and_grouped() {
         let conv = Conv2d::new(16, 32, 3, 1, 1, 1, false, &mut rng());
         // 32x32 input: 32*32*32 outputs * 16*9 taps
-        assert_eq!(
-            conv.mac_count(&[1, 16, 32, 32]),
-            32 * 32 * 32 * 16 * 9
-        );
+        assert_eq!(conv.mac_count(&[1, 16, 32, 32]), 32 * 32 * 32 * 16 * 9);
         let dw = Conv2d::new(16, 16, 3, 1, 1, 16, false, &mut rng());
         assert_eq!(dw.mac_count(&[1, 16, 32, 32]), 16 * 32 * 32 * 9);
     }

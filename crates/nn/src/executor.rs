@@ -94,6 +94,11 @@ impl ExactExecutor {
 
 impl LayerExecutor for ExactExecutor {
     fn forward(&mut self, wmat: &Tensor, col: &Tensor, _mode: Mode) -> ExecOutput {
+        if axnn_obs::enabled() {
+            let (oc, k) = (wmat.shape()[0], wmat.shape()[1]);
+            let m = col.shape()[1];
+            axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
         ExecOutput {
             y: gemm::matmul(wmat, col),
             wmat_eff: wmat.clone(),

@@ -54,7 +54,10 @@ impl Layer for MaxPool2d {
             input.shape()[3],
         );
         let k = self.kernel;
-        assert!(h % k == 0 && w % k == 0, "input not divisible by pool kernel");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "input not divisible by pool kernel"
+        );
         let (oh, ow) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];
@@ -127,7 +130,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Self {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -188,7 +194,9 @@ mod tests {
     fn maxpool_selects_maxima_and_routes_gradient() {
         let mut pool = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 2.0, 0.0, 0.0, 1.0, 1.0, 9.0, 0.0, 1.0, 1.0],
+            vec![
+                1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 2.0, 0.0, 0.0, 1.0, 1.0, 9.0, 0.0, 1.0, 1.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -41,9 +41,9 @@
 
 mod act;
 mod adam;
+mod block;
 mod bn;
 mod checkpoint;
-mod block;
 mod conv;
 mod executor;
 mod extra_layers;
@@ -61,8 +61,8 @@ pub mod train;
 
 pub use act::{Activation, ActivationKind};
 pub use adam::{Adam, CosineSchedule, Optimizer};
-pub use bn::BatchNorm2d;
 pub use block::{ConvBlock, Residual};
+pub use bn::BatchNorm2d;
 pub use checkpoint::{Checkpoint, RestoreCheckpointError};
 pub use conv::Conv2d;
 pub use executor::{ExactExecutor, ExecOutput, ExecutorKind, LayerExecutor};

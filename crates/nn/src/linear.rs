@@ -59,8 +59,12 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Linear expects [N, F] input");
         assert_eq!(input.shape()[1], self.in_features);
+        let _span = axnn_obs::span2("fwd", &self.core.label);
         let col = input.transpose2(); // [IN, N]
-        let exec = self.core.executor.forward(&self.core.weight.value, &col, mode);
+        let exec = self
+            .core
+            .executor
+            .forward(&self.core.weight.value, &col, mode);
         let mut out = exec.y.transpose2(); // [N, OUT]
         if let Some(b) = &self.core.bias {
             out.add_row_bias(&b.value);
@@ -78,12 +82,21 @@ impl Layer for Linear {
             .cache
             .take()
             .expect("Linear::backward called without a Train-mode forward");
+        let _span = axnn_obs::span2("bwd", &self.core.label);
         if let Some(b) = &mut self.core.bias {
             b.accumulate(&grad_out.sum_rows());
         }
         let mut dy = grad_out.transpose2(); // [OUT, N]
         if let Some(scale) = &exec.grad_scale {
             dy = dy.zip_map(scale, |d, s| d * s);
+        }
+        if axnn_obs::enabled() {
+            // Two exact GEMMs (dW and dx) of out·in·n MACs each.
+            let n = dy.shape()[1];
+            axnn_obs::count(
+                axnn_obs::Counter::GemmMacs,
+                2 * (self.out_features * self.in_features * n) as u64,
+            );
         }
         let dw = gemm::matmul_nt(&dy, &exec.col_eff); // [OUT, IN]
         self.core.weight.accumulate(&dw);
@@ -125,7 +138,8 @@ mod tests {
     fn forward_matches_manual_gemm() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut fc = Linear::new(3, 2, true, &mut rng);
-        fc.core_mut().bias.as_mut().unwrap().value = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        fc.core_mut().bias.as_mut().unwrap().value =
+            Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
         let x = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
         let y = fc.forward(&x, Mode::Eval);
         let mut want = gemm::matmul_nt(&x, &fc.core().weight.value);

@@ -198,8 +198,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
         assert_eq!(accuracy(&logits, &[2, 0]), 1.0);
         assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
         assert_eq!(accuracy(&logits, &[0, 1]), 0.0);

@@ -198,7 +198,13 @@ mod tests {
         assert_eq!(cm.count(1, 2), 1);
         assert_eq!(cm.count(2, 0), 1);
         assert_eq!(cm.accuracy(), 0.5);
-        assert!(cm.worst_confusion().map(|(t, p, _)| (t, p)).unwrap_or((9, 9)).0 < 3);
+        assert!(
+            cm.worst_confusion()
+                .map(|(t, p, _)| (t, p))
+                .unwrap_or((9, 9))
+                .0
+                < 3
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Layer for AvgPool2d {
             input.shape()[3],
         );
         let k = self.kernel;
-        assert!(h % k == 0 && w % k == 0, "input not divisible by pool kernel");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "input not divisible by pool kernel"
+        );
         let (oh, ow) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let src = input.as_slice();
@@ -194,7 +197,9 @@ impl Layer for Flatten {
         let n = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
         self.cache_shape = (mode == Mode::Train).then(|| input.shape().to_vec());
-        input.reshape(&[n, rest]).expect("flatten is size-preserving")
+        input
+            .reshape(&[n, rest])
+            .expect("flatten is size-preserving")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -222,7 +227,10 @@ mod tests {
     fn avg_pool_averages() {
         let mut pool = AvgPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

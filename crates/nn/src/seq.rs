@@ -189,7 +189,12 @@ impl Layer for Sequential {
 
 impl fmt::Debug for Sequential {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sequential[{} layers: {}]", self.layers.len(), self.describe())
+        write!(
+            f,
+            "Sequential[{} layers: {}]",
+            self.layers.len(),
+            self.describe()
+        )
     }
 }
 

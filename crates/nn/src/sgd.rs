@@ -168,7 +168,12 @@ mod tests {
             fc.backward(&(&diff * 2.0));
             opt.step(&mut fc);
         }
-        assert!(losses[99] < losses[0] * 0.01, "{} -> {}", losses[0], losses[99]);
+        assert!(
+            losses[99] < losses[0] * 0.01,
+            "{} -> {}",
+            losses[0],
+            losses[99]
+        );
     }
 
     impl Linear {
@@ -200,7 +205,10 @@ mod tests {
         let mut opt = Sgd::new(0.1).weight_decay(0.5);
         fc.zero_grad_all();
         opt.step(&mut fc);
-        assert_eq!(fc.core().bias.as_ref().unwrap().value.as_slice(), &[1.0, 1.0]);
+        assert_eq!(
+            fc.core().bias.as_ref().unwrap().value.as_slice(),
+            &[1.0, 1.0]
+        );
     }
 
     #[test]

@@ -87,21 +87,30 @@ impl TrainTrace {
     }
 
     /// Renders the trace as CSV (`label,epoch,train_loss,test_accuracy,lr`;
-    /// missing accuracies render empty).
+    /// missing accuracies render empty). The label is RFC-4180 quoted, so
+    /// labels containing `,` or `"` survive unscathed.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("label,epoch,train_loss,test_accuracy,learning_rate\n");
+        let label = csv_field(&self.label);
         for r in &self.records {
-            let acc = r
-                .test_accuracy
-                .map(|a| format!("{a}"))
-                .unwrap_or_default();
+            let acc = r.test_accuracy.map(|a| format!("{a}")).unwrap_or_default();
             let _ = writeln!(
                 out,
                 "{},{},{},{},{}",
-                self.label, r.epoch, r.train_loss, acc, r.learning_rate
+                label, r.epoch, r.train_loss, acc, r.learning_rate
             );
         }
         out
+    }
+}
+
+/// RFC-4180 field quoting: wrap in quotes when the field contains a comma,
+/// quote, or line break; double embedded quotes. Plain fields pass through.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -154,6 +163,64 @@ mod tests {
         assert!(lines[0].starts_with("label,epoch"));
         assert!(lines[1].starts_with("m1,1,2,0.5,"));
         assert!(lines[2].contains("m1,2,1.5,,"));
+    }
+
+    /// Minimal RFC-4180 field splitter for one CSV line (enough to verify
+    /// the writer: honors quoted fields and doubled quotes).
+    fn split_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut quoted = false;
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    #[test]
+    fn csv_label_with_comma_and_quote_round_trips() {
+        let mut t = TrainTrace::new("resnet20,trunc5");
+        t.push(record(1, 2.0, Some(0.5)));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "one header + one record");
+        let fields = split_csv_line(lines[1]);
+        assert_eq!(fields.len(), 5, "comma in label must not add a column");
+        assert_eq!(fields[0], "resnet20,trunc5");
+        assert_eq!(fields[1], "1");
+
+        let mut t = TrainTrace::new("say \"cheese\", twice");
+        t.push(record(1, 1.0, None));
+        let csv = t.to_csv();
+        let fields = split_csv_line(csv.lines().nth(1).expect("record row"));
+        assert_eq!(fields.len(), 5);
+        assert_eq!(fields[0], "say \"cheese\", twice");
+    }
+
+    #[test]
+    fn csv_plain_label_stays_unquoted() {
+        let mut t = TrainTrace::new("resnet20/trunc5");
+        t.push(record(1, 2.0, None));
+        assert!(t
+            .to_csv()
+            .lines()
+            .nth(1)
+            .expect("row")
+            .starts_with("resnet20/trunc5,1,"));
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub fn train_epoch(
     opt: &mut Sgd,
     loss_fn: &mut LossFn<'_>,
 ) -> f32 {
+    let _span = axnn_obs::span("train_epoch");
     let mut total = 0.0f32;
     let mut batches = 0usize;
     for (x, y) in data.batches(batch) {
@@ -104,6 +105,7 @@ pub fn train_epoch(
 
 /// Evaluates classification accuracy over a dataset in [`Mode::Eval`].
 pub fn evaluate(net: &mut Sequential, data: &Dataset, batch: usize) -> f32 {
+    let _span = axnn_obs::span("evaluate");
     let mut correct = 0.0f32;
     let mut count = 0usize;
     for (x, y) in data.batches(batch) {
@@ -197,10 +199,13 @@ mod tests {
     fn batches_cover_all_examples() {
         let mut rng = StdRng::seed_from_u64(51);
         let data = toy_data(10, &mut rng);
-        let sizes: Vec<usize> = data.batches(4).map(|(x, y)| {
-            assert_eq!(x.shape()[0], y.len());
-            y.len()
-        }).collect();
+        let sizes: Vec<usize> = data
+            .batches(4)
+            .map(|(x, y)| {
+                assert_eq!(x.shape()[0], y.len());
+                y.len()
+            })
+            .collect();
         assert_eq!(sizes, vec![4, 4, 2]);
     }
 

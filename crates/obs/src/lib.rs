@@ -1,0 +1,281 @@
+//! # axnn-obs
+//!
+//! A lightweight observability layer for the ApproxNN workspace: scoped
+//! timers ([`span`]), monotonic operation counters ([`count`]), and a
+//! [`RunProfile`] snapshot that serializes to JSONL/CSV for the `results/`
+//! trajectory.
+//!
+//! ## Design constraints
+//!
+//! - **The disabled path costs nothing measurable.** Profiling is off by
+//!   default; every instrumentation site starts with one relaxed atomic
+//!   load ([`enabled`]) and bails out before allocating, formatting, or
+//!   reading the clock. The `gemm_threads` bench records the measured
+//!   enabled-vs-disabled overhead as `profile_overhead_pct`.
+//! - **Profiling never touches numerics.** Instrumentation only *observes*
+//!   — all kernels compute exactly the same bits whether profiling is on or
+//!   off (asserted by `tests/thread_invariance.rs`).
+//! - **Counters aggregate deterministically under `axnn_par`.** Counter
+//!   increments are order-insensitive integer sums into process-global
+//!   atomics, and the hot kernels derive their increments *analytically*
+//!   outside the parallel region (e.g. `nonzero_weights × columns` for the
+//!   approximate GEMM), so totals are bit-identical for any thread count.
+//!
+//! ## Example
+//!
+//! ```
+//! axnn_obs::reset();
+//! axnn_obs::set_enabled(true);
+//! {
+//!     let _s = axnn_obs::span("demo");
+//!     axnn_obs::count(axnn_obs::Counter::GemmMacs, 1024);
+//! }
+//! axnn_obs::set_enabled(false);
+//! let profile = axnn_obs::RunProfile::capture("doc-example");
+//! assert_eq!(profile.counters.gemm_macs, 1024);
+//! assert_eq!(profile.spans[0].name, "demo");
+//! assert_eq!(profile.spans[0].count, 1);
+//! ```
+
+mod profile;
+
+pub use profile::{CounterTotals, RunProfile, SpanRecord};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether profiling is currently enabled. One relaxed atomic load — this
+/// is the only cost instrumentation sites pay when profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profiling on or off (process-global). Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The monotonic operation counters the workspace tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Approximate multiplications executed (LUT-served products; zero
+    /// weight codes are skipped by the kernels and not counted).
+    ApproxMuls,
+    /// Bytes served out of multiplier LUT rows (4 bytes per approximate
+    /// product).
+    LutBytes,
+    /// Exact f32 GEMM multiply-accumulates (forward and backward).
+    GemmMacs,
+    /// Bytes moved by im2col / col2im lowering.
+    Im2colBytes,
+}
+
+const N_COUNTERS: usize = 4;
+
+static TOTALS: [AtomicU64; N_COUNTERS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Adds `n` to a counter when profiling is enabled; a no-op otherwise.
+///
+/// The sum is order-insensitive, so concurrent increments from `axnn_par`
+/// workers aggregate deterministically for any thread count — provided the
+/// *increments themselves* do not depend on the partition (derive them from
+/// the workload, not from per-thread state).
+#[inline]
+pub fn count(counter: Counter, n: u64) {
+    if enabled() {
+        TOTALS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of one counter.
+pub fn counter(counter: Counter) -> u64 {
+    TOTALS[counter as usize].load(Ordering::Relaxed)
+}
+
+/// Snapshot of all counters.
+pub fn counter_totals() -> CounterTotals {
+    CounterTotals {
+        approx_muls: counter(Counter::ApproxMuls),
+        lut_bytes: counter(Counter::LutBytes),
+        gemm_macs: counter(Counter::GemmMacs),
+        im2col_bytes: counter(Counter::Im2colBytes),
+    }
+}
+
+/// Accumulated statistics of one span label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SpanStat {
+    count: u64,
+    total_ns: u128,
+}
+
+fn span_registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Clears all counters and span statistics (typically before a run that
+/// will be captured into a [`RunProfile`]).
+pub fn reset() {
+    for t in &TOTALS {
+        t.store(0, Ordering::Relaxed);
+    }
+    span_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// A scoped timer: measures from construction to drop and folds the elapsed
+/// time into the process-global registry under its label.
+///
+/// Construct through [`span`] or [`span2`]; when profiling is disabled the
+/// guard is inert (no clock read, no allocation, no lock).
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    state: Option<(String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((label, start)) = self.state.take() {
+            let elapsed = start.elapsed().as_nanos();
+            let mut reg = span_registry().lock().unwrap_or_else(|e| e.into_inner());
+            let stat = reg.entry(label).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed;
+        }
+    }
+}
+
+/// Opens a span under `label`. Inert when profiling is disabled.
+#[inline]
+pub fn span(label: &str) -> Span {
+    if !enabled() {
+        return Span { state: None };
+    }
+    Span {
+        state: Some((label.to_string(), Instant::now())),
+    }
+}
+
+/// Opens a span under the two-part label `prefix:name` (the per-layer
+/// convention: `fwd:conv3x3(16->32)/s1g1`). Formats only when enabled.
+#[inline]
+pub fn span2(prefix: &str, name: &str) -> Span {
+    if !enabled() {
+        return Span { state: None };
+    }
+    Span {
+        state: Some((format!("{prefix}:{name}"), Instant::now())),
+    }
+}
+
+/// Sorted snapshot of the span registry as serializable records.
+pub(crate) fn span_records() -> Vec<SpanRecord> {
+    let reg = span_registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .map(|(name, stat)| SpanRecord {
+            name: name.clone(),
+            count: stat.count,
+            total_ms: stat.total_ns as f64 / 1e6,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The enable flag, counters and span registry are process-global;
+    /// serialize the tests that mutate them.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_sites_record_nothing() {
+        let _g = serial();
+        reset();
+        set_enabled(false);
+        count(Counter::ApproxMuls, 42);
+        {
+            let _s = span("ignored");
+        }
+        assert_eq!(counter(Counter::ApproxMuls), 0);
+        assert!(span_records().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = serial();
+        reset();
+        set_enabled(true);
+        count(Counter::GemmMacs, 10);
+        count(Counter::GemmMacs, 5);
+        count(Counter::LutBytes, 7);
+        set_enabled(false);
+        assert_eq!(counter(Counter::GemmMacs), 15);
+        assert_eq!(counter(Counter::LutBytes), 7);
+        let totals = counter_totals();
+        assert_eq!(totals.gemm_macs, 15);
+        assert_eq!(totals.lut_bytes, 7);
+        assert_eq!(totals.approx_muls, 0);
+        reset();
+        assert_eq!(counter_totals(), CounterTotals::default());
+    }
+
+    #[test]
+    fn spans_fold_by_label_in_sorted_order() {
+        let _g = serial();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("b");
+        }
+        {
+            let _s = span2("a", "layer");
+        }
+        set_enabled(false);
+        let records = span_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "a:layer");
+        assert_eq!(records[0].count, 1);
+        assert_eq!(records[1].name, "b");
+        assert_eq!(records[1].count, 3);
+        assert!(records[1].total_ms >= 0.0);
+    }
+
+    #[test]
+    fn counters_sum_identically_across_thread_interleavings() {
+        let _g = serial();
+        reset();
+        set_enabled(true);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        count(Counter::ApproxMuls, 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("counter thread");
+        }
+        set_enabled(false);
+        assert_eq!(counter(Counter::ApproxMuls), 4 * 1000 * 3);
+    }
+}

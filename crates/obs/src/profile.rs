@@ -1,0 +1,225 @@
+//! Run-level aggregation: a [`RunProfile`] snapshots the process-global
+//! counters and span registry into a serializable record.
+//!
+//! The JSON/CSV emitters are hand-written (the workspace convention for
+//! flat machine-readable artifacts, cf. `results/BENCH_gemm.json`): the
+//! crate stays zero-dependency beyond `serde`, and the emitted bytes do
+//! not depend on which serde backend a build links.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Snapshot of every [`Counter`](crate::Counter) total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterTotals {
+    /// Approximate multiplications executed (zero weight codes excluded).
+    pub approx_muls: u64,
+    /// Bytes served from multiplier LUT rows (4 per approximate product).
+    pub lut_bytes: u64,
+    /// Exact f32 multiply-accumulates in forward/backward GEMMs.
+    pub gemm_macs: u64,
+    /// Bytes moved by im2col / col2im lowering.
+    pub im2col_bytes: u64,
+}
+
+/// Aggregated statistics of one span label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span label, e.g. `fwd:conv3x3(16->32)/s1` or `stage:quantize`.
+    pub name: String,
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total wall-clock across all entries, milliseconds.
+    pub total_ms: f64,
+}
+
+/// A captured profile of one run: label, counter totals, sorted spans.
+///
+/// Serializes to one JSON object per line ([`RunProfile::to_json`] /
+/// [`RunProfile::append_jsonl`]) or a flat CSV ([`RunProfile::to_csv`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Free-form run label (multiplier name, bench id, ...).
+    pub label: String,
+    /// Counter totals at capture time.
+    pub counters: CounterTotals,
+    /// Span statistics, sorted by label for deterministic output.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RunProfile {
+    /// Snapshots the current process-global counters and spans under
+    /// `label`. Does not reset them — call [`crate::reset`] first to scope
+    /// a profile to one run.
+    pub fn capture(label: &str) -> Self {
+        RunProfile {
+            label: label.to_string(),
+            counters: crate::counter_totals(),
+            spans: crate::span_records(),
+        }
+    }
+
+    /// One-line JSON object (JSONL-friendly; keys in fixed order).
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\": {}, \"count\": {}, \"total_ms\": {:.6}}}",
+                    json_string(&s.name),
+                    s.count,
+                    s.total_ms
+                )
+            })
+            .collect();
+        format!(
+            "{{\"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}}}, \"spans\": [{}]}}",
+            json_string(&self.label),
+            c.approx_muls,
+            c.lut_bytes,
+            c.gemm_macs,
+            c.im2col_bytes,
+            spans.join(", ")
+        )
+    }
+
+    /// Flat CSV: a header, one `counter` row per counter, one `span` row
+    /// per span label. Text fields are RFC-4180 quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,kind,name,count,total_ms,value\n");
+        let label = csv_field(&self.label);
+        let c = &self.counters;
+        for (name, value) in [
+            ("approx_muls", c.approx_muls),
+            ("lut_bytes", c.lut_bytes),
+            ("gemm_macs", c.gemm_macs),
+            ("im2col_bytes", c.im2col_bytes),
+        ] {
+            out.push_str(&format!("{label},counter,{name},,,{value}\n"));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{label},span,{},{},{:.6},\n",
+                csv_field(&s.name),
+                s.count,
+                s.total_ms
+            ));
+        }
+        out
+    }
+
+    /// Appends `self` as one JSONL line to `path`, creating parent
+    /// directories as needed.
+    pub fn append_jsonl<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// RFC-4180 field quoting: wrap in quotes when the field contains a comma,
+/// quote, or newline; double embedded quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunProfile {
+        RunProfile {
+            label: "resnet8,trunc5".to_string(),
+            counters: CounterTotals {
+                approx_muls: 100,
+                lut_bytes: 400,
+                gemm_macs: 7,
+                im2col_bytes: 0,
+            },
+            spans: vec![
+                SpanRecord {
+                    name: "fwd:conv3x3".to_string(),
+                    count: 2,
+                    total_ms: 1.5,
+                },
+                SpanRecord {
+                    name: "with \"quote\"".to_string(),
+                    count: 1,
+                    total_ms: 0.25,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_one_line_with_escapes() {
+        let j = sample().to_json();
+        assert!(!j.contains('\n'), "JSONL record must be one line");
+        assert!(j.starts_with("{\"label\": \"resnet8,trunc5\""));
+        assert!(j.contains("\"approx_muls\": 100"));
+        assert!(j.contains("\"with \\\"quote\\\"\""));
+        assert!(j.contains("\"total_ms\": 1.500000"));
+    }
+
+    #[test]
+    fn csv_quotes_commas_and_doubles_quotes() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,kind,name,count,total_ms,value"));
+        assert_eq!(
+            lines.next(),
+            Some("\"resnet8,trunc5\",counter,approx_muls,,,100")
+        );
+        assert!(csv.contains("\"with \"\"quote\"\"\",1,0.250000,"));
+        // 1 header + 4 counters + 2 spans
+        assert_eq!(csv.lines().count(), 7);
+    }
+
+    #[test]
+    fn append_jsonl_creates_dirs_and_appends() {
+        let dir = std::env::temp_dir().join("axnn_obs_profile_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("run.jsonl");
+        let p = sample();
+        p.append_jsonl(&path).expect("first append");
+        p.append_jsonl(&path).expect("second append");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().all(|l| l == p.to_json()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -62,7 +62,9 @@ fn default_threads() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             })
             .min(MAX_THREADS)
     })
@@ -77,13 +79,18 @@ pub fn num_threads() -> usize {
     }
 }
 
-/// Programmatically overrides the worker count (clamped to
-/// `1..=`[`MAX_THREADS`]). Takes precedence over `AXNN_THREADS`.
+/// Programmatically overrides the worker count (capped at
+/// [`MAX_THREADS`]). Takes precedence over `AXNN_THREADS`.
+///
+/// `set_threads(0)` **clears the override**: [`num_threads`] falls back to
+/// the `AXNN_THREADS` / available-parallelism default, matching its
+/// documented resolution order. (It used to clamp to 1, silently pinning
+/// everything after a "restore default" call to a single worker.)
 ///
 /// Changing the count between parallel calls is safe: results do not depend
 /// on it (see the module docs), only throughput does.
 pub fn set_threads(n: usize) {
-    THREAD_OVERRIDE.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    THREAD_OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
 }
 
 /// Completion latch for one broadcast: counts outstanding worker tasks.
@@ -226,7 +233,10 @@ pub fn broadcast<F: Fn(usize) + Sync>(parts: usize, f: F) {
 /// assert_eq!(axnn_par::split_range(10, 3, 2), 7..10);
 /// ```
 pub fn split_range(n: usize, parts: usize, part: usize) -> Range<usize> {
-    assert!(parts > 0 && part < parts, "invalid partition {part}/{parts}");
+    assert!(
+        parts > 0 && part < parts,
+        "invalid partition {part}/{parts}"
+    );
     let base = n / parts;
     let extra = n % parts;
     let start = part * base + part.min(extra);
@@ -340,10 +350,22 @@ mod tests {
         let _g = serial();
         set_threads(3);
         assert_eq!(num_threads(), 3);
-        set_threads(0);
-        assert_eq!(num_threads(), 1, "zero clamps to one");
         set_threads(1_000_000);
         assert_eq!(num_threads(), MAX_THREADS);
+        set_threads(4);
+    }
+
+    #[test]
+    fn set_threads_zero_restores_default() {
+        let _g = serial();
+        // Capture the default with no override in place, then check that
+        // `set_threads(0)` returns to it rather than clamping to 1.
+        set_threads(0);
+        let default = num_threads();
+        set_threads(4);
+        assert_eq!(num_threads(), 4);
+        set_threads(0);
+        assert_eq!(num_threads(), default, "zero must clear the override");
         set_threads(4);
     }
 

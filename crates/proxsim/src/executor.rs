@@ -2,8 +2,8 @@
 
 use crate::error_model::PiecewiseLinearError;
 use crate::gemm::{approx_matmul, approx_matmul_with_adder};
-use axnn_axmul::adder::Adder;
 use crate::signed_lut::SignedLut;
+use axnn_axmul::adder::Adder;
 use axnn_axmul::Multiplier;
 use axnn_nn::{ExecOutput, ExecutorKind, Layer, LayerExecutor, Mode, Sequential};
 use axnn_quant::{ActRangeCalibrator, QuantSpec, Quantizer};
@@ -128,6 +128,9 @@ impl LayerExecutor for ApproxExecutor {
         // scale-invariant across layers, so evaluate on y_exact / scale.
         let grad_scale = match &self.error_model {
             Some(model) if !model.is_constant() => {
+                if axnn_obs::enabled() {
+                    axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+                }
                 let mut y_codes = gemm::matmul(&w_eff, &col_eff);
                 y_codes.scale(1.0 / scale);
                 Some(model.grad_scale(&y_codes))
@@ -178,10 +181,7 @@ pub fn approximate_network_where(
     let mut index = 0usize;
     net.visit_gemm_cores(&mut |core| {
         if select(index, &core.label) {
-            core.set_executor(Box::new(ApproxExecutor::new(
-                Arc::clone(&lut),
-                error_model,
-            )));
+            core.set_executor(Box::new(ApproxExecutor::new(Arc::clone(&lut), error_model)));
         }
         index += 1;
     });
@@ -242,12 +242,18 @@ mod tests {
         let l = lut(&TruncatedMul::new(5));
 
         let mut no_model = ApproxExecutor::new(Arc::clone(&l), None);
-        assert!(no_model.forward(&wmat, &col, Mode::Train).grad_scale.is_none());
+        assert!(no_model
+            .forward(&wmat, &col, Mode::Train)
+            .grad_scale
+            .is_none());
 
         let constant = PiecewiseLinearError::constant(-0.3);
         let mut const_model = ApproxExecutor::new(Arc::clone(&l), Some(constant));
         assert!(
-            const_model.forward(&wmat, &col, Mode::Train).grad_scale.is_none(),
+            const_model
+                .forward(&wmat, &col, Mode::Train)
+                .grad_scale
+                .is_none(),
             "constant model is STE; no scale materialised"
         );
 

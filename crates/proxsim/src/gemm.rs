@@ -66,12 +66,25 @@ pub fn approx_matmul(
     if oc == 0 || m == 0 {
         return Tensor::from_vec(out, &[oc, m]).expect("size computed above");
     }
+    count_approx_ops(w_codes, m);
     let xi = pack_x(col_codes);
     axnn_par::par_chunks_mut(&mut out, IB * m, |blk, out_blk| {
         let rows = out_blk.len() / m;
         approx_rows(w_codes, &xi, blk * IB, rows, k, m, lut, scale, out_blk);
     });
     Tensor::from_vec(out, &[oc, m]).expect("size computed above")
+}
+
+/// Observability: one approximate (LUT-served) product per nonzero weight
+/// code and output column, 4 LUT bytes each. Derived analytically from the
+/// workload *before* the parallel region, so the totals are bit-identical
+/// for any thread count; a disabled profiler costs one relaxed load.
+fn count_approx_ops(w_codes: &[i32], m: usize) {
+    if axnn_obs::enabled() {
+        let nnz = w_codes.iter().filter(|&&w| w != 0).count() as u64;
+        axnn_obs::count(axnn_obs::Counter::ApproxMuls, nnz * m as u64);
+        axnn_obs::count(axnn_obs::Counter::LutBytes, nnz * m as u64 * 4);
+    }
 }
 
 /// LUT row for weight code `w`, with `w = 0` redirected to [`ZERO_ROW`].
@@ -215,6 +228,7 @@ pub fn approx_matmul_with_adder(
     if oc == 0 || m == 0 {
         return Tensor::from_vec(out, &[oc, m]).expect("size computed above");
     }
+    count_approx_ops(w_codes, m);
     let xi = pack_x(col_codes);
     axnn_par::par_chunks_mut(&mut out, m, |i, out_row| {
         let w_row_codes = &w_codes[i * k..(i + 1) * k];
@@ -339,7 +353,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let span = (2 * limit + 1) as u64;
                 ((state >> 33) % span) as i32 - limit
             })
@@ -422,10 +438,16 @@ mod tests {
             SignedLut::build(&EvoLikeMul::calibrated(228, 0.19)),
         ];
         let adders: [&dyn Adder; 3] = [&ExactAdder, &LoaAdder::new(4), &TruncAdder::new(3)];
-        for (shape_idx, &(oc, k, m)) in
-            [(1, 1, 1), (2, 3, 2), (4, 8, 16), (5, 7, 9), (9, 13, 300), (16, 20, 6)]
-                .iter()
-                .enumerate()
+        for (shape_idx, &(oc, k, m)) in [
+            (1, 1, 1),
+            (2, 3, 2),
+            (4, 8, 16),
+            (5, 7, 9),
+            (9, 13, 300),
+            (16, 20, 6),
+        ]
+        .iter()
+        .enumerate()
         {
             let w = lcg_codes(oc * k, 7, shape_idx as u64 + 1);
             let x = lcg_codes(k * m, 127, shape_idx as u64 + 100);

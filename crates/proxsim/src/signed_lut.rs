@@ -51,8 +51,14 @@ impl SignedLut {
 
     #[inline]
     fn index(x: i32, w: i32) -> usize {
-        debug_assert!((-X_OFFSET..X_OFFSET).contains(&x), "x code {x} out of range");
-        debug_assert!((-W_OFFSET..W_OFFSET).contains(&w), "w code {w} out of range");
+        debug_assert!(
+            (-X_OFFSET..X_OFFSET).contains(&x),
+            "x code {x} out of range"
+        );
+        debug_assert!(
+            (-W_OFFSET..W_OFFSET).contains(&w),
+            "w code {w} out of range"
+        );
         ((w + W_OFFSET) as usize) * X_SPAN + ((x + X_OFFSET) as usize)
     }
 
@@ -76,7 +82,10 @@ impl SignedLut {
     /// Panics (in debug builds) if `w ∉ [−8, 7]`.
     #[inline]
     pub fn w_row(&self, w: i32) -> &[i32] {
-        debug_assert!((-W_OFFSET..W_OFFSET).contains(&w), "w code {w} out of range");
+        debug_assert!(
+            (-W_OFFSET..W_OFFSET).contains(&w),
+            "w code {w} out of range"
+        );
         let base = ((w + W_OFFSET) as usize) * X_SPAN;
         &self.table[base..base + X_SPAN]
     }

@@ -48,14 +48,11 @@ impl ActRangeCalibrator {
 
     /// Picks the winning quantizer. Returns `None` if nothing was observed.
     pub fn freeze(&self, spec: QuantSpec) -> Option<Quantizer> {
-        let (&best_exp, _) = self
-            .scores
-            .iter()
-            .min_by(|a, b| {
-                let ma = a.1 .0 / a.1 .1 as f64;
-                let mb = b.1 .0 / b.1 .1 as f64;
-                ma.partial_cmp(&mb).expect("scores are finite")
-            })?;
+        let (&best_exp, _) = self.scores.iter().min_by(|a, b| {
+            let ma = a.1 .0 / a.1 .1 as f64;
+            let mb = b.1 .0 / b.1 .1 as f64;
+            ma.partial_cmp(&mb).expect("scores are finite")
+        })?;
         Some(Quantizer::with_step(2f32.powi(best_exp), spec))
     }
 }
@@ -178,6 +175,11 @@ impl LayerExecutor for QuantExecutor {
             Some(q) => q.fake_quant_tensor(col),
             None => col.clone(),
         };
+        if axnn_obs::enabled() {
+            let (oc, k) = (wmat.shape()[0], wmat.shape()[1]);
+            let m = col.shape()[1];
+            axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
         ExecOutput {
             y: gemm::matmul(&w_eff, &col_eff),
             wmat_eff: w_eff,
@@ -328,7 +330,7 @@ mod tests {
     fn quantize_network_per_channel_swaps_cores() {
         let mut rng = StdRng::seed_from_u64(66);
         let mut net = Sequential::new(vec![
-            Box::new(Linear::new(4, 4, true, &mut rng)) as Box<dyn axnn_nn::Layer>,
+            Box::new(Linear::new(4, 4, true, &mut rng)) as Box<dyn axnn_nn::Layer>
         ]);
         quantize_network_per_channel(
             &mut net,

@@ -120,7 +120,11 @@ impl Quantizer {
     /// Quantizes a tensor to integer codes (stored as exact `f32` integers
     /// alongside an `i32` vector for LUT indexing).
     pub fn quantize_tensor(&self, t: &Tensor) -> (Vec<i32>, Tensor) {
-        let codes: Vec<i32> = t.as_slice().iter().map(|&x| self.quantize_code(x)).collect();
+        let codes: Vec<i32> = t
+            .as_slice()
+            .iter()
+            .map(|&x| self.quantize_code(x))
+            .collect();
         let deq = Tensor::from_vec(
             codes.iter().map(|&c| self.dequantize(c)).collect(),
             t.shape(),

@@ -88,7 +88,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul inner dimension mismatch: {:?} x {:?}",
         a.shape(),
         b.shape()
@@ -122,7 +123,14 @@ fn dispatch_nn(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize,
 /// operation sequence, wider registers.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn kernel_nn_avx2(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+unsafe fn kernel_nn_avx2(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
     kernel_nn::<MR_WIDE, NR_WIDE>(av, bv, c_block, i0, k, n);
 }
 
@@ -202,7 +210,15 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Routes one row block to the widest kernel the CPU supports.
-fn dispatch_tn(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, m: usize, n: usize) {
+fn dispatch_tn(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
     #[cfg(target_arch = "x86_64")]
     if has_avx2() {
         // SAFETY: guarded by the runtime AVX2 check above.
@@ -313,7 +329,14 @@ fn dispatch_nt(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize,
 /// The scalar body of [`kernel_nt`] recompiled with AVX2 enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn kernel_nt_avx2(av: &[f32], bv: &[f32], c_block: &mut [f32], i0: usize, k: usize, n: usize) {
+unsafe fn kernel_nt_avx2(
+    av: &[f32],
+    bv: &[f32],
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
     kernel_nt::<MR_WIDE>(av, bv, c_block, i0, k, n);
 }
 
@@ -467,7 +490,9 @@ mod tests {
     /// Deterministic pseudo-random tensor (no `rand` needed here).
     fn lcg_tensor(shape: &[usize], seed: u64) -> Tensor {
         let n: usize = shape.iter().product();
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let data: Vec<f32> = (0..n)
             .map(|_| {
                 state = state
@@ -540,8 +565,14 @@ mod tests {
             let fast = matmul(&a, &b);
             let slow = reference::matmul(&a, &b);
             assert_eq!(
-                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                slow.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
                 "matmul {m}x{k}x{n}"
             );
 
@@ -549,8 +580,14 @@ mod tests {
             let fast = matmul_tn(&at, &b);
             let slow = reference::matmul_tn(&at, &b);
             assert_eq!(
-                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                slow.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
                 "matmul_tn {m}x{k}x{n}"
             );
 
@@ -558,8 +595,14 @@ mod tests {
             let fast = matmul_nt(&a, &bt);
             let slow = reference::matmul_nt(&a, &bt);
             assert_eq!(
-                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                slow.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                slow.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
                 "matmul_nt {m}x{k}x{n}"
             );
         }
@@ -576,8 +619,14 @@ mod tests {
             axnn_par::set_threads(threads);
             let many = matmul(&a, &b);
             assert_eq!(
-                one.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                many.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                one.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                many.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
                 "threads={threads}"
             );
         }
@@ -586,7 +635,13 @@ mod tests {
 
     #[test]
     fn zero_sized_dims_yield_zeros() {
-        assert_eq!(matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2])).shape(), &[0, 2]);
-        assert_eq!(matmul(&Tensor::zeros(&[2, 0]), &Tensor::zeros(&[0, 3])).as_slice(), &[0.0; 6]);
+        assert_eq!(
+            matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2])).shape(),
+            &[0, 2]
+        );
+        assert_eq!(
+            matmul(&Tensor::zeros(&[2, 0]), &Tensor::zeros(&[0, 3])).as_slice(),
+            &[0.0; 6]
+        );
     }
 }

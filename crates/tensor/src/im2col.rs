@@ -267,11 +267,7 @@ mod tests {
                                 for kw in 0..k {
                                     let ih = (y * geom.stride + kh) as isize - geom.pad as isize;
                                     let iw = (x * geom.stride + kw) as isize - geom.pad as isize;
-                                    if ih < 0
-                                        || iw < 0
-                                        || ih as usize >= h
-                                        || iw as usize >= w
-                                    {
+                                    if ih < 0 || iw < 0 || ih as usize >= h || iw as usize >= w {
                                         continue;
                                     }
                                     acc += input.at(&[ni, ci, ih as usize, iw as usize])

@@ -8,10 +8,7 @@ fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
     (1usize..=4, 1usize..=4)
         .prop_flat_map(move |(r, c)| {
             let n = (r * c).min(max_elems);
-            (
-                Just((r, c)),
-                prop::collection::vec(-100.0f32..100.0, n..=n),
-            )
+            (Just((r, c)), prop::collection::vec(-100.0f32..100.0, n..=n))
         })
         .prop_map(|((r, c), data)| Tensor::from_vec(data, &[r, c]).expect("length matches"))
 }

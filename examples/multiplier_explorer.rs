@@ -52,7 +52,11 @@ fn main() {
     println!(
         "bias class: {} (GE {} a slope to exploit)",
         if s.is_biased() { "biased" } else { "unbiased" },
-        if s.is_biased() { "has" } else { "does not have" }
+        if s.is_biased() {
+            "has"
+        } else {
+            "does not have"
+        }
     );
 
     if let Some(t) = name.strip_prefix("trunc").and_then(|t| t.parse().ok()) {

@@ -1,10 +1,11 @@
 #!/bin/sh
-# Tier-1 gate: release build, full test suite, and a warning-free clippy
-# pass. Run from the repository root before merging.
+# Tier-1 gate: release build, full test suite, canonical formatting, and a
+# warning-free clippy pass. Run from the repository root before merging.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -21,6 +21,8 @@
 //! --hw <input resolution>                         [16]
 //! --train <samples> / --test <samples>            [320 / 160]
 //! --save <file.json>       save the fine-tuned student as a checkpoint
+//! --profile <file.jsonl>   append a run profile (per-layer spans +
+//!                          approx-op counters) as one JSONL line
 //! ```
 
 use approxnn::approxkd::pipeline::ModelKind;
@@ -86,7 +88,9 @@ fn method(name: &str, t2: f32) -> Result<Method, String> {
 }
 
 fn cmd_characterize(args: &[String]) -> Result<(), String> {
-    let id = args.first().ok_or("usage: axnn characterize <multiplier>")?;
+    let id = args
+        .first()
+        .ok_or("usage: axnn characterize <multiplier>")?;
     let spec = catalog::by_id(id).ok_or_else(|| {
         format!(
             "unknown multiplier '{id}'; known: {}",
@@ -107,7 +111,11 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     );
     println!(
         "bias class: {}",
-        if s.is_biased() { "biased (GE has a slope)" } else { "unbiased (GE == STE)" }
+        if s.is_biased() {
+            "biased (GE has a slope)"
+        } else {
+            "unbiased (GE == STE)"
+        }
     );
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
@@ -140,6 +148,12 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     let train: usize = get_parsed(&flags, "train", 320)?;
     let test: usize = get_parsed(&flags, "test", 160)?;
 
+    let profile_path = flags.get("profile").cloned();
+    if profile_path.is_some() {
+        approxnn::obs::reset();
+        approxnn::obs::set_enabled(true);
+    }
+
     let cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
     let mut env = ExperimentEnv::new(kind, cfg, train, test, seed);
     let fp_cfg = StageConfig {
@@ -169,7 +183,11 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         q.acc_before_ft * 100.0,
         q.acc_after_ft * 100.0
     );
-    eprintln!("approximation stage: {} with {} ...", spec.id, method.label());
+    eprintln!(
+        "approximation stage: {} with {} ...",
+        spec.id,
+        method.label()
+    );
     let r = env.approximation_stage(spec, method, &ft_cfg);
     println!(
         "{}: initial {:.2} % -> final {:.2} % ({} epochs, {:.1} s)",
@@ -183,6 +201,20 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         "published multiplier energy saving: {:.0} %",
         spec.paper_savings_pct
     );
+
+    if let Some(path) = &profile_path {
+        approxnn::obs::set_enabled(false);
+        let label = format!("pipeline/{}/{}/{}", kind.label(), spec.id, method.label());
+        let profile = approxnn::obs::RunProfile::capture(&label);
+        profile.append_jsonl(path).map_err(|e| e.to_string())?;
+        let c = &profile.counters;
+        eprintln!(
+            "profile appended to {path}: {} spans, {} approx muls, {} GEMM MACs",
+            profile.spans.len(),
+            c.approx_muls,
+            c.gemm_macs
+        );
+    }
 
     if let Some(path) = flags.get("save") {
         // Re-run the winning configuration's final student is not kept by
@@ -226,7 +258,10 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
 
     let (_, test_data) = approxnn::data::SynthCifar::new(hw).generate(0, test, seed);
     let acc = approxnn::nn::train::evaluate(&mut net, &test_data, 32);
-    println!("checkpoint accuracy on SynthCIFAR(seed {seed}): {:.2} %", acc * 100.0);
+    println!(
+        "checkpoint accuracy on SynthCIFAR(seed {seed}): {:.2} %",
+        acc * 100.0
+    );
     Ok(())
 }
 

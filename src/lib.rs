@@ -10,6 +10,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`par`] | `axnn-par` | deterministic thread pool (`AXNN_THREADS`) |
+//! | [`obs`] | `axnn-obs` | spans, approx-op counters, run profiles |
 //! | [`tensor`] | `axnn-tensor` | dense tensors, GEMM, im2col |
 //! | [`nn`] | `axnn-nn` | layers, SGD, losses, training loop |
 //! | [`quant`] | `axnn-quant` | 8A4W symmetric quantization, MinPropQE |
@@ -38,6 +39,7 @@ pub use axnn_axmul as axmul;
 pub use axnn_data as data;
 pub use axnn_models as models;
 pub use axnn_nn as nn;
+pub use axnn_obs as obs;
 pub use axnn_par as par;
 pub use axnn_proxsim as proxsim;
 pub use axnn_quant as quant;

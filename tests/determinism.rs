@@ -64,7 +64,13 @@ fn full_pipeline_is_seed_deterministic() {
         let q = env.quantization_stage(&stage, true);
         let spec = catalog::by_id("trunc4").expect("catalogued");
         let r = env.approximation_stage(spec, Method::approx_kd_ge(5.0), &stage);
-        (fp, q.acc_before_ft, q.acc_after_ft, r.initial_acc, r.final_acc)
+        (
+            fp,
+            q.acc_before_ft,
+            q.acc_after_ft,
+            r.initial_acc,
+            r.final_acc,
+        )
     };
     let a = run();
     let b = run();

@@ -43,7 +43,11 @@ fn resnet_pipeline_learns_quantizes_and_recovers() {
     let q = env.quantization_stage(&ft_cfg(), true);
     // 8A4W costs accuracy before fine-tuning but stays above chance;
     // fine-tuning recovers most of the drop (Table II shape).
-    assert!(q.acc_before_ft > 0.15, "8A4W collapsed: {}", q.acc_before_ft);
+    assert!(
+        q.acc_before_ft > 0.15,
+        "8A4W collapsed: {}",
+        q.acc_before_ft
+    );
     assert!(
         q.acc_after_ft > q.acc_before_ft - 0.05,
         "stage-1 FT regressed: {} -> {}",

@@ -14,8 +14,28 @@ use rand::SeedableRng;
 
 fn convnet(rng: &mut StdRng) -> Sequential {
     Sequential::new(vec![
-        Box::new(ConvBlock::new(3, 6, 3, 1, 1, 1, false, ActivationKind::Relu, rng)),
-        Box::new(ConvBlock::new(6, 12, 3, 2, 1, 1, false, ActivationKind::Relu, rng)),
+        Box::new(ConvBlock::new(
+            3,
+            6,
+            3,
+            1,
+            1,
+            1,
+            false,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(ConvBlock::new(
+            6,
+            12,
+            3,
+            2,
+            1,
+            1,
+            false,
+            ActivationKind::Relu,
+            rng,
+        )),
         Box::new(GlobalAvgPool::new()),
         Box::new(Flatten::new()),
         Box::new(Linear::new(12, 10, true, rng)),
@@ -105,7 +125,10 @@ fn approximate_backward_trains_without_nans() {
     }
     let mut finite = true;
     net.visit_params(&mut |p| finite &= p.value.as_slice().iter().all(|v| v.is_finite()));
-    assert!(finite, "weights must stay finite under approximate training");
+    assert!(
+        finite,
+        "weights must stay finite under approximate training"
+    );
 }
 
 #[test]
@@ -113,8 +136,17 @@ fn depthwise_conv_works_under_all_executors() {
     let mut rng = StdRng::seed_from_u64(44);
     let build = |rng: &mut StdRng| {
         Sequential::new(vec![
-            Box::new(ConvBlock::new(4, 4, 3, 1, 1, 4, false, ActivationKind::Relu6, rng))
-                as Box<dyn Layer>,
+            Box::new(ConvBlock::new(
+                4,
+                4,
+                3,
+                1,
+                1,
+                4,
+                false,
+                ActivationKind::Relu6,
+                rng,
+            )) as Box<dyn Layer>,
             Box::new(GlobalAvgPool::new()),
             Box::new(Flatten::new()),
         ])

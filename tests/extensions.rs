@@ -83,8 +83,7 @@ fn partial_approximation_selects_only_requested_layers() {
     );
 
     // Half approximation sits in between (weakly).
-    let half =
-        env.approximation_stage_where(spec, Method::Normal, &stage(0), |i, _| i < n / 2);
+    let half = env.approximation_stage_where(spec, Method::Normal, &stage(0), |i, _| i < n / 2);
     assert!(half.initial_acc >= all.initial_acc - 0.05);
     assert!(half.initial_acc <= none.initial_acc + 0.05);
 }
@@ -100,7 +99,10 @@ fn partial_selection_is_visible_in_executor_kinds() {
     approximate_network_where(&mut net, &TruncatedMul::new(3), None, |i, _| i % 2 == 0);
     let mut kinds = Vec::new();
     net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
-    let approx = kinds.iter().filter(|&&k| k == ExecutorKind::Approximate).count();
+    let approx = kinds
+        .iter()
+        .filter(|&&k| k == ExecutorKind::Approximate)
+        .count();
     let exact = kinds.iter().filter(|&&k| k == ExecutorKind::Exact).count();
     assert!(approx > 0 && exact > 0, "{kinds:?}");
     assert_eq!(approx + exact, kinds.len());
@@ -124,8 +126,7 @@ fn checkpoint_survives_pipeline_and_preserves_fp_teacher() {
     cfg.batch_norm = false;
     let mut fresh = approxnn::models::resnet20(&cfg, &mut rng);
     ckpt.restore(&mut fresh).expect("same architecture");
-    let restored_acc =
-        approxnn::nn::train::evaluate(&mut fresh, env.test_data(), 16);
+    let restored_acc = approxnn::nn::train::evaluate(&mut fresh, env.test_data(), 16);
     assert!(
         (restored_acc - acc).abs() < 1e-6,
         "restored {restored_acc} vs original {acc}"

@@ -4,20 +4,37 @@
 //!
 //! Each property computes once with one thread and once with an arbitrary
 //! thread count and compares raw bit patterns (`f32::to_bits`), not
-//! approximate equality. Note that `set_threads` is process-global, so
-//! concurrently running tests may race on it — which is harmless precisely
-//! *because* of the property under test: the result must not depend on the
-//! setting.
+//! approximate equality.
+//!
+//! It also covers the same guarantee one level up: the `axnn-obs` counters
+//! are derived analytically from the workload, so [`RunProfile`] totals must
+//! be identical for any worker count — and turning profiling on must not
+//! change a single output bit.
+//!
+//! `set_threads` and the obs enable flag / counters are process-global, so
+//! every property takes [`serial`] for its whole case body: the obs
+//! properties would otherwise absorb counter increments from a concurrently
+//! running conv case.
+//!
+//! [`RunProfile`]: approxnn::obs::RunProfile
 
 use approxnn::approxkd::ge::{fit_error_model, McConfig};
 use approxnn::axmul::TruncatedMul;
 use approxnn::nn::{Conv2d, Layer, Mode};
+use approxnn::obs;
 use approxnn::par;
 use approxnn::proxsim::{approx_matmul, SignedLut};
 use approxnn::tensor::{gemm, init, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes all case bodies in this binary (see the module docs).
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn bits(t: &Tensor) -> Vec<u32> {
     t.as_slice().iter().map(|v| v.to_bits()).collect()
@@ -33,6 +50,7 @@ proptest! {
         n in 1usize..30,
         threads in 2usize..9,
     ) {
+        let _g = serial();
         let mut rng = StdRng::seed_from_u64(seed);
         let a = init::uniform(&[m, k], -1.0, 1.0, &mut rng);
         let b = init::uniform(&[k, n], -1.0, 1.0, &mut rng);
@@ -59,6 +77,7 @@ proptest! {
         m in 1usize..20,
         threads in 2usize..9,
     ) {
+        let _g = serial();
         let mut rng = StdRng::seed_from_u64(seed);
         let w: Vec<i32> = (0..oc * k).map(|_| rng.gen_range(-7..=7)).collect();
         let x: Vec<i32> = (0..k * m).map(|_| rng.gen_range(-127..=127)).collect();
@@ -82,6 +101,7 @@ proptest! {
         hw in 3usize..9,
         threads in 2usize..9,
     ) {
+        let _g = serial();
         let mut rng = StdRng::seed_from_u64(seed);
         let x = init::uniform(&[n, c, hw, hw], -1.0, 1.0, &mut rng);
 
@@ -105,6 +125,7 @@ proptest! {
     /// so the fitted model is thread-count invariant.
     #[test]
     fn ge_fit_is_thread_invariant(seed in 0u64..50, threads in 2usize..9) {
+        let _g = serial();
         par::set_threads(1);
         let one = fit_error_model(
             &TruncatedMul::new(5),
@@ -123,5 +144,82 @@ proptest! {
             f.samples.iter().map(|&(y, e)| (y.to_bits(), e.to_bits())).collect()
         };
         prop_assert_eq!(sample_bits(&one), sample_bits(&many));
+    }
+
+    /// `RunProfile` counter totals from an instrumented conv forward +
+    /// backward are identical for one worker and for N: increments are
+    /// derived analytically from the workload, never from the partition.
+    #[test]
+    fn profile_counters_are_thread_invariant(
+        seed in 0u64..60,
+        n in 1usize..4,
+        c in 1usize..4,
+        hw in 3usize..9,
+        threads in 2usize..9,
+    ) {
+        let _g = serial();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::uniform(&[n, c, hw, hw], -1.0, 1.0, &mut rng);
+
+        let run = |threads: usize| {
+            par::set_threads(threads);
+            obs::reset();
+            obs::set_enabled(true);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5);
+            let mut conv = Conv2d::new(c, 6, 3, 1, 1, 1, true, &mut rng);
+            let y = conv.forward(&x, Mode::Train);
+            let dy = init::uniform(y.shape(), -1.0, 1.0, &mut StdRng::seed_from_u64(seed ^ 1));
+            let _dx = conv.backward(&dy);
+            obs::set_enabled(false);
+            obs::RunProfile::capture("prop").counters
+        };
+        let one = run(1);
+        let many = run(threads);
+        par::set_threads(0);
+        obs::reset();
+        prop_assert!(one.gemm_macs > 0, "conv must count GEMM MACs");
+        prop_assert!(one.im2col_bytes > 0, "conv must count im2col traffic");
+        prop_assert_eq!(one, many);
+    }
+
+    /// Profiling only observes: enabling it changes no output bit of the
+    /// approximate GEMM or the Monte-Carlo error-model fit.
+    #[test]
+    fn profiling_leaves_numerics_bit_identical(
+        seed in 0u64..60,
+        oc in 1usize..8,
+        k in 1usize..12,
+        m in 1usize..16,
+    ) {
+        let _g = serial();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<i32> = (0..oc * k).map(|_| rng.gen_range(-7..=7)).collect();
+        let x: Vec<i32> = (0..k * m).map(|_| rng.gen_range(-127..=127)).collect();
+        let lut = SignedLut::build(&TruncatedMul::new(4));
+
+        obs::set_enabled(false);
+        let plain_gemm = approx_matmul(&w, &x, oc, k, m, &lut, 0.017);
+        let plain_fit = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+
+        obs::reset();
+        obs::set_enabled(true);
+        let profiled_gemm = approx_matmul(&w, &x, oc, k, m, &lut, 0.017);
+        let profiled_fit = fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        obs::set_enabled(false);
+        let counted = obs::counter_totals();
+        obs::reset();
+
+        prop_assert_eq!(bits(&plain_gemm), bits(&profiled_gemm));
+        prop_assert_eq!(&plain_fit.model, &profiled_fit.model);
+        let nnz = w.iter().filter(|&&v| v != 0).count() as u64;
+        prop_assert_eq!(counted.approx_muls, nnz * m as u64);
     }
 }

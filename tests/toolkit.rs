@@ -117,7 +117,10 @@ fn approximate_accumulator_degrades_network_accuracy_monotonically() {
     let exact = acc_with(&mut env, Arc::new(ExactAdder));
     let mild = acc_with(&mut env, Arc::new(LoaAdder::new(2)));
     let harsh = acc_with(&mut env, Arc::new(LoaAdder::new(8)));
-    assert!(exact >= mild - 0.1, "loa2 should be mild: {exact} vs {mild}");
+    assert!(
+        exact >= mild - 0.1,
+        "loa2 should be mild: {exact} vs {mild}"
+    );
     assert!(
         harsh <= exact,
         "loa8 must not beat exact accumulation: {harsh} vs {exact}"
