@@ -151,11 +151,13 @@ impl Scale {
 }
 
 /// Opt-in profiling for the experiment bins: when `AXNN_PROFILE=1`, enables
-/// the `axnn-obs` instrumentation for the guard's lifetime and, on drop,
-/// appends the captured [`RunProfile`](axnn_obs::RunProfile) to
-/// `results/OBS_<name>.jsonl` next to the bin's `results/*.txt` artifact.
-/// With the variable unset the guard is inert and the disabled-path cost
-/// applies (one relaxed atomic load per instrumentation site).
+/// the `axnn-obs` instrumentation — spans/counters *and* the numeric-health
+/// telemetry (ε histograms, clip rates, drift events) — for the guard's
+/// lifetime and, on drop, appends the captured
+/// [`RunProfile`](axnn_obs::RunProfile) to `results/OBS_<name>.jsonl` next
+/// to the bin's `results/*.txt` artifact. With the variable unset the guard
+/// is inert and the disabled-path cost applies (one relaxed atomic load per
+/// instrumentation site).
 pub struct ProfileScope {
     name: Option<String>,
 }
@@ -167,6 +169,7 @@ impl ProfileScope {
         if on {
             axnn_obs::reset();
             axnn_obs::set_enabled(true);
+            axnn_obs::set_health_enabled(true);
         }
         Self {
             name: on.then(|| name.to_string()),
@@ -180,6 +183,7 @@ impl Drop for ProfileScope {
             return;
         };
         axnn_obs::set_enabled(false);
+        axnn_obs::set_health_enabled(false);
         let profile = axnn_obs::RunProfile::capture(&name);
         let path = format!(
             "{}/../../results/OBS_{name}.jsonl",

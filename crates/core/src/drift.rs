@@ -1,0 +1,274 @@
+//! ε-drift monitoring: does the Monte-Carlo error fit still describe the
+//! network's approximation error?
+//!
+//! Gradient estimation fits `f(y)` once, **before** fine-tuning
+//! ([`crate::ge::fit_error_model`]), from random codes drawn over the full
+//! quantization ranges. As fine-tuning reshapes the weight and activation
+//! distributions, the network's outputs can migrate to a region of `y`
+//! where the fitted line explains less of the error — the fit goes *stale*
+//! and the `(1 + f'(y))` gradient scale starts compensating for an error
+//! that is no longer there.
+//!
+//! [`DriftMonitor`] watches for this online. The approximate executors
+//! record their observed fit residuals `ε(y) − f(y)` into the `ge_res:`
+//! histogram family (in the same integer code-product units as the fit);
+//! [`DriftMonitor::poll`] pools those histograms and compares the observed
+//! RMS residual against the fit's own Monte-Carlo
+//! [`rms_residual`](crate::ge::ErrorFit::rms_residual). When the observed
+//! residual exceeds the configured multiple of the fit residual, the
+//! monitor trips once, appends an `eps_drift` event to the profile's event
+//! log, and reports the run as stale — the cue to re-fit `f(y)` (or to
+//! distrust the GE scale for the remainder of the stage).
+
+use crate::ge::ErrorFit;
+
+/// Thresholds of a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Trip when the observed RMS residual exceeds this multiple of the
+    /// fit's Monte-Carlo RMS residual.
+    pub rms_ratio: f64,
+    /// Minimum pooled sample count before the monitor judges at all —
+    /// a handful of ε samples from the first sampled forward say nothing.
+    pub min_samples: u64,
+    /// Absolute RMS floor (code-product units) below which the monitor
+    /// never trips. Guards the near-perfect-fit case (`fit_rms ≈ 0`, e.g.
+    /// an exact or barely-approximate multiplier), where any nonzero
+    /// observed residual would otherwise exceed the ratio threshold.
+    pub abs_floor: f64,
+}
+
+impl Default for DriftConfig {
+    /// Trip at 1.5× the fit residual, judged on ≥256 pooled samples, with
+    /// a one-code-product absolute floor.
+    fn default() -> Self {
+        Self {
+            rms_ratio: 1.5,
+            min_samples: 256,
+            abs_floor: 1.0,
+        }
+    }
+}
+
+/// Online staleness check of one Monte-Carlo error fit.
+///
+/// Construct from the [`ErrorFit`] whose model was wired into the
+/// approximate executors, then [`poll`](Self::poll) periodically (the
+/// fine-tuning loop polls once per epoch). The monitor trips at most once.
+///
+/// # Example
+///
+/// ```
+/// use approxkd::drift::{DriftConfig, DriftMonitor};
+/// use approxkd::ge::{fit_error_model, McConfig};
+/// use axnn_axmul::TruncatedMul;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let fit = fit_error_model(&TruncatedMul::new(5), McConfig::default(), &mut rng);
+/// let mut monitor = DriftMonitor::new(&fit, DriftConfig::default());
+/// assert!(!monitor.is_stale());
+/// // Observed residuals far above the fit's own: trips.
+/// let tripped = monitor.poll_stats(1000, 10.0 * monitor.fit_rms().max(1.0));
+/// assert!(tripped && monitor.is_stale());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    fit_rms: f64,
+    r_squared: f64,
+    multiplier: String,
+    tripped: bool,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor for `fit` with the given thresholds.
+    pub fn new(fit: &ErrorFit, cfg: DriftConfig) -> Self {
+        Self {
+            cfg,
+            fit_rms: fit.rms_residual() as f64,
+            r_squared: fit.r_squared() as f64,
+            multiplier: fit.multiplier.clone(),
+            tripped: false,
+        }
+    }
+
+    /// The fit's own Monte-Carlo RMS residual (code-product units).
+    pub fn fit_rms(&self) -> f64 {
+        self.fit_rms
+    }
+
+    /// The RMS residual above which the monitor trips:
+    /// `max(rms_ratio · fit_rms, abs_floor)`.
+    pub fn threshold(&self) -> f64 {
+        (self.cfg.rms_ratio * self.fit_rms).max(self.cfg.abs_floor)
+    }
+
+    /// Whether the monitor has tripped: the fit no longer describes the
+    /// observed error.
+    pub fn is_stale(&self) -> bool {
+        self.tripped
+    }
+
+    /// Pools the observed `ge_res:` residual histograms and trips if their
+    /// RMS exceeds [`threshold`](Self::threshold). Returns whether an
+    /// `eps_drift` event was emitted by *this* call (at most one per
+    /// monitor lifetime). A no-op while health telemetry is off — the
+    /// histograms stay empty, so the sample gate never passes.
+    pub fn poll(&mut self) -> bool {
+        let (samples, rms) = pooled_residual_rms();
+        self.poll_stats(samples, rms)
+    }
+
+    /// [`poll`](Self::poll) on explicit pooled statistics — the decision
+    /// logic, separated from the registry read so it is testable without
+    /// the process-global telemetry state.
+    pub fn poll_stats(&mut self, samples: u64, observed_rms: f64) -> bool {
+        if self.tripped || samples < self.cfg.min_samples {
+            return false;
+        }
+        // NaN must not trip: require a definite exceedance.
+        if matches!(
+            observed_rms.partial_cmp(&self.threshold()),
+            None | Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ) {
+            return false;
+        }
+        self.tripped = true;
+        axnn_obs::event(
+            "eps_drift",
+            &self.multiplier,
+            observed_rms,
+            &format!(
+                "observed rms residual {observed_rms:.3} > threshold {:.3} \
+                 (fit rms {:.3}, R2 {:.3}, {samples} samples)",
+                self.threshold(),
+                self.fit_rms,
+                self.r_squared,
+            ),
+        );
+        true
+    }
+}
+
+/// Pooled sample count and RMS of every `ge_res:` histogram currently in
+/// the telemetry registry. Per-histogram RMS values pool exactly:
+/// `rms² = Σ count_i · rms_i² / Σ count_i`.
+fn pooled_residual_rms() -> (u64, f64) {
+    let mut samples = 0u64;
+    let mut sum_sq = 0.0f64;
+    for (_, h) in axnn_obs::hists_with_prefix("ge_res:") {
+        samples += h.count();
+        sum_sq += h.count() as f64 * h.rms() * h.rms();
+    }
+    if samples == 0 {
+        (0, 0.0)
+    } else {
+        (samples, (sum_sq / samples as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge::{fit_error_model, McConfig};
+    use crate::obs_serial as serial;
+    use axnn_axmul::{ExactMul, TruncatedMul};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trunc_fit() -> ErrorFit {
+        fit_error_model(
+            &TruncatedMul::new(5),
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(3),
+        )
+    }
+
+    #[test]
+    fn healthy_residuals_do_not_trip() {
+        let fit = trunc_fit();
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        assert!(!m.poll_stats(10_000, m.fit_rms()));
+        assert!(!m.poll_stats(10_000, 1.4 * m.fit_rms()));
+        assert!(!m.is_stale());
+    }
+
+    #[test]
+    fn too_few_samples_never_trip() {
+        let fit = trunc_fit();
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        assert!(!m.poll_stats(255, 100.0 * m.fit_rms()));
+        assert!(!m.is_stale());
+    }
+
+    #[test]
+    fn drifted_residuals_trip_once_and_emit_event() {
+        let _g = serial();
+        axnn_obs::reset();
+        axnn_obs::set_health_enabled(true);
+        let fit = trunc_fit();
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        let bad = 2.0 * m.threshold();
+        assert!(m.poll_stats(1000, bad));
+        assert!(m.is_stale());
+        // Second poll with the same drifted stats: already tripped, silent.
+        assert!(!m.poll_stats(1000, bad));
+        axnn_obs::set_health_enabled(false);
+        let profile = axnn_obs::RunProfile::capture("drift-test");
+        assert_eq!(profile.events.len(), 1);
+        assert_eq!(profile.events[0].kind, "eps_drift");
+        assert_eq!(profile.events[0].label, "trunc5");
+        assert!(profile.events[0].detail.contains("observed rms"));
+        axnn_obs::reset();
+    }
+
+    #[test]
+    fn abs_floor_guards_near_perfect_fits() {
+        // Trips (event emission reads the global health flag): serialize.
+        let _g = serial();
+        let fit = fit_error_model(
+            &ExactMul,
+            McConfig::default(),
+            &mut StdRng::seed_from_u64(3),
+        );
+        // Exact multiplier: fit_rms = 0, so any residual beats the ratio —
+        // the absolute floor must hold the monitor back below one code
+        // product of drift.
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        assert_eq!(m.fit_rms(), 0.0);
+        assert_eq!(m.threshold(), 1.0);
+        assert!(!m.poll_stats(10_000, 0.5));
+        assert!(m.poll_stats(10_000, 1.5));
+    }
+
+    #[test]
+    fn poll_pools_registry_histograms() {
+        let _g = serial();
+        axnn_obs::reset();
+        axnn_obs::set_health_enabled(true);
+        let fit = trunc_fit();
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        let spec = axnn_obs::HistSpec::eps();
+        // Far-out residuals across two layers, enough samples to judge.
+        let bad = (2.0 * m.threshold()).min(1000.0);
+        for _ in 0..200 {
+            axnn_obs::record_value("ge_res:layer_a", spec, bad);
+            axnn_obs::record_value("ge_res:layer_b", spec, -bad);
+        }
+        assert!(m.poll());
+        assert!(m.is_stale());
+        axnn_obs::set_health_enabled(false);
+        axnn_obs::reset();
+    }
+
+    #[test]
+    fn poll_without_telemetry_is_silent() {
+        let _g = serial();
+        axnn_obs::reset();
+        let fit = trunc_fit();
+        let mut m = DriftMonitor::new(&fit, DriftConfig::default());
+        assert!(!m.poll());
+        assert!(!m.is_stale());
+    }
+}

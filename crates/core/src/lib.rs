@@ -11,6 +11,10 @@
 //! - [`ge`]: gradient estimation — Monte-Carlo simulation of a single
 //!   approximate convolution and the piecewise-linear fit of the
 //!   approximation error `f(y)` (eq. 11, Figs. 2–3);
+//! - [`drift`]: online staleness detection for that fit — pools the
+//!   `ge_res:` residual histograms the approximate executors record and
+//!   trips an `eps_drift` event when the observed residual outgrows the
+//!   Monte-Carlo one;
 //! - [`methods`]: the five fine-tuning methods compared in Tables V–VII —
 //!   `Normal`, `Alpha`, `Ge`, `ApproxKd`, `ApproxKdGe` — behind one
 //!   [`methods::fine_tune`] entry point;
@@ -36,13 +40,23 @@
 //! println!("final accuracy {:.2} %", result.final_acc * 100.0);
 //! ```
 
+pub mod drift;
 pub mod ge;
 pub mod kd;
 pub mod methods;
 pub mod pipeline;
 pub mod resiliency;
 
+pub use drift::{DriftConfig, DriftMonitor};
 pub use ge::{fit_error_model, ErrorFit, McConfig};
 pub use kd::{kd_loss, soft_cross_entropy};
-pub use methods::{fine_tune, FineTuneResult, Method, StageConfig};
+pub use methods::{fine_tune, fine_tune_monitored, FineTuneResult, Method, StageConfig};
+
+/// The `axnn_obs` registries are process-global; unit tests across this
+/// crate that mutate them serialize on one crate-wide lock.
+#[cfg(test)]
+pub(crate) fn obs_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 pub use pipeline::{ExperimentEnv, ModelKind, QuantStageResult, TeacherSource};

@@ -18,6 +18,7 @@
 //! it is implemented as an L2 penalty `α·Σw²` folded into the optimizer's
 //! weight decay (gradient `2αw`). See `DESIGN.md`.
 
+use crate::drift::DriftMonitor;
 use crate::kd::kd_loss;
 use axnn_nn::loss::softmax_cross_entropy;
 use axnn_nn::train::{evaluate, Dataset};
@@ -184,6 +185,12 @@ pub struct FineTuneResult {
     pub per_epoch_acc: Vec<f32>,
     /// Wall-clock seconds spent in the optimization loop.
     pub seconds: f64,
+    /// `eps_drift` events emitted by the run's
+    /// [`DriftMonitor`](crate::drift::DriftMonitor) (zero when no monitor
+    /// was attached; see [`fine_tune_monitored`]). Absent in
+    /// pre-drift-monitor result files, hence the serde default.
+    #[serde(default)]
+    pub drift_events: usize,
 }
 
 /// Rescales all accumulated gradients so their global L2 norm does not
@@ -225,6 +232,43 @@ pub fn fine_tune(
     alpha: f32,
     method_label: &str,
 ) -> FineTuneResult {
+    fine_tune_monitored(
+        student,
+        teacher,
+        train,
+        test,
+        cfg,
+        alpha,
+        method_label,
+        None,
+    )
+}
+
+/// [`fine_tune`] with an optional ε-drift monitor.
+///
+/// When `monitor` is present it is [`poll`](DriftMonitor::poll)ed once per
+/// epoch, after the epoch's optimization steps: the approximate executors
+/// have by then folded a fresh epoch of observed fit residuals into the
+/// `ge_res:` histograms. Trips are counted in
+/// [`FineTuneResult::drift_events`]. With health telemetry enabled, each
+/// epoch also records every GEMM layer's post-clip weight-gradient norm
+/// (at the epoch's final step) into the `grad_norm:` histogram family.
+///
+/// # Panics
+///
+/// Panics if teacher logits have a different leading dimension than the
+/// training set.
+#[allow(clippy::too_many_arguments)]
+pub fn fine_tune_monitored(
+    student: &mut Sequential,
+    teacher: Option<(&Tensor, f32)>,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &StageConfig,
+    alpha: f32,
+    method_label: &str,
+    mut monitor: Option<&mut DriftMonitor>,
+) -> FineTuneResult {
     if let Some((logits, _)) = teacher {
         assert_eq!(
             logits.shape()[0],
@@ -240,6 +284,7 @@ pub fn fine_tune(
     let mut per_epoch = Vec::new();
     let mut best = initial_acc;
     let mut final_acc = initial_acc;
+    let mut drift_events = 0usize;
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.lr.lr_at(epoch));
         let mut offset = 0usize;
@@ -260,6 +305,14 @@ pub fn fine_tune(
             opt.step(student);
             offset += y.len();
         }
+        if axnn_obs::health_enabled() {
+            record_grad_norms(student);
+        }
+        if let Some(m) = monitor.as_deref_mut() {
+            if m.poll() {
+                drift_events += 1;
+            }
+        }
         if cfg.track_epochs || epoch + 1 == cfg.epochs {
             final_acc = evaluate(student, test, cfg.batch);
             best = best.max(final_acc);
@@ -275,7 +328,23 @@ pub fn fine_tune(
         best_acc: best,
         per_epoch_acc: per_epoch,
         seconds: start.elapsed().as_secs_f64(),
+        drift_events,
     }
+}
+
+/// Records each GEMM layer's current weight-gradient L2 norm into the
+/// `grad_norm:<label>` histograms — the per-epoch gradient-health metric.
+/// The gradients observed are those of the epoch's final optimization step,
+/// after any clipping (the values SGD actually consumed).
+fn record_grad_norms(net: &mut Sequential) {
+    net.visit_gemm_cores(&mut |core| {
+        let norm = core.weight.grad.sq_norm().sqrt();
+        axnn_obs::record_value(
+            &core.grad_norm_label,
+            axnn_obs::HistSpec::grad_norms(),
+            norm as f64,
+        );
+    });
 }
 
 #[cfg(test)]
@@ -341,6 +410,59 @@ mod tests {
         assert_eq!(r.per_epoch_acc.len(), 20);
         assert!(r.best_acc >= r.final_acc);
         assert!(r.seconds > 0.0);
+        assert_eq!(r.drift_events, 0, "no monitor attached");
+    }
+
+    #[test]
+    fn monitored_fine_tune_counts_drift_trips_and_records_grad_norms() {
+        let _g = crate::obs_serial();
+        axnn_obs::reset();
+        axnn_obs::set_health_enabled(true);
+        let mut rng = StdRng::seed_from_u64(140);
+        let train = toy(64, &mut rng);
+        let test = toy(32, &mut rng);
+        let mut net = mlp(&mut rng);
+        // Monitor over a perfect fit (threshold = the 1.0 absolute floor);
+        // pre-load the registry with residuals far beyond it so the first
+        // epoch's poll trips.
+        let fit = crate::ge::fit_error_model(
+            &axnn_axmul::ExactMul,
+            crate::ge::McConfig::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let mut monitor =
+            crate::drift::DriftMonitor::new(&fit, crate::drift::DriftConfig::default());
+        for _ in 0..300 {
+            axnn_obs::record_value("ge_res:fake", axnn_obs::HistSpec::eps(), 50.0);
+        }
+        let cfg = StageConfig {
+            epochs: 2,
+            batch: 32,
+            lr: StepDecay::new(0.05, 10, 1.0),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        };
+        let r = fine_tune_monitored(
+            &mut net,
+            None,
+            &train,
+            &test,
+            &cfg,
+            0.0,
+            "Normal",
+            Some(&mut monitor),
+        );
+        assert_eq!(r.drift_events, 1, "trips once despite two epochs");
+        assert!(monitor.is_stale());
+        // One grad-norm record per epoch for each of the MLP's GEMM layers.
+        let norms = axnn_obs::hists_with_prefix("grad_norm:");
+        assert_eq!(norms.len(), 2);
+        for (_, h) in &norms {
+            assert_eq!(h.count(), 2, "one record per epoch");
+        }
+        axnn_obs::set_health_enabled(false);
+        axnn_obs::reset();
     }
 
     #[test]

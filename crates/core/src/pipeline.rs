@@ -1,8 +1,9 @@
 //! Algorithm 1 end to end: FP training, the quantization stage and the
 //! approximation stage, packaged as a reusable experiment environment.
 
+use crate::drift::{DriftConfig, DriftMonitor};
 use crate::ge::{fit_error_model, ErrorFit, McConfig};
-use crate::methods::{fine_tune, FineTuneResult, Method};
+use crate::methods::{fine_tune, fine_tune_monitored, FineTuneResult, Method};
 use axnn_axmul::catalog::MultiplierSpec;
 use axnn_data::SynthCifar;
 use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
@@ -368,6 +369,11 @@ impl ExperimentEnv {
     /// teacher source (two-stage vs single-stage KD) and the approximated
     /// layer subset.
     ///
+    /// GE methods run with an attached ε-drift monitor
+    /// ([`crate::drift::DriftMonitor`], default thresholds): when health
+    /// telemetry is on, a stale error fit trips an `eps_drift` event and is
+    /// counted in [`FineTuneResult::drift_events`].
+    ///
     /// # Panics
     ///
     /// Panics if the quantization stage has not run, or if
@@ -383,7 +389,10 @@ impl ExperimentEnv {
     ) -> FineTuneResult {
         let _span = axnn_obs::span("stage:approx_ft");
         let mut student = self.copy_quant();
-        let error_model = method.uses_ge().then(|| self.fit_ge(spec).model);
+        // Keep the whole fit (not just the model): its Monte-Carlo residual
+        // is the drift monitor's baseline.
+        let ge_fit = method.uses_ge().then(|| self.fit_ge(spec));
+        let error_model = ge_fit.as_ref().map(|fit| fit.model);
         let multiplier = spec.build();
         axnn_proxsim::approximate_network_where(
             &mut student,
@@ -409,7 +418,10 @@ impl ExperimentEnv {
             TeacherSource::FullPrecision => self.fp_logits.clone().expect("run train_fp first"),
         };
         let teacher = method.temperature().map(|t2| (&teacher_logits, t2));
-        let mut result = fine_tune(
+        let mut monitor = ge_fit
+            .as_ref()
+            .map(|fit| DriftMonitor::new(fit, DriftConfig::default()));
+        let mut result = fine_tune_monitored(
             &mut student,
             teacher,
             &self.train,
@@ -417,6 +429,7 @@ impl ExperimentEnv {
             cfg,
             method.alpha(),
             method.label(),
+            monitor.as_mut(),
         );
         result.method = format!("{}:{}", spec.id, method.label());
         result

@@ -142,7 +142,7 @@ impl Layer for Conv2d {
             .reshape(&[self.out_channels, kpg])
             .expect("weight reshape is size-preserving");
 
-        let _span = axnn_obs::span2("fwd", &self.core.label);
+        let _span = axnn_obs::span(&self.core.fwd_span);
         let mut group_caches = Vec::with_capacity(self.groups);
         let mut out_rows = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
@@ -202,7 +202,7 @@ impl Layer for Conv2d {
             b.accumulate(&grad_out.sum_channels());
         }
 
-        let _span = axnn_obs::span2("bwd", &self.core.label);
+        let _span = axnn_obs::span(&self.core.bwd_span);
         let dy_mat = nchw_to_gemm_out(grad_out); // [OC, M]
         let kpg = self.k_per_group();
         let mut dw_rows: Vec<Tensor> = Vec::with_capacity(self.groups);

@@ -67,6 +67,14 @@ pub trait LayerExecutor: fmt::Debug {
 
     /// Which family this executor belongs to.
     fn kind(&self) -> ExecutorKind;
+
+    /// Receives the owning layer's label for per-layer health telemetry
+    /// (called by `GemmCore::set_executor`). Executors that record health
+    /// metrics pre-format their `eps:<label>`-style keys here; the default
+    /// implementation ignores the label.
+    fn set_obs_label(&mut self, label: &str) {
+        let _ = label;
+    }
 }
 
 /// Full-precision executor: plain f32 GEMM, identity effective operands.

@@ -39,22 +39,38 @@ pub struct GemmCore {
     pub executor: Box<dyn LayerExecutor>,
     /// Human-readable layer label (unique within a network by convention).
     pub label: String,
+    /// Pre-formatted `fwd:<label>` span label. Formatting a span label per
+    /// forward call would allocate in the hot loop even with profiling off
+    /// in between; layers pass this to `axnn_obs::span` instead.
+    pub fwd_span: String,
+    /// Pre-formatted `bwd:<label>` span label (see [`GemmCore::fwd_span`]).
+    pub bwd_span: String,
+    /// Pre-formatted `grad_norm:<label>` histogram label for the per-epoch
+    /// weight-gradient-norm telemetry (see [`GemmCore::fwd_span`]).
+    pub grad_norm_label: String,
 }
 
 impl GemmCore {
     /// Creates a core with the [`ExactExecutor`](crate::ExactExecutor).
     pub fn new(weight: Tensor, bias: Option<Tensor>, label: impl Into<String>) -> Self {
+        let label = label.into();
         Self {
             weight: Param::new(weight),
             bias: bias.map(Param::new_no_decay),
             executor: Box::new(crate::ExactExecutor::new()),
-            label: label.into(),
+            fwd_span: format!("fwd:{label}"),
+            bwd_span: format!("bwd:{label}"),
+            grad_norm_label: format!("grad_norm:{label}"),
+            label,
         }
     }
 
-    /// Replaces the arithmetic backend.
+    /// Replaces the arithmetic backend and hands it the layer label so
+    /// per-layer health telemetry (`eps:<label>`, `sat_x:<label>`, ...) is
+    /// attributed without the executor knowing about layers.
     pub fn set_executor(&mut self, executor: Box<dyn LayerExecutor>) {
         self.executor = executor;
+        self.executor.set_obs_label(&self.label);
     }
 }
 

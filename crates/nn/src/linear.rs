@@ -59,7 +59,7 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Linear expects [N, F] input");
         assert_eq!(input.shape()[1], self.in_features);
-        let _span = axnn_obs::span2("fwd", &self.core.label);
+        let _span = axnn_obs::span(&self.core.fwd_span);
         let col = input.transpose2(); // [IN, N]
         let exec = self
             .core
@@ -82,7 +82,7 @@ impl Layer for Linear {
             .cache
             .take()
             .expect("Linear::backward called without a Train-mode forward");
-        let _span = axnn_obs::span2("bwd", &self.core.label);
+        let _span = axnn_obs::span(&self.core.bwd_span);
         if let Some(b) = &mut self.core.bias {
             b.accumulate(&grad_out.sum_rows());
         }

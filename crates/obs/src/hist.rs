@@ -1,0 +1,339 @@
+//! Mergeable streaming histograms for numeric-health telemetry.
+//!
+//! A [`Hist`] combines a fixed-bucket histogram over `[lo, hi)` (with
+//! explicit under/overflow counts) and a Welford accumulator for the exact
+//! streaming mean/variance/min/max of everything recorded — including the
+//! values outside the bucket range.
+//!
+//! ## Determinism discipline
+//!
+//! Bucket counts are plain `u64` sums, so they are order-insensitive. The
+//! Welford moments are f64 and *are* order-sensitive, so the workspace rule
+//! is the same as for the op counters: never record from inside an
+//! `axnn_par` region. Either record on the coordinating thread, or give
+//! each shard its own local `Hist` and [`merge`](Hist::merge) them in shard
+//! order afterwards — f64 arithmetic is deterministic, so a fixed
+//! record/merge order makes the moments bit-identical for any worker count
+//! (asserted by `tests/thread_invariance.rs`).
+
+use crate::profile::HistRecord;
+
+/// Bucket geometry of a [`Hist`]: `buckets` equal-width bins over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSpec {
+    /// Inclusive lower edge of the first bucket.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bucket.
+    pub hi: f64,
+    /// Number of equal-width buckets.
+    pub buckets: usize,
+}
+
+impl HistSpec {
+    /// A spec over `[lo, hi)` with `buckets` bins.
+    ///
+    /// # Panics
+    /// If the range is empty, non-finite, or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "empty range");
+        assert!(buckets > 0, "need at least one bucket");
+        HistSpec { lo, hi, buckets }
+    }
+
+    /// Default geometry for ε(y) and GE-residual values in i64 code-product
+    /// units (paper eq. 11: ε is bounded by the multiplier's worst case,
+    /// well inside ±1024 for the 8A4W catalogue).
+    pub fn eps() -> Self {
+        HistSpec::new(-1024.0, 1024.0, 64)
+    }
+
+    /// Default geometry for per-layer weight-gradient L2 norms (gradients
+    /// are clipped to norm ≤ 10 by every pipeline stage config).
+    pub fn grad_norms() -> Self {
+        HistSpec::new(0.0, 16.0, 64)
+    }
+
+    /// Bucket index for `x`: `None` means under/overflow.
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo || x >= self.hi {
+            return None;
+        }
+        let w = (self.hi - self.lo) / self.buckets as f64;
+        // Clamp: x just below `hi` can round up to `buckets` in f64.
+        Some((((x - self.lo) / w) as usize).min(self.buckets - 1))
+    }
+}
+
+/// A fixed-bucket histogram plus Welford moments. See the module docs for
+/// the determinism discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    spec: HistSpec,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    /// An empty histogram with the given geometry.
+    pub fn new(spec: HistSpec) -> Self {
+        Hist {
+            spec,
+            counts: vec![0; spec.buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value. Non-finite values are dropped (they would poison
+    /// the moments and are unrepresentable in the JSON emitters).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        match self.spec.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.spec.lo => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records every value in `xs` in order.
+    pub fn record_all(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Merges `other` into `self` (Chan's parallel Welford update). The
+    /// per-shard pattern: each shard records into its own `Hist`, then the
+    /// coordinator merges them *in shard order*.
+    ///
+    /// # Panics
+    /// If the bucket geometries differ.
+    pub fn merge(&mut self, other: &Hist) {
+        assert_eq!(self.spec, other.spec, "merging incompatible histograms");
+        if other.count == 0 {
+            return;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (nb / n);
+        self.m2 += other.m2 + delta * delta * (na * nb / n);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket geometry.
+    pub fn spec(&self) -> HistSpec {
+        self.spec
+    }
+
+    /// Number of recorded (finite) values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Streaming mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Root mean square of the recorded values: `sqrt(mean² + variance)`.
+    pub fn rms(&self) -> f64 {
+        (self.mean() * self.mean() + self.variance()).sqrt()
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Per-bucket counts (length `spec().buckets`).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of values below `spec().lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above `spec().hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Serializable snapshot under `name` (schema v2 `hists` entry).
+    pub fn to_record(&self, name: &str) -> HistRecord {
+        HistRecord {
+            name: name.to_string(),
+            lo: self.spec.lo,
+            hi: self.spec.hi,
+            counts: self.counts.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            count: self.count,
+            mean: self.mean(),
+            std: self.std(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_range_with_explicit_flows() {
+        let mut h = Hist::new(HistSpec::new(0.0, 10.0, 10));
+        h.record_all([0.0, 0.5, 9.999, -1.0, 10.0, 25.0]);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut h = Hist::new(HistSpec::new(0.0, 10.0, 4));
+        h.record_all(xs);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert!((h.variance() - 2.0).abs() < 1e-12);
+        assert!((h.rms() - (11.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut h = Hist::new(HistSpec::eps());
+        h.record_all([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_is_exact_on_counts_and_close_on_moments() {
+        let spec = HistSpec::new(-4.0, 4.0, 16);
+        let xs: Vec<f64> = (0..257)
+            .map(|i| ((i * 37) % 101) as f64 / 13.0 - 3.5)
+            .collect();
+        let mut serial = Hist::new(spec);
+        serial.record_all(xs.iter().copied());
+        let mut merged = Hist::new(spec);
+        for chunk in xs.chunks(17) {
+            let mut shard = Hist::new(spec);
+            shard.record_all(chunk.iter().copied());
+            merged.merge(&shard);
+        }
+        assert_eq!(serial.bucket_counts(), merged.bucket_counts());
+        assert_eq!(serial.count(), merged.count());
+        assert!((serial.mean() - merged.mean()).abs() < 1e-12);
+        assert!((serial.variance() - merged.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic() {
+        // Same shards, same order → bit-identical moments, twice over.
+        let spec = HistSpec::eps();
+        let build = || {
+            let mut total = Hist::new(spec);
+            for s in 0..7u64 {
+                let mut shard = Hist::new(spec);
+                shard.record_all((0..50).map(|i| ((s * 50 + i) as f64).sin() * 300.0));
+                total.merge(&shard);
+            }
+            total
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+    }
+
+    #[test]
+    fn empty_hist_reports_zeros() {
+        let h = Hist::new(HistSpec::eps());
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        let r = h.to_record("empty");
+        assert_eq!(r.count, 0);
+        assert_eq!(r.mean, 0.0);
+    }
+
+    #[test]
+    fn merging_empty_changes_nothing() {
+        let mut h = Hist::new(HistSpec::eps());
+        h.record_all([1.0, 2.0]);
+        let before = h.clone();
+        h.merge(&Hist::new(HistSpec::eps()));
+        assert_eq!(h, before);
+    }
+}

@@ -1,14 +1,32 @@
 //! Run-level aggregation: a [`RunProfile`] snapshots the process-global
-//! counters and span registry into a serializable record.
+//! counters, span registry and health registries into a serializable
+//! record.
 //!
 //! The JSON/CSV emitters are hand-written (the workspace convention for
 //! flat machine-readable artifacts, cf. `results/BENCH_gemm.json`): the
 //! crate stays zero-dependency beyond `serde`, and the emitted bytes do
-//! not depend on which serde backend a build links.
+//! not depend on which serde backend a build links. The serde derives only
+//! serve *parsing* (the `axnn obs` analyzer); `tests/json_roundtrip.rs`
+//! proptests that `serde_json` parses what the emitter writes back to the
+//! same value.
+//!
+//! ## Schema versions
+//!
+//! - **v1** (PR 2): `label`, `counters`, `spans`.
+//! - **v2** (this layer): adds `schema_version` plus the `hists`, `health`
+//!   and `events` sections. v1 lines carry no `schema_version` field and
+//!   parse with `schema_version = 1` and empty health sections.
 
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
+
+/// The schema version written by [`RunProfile::capture`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+fn schema_v1() -> u32 {
+    1
+}
 
 /// Snapshot of every [`Counter`](crate::Counter) total.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,29 +52,117 @@ pub struct SpanRecord {
     pub total_ms: f64,
 }
 
-/// A captured profile of one run: label, counter totals, sorted spans.
+/// Serialized snapshot of one [`Hist`](crate::Hist) (schema v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistRecord {
+    /// Histogram label, e.g. `eps:conv3x3(16->32)/s1g1`.
+    pub name: String,
+    /// Inclusive lower edge of the bucket range.
+    pub lo: f64,
+    /// Exclusive upper edge of the bucket range.
+    pub hi: f64,
+    /// Per-bucket counts over `[lo, hi)`.
+    pub counts: Vec<u64>,
+    /// Values below `lo`.
+    pub underflow: u64,
+    /// Values at or above `hi`.
+    pub overflow: u64,
+    /// Total recorded values (buckets + flows).
+    pub count: u64,
+    /// Streaming mean of all recorded values.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+}
+
+impl HistRecord {
+    /// Root mean square of the recorded values.
+    pub fn rms(&self) -> f64 {
+        (self.mean * self.mean + self.std * self.std).sqrt()
+    }
+}
+
+/// A hit/total ratio (saturation rates, K-mask coverage; schema v2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RatioRecord {
+    /// Ratio label, e.g. `sat_x:conv3x3(16->32)/s1g1`.
+    pub name: String,
+    /// Observations that hit the condition.
+    pub hits: u64,
+    /// Total observations.
+    pub total: u64,
+}
+
+impl RatioRecord {
+    /// `hits / total` (0 when nothing was observed).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// A discrete telemetry event, e.g. an ε-drift trip (schema v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Emission index within the run (0-based).
+    pub seq: u64,
+    /// Event kind, e.g. `eps_drift`.
+    pub kind: String,
+    /// What the event is about (multiplier id, layer label, ...).
+    pub label: String,
+    /// Kind-specific magnitude (for `eps_drift`: observed/fit RMS ratio).
+    pub value: f64,
+    /// Free-form human-readable context.
+    pub detail: String,
+}
+
+/// A captured profile of one run: label, counter totals, sorted spans, and
+/// (schema v2) the health sections.
 ///
 /// Serializes to one JSON object per line ([`RunProfile::to_json`] /
 /// [`RunProfile::append_jsonl`]) or a flat CSV ([`RunProfile::to_csv`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunProfile {
+    /// Schema version of the serialized form; v1 lines omit the field.
+    #[serde(default = "schema_v1")]
+    pub schema_version: u32,
     /// Free-form run label (multiplier name, bench id, ...).
     pub label: String,
     /// Counter totals at capture time.
     pub counters: CounterTotals,
     /// Span statistics, sorted by label for deterministic output.
     pub spans: Vec<SpanRecord>,
+    /// Histogram snapshots, sorted by label (empty on v1 lines).
+    #[serde(default)]
+    pub hists: Vec<HistRecord>,
+    /// Hit/total ratios, sorted by label (empty on v1 lines).
+    #[serde(default)]
+    pub health: Vec<RatioRecord>,
+    /// Telemetry events in emission order (empty on v1 lines).
+    #[serde(default)]
+    pub events: Vec<EventRecord>,
 }
 
 impl RunProfile {
-    /// Snapshots the current process-global counters and spans under
-    /// `label`. Does not reset them — call [`crate::reset`] first to scope
-    /// a profile to one run.
+    /// Snapshots the current process-global counters, spans and health
+    /// registries under `label`. Does not reset them — call [`crate::reset`]
+    /// first to scope a profile to one run.
     pub fn capture(label: &str) -> Self {
         RunProfile {
+            schema_version: SCHEMA_VERSION,
             label: label.to_string(),
             counters: crate::counter_totals(),
             spans: crate::span_records(),
+            hists: crate::hist_records(),
+            health: crate::ratio_records(),
+            events: crate::event_records(),
         }
     }
 
@@ -75,19 +181,76 @@ impl RunProfile {
                 )
             })
             .collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|h| {
+                let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "{{\"name\": {}, \"lo\": {}, \"hi\": {}, \"counts\": [{}], \
+                     \"underflow\": {}, \"overflow\": {}, \"count\": {}, \"mean\": {}, \
+                     \"std\": {}, \"min\": {}, \"max\": {}}}",
+                    json_string(&h.name),
+                    json_f64(h.lo),
+                    json_f64(h.hi),
+                    counts.join(", "),
+                    h.underflow,
+                    h.overflow,
+                    h.count,
+                    json_f64(h.mean),
+                    json_f64(h.std),
+                    json_f64(h.min),
+                    json_f64(h.max)
+                )
+            })
+            .collect();
+        let health: Vec<String> = self
+            .health
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\": {}, \"hits\": {}, \"total\": {}}}",
+                    json_string(&r.name),
+                    r.hits,
+                    r.total
+                )
+            })
+            .collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"seq\": {}, \"kind\": {}, \"label\": {}, \"value\": {}, \"detail\": {}}}",
+                    e.seq,
+                    json_string(&e.kind),
+                    json_string(&e.label),
+                    json_f64(e.value),
+                    json_string(&e.detail)
+                )
+            })
+            .collect();
         format!(
-            "{{\"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}}}, \"spans\": [{}]}}",
+            "{{\"schema_version\": {}, \"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}}}, \"spans\": [{}], \"hists\": [{}], \"health\": [{}], \"events\": [{}]}}",
+            self.schema_version,
             json_string(&self.label),
             c.approx_muls,
             c.lut_bytes,
             c.gemm_macs,
             c.im2col_bytes,
-            spans.join(", ")
+            spans.join(", "),
+            hists.join(", "),
+            health.join(", "),
+            events.join(", ")
         )
     }
 
-    /// Flat CSV: a header, one `counter` row per counter, one `span` row
-    /// per span label. Text fields are RFC-4180 quoted.
+    /// Flat CSV: a header, then one row per counter, span, histogram,
+    /// ratio and event; the six columns keep the v1 layout
+    /// (`label,kind,name,count,total_ms,value`). Text fields are RFC-4180
+    /// quoted. Histogram rows carry `count` and `value = mean`; ratio rows
+    /// carry `count = total` and `value = rate`; event rows carry
+    /// `count = seq` and `value`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("label,kind,name,count,total_ms,value\n");
         let label = csv_field(&self.label);
@@ -108,6 +271,30 @@ impl RunProfile {
                 s.total_ms
             ));
         }
+        for h in &self.hists {
+            out.push_str(&format!(
+                "{label},hist,{},{},,{}\n",
+                csv_field(&h.name),
+                h.count,
+                json_f64(h.mean)
+            ));
+        }
+        for r in &self.health {
+            out.push_str(&format!(
+                "{label},health,{},{},,{}\n",
+                csv_field(&r.name),
+                r.total,
+                json_f64(r.rate())
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "{label},event,{},{},,{}\n",
+                csv_field(&format!("{}:{}", e.kind, e.label)),
+                e.seq,
+                json_f64(e.value)
+            ));
+        }
         out
     }
 
@@ -125,6 +312,18 @@ impl RunProfile {
             .append(true)
             .open(path)?;
         writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// JSON number literal for an f64: Rust's `Display` prints the shortest
+/// decimal that parses back to the same bits, so finite values round-trip
+/// exactly through any conforming parser. Non-finite values (which the
+/// recording paths never store) degrade to 0.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
     }
 }
 
@@ -163,6 +362,7 @@ mod tests {
 
     fn sample() -> RunProfile {
         RunProfile {
+            schema_version: SCHEMA_VERSION,
             label: "resnet8,trunc5".to_string(),
             counters: CounterTotals {
                 approx_muls: 100,
@@ -182,6 +382,31 @@ mod tests {
                     total_ms: 0.25,
                 },
             ],
+            hists: vec![HistRecord {
+                name: "eps:conv3x3".to_string(),
+                lo: -1024.0,
+                hi: 1024.0,
+                counts: vec![3, 0, 1],
+                underflow: 0,
+                overflow: 2,
+                count: 6,
+                mean: 0.5,
+                std: 1.25,
+                min: -2.0,
+                max: 1030.0,
+            }],
+            health: vec![RatioRecord {
+                name: "sat_x:conv3x3".to_string(),
+                hits: 3,
+                total: 200,
+            }],
+            events: vec![EventRecord {
+                seq: 0,
+                kind: "eps_drift".to_string(),
+                label: "trunc5".to_string(),
+                value: 2.5,
+                detail: "observed rms 2.5x fit".to_string(),
+            }],
         }
     }
 
@@ -189,10 +414,13 @@ mod tests {
     fn json_is_one_line_with_escapes() {
         let j = sample().to_json();
         assert!(!j.contains('\n'), "JSONL record must be one line");
-        assert!(j.starts_with("{\"label\": \"resnet8,trunc5\""));
+        assert!(j.starts_with("{\"schema_version\": 2, \"label\": \"resnet8,trunc5\""));
         assert!(j.contains("\"approx_muls\": 100"));
         assert!(j.contains("\"with \\\"quote\\\"\""));
         assert!(j.contains("\"total_ms\": 1.500000"));
+        assert!(j.contains("\"counts\": [3, 0, 1]"));
+        assert!(j.contains("\"hits\": 3"));
+        assert!(j.contains("\"kind\": \"eps_drift\""));
     }
 
     #[test]
@@ -205,8 +433,25 @@ mod tests {
             Some("\"resnet8,trunc5\",counter,approx_muls,,,100")
         );
         assert!(csv.contains("\"with \"\"quote\"\"\",1,0.250000,"));
-        // 1 header + 4 counters + 2 spans
-        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.contains("hist,eps:conv3x3,6,,0.5"));
+        assert!(csv.contains("health,sat_x:conv3x3,200,,0.015"));
+        assert!(csv.contains("event,eps_drift:trunc5,0,,2.5"));
+        // 1 header + 4 counters + 2 spans + 1 hist + 1 ratio + 1 event
+        assert_eq!(csv.lines().count(), 10);
+    }
+
+    #[test]
+    fn ratio_rate_and_hist_rms() {
+        let p = sample();
+        assert!((p.health[0].rate() - 0.015).abs() < 1e-12);
+        let r = &p.hists[0];
+        assert!((r.rms() - (0.25f64 + 1.5625).sqrt()).abs() < 1e-12);
+        let empty = RatioRecord {
+            name: "r".into(),
+            hits: 0,
+            total: 0,
+        };
+        assert_eq!(empty.rate(), 0.0);
     }
 
     #[test]

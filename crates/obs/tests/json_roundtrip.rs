@@ -1,0 +1,205 @@
+//! Validates the hand-written [`RunProfile::to_json`] emitter against a
+//! real JSON parser: for proptest-generated labels and values, `serde_json`
+//! must parse the emitted line back to the original profile — including
+//! schema v1↔v2 round-trips (v1 lines carry no `schema_version`/health
+//! sections and parse with defaults).
+//!
+//! String fields may contain quotes, backslashes, control characters and
+//! non-ASCII text; f64 fields round-trip exactly because the emitter prints
+//! the shortest decimal that re-parses to the same bits (`total_ms` is the
+//! one `{:.6}`-formatted exception, compared with a tolerance).
+
+use axnn_obs::{
+    CounterTotals, EventRecord, HistRecord, RatioRecord, RunProfile, SpanRecord, SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// Any finite f64 in a range wide enough to exercise exponents both ways.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12f64,
+        -1.0f64..1.0f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(1024.0),
+    ]
+}
+
+fn arb_span() -> impl Strategy<Value = SpanRecord> {
+    (any::<String>(), any::<u64>(), 0u64..1_000_000_000).prop_map(|(name, count, us)| SpanRecord {
+        name,
+        count,
+        // Whole microseconds survive the emitter's {:.6} ms formatting.
+        total_ms: us as f64 / 1e3,
+    })
+}
+
+fn arb_hist() -> impl Strategy<Value = HistRecord> {
+    (
+        any::<String>(),
+        finite_f64(),
+        1.0f64..1e9,
+        prop::collection::vec(any::<u64>(), 0..8),
+        any::<u64>(),
+        any::<u64>(),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+    )
+        .prop_map(
+            |(name, lo, width, counts, underflow, overflow, (mean, std, min, max))| {
+                let count = counts.iter().sum::<u64>() + underflow + overflow;
+                HistRecord {
+                    name,
+                    lo,
+                    hi: lo + width,
+                    counts,
+                    underflow,
+                    overflow,
+                    count,
+                    mean,
+                    std: std.abs(),
+                    min,
+                    max,
+                }
+            },
+        )
+}
+
+fn arb_ratio() -> impl Strategy<Value = RatioRecord> {
+    (any::<String>(), any::<u64>(), any::<u64>()).prop_map(|(name, hits, total)| RatioRecord {
+        name,
+        hits,
+        total,
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = EventRecord> {
+    (
+        any::<u64>(),
+        any::<String>(),
+        any::<String>(),
+        finite_f64(),
+        any::<String>(),
+    )
+        .prop_map(|(seq, kind, label, value, detail)| EventRecord {
+            seq,
+            kind,
+            label,
+            value,
+            detail,
+        })
+}
+
+fn arb_profile() -> impl Strategy<Value = RunProfile> {
+    (
+        any::<String>(),
+        any::<[u64; 4]>(),
+        prop::collection::vec(arb_span(), 0..5),
+        prop::collection::vec(arb_hist(), 0..4),
+        prop::collection::vec(arb_ratio(), 0..4),
+        prop::collection::vec(arb_event(), 0..3),
+    )
+        .prop_map(|(label, c, spans, hists, health, events)| RunProfile {
+            schema_version: SCHEMA_VERSION,
+            label,
+            counters: CounterTotals {
+                approx_muls: c[0],
+                lut_bytes: c[1],
+                gemm_macs: c[2],
+                im2col_bytes: c[3],
+            },
+            spans,
+            hists,
+            health,
+            events,
+        })
+}
+
+/// Structural equality with a tolerance on `total_ms` (the only field not
+/// emitted as a shortest-round-trip decimal).
+fn assert_profiles_match(a: &RunProfile, b: &RunProfile) {
+    assert_eq!(a.schema_version, b.schema_version);
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.spans.len(), b.spans.len());
+    for (x, y) in a.spans.iter().zip(&b.spans) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.count, y.count);
+        assert!(
+            (x.total_ms - y.total_ms).abs() < 1e-6,
+            "{} vs {}",
+            x.total_ms,
+            y.total_ms
+        );
+    }
+    assert_eq!(a.hists, b.hists, "hist fields must round-trip exactly");
+    assert_eq!(a.health, b.health);
+    assert_eq!(a.events, b.events);
+}
+
+proptest! {
+    /// serde_json parses every emitted v2 line back to the same profile.
+    #[test]
+    fn to_json_round_trips_through_serde_json(p in arb_profile()) {
+        let line = p.to_json();
+        prop_assert!(!line.contains('\n'));
+        let back: RunProfile = serde_json::from_str(&line)
+            .map_err(|e| TestCaseError::fail(format!("emitted JSON rejected: {e}\n{line}")))?;
+        assert_profiles_match(&p, &back);
+    }
+
+    /// The emitted line is also valid generic JSON with the v2 sections.
+    #[test]
+    fn emitted_json_has_v2_sections(p in arb_profile()) {
+        let v: serde_json::Value = serde_json::from_str(&p.to_json()).expect("valid JSON");
+        prop_assert_eq!(v["schema_version"].as_u64(), Some(SCHEMA_VERSION as u64));
+        prop_assert!(v["hists"].is_array());
+        prop_assert!(v["health"].is_array());
+        prop_assert!(v["events"].is_array());
+    }
+
+    /// v1 lines (no schema_version, no health sections) still parse, with
+    /// defaults; re-emitting yields a v1-tagged line that parses again.
+    #[test]
+    fn v1_lines_parse_with_defaults(
+        label in any::<String>(),
+        c in any::<[u64; 4]>(),
+        spans in prop::collection::vec(arb_span(), 0..4),
+    ) {
+        // Emit in the exact PR 2 (v1) wire format.
+        let v1 = RunProfile {
+            schema_version: 1,
+            label,
+            counters: CounterTotals {
+                approx_muls: c[0],
+                lut_bytes: c[1],
+                gemm_macs: c[2],
+                im2col_bytes: c[3],
+            },
+            spans,
+            hists: vec![],
+            health: vec![],
+            events: vec![],
+        };
+        let line = v1.to_json();
+        let legacy = {
+            // Strip the v2-only keys to fabricate a genuine v1 line.
+            let mut v: serde_json::Value = serde_json::from_str(&line).unwrap();
+            let obj = v.as_object_mut().unwrap();
+            obj.remove("schema_version");
+            obj.remove("hists");
+            obj.remove("health");
+            obj.remove("events");
+            serde_json::to_string(&v).unwrap()
+        };
+        let back: RunProfile = serde_json::from_str(&legacy)
+            .map_err(|e| TestCaseError::fail(format!("v1 line rejected: {e}\n{legacy}")))?;
+        prop_assert_eq!(back.schema_version, 1);
+        prop_assert!(back.hists.is_empty());
+        prop_assert!(back.health.is_empty());
+        prop_assert!(back.events.is_empty());
+        assert_profiles_match(&v1, &back);
+        // And the v1-tagged re-emission parses again (v1↔v2 round trip).
+        let again: RunProfile = serde_json::from_str(&back.to_json()).unwrap();
+        assert_profiles_match(&back, &again);
+    }
+}

@@ -30,7 +30,24 @@ pub struct ApproxExecutor {
     x_quantizer: Option<Quantizer>,
     error_model: Option<PiecewiseLinearError>,
     adder: Option<Arc<dyn Adder>>,
+    /// Pre-formatted health keys (`eps:<layer>`, ...); empty until the
+    /// owning layer hands over its label, which also gates all health
+    /// recording (no telemetry without an attribution).
+    eps_label: String,
+    res_label: String,
+    lin_label: String,
+    sat_x_label: String,
+    sat_w_label: String,
+    /// Forward calls seen while health telemetry was on; drives the ε
+    /// sampling period.
+    health_calls: u64,
 }
+
+/// ε(y) needs an exact reference GEMM of the same shape as the approximate
+/// one, so it is sampled: every `EPS_SAMPLE_PERIOD`-th health-enabled call
+/// per executor (the first call always samples). Saturation ratios are
+/// cheap scans and recorded on every health-enabled call.
+const EPS_SAMPLE_PERIOD: u64 = 16;
 
 impl ApproxExecutor {
     /// Creates an 8A4W approximate executor over a prebuilt LUT.
@@ -46,6 +63,12 @@ impl ApproxExecutor {
             x_quantizer: None,
             error_model,
             adder: None,
+            eps_label: String::new(),
+            res_label: String::new(),
+            lin_label: String::new(),
+            sat_x_label: String::new(),
+            sat_w_label: String::new(),
+            health_calls: 0,
         }
     }
 
@@ -84,6 +107,73 @@ impl ApproxExecutor {
             let abs_max = col.abs_max();
             (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.x_spec))
         })
+    }
+
+    /// Records the per-layer health metrics for one forward call: clip
+    /// rates every call, and on sampled calls the ε(y) histogram, the GE
+    /// residual histogram (ε − f(y_q), what the drift monitor pools) and
+    /// the K-mask linear-region coverage. `y_codes` is the exact quantized
+    /// output in code units when the GE path already computed it;
+    /// otherwise the sampled path computes its own reference GEMM
+    /// (observation only — deliberately not counted as run work).
+    #[allow(clippy::too_many_arguments)]
+    fn record_health(
+        &mut self,
+        y: &Tensor,
+        w_eff: &Tensor,
+        col_eff: &Tensor,
+        wmat: &Tensor,
+        col: &Tensor,
+        wq: &Quantizer,
+        xq: &Quantizer,
+        scale: f32,
+        y_codes: Option<&Tensor>,
+    ) {
+        use axnn_obs::HistSpec;
+
+        axnn_obs::record_ratio(&self.sat_x_label, xq.saturated(col), col.len() as u64);
+        axnn_obs::record_ratio(&self.sat_w_label, wq.saturated(wmat), wmat.len() as u64);
+
+        let sampled = self.health_calls.is_multiple_of(EPS_SAMPLE_PERIOD);
+        self.health_calls += 1;
+        if !sampled || scale == 0.0 {
+            return;
+        }
+        let computed;
+        let codes = match y_codes {
+            Some(t) => t,
+            None => {
+                let mut t = gemm::matmul(w_eff, col_eff);
+                t.scale(1.0 / scale);
+                computed = t;
+                &computed
+            }
+        };
+        let inv = 1.0 / scale;
+        axnn_obs::record_values(
+            &self.eps_label,
+            HistSpec::eps(),
+            y.as_slice()
+                .iter()
+                .zip(codes.as_slice())
+                .map(|(&ya, &yc)| (ya * inv - yc) as f64),
+        );
+        if let Some(model) = &self.error_model {
+            axnn_obs::record_values(
+                &self.res_label,
+                HistSpec::eps(),
+                y.as_slice()
+                    .iter()
+                    .zip(codes.as_slice())
+                    .map(|(&ya, &yc)| (ya * inv - yc - model.value(yc)) as f64),
+            );
+            let linear = codes
+                .as_slice()
+                .iter()
+                .filter(|&&yc| model.derivative(yc) != 0.0)
+                .count() as u64;
+            axnn_obs::record_ratio(&self.lin_label, linear, codes.len() as u64);
+        }
     }
 }
 
@@ -126,6 +216,7 @@ impl LayerExecutor for ApproxExecutor {
         // compute it only when a non-constant model is attached. The model
         // is fitted in integer-accumulator (code-product) units, which are
         // scale-invariant across layers, so evaluate on y_exact / scale.
+        let mut ge_codes = None;
         let grad_scale = match &self.error_model {
             Some(model) if !model.is_constant() => {
                 if axnn_obs::enabled() {
@@ -133,10 +224,26 @@ impl LayerExecutor for ApproxExecutor {
                 }
                 let mut y_codes = gemm::matmul(&w_eff, &col_eff);
                 y_codes.scale(1.0 / scale);
-                Some(model.grad_scale(&y_codes))
+                let gs = model.grad_scale(&y_codes);
+                ge_codes = Some(y_codes);
+                Some(gs)
             }
             _ => None,
         };
+
+        if axnn_obs::health_enabled() && !self.eps_label.is_empty() {
+            self.record_health(
+                &y,
+                &w_eff,
+                &col_eff,
+                wmat,
+                col,
+                &wq,
+                &xq,
+                scale,
+                ge_codes.as_ref(),
+            );
+        }
 
         ExecOutput {
             y,
@@ -148,6 +255,14 @@ impl LayerExecutor for ApproxExecutor {
 
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::Approximate
+    }
+
+    fn set_obs_label(&mut self, label: &str) {
+        self.eps_label = format!("eps:{label}");
+        self.res_label = format!("ge_res:{label}");
+        self.lin_label = format!("ge_lin:{label}");
+        self.sat_x_label = format!("sat_x:{label}");
+        self.sat_w_label = format!("sat_w:{label}");
     }
 }
 
@@ -298,6 +413,50 @@ mod tests {
         let y2 = loa.forward(&wmat, &col, Mode::Eval).y;
         assert_eq!(y0, y1, "exact adder is a no-op");
         assert_ne!(y0, y2, "LOA accumulation must perturb the output");
+    }
+
+    #[test]
+    fn health_telemetry_samples_eps_without_changing_outputs() {
+        let mut rng = StdRng::seed_from_u64(76);
+        let wmat = init::uniform(&[4, 16], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[16, 8], -1.0, 1.0, &mut rng);
+        let l = lut(&TruncatedMul::new(5));
+        let model = PiecewiseLinearError::new(-0.05, 0.0, -10.0, 10.0);
+
+        let mut plain = ApproxExecutor::new(Arc::clone(&l), Some(model));
+        let y_plain = plain.forward(&wmat, &col, Mode::Train).y;
+
+        axnn_obs::reset();
+        let mut ex = ApproxExecutor::new(l, Some(model));
+        ex.set_obs_label("conv");
+        axnn_obs::set_health_enabled(true);
+        let y = ex.forward(&wmat, &col, Mode::Train).y;
+        axnn_obs::set_health_enabled(false);
+
+        assert_eq!(
+            y.as_slice(),
+            y_plain.as_slice(),
+            "telemetry must not change bits"
+        );
+        let p = axnn_obs::RunProfile::capture("t");
+        let eps = p
+            .hists
+            .iter()
+            .find(|h| h.name == "eps:conv")
+            .expect("first call is always ε-sampled");
+        assert_eq!(eps.count, (4 * 8) as u64, "one ε value per output");
+        assert!(
+            p.hists.iter().any(|h| h.name == "ge_res:conv"),
+            "GE residuals recorded when a model is attached"
+        );
+        let lin = p
+            .health
+            .iter()
+            .find(|r| r.name == "ge_lin:conv")
+            .expect("K-mask coverage recorded");
+        assert_eq!(lin.total, (4 * 8) as u64);
+        assert!(p.health.iter().any(|r| r.name == "sat_x:conv"));
+        axnn_obs::reset();
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct QuantExecutor {
     calibrator: ActRangeCalibrator,
     x_quantizer: Option<Quantizer>,
     per_channel: bool,
+    /// Pre-formatted `sat_x:<layer>` health key; empty until the owning
+    /// layer hands over its label (no telemetry without an attribution).
+    sat_x_label: String,
+    /// Pre-formatted `sat_w:<layer>` health key.
+    sat_w_label: String,
 }
 
 impl QuantExecutor {
@@ -91,6 +96,8 @@ impl QuantExecutor {
             calibrator: ActRangeCalibrator::new(),
             x_quantizer: None,
             per_channel: false,
+            sat_x_label: String::new(),
+            sat_w_label: String::new(),
         }
     }
 
@@ -163,15 +170,18 @@ impl LayerExecutor for QuantExecutor {
             self.calibrator.observe(wmat, col, self.x_spec);
             self.x_quantizer = None; // re-freeze after more data
         }
+        let mut w_q = None;
         let w_eff = if self.per_channel {
             self.fake_quant_per_channel(wmat)
         } else {
-            match self.weight_quantizer(wmat) {
+            w_q = self.weight_quantizer(wmat);
+            match &w_q {
                 Some(q) => q.fake_quant_tensor(wmat),
                 None => wmat.clone(),
             }
         };
-        let col_eff = match self.batch_x_quantizer(col) {
+        let x_q = self.batch_x_quantizer(col);
+        let col_eff = match &x_q {
             Some(q) => q.fake_quant_tensor(col),
             None => col.clone(),
         };
@@ -179,6 +189,18 @@ impl LayerExecutor for QuantExecutor {
             let (oc, k) = (wmat.shape()[0], wmat.shape()[1]);
             let m = col.shape()[1];
             axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
+        if axnn_obs::health_enabled() && !self.sat_x_label.is_empty() {
+            // Clip rates of the quantizers actually used this call. The
+            // per-channel ablation has one weight scale per row and no
+            // single clip limit, so only the layer-wise path reports
+            // `sat_w`; activations are always layer-wise.
+            if let Some(q) = &x_q {
+                axnn_obs::record_ratio(&self.sat_x_label, q.saturated(col), col.len() as u64);
+            }
+            if let Some(q) = &w_q {
+                axnn_obs::record_ratio(&self.sat_w_label, q.saturated(wmat), wmat.len() as u64);
+            }
         }
         ExecOutput {
             y: gemm::matmul(&w_eff, &col_eff),
@@ -190,6 +212,11 @@ impl LayerExecutor for QuantExecutor {
 
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::Quantized
+    }
+
+    fn set_obs_label(&mut self, label: &str) {
+        self.sat_x_label = format!("sat_x:{label}");
+        self.sat_w_label = format!("sat_w:{label}");
     }
 }
 
@@ -340,6 +367,43 @@ mod tests {
         let mut kinds = Vec::new();
         net.visit_gemm_cores(&mut |c| kinds.push(c.executor.kind()));
         assert_eq!(kinds, vec![ExecutorKind::Quantized]);
+    }
+
+    #[test]
+    fn health_telemetry_records_saturation_without_changing_outputs() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let wmat = init::uniform(&[4, 8], -0.5, 0.5, &mut rng);
+        // Freeze the activation step on typical-range data; the uncalibrated
+        // dynamic fallback rescales to each batch's abs-max and never clips.
+        let calib = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        let mut col = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        col.as_mut_slice()[0] = 500.0; // clips under the frozen step
+
+        let mut plain = QuantExecutor::new_8a4w();
+        plain.forward(&wmat, &calib, Mode::Calibrate);
+        let y_plain = plain.forward(&wmat, &col, Mode::Eval).y;
+
+        let mut ex = QuantExecutor::new_8a4w();
+        ex.forward(&wmat, &calib, Mode::Calibrate);
+        ex.set_obs_label("fc(8->4)");
+        axnn_obs::set_health_enabled(true);
+        let y = ex.forward(&wmat, &col, Mode::Eval).y;
+        axnn_obs::set_health_enabled(false);
+
+        assert_eq!(
+            y.as_slice(),
+            y_plain.as_slice(),
+            "telemetry must not change bits"
+        );
+        let ratios = axnn_obs::RunProfile::capture("t").health;
+        let sat_x = ratios
+            .iter()
+            .find(|r| r.name == "sat_x:fc(8->4)")
+            .expect("x saturation recorded");
+        assert!(sat_x.hits >= 1, "the 500.0 outlier must clip");
+        assert_eq!(sat_x.total % col.len() as u64, 0);
+        assert!(ratios.iter().any(|r| r.name == "sat_w:fc(8->4)"));
+        axnn_obs::reset();
     }
 
     #[test]

@@ -137,6 +137,15 @@ impl Quantizer {
     pub fn fake_quant_tensor(&self, t: &Tensor) -> Tensor {
         t.map(|x| self.fake_quant(x))
     }
+
+    /// Counts the values of `t` that clip to the extreme codes `±qmax` —
+    /// the saturation statistic behind the `sat_x:`/`sat_w:` health ratios.
+    /// A value that *rounds* to `±qmax` without exceeding the range is not
+    /// saturated.
+    pub fn saturated(&self, t: &Tensor) -> u64 {
+        let limit = (self.spec.qmax() as f32 + 0.5) * self.step;
+        t.as_slice().iter().filter(|x| x.abs() >= limit).count() as u64
+    }
 }
 
 /// Rounds a step size to the nearest power of two **at or above** it, so the
@@ -264,6 +273,17 @@ mod tests {
             assert_eq!(q.dequantize(*c), *d);
             assert!(c.abs() <= 7);
         }
+    }
+
+    #[test]
+    fn saturated_counts_only_out_of_range_values() {
+        let q = Quantizer::with_step(0.5, QuantSpec::weights_4bit());
+        // qmax = 7, step = 0.5 → clip limit 3.75.
+        let t = Tensor::from_vec(vec![0.0, 3.4, 3.74, 3.75, -4.0, 100.0], &[6]).unwrap();
+        assert_eq!(q.saturated(&t), 3);
+        // A value that rounds to qmax from inside the range is not clipped.
+        assert_eq!(q.quantize_code(3.6), 7);
+        assert_eq!(q.saturated(&Tensor::from_vec(vec![3.6], &[1]).unwrap()), 0);
     }
 
     #[test]

@@ -9,3 +9,20 @@ cargo build --release
 cargo test -q
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability smoke: a tiny profiled pipeline run must produce a JSONL
+# profile that `axnn obs report` can render and `axnn obs diff` can gate on,
+# with a nonzero exit once a counter regression is injected.
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+target/release/axnn pipeline --fp-epochs 1 --epochs 1 --train 64 --test 32 \
+    --hw 8 --width 0.2 --profile "$OBS_TMP/run.jsonl" >/dev/null
+target/release/axnn obs report "$OBS_TMP/run.jsonl" >/dev/null
+target/release/axnn obs diff "$OBS_TMP/run.jsonl" "$OBS_TMP/run.jsonl" >/dev/null
+sed -E 's/"approx_muls": ([0-9]+)/"approx_muls": 9\1/' \
+    "$OBS_TMP/run.jsonl" >"$OBS_TMP/regressed.jsonl"
+if target/release/axnn obs diff "$OBS_TMP/run.jsonl" "$OBS_TMP/regressed.jsonl" >/dev/null 2>&1; then
+    echo "tier1: obs diff failed to flag an injected counter regression" >&2
+    exit 1
+fi
+echo "tier1: obs smoke OK"

@@ -4,7 +4,18 @@
 //! axnn characterize <multiplier>             multiplier MRE / bias / GE fit
 //! axnn pipeline [flags]                      run Algorithm 1 end to end
 //! axnn evaluate --checkpoint <file> [flags]  restore a checkpoint and evaluate
+//! axnn obs report <run.jsonl>                markdown health report of a profile
+//! axnn obs diff <a.jsonl> <b.jsonl> [flags]  threshold-gated profile comparison
 //! axnn help                                  this text
+//! ```
+//!
+//! `obs report` and `obs diff` analyze the last line of each JSONL
+//! trajectory (the most recent run). `obs diff` exits nonzero when the
+//! candidate regresses past the thresholds, so it can gate CI:
+//!
+//! ```text
+//! --counter-pct <percent>   tolerated work-counter growth      [1]
+//! --ratio-abs <fraction>    tolerated bad-direction ratio move [0.05]
 //! ```
 //!
 //! Pipeline flags (defaults in brackets):
@@ -21,8 +32,9 @@
 //! --hw <input resolution>                         [16]
 //! --train <samples> / --test <samples>            [320 / 160]
 //! --save <file.json>       save the fine-tuned student as a checkpoint
-//! --profile <file.jsonl>   append a run profile (per-layer spans +
-//!                          approx-op counters) as one JSONL line
+//! --profile <file.jsonl>   append a run profile (per-layer spans,
+//!                          approx-op counters, numeric-health telemetry)
+//!                          as one JSONL line
 //! ```
 
 use approxnn::approxkd::pipeline::ModelKind;
@@ -152,6 +164,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     if profile_path.is_some() {
         approxnn::obs::reset();
         approxnn::obs::set_enabled(true);
+        approxnn::obs::set_health_enabled(true);
     }
 
     let cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
@@ -204,13 +217,15 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
 
     if let Some(path) = &profile_path {
         approxnn::obs::set_enabled(false);
+        approxnn::obs::set_health_enabled(false);
         let label = format!("pipeline/{}/{}/{}", kind.label(), spec.id, method.label());
         let profile = approxnn::obs::RunProfile::capture(&label);
         profile.append_jsonl(path).map_err(|e| e.to_string())?;
         let c = &profile.counters;
         eprintln!(
-            "profile appended to {path}: {} spans, {} approx muls, {} GEMM MACs",
+            "profile appended to {path}: {} spans, {} hists, {} approx muls, {} GEMM MACs",
             profile.spans.len(),
+            profile.hists.len(),
             c.approx_muls,
             c.gemm_macs
         );
@@ -265,6 +280,48 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn last_profile(path: &str) -> Result<approxnn::obs::RunProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut profiles = approxnn::report::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    profiles.pop().ok_or_else(|| format!("{path}: no profiles"))
+}
+
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: axnn obs report <run.jsonl> | axnn obs diff <a.jsonl> <b.jsonl> [--flags]";
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let profile = last_profile(path)?;
+            print!("{}", approxnn::report::render_report(&profile));
+            Ok(())
+        }
+        Some("diff") => {
+            let a = args.get(1).ok_or(USAGE)?;
+            let b = args.get(2).ok_or(USAGE)?;
+            let flags = parse_flags(&args[3..])?;
+            let counter_pct: f64 = get_parsed(&flags, "counter-pct", 1.0)?;
+            let thresholds = approxnn::report::DiffThresholds {
+                counter_rel: counter_pct / 100.0,
+                ratio_abs: get_parsed(&flags, "ratio-abs", 0.05)?,
+            };
+            let baseline = last_profile(a)?;
+            let candidate = last_profile(b)?;
+            let diff = approxnn::report::diff_profiles(&baseline, &candidate, &thresholds);
+            print!("{}", diff.summary);
+            if diff.is_regression() {
+                Err(format!(
+                    "{} regression(s) past thresholds",
+                    diff.regressions.len()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
 fn usage() {
     println!("axnn — approximate-CNN optimization (DATE 2021 reproduction)");
     println!();
@@ -272,6 +329,8 @@ fn usage() {
     println!("  characterize <multiplier>   MRE / bias / GE fit of a catalogue multiplier");
     println!("  pipeline [--flags]          run FP training + 8A4W + approximation");
     println!("  evaluate --checkpoint <f>   restore a checkpoint and evaluate");
+    println!("  obs report <run.jsonl>      markdown numeric-health report");
+    println!("  obs diff <a> <b>            compare profiles; nonzero exit on regression");
     println!("  help                        this text");
     println!();
     println!("see `src/bin/axnn.rs` docs for the full flag list");
@@ -283,6 +342,7 @@ fn main() -> ExitCode {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("help") | None => {
             usage();
             Ok(())

@@ -19,6 +19,7 @@
 //! | [`models`] | `axnn-models` | ResNet-20/32, MobileNetV2 builders |
 //! | [`data`] | `axnn-data` | SynthCIFAR dataset generator |
 //! | [`approxkd`] | `approxkd` | ApproxKD + gradient estimation (the paper)|
+//! | [`report`] | (this crate) | `axnn obs` profile analysis: reports, diffs |
 //!
 //! # Quickstart
 //!
@@ -33,6 +34,8 @@
 //! let result = env.approximation_stage(spec, Method::approx_kd_ge(5.0), &StageConfig::quick());
 //! println!("{} -> {:.1} %", result.method, result.final_acc * 100.0);
 //! ```
+
+pub mod report;
 
 pub use approxkd;
 pub use axnn_axmul as axmul;

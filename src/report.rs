@@ -1,0 +1,466 @@
+//! Profile analysis behind `axnn obs`: parse [`RunProfile`] JSONL
+//! trajectories, render a per-layer markdown health report, and diff two
+//! profiles with regression thresholds (the CI gate).
+//!
+//! Parsing uses `serde_json` against the derives on the obs records — the
+//! hand-written emitter and this parser are held together by the
+//! round-trip proptests in `crates/obs/tests/json_roundtrip.rs`.
+
+use crate::obs::{HistRecord, RatioRecord, RunProfile};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parses a JSONL profile trajectory (one [`RunProfile`] per non-empty
+/// line). v1 lines parse with empty health sections.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<RunProfile>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let p: RunProfile = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a run profile: {e}", i + 1))?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+/// The health metrics of one layer, regrouped from the flat label families
+/// (`eps:<layer>`, `sat_x:<layer>`, ...).
+#[derive(Debug, Default)]
+struct LayerHealth<'a> {
+    eps: Option<&'a HistRecord>,
+    residual: Option<&'a HistRecord>,
+    grad_norm: Option<&'a HistRecord>,
+    linear: Option<&'a RatioRecord>,
+    sat_x: Option<&'a RatioRecord>,
+    sat_w: Option<&'a RatioRecord>,
+}
+
+fn split_label(name: &str) -> Option<(&str, &str)> {
+    name.split_once(':')
+}
+
+fn layer_health(p: &RunProfile) -> BTreeMap<&str, LayerHealth<'_>> {
+    let mut layers: BTreeMap<&str, LayerHealth<'_>> = BTreeMap::new();
+    for h in &p.hists {
+        let Some((family, layer)) = split_label(&h.name) else {
+            continue;
+        };
+        let entry = layers.entry(layer).or_default();
+        match family {
+            "eps" => entry.eps = Some(h),
+            "ge_res" => entry.residual = Some(h),
+            "grad_norm" => entry.grad_norm = Some(h),
+            _ => {}
+        }
+    }
+    for r in &p.health {
+        let Some((family, layer)) = split_label(&r.name) else {
+            continue;
+        };
+        let entry = layers.entry(layer).or_default();
+        match family {
+            "ge_lin" => entry.linear = Some(r),
+            "sat_x" => entry.sat_x = Some(r),
+            "sat_w" => entry.sat_w = Some(r),
+            _ => {}
+        }
+    }
+    layers
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+fn fmt_pct(r: Option<&RatioRecord>) -> String {
+    match r {
+        Some(r) => format!("{:.2} %", r.rate() * 100.0),
+        None => "—".to_string(),
+    }
+}
+
+/// Renders one profile as a markdown report: counters, the heaviest spans,
+/// the per-layer health table, and the event log.
+pub fn render_report(p: &RunProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Run profile: {}", p.label);
+    let _ = writeln!(out, "\nschema v{}", p.schema_version);
+
+    let c = &p.counters;
+    out.push_str("\n## Counters\n\n| counter | value |\n|---|---:|\n");
+    for (name, v) in [
+        ("approx_muls", c.approx_muls),
+        ("lut_bytes", c.lut_bytes),
+        ("gemm_macs", c.gemm_macs),
+        ("im2col_bytes", c.im2col_bytes),
+    ] {
+        let _ = writeln!(out, "| {name} | {v} |");
+    }
+
+    let mut spans: Vec<_> = p.spans.iter().collect();
+    spans.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+    out.push_str("\n## Top spans\n\n| span | count | total ms |\n|---|---:|---:|\n");
+    for s in spans.iter().take(12) {
+        let _ = writeln!(out, "| {} | {} | {:.3} |", s.name, s.count, s.total_ms);
+    }
+    if spans.len() > 12 {
+        let _ = writeln!(out, "\n({} more spans omitted)", spans.len() - 12);
+    }
+
+    let layers = layer_health(p);
+    out.push_str("\n## Per-layer numeric health\n");
+    if layers.is_empty() {
+        out.push_str("\n(no health telemetry in this profile)\n");
+    } else {
+        out.push_str(
+            "\n| layer | ε mean | ε rms | ε n | resid rms | K-mask | sat(x) | sat(w) | ∥∇w∥ mean |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for (layer, h) in &layers {
+            let _ = writeln!(
+                out,
+                "| {layer} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                fmt_opt(h.eps.map(|e| e.mean)),
+                fmt_opt(h.eps.map(|e| e.rms())),
+                h.eps
+                    .map(|e| e.count.to_string())
+                    .unwrap_or_else(|| "—".to_string()),
+                fmt_opt(h.residual.map(|r| r.rms())),
+                fmt_pct(h.linear),
+                fmt_pct(h.sat_x),
+                fmt_pct(h.sat_w),
+                fmt_opt(h.grad_norm.map(|g| g.mean)),
+            );
+        }
+    }
+
+    out.push_str("\n## Events\n\n");
+    if p.events.is_empty() {
+        out.push_str("none\n");
+    } else {
+        for e in &p.events {
+            let _ = writeln!(
+                out,
+                "- [{}] {} ({}): {} — {}",
+                e.seq, e.kind, e.label, e.value, e.detail
+            );
+        }
+    }
+    out
+}
+
+/// Regression thresholds of [`diff_profiles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Max tolerated *relative increase* of any work counter
+    /// (fraction: `0.01` = 1 %). Counters are deterministic, so the
+    /// default tolerance is tight.
+    pub counter_rel: f64,
+    /// Max tolerated *absolute change* of a health ratio in the bad
+    /// direction: saturation rates going up, K-mask coverage going down.
+    pub ratio_abs: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            counter_rel: 0.01,
+            ratio_abs: 0.05,
+        }
+    }
+}
+
+/// Outcome of a profile comparison: the rendered summary plus the flagged
+/// regressions (empty = gate passes).
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Markdown comparison summary.
+    pub summary: String,
+    /// One line per threshold violation.
+    pub regressions: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether any threshold was violated.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Compares run `b` (candidate) against run `a` (baseline).
+///
+/// Flags as regressions: work counters that grew beyond
+/// [`DiffThresholds::counter_rel`], saturation ratios that rose — or
+/// K-mask (`ge_lin:`) coverage that fell — by more than
+/// [`DiffThresholds::ratio_abs`], and new `eps_drift` events. Shrinking
+/// counters and ratios present in only one profile are reported in the
+/// summary but never flagged.
+pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> DiffReport {
+    let mut summary = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(summary, "# Profile diff\n\nbaseline: {}", a.label);
+    let _ = writeln!(summary, "candidate: {}\n", b.label);
+
+    summary.push_str(
+        "## Counters\n\n| counter | baseline | candidate | change |\n|---|---:|---:|---:|\n",
+    );
+    let (ca, cb) = (&a.counters, &b.counters);
+    for (name, va, vb) in [
+        ("approx_muls", ca.approx_muls, cb.approx_muls),
+        ("lut_bytes", ca.lut_bytes, cb.lut_bytes),
+        ("gemm_macs", ca.gemm_macs, cb.gemm_macs),
+        ("im2col_bytes", ca.im2col_bytes, cb.im2col_bytes),
+    ] {
+        let rel = if va == 0 {
+            if vb == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (vb as f64 - va as f64) / va as f64
+        };
+        let _ = writeln!(summary, "| {name} | {va} | {vb} | {:+.2} % |", rel * 100.0);
+        if rel > th.counter_rel {
+            regressions.push(format!(
+                "counter {name} grew {:.2} % ({va} -> {vb}), tolerance {:.2} %",
+                rel * 100.0,
+                th.counter_rel * 100.0
+            ));
+        }
+    }
+
+    let ratios_a: BTreeMap<&str, &RatioRecord> =
+        a.health.iter().map(|r| (r.name.as_str(), r)).collect();
+    summary.push_str(
+        "\n## Health ratios\n\n| ratio | baseline | candidate | change |\n|---|---:|---:|---:|\n",
+    );
+    for rb in &b.health {
+        let Some(ra) = ratios_a.get(rb.name.as_str()) else {
+            let _ = writeln!(summary, "| {} | — | {:.4} | new |", rb.name, rb.rate());
+            continue;
+        };
+        let delta = rb.rate() - ra.rate();
+        let _ = writeln!(
+            summary,
+            "| {} | {:.4} | {:.4} | {delta:+.4} |",
+            rb.name,
+            ra.rate(),
+            rb.rate()
+        );
+        // Coverage of the K-mask shrinking is the bad direction; for the
+        // saturation families it is growth.
+        let bad = if rb.name.starts_with("ge_lin:") {
+            -delta
+        } else {
+            delta
+        };
+        if bad > th.ratio_abs {
+            regressions.push(format!(
+                "ratio {} moved {delta:+.4} ({:.4} -> {:.4}), tolerance {:.4}",
+                rb.name,
+                ra.rate(),
+                rb.rate(),
+                th.ratio_abs
+            ));
+        }
+    }
+
+    let drift = |p: &RunProfile| p.events.iter().filter(|e| e.kind == "eps_drift").count();
+    let (da, db) = (drift(a), drift(b));
+    let _ = writeln!(
+        summary,
+        "\n## Events\n\neps_drift: baseline {da}, candidate {db}"
+    );
+    if db > da {
+        regressions.push(format!(
+            "candidate emitted {} new eps_drift event(s) ({da} -> {db})",
+            db - da
+        ));
+    }
+
+    if regressions.is_empty() {
+        summary.push_str("\nno regressions\n");
+    } else {
+        summary.push_str("\n## Regressions\n\n");
+        for r in &regressions {
+            let _ = writeln!(summary, "- {r}");
+        }
+    }
+    DiffReport {
+        summary,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{CounterTotals, EventRecord, SpanRecord};
+
+    fn profile(label: &str) -> RunProfile {
+        RunProfile {
+            schema_version: 2,
+            label: label.to_string(),
+            counters: CounterTotals {
+                approx_muls: 1000,
+                lut_bytes: 4000,
+                gemm_macs: 500,
+                im2col_bytes: 64,
+            },
+            spans: vec![SpanRecord {
+                name: "fwd:conv3x3(8->8)/s1".to_string(),
+                count: 4,
+                total_ms: 1.25,
+            }],
+            hists: vec![
+                HistRecord {
+                    name: "eps:conv3x3(8->8)/s1".to_string(),
+                    lo: -1024.0,
+                    hi: 1024.0,
+                    counts: vec![2, 2],
+                    underflow: 0,
+                    overflow: 0,
+                    count: 4,
+                    mean: -3.0,
+                    std: 4.0,
+                    min: -9.0,
+                    max: 2.0,
+                },
+                HistRecord {
+                    name: "grad_norm:conv3x3(8->8)/s1".to_string(),
+                    lo: 0.0,
+                    hi: 16.0,
+                    counts: vec![1],
+                    underflow: 0,
+                    overflow: 0,
+                    count: 1,
+                    mean: 0.5,
+                    std: 0.0,
+                    min: 0.5,
+                    max: 0.5,
+                },
+            ],
+            health: vec![
+                RatioRecord {
+                    name: "ge_lin:conv3x3(8->8)/s1".to_string(),
+                    hits: 90,
+                    total: 100,
+                },
+                RatioRecord {
+                    name: "sat_x:conv3x3(8->8)/s1".to_string(),
+                    hits: 1,
+                    total: 100,
+                },
+            ],
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_emitter_output() {
+        let p = profile("run");
+        let text = format!("{}\n\n{}\n", p.to_json(), p.to_json());
+        let parsed = parse_jsonl(&text).expect("parses");
+        assert_eq!(parsed.len(), 2, "blank lines are skipped");
+        assert_eq!(parsed[0], p);
+    }
+
+    #[test]
+    fn parse_jsonl_accepts_v1_lines() {
+        let line = r#"{"label": "old", "counters": {"approx_muls": 1, "lut_bytes": 4, "gemm_macs": 2, "im2col_bytes": 0}, "spans": []}"#;
+        let parsed = parse_jsonl(line).expect("v1 parses");
+        assert_eq!(parsed[0].schema_version, 1);
+        assert!(parsed[0].hists.is_empty());
+    }
+
+    #[test]
+    fn parse_jsonl_names_the_bad_line() {
+        let err = parse_jsonl("\n{not json}").expect_err("must fail");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn report_groups_health_by_layer() {
+        let r = render_report(&profile("run"));
+        assert!(r.contains("# Run profile: run"));
+        assert!(r.contains("| approx_muls | 1000 |"));
+        // One health row holding ε, K-mask, saturation and grad-norm.
+        let row = r
+            .lines()
+            .find(|l| l.starts_with("| conv3x3(8->8)/s1 |"))
+            .expect("layer row");
+        assert!(row.contains("-3.000"), "eps mean: {row}");
+        assert!(row.contains("5.000"), "eps rms: {row}");
+        assert!(row.contains("90.00 %"), "K-mask: {row}");
+        assert!(row.contains("1.00 %"), "sat(x): {row}");
+        assert!(row.contains("0.500"), "grad norm: {row}");
+        assert!(r.contains("none"), "no events");
+    }
+
+    #[test]
+    fn identical_profiles_do_not_regress() {
+        let d = diff_profiles(&profile("a"), &profile("b"), &DiffThresholds::default());
+        assert!(!d.is_regression(), "{:?}", d.regressions);
+        assert!(d.summary.contains("no regressions"));
+    }
+
+    #[test]
+    fn counter_growth_beyond_tolerance_regresses() {
+        let a = profile("a");
+        let mut b = profile("b");
+        b.counters.approx_muls = 1011; // +1.1 % > the 1 % default
+        let d = diff_profiles(&a, &b, &DiffThresholds::default());
+        assert!(d.is_regression());
+        assert!(
+            d.regressions[0].contains("approx_muls"),
+            "{:?}",
+            d.regressions
+        );
+        // Shrinkage is fine.
+        b.counters.approx_muls = 500;
+        assert!(!diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+    }
+
+    #[test]
+    fn ratio_directions_are_family_aware() {
+        let a = profile("a");
+        // Saturation up by 10 points: bad.
+        let mut b = profile("b");
+        b.health[1].hits = 11;
+        assert!(diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+        // K-mask coverage up by 9 points: good.
+        let mut b = profile("b");
+        b.health[0].hits = 99;
+        assert!(!diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+        // K-mask coverage down by 10 points: bad.
+        let mut b = profile("b");
+        b.health[0].hits = 80;
+        assert!(diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+    }
+
+    #[test]
+    fn new_drift_events_regress() {
+        let a = profile("a");
+        let mut b = profile("b");
+        b.events.push(EventRecord {
+            seq: 0,
+            kind: "eps_drift".to_string(),
+            label: "trunc5".to_string(),
+            value: 3.0,
+            detail: "stale".to_string(),
+        });
+        let d = diff_profiles(&a, &b, &DiffThresholds::default());
+        assert!(d.is_regression());
+        assert!(d.regressions[0].contains("eps_drift"));
+    }
+}

@@ -9,7 +9,10 @@
 //! It also covers the same guarantee one level up: the `axnn-obs` counters
 //! are derived analytically from the workload, so [`RunProfile`] totals must
 //! be identical for any worker count — and turning profiling on must not
-//! change a single output bit.
+//! change a single output bit. The numeric-health telemetry (ε histograms,
+//! saturation ratios) holds the same pair of properties: records are
+//! bit-identical for any worker count, and enabling them changes nothing
+//! the executors compute.
 //!
 //! `set_threads` and the obs enable flag / counters are process-global, so
 //! every property takes [`serial`] for its whole case body: the obs
@@ -20,15 +23,15 @@
 
 use approxnn::approxkd::ge::{fit_error_model, McConfig};
 use approxnn::axmul::TruncatedMul;
-use approxnn::nn::{Conv2d, Layer, Mode};
+use approxnn::nn::{Conv2d, Layer, LayerExecutor, Mode};
 use approxnn::obs;
 use approxnn::par;
-use approxnn::proxsim::{approx_matmul, SignedLut};
+use approxnn::proxsim::{approx_matmul, ApproxExecutor, PiecewiseLinearError, SignedLut};
 use approxnn::tensor::{gemm, init, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Serializes all case bodies in this binary (see the module docs).
 fn serial() -> MutexGuard<'static, ()> {
@@ -221,5 +224,87 @@ proptest! {
         prop_assert_eq!(&plain_fit.model, &profiled_fit.model);
         let nnz = w.iter().filter(|&&v| v != 0).count() as u64;
         prop_assert_eq!(counted.approx_muls, nnz * m as u64);
+    }
+
+    /// The numeric-health records of an approximate forward (ε histogram
+    /// moments, saturation ratios, K-mask coverage) are bit-identical for
+    /// one worker and for N: recording happens on the coordinating thread,
+    /// never inside a parallel region.
+    #[test]
+    fn health_telemetry_is_thread_invariant(
+        seed in 0u64..60,
+        oc in 1usize..8,
+        k in 1usize..12,
+        m in 1usize..16,
+        threads in 2usize..9,
+    ) {
+        let _g = serial();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wmat = init::uniform(&[oc, k], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[k, m], -1.0, 1.0, &mut rng);
+        let model = PiecewiseLinearError::new(-0.05, 0.0, -10.0, 10.0);
+
+        let run = |threads: usize| {
+            par::set_threads(threads);
+            obs::reset();
+            obs::set_health_enabled(true);
+            let lut = Arc::new(SignedLut::build(&TruncatedMul::new(4)));
+            let mut ex = ApproxExecutor::new(lut, Some(model));
+            ex.set_obs_label("prop");
+            let y = ex.forward(&wmat, &col, Mode::Train).y;
+            obs::set_health_enabled(false);
+            let p = obs::RunProfile::capture("prop");
+            (y, p.hists, p.health)
+        };
+        let (y1, h1, r1) = run(1);
+        let (ym, hm, rm) = run(threads);
+        par::set_threads(0);
+        obs::reset();
+        prop_assert_eq!(bits(&y1), bits(&ym));
+        prop_assert!(!h1.is_empty(), "first call must be ε-sampled");
+        prop_assert!(!r1.is_empty(), "saturation ratios recorded every call");
+        prop_assert_eq!(h1, hm);
+        prop_assert_eq!(r1, rm);
+    }
+
+    /// Health telemetry only observes: with it enabled, the approximate
+    /// executor returns the same output, effective operands and GE gradient
+    /// scale, bit for bit.
+    #[test]
+    fn health_telemetry_leaves_numerics_bit_identical(
+        seed in 0u64..60,
+        oc in 1usize..8,
+        k in 1usize..12,
+        m in 1usize..16,
+    ) {
+        let _g = serial();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wmat = init::uniform(&[oc, k], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[k, m], -1.0, 1.0, &mut rng);
+        let model = PiecewiseLinearError::new(-0.05, 0.0, -10.0, 10.0);
+        let lut = Arc::new(SignedLut::build(&TruncatedMul::new(4)));
+
+        obs::set_health_enabled(false);
+        let mut plain = ApproxExecutor::new(Arc::clone(&lut), Some(model));
+        let out_plain = plain.forward(&wmat, &col, Mode::Train);
+
+        obs::reset();
+        obs::set_health_enabled(true);
+        let mut tele = ApproxExecutor::new(lut, Some(model));
+        tele.set_obs_label("prop");
+        let out_tele = tele.forward(&wmat, &col, Mode::Train);
+        obs::set_health_enabled(false);
+        let p = obs::RunProfile::capture("prop");
+        obs::reset();
+
+        prop_assert_eq!(bits(&out_plain.y), bits(&out_tele.y));
+        prop_assert_eq!(bits(&out_plain.wmat_eff), bits(&out_tele.wmat_eff));
+        prop_assert_eq!(bits(&out_plain.col_eff), bits(&out_tele.col_eff));
+        match (&out_plain.grad_scale, &out_tele.grad_scale) {
+            (Some(a), Some(b)) => prop_assert_eq!(bits(a), bits(b)),
+            (None, None) => {},
+            _ => prop_assert!(false, "grad_scale presence must not depend on telemetry"),
+        }
+        prop_assert!(p.hists.iter().any(|h| h.name == "eps:prop"));
     }
 }
