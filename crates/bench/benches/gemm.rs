@@ -185,6 +185,52 @@ fn time_once_ms<F: FnMut()>(f: &mut F) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Host load on this box swings the off-side samples by ±30% and more; a
+/// round set whose *baseline* samples spread wider than this carries no
+/// usable overhead signal, so it is re-run rather than reported.
+const QUIET_SPREAD_TOLERANCE_PCT: f64 = 30.0;
+
+/// Upper bound on quiet-window re-runs: give up after this many round sets
+/// and report the least-noisy attempt instead of blocking the bench.
+const QUIET_MAX_ATTEMPTS: usize = 4;
+
+/// Interleaved off/on overhead measurement with quiet-window retries.
+///
+/// Runs `reps` rounds of `toggle(false); run()` / `toggle(true); run()`,
+/// taking per-side minima. The spread of the *off* samples within a round
+/// set estimates how noisy the window was: when it exceeds
+/// [`QUIET_SPREAD_TOLERANCE_PCT`], the whole round set is re-run (bounded
+/// by [`QUIET_MAX_ATTEMPTS`]) and the attempt with the quietest baseline
+/// wins. Interleaving alone only cancels *slow* drift; a co-tenant burst
+/// shorter than one round set can still land entirely on one side, which
+/// is exactly the case the retry discards.
+fn overhead_pct_quiet<T: FnMut(bool), R: FnMut()>(reps: usize, mut toggle: T, mut run: R) -> f64 {
+    let mut best_spread = f64::INFINITY;
+    let mut best_overhead = 0.0;
+    for _attempt in 0..QUIET_MAX_ATTEMPTS {
+        let mut off_min = f64::INFINITY;
+        let mut off_max = 0.0f64;
+        let mut on_min = f64::INFINITY;
+        for _ in 0..reps {
+            toggle(false);
+            let t = time_once_ms(&mut run);
+            off_min = off_min.min(t);
+            off_max = off_max.max(t);
+            toggle(true);
+            on_min = on_min.min(time_once_ms(&mut run));
+        }
+        let spread = (off_max - off_min) / off_min * 100.0;
+        if spread < best_spread {
+            best_spread = spread;
+            best_overhead = (on_min - off_min) / off_min * 100.0;
+        }
+        if best_spread <= QUIET_SPREAD_TOLERANCE_PCT {
+            break;
+        }
+    }
+    best_overhead
+}
+
 /// Overhead of the `axnn-obs` instrumentation on the blocked approximate
 /// GEMM, as a percentage: profiling-enabled timing vs profiling-disabled
 /// timing, interleaved minima. Since the enabled path does strictly more
@@ -193,7 +239,7 @@ fn time_once_ms<F: FnMut()>(f: &mut F) -> f64 {
 fn profile_overhead_pct(w_codes: &[i32], x_codes: &[i32], lut: &SignedLut) -> f64 {
     const REPS: usize = 9;
     axnn_par::set_threads(1);
-    let mut run = || {
+    let run = || {
         black_box(approx_matmul(
             black_box(w_codes),
             black_box(x_codes),
@@ -205,18 +251,11 @@ fn profile_overhead_pct(w_codes: &[i32], x_codes: &[i32], lut: &SignedLut) -> f6
         ));
     };
     run(); // warm the kernel so the cold first pass doesn't bias either side
-    let mut off = f64::INFINITY;
-    let mut on = f64::INFINITY;
-    for _ in 0..REPS {
-        axnn_obs::set_enabled(false);
-        off = off.min(time_once_ms(&mut run));
-        axnn_obs::set_enabled(true);
-        on = on.min(time_once_ms(&mut run));
-    }
+    let pct = overhead_pct_quiet(REPS, axnn_obs::set_enabled, run);
     axnn_obs::set_enabled(false);
     axnn_obs::reset();
     axnn_par::set_threads(0);
-    (on - off) / off * 100.0
+    pct
 }
 
 /// Overhead of the numeric-health telemetry (sampled ε histograms, GE
@@ -247,21 +286,19 @@ fn hist_overhead_pct(a: &Tensor, b: &Tensor) -> f64 {
         }
     };
     run(); // warm the kernel before timing either side
-    let mut off = f64::INFINITY;
-    let mut on = f64::INFINITY;
-    for _ in 0..REPS {
-        axnn_obs::set_enabled(false);
-        axnn_obs::set_health_enabled(false);
-        off = off.min(time_once_ms(&mut run));
-        axnn_obs::set_enabled(true);
-        axnn_obs::set_health_enabled(true);
-        on = on.min(time_once_ms(&mut run));
-    }
+    let pct = overhead_pct_quiet(
+        REPS,
+        |side| {
+            axnn_obs::set_enabled(side);
+            axnn_obs::set_health_enabled(side);
+        },
+        run,
+    );
     axnn_obs::set_enabled(false);
     axnn_obs::set_health_enabled(false);
     axnn_obs::reset();
     axnn_par::set_threads(0);
-    (on - off) / off * 100.0
+    pct
 }
 
 /// Measures the sweep with plain `Instant` timing and hand-writes
@@ -329,7 +366,7 @@ fn write_gemm_report(a: &Tensor, b: &Tensor, w_codes: &[i32], x_codes: &[i32], l
         )
     };
     let report = format!(
-        "{{\n  \"bench\": \"gemm_{s}x{s}x{s}\",\n  \"timing\": \"min of {REPS} interleaved repetitions, release build, milliseconds\",\n  \"baseline\": \"reference_ms is the serial naive kernel (gemm::reference / proxsim::gemm::reference), i.e. the single-thread baseline\",\n  \"note\": \"row-partitioned outputs make every configuration bit-identical; on a single-core host the thread rows coincide and the speedup comes from the blocked kernels\",\n  \"profile_overhead_pct\": {overhead_pct:.2},\n  \"profile_overhead_note\": \"blocked approx_matmul with axnn-obs profiling enabled vs disabled (interleaved minima); an upper bound on the disabled-path cost, since the enabled path does strictly more work. Negative values are measurement noise\",\n  \"hist_overhead_pct\": {hist_pct:.2},\n  \"hist_overhead_note\": \"labelled ApproxExecutor forward (Mode::Train) with spans+health telemetry enabled vs fully disabled (interleaved minima over 4-call batches): sampled eps histograms, GE residual/coverage ratios, saturation rates. Same upper-bound reading as profile_overhead_pct; negative values are measurement noise\",\n  \"kernels\": [\n{},\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"gemm_{s}x{s}x{s}\",\n  \"timing\": \"min of {REPS} interleaved repetitions, release build, milliseconds\",\n  \"baseline\": \"reference_ms is the serial naive kernel (gemm::reference / proxsim::gemm::reference), i.e. the single-thread baseline\",\n  \"note\": \"row-partitioned outputs make every configuration bit-identical; on a single-core host the thread rows coincide and the speedup comes from the blocked kernels\",\n  \"profile_overhead_pct\": {overhead_pct:.2},\n  \"profile_overhead_note\": \"blocked approx_matmul with axnn-obs profiling enabled vs disabled (interleaved minima, quiet-window retried); an upper bound on the disabled-path cost, since the enabled path does strictly more work. Negative values are measurement noise\",\n  \"hist_overhead_pct\": {hist_pct:.2},\n  \"hist_overhead_note\": \"labelled ApproxExecutor forward (Mode::Train) with spans+health telemetry enabled vs fully disabled (interleaved minima over 4-call batches, quiet-window retried): sampled eps histograms, GE residual/coverage ratios, saturation rates. Same upper-bound reading as profile_overhead_pct; negative values are measurement noise\",\n  \"kernels\": [\n{},\n{}\n  ]\n}}\n",
         row("exact_matmul", exact_ref, &exact_ms),
         row("approx_matmul", approx_ref, &approx_ms),
         s = SWEEP,

@@ -56,7 +56,7 @@ impl fmt::Display for ExecutorKind {
 /// Implementations may be stateful (e.g. they record activation ranges when
 /// `mode == Mode::Calibrate`, or hold a fitted error model for gradient
 /// estimation). One executor instance is owned per layer.
-pub trait LayerExecutor: fmt::Debug {
+pub trait LayerExecutor: fmt::Debug + Send {
     /// Computes `y ≈ wmat · col`.
     ///
     /// `wmat` is `[OC, K]` (full-precision weights), `col` is `[K, M]`

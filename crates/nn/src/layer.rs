@@ -81,8 +81,10 @@ impl GemmCore {
 /// [`backward`](Layer::backward), accumulating parameter gradients and
 /// returning the gradient with respect to their input.
 ///
-/// The trait is object-safe; networks are trees of `Box<dyn Layer>`.
-pub trait Layer {
+/// The trait is object-safe; networks are trees of `Box<dyn Layer>`. The
+/// `Send` supertrait lets a built network move into a dedicated worker
+/// thread (the serving path runs every batch on one model-owner thread).
+pub trait Layer: Send {
     /// Computes the layer output.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 

@@ -63,7 +63,7 @@ pub use act::{Activation, ActivationKind};
 pub use adam::{Adam, CosineSchedule, Optimizer};
 pub use block::{ConvBlock, Residual};
 pub use bn::BatchNorm2d;
-pub use checkpoint::{Checkpoint, RestoreCheckpointError};
+pub use checkpoint::{Checkpoint, ParseCheckpointError, RestoreCheckpointError};
 pub use conv::Conv2d;
 pub use executor::{ExactExecutor, ExecOutput, ExecutorKind, LayerExecutor};
 pub use extra_layers::{Dropout, MaxPool2d};

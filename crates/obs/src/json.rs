@@ -1,0 +1,524 @@
+//! A minimal JSON reader to complement the hand-written emitters.
+//!
+//! The workspace *emits* JSON by hand (see [`crate::RunProfile::to_json`])
+//! so artifacts stay dependency-free; this module is the matching *reader*.
+//! It parses a byte slice into a [`JsonValue`] tree with no external
+//! crates, which keeps parsing available in fully offline builds and on
+//! the serving path, where request decoding must not depend on an
+//! environment-provided serializer.
+//!
+//! Design points:
+//!
+//! - Numbers keep their **raw token** ([`JsonValue::Num`]); callers parse
+//!   them as `f32`/`f64`/`u64` on demand. Rust's `Display` for floats
+//!   prints the shortest decimal that round-trips, and `str::parse`
+//!   recovers the exact bits, so `f32 -> emit -> parse -> f32` is
+//!   bit-identical — the determinism contract extends through JSON.
+//! - Objects preserve insertion order in a `Vec` (no hashing, stable
+//!   iteration, duplicate keys resolve to the *first* occurrence).
+//! - A hard nesting-depth cap and a byte-length cap on the caller's side
+//!   (see `axnn-serve`'s frame limit) keep adversarial inputs from
+//!   exhausting the stack; errors carry a byte offset for diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use axnn_obs::json::JsonValue;
+//!
+//! let v = JsonValue::parse(br#"{"id": 7, "xs": [1.5, -2.0]}"#).unwrap();
+//! assert_eq!(v.get("id").and_then(JsonValue::as_u64), Some(7));
+//! let xs: Vec<f32> = v.get("xs").unwrap().f32_array().unwrap();
+//! assert_eq!(xs, vec![1.5, -2.0]);
+//! ```
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser. Deeper documents are
+/// rejected rather than risking stack exhaustion on crafted input.
+pub const MAX_DEPTH: usize = 96;
+
+/// A parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Raw number token as it appeared in the input (e.g. `-1.5e3`).
+    Num(String),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    /// Key/value pairs in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    offset: usize,
+}
+
+impl JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &[u8]) -> Result<JsonValue, JsonError> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (first occurrence wins); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number token parsed as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number token parsed as `f32` (bit-exact for tokens emitted from
+    /// an `f32` via `Display`).
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number token parsed as `u64` (rejects signs, fractions, exponents).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number token parsed as `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// An array of numbers decoded as `f32`, or `None` if this is not an
+    /// array or any element is not a number.
+    pub fn f32_array(&self) -> Option<Vec<f32>> {
+        self.as_array()?.iter().map(JsonValue::as_f32).collect()
+    }
+
+    /// An array of numbers decoded as `usize`.
+    pub fn usize_array(&self) -> Option<Vec<usize>> {
+        self.as_array()?.iter().map(JsonValue::as_usize).collect()
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal(b"false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal(b"null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.input[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 advanced past the escape already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar; input came from &[u8], so
+                    // validate rather than assume.
+                    let rest = &self.input[self.pos..];
+                    let take = rest.iter().take(4).copied().collect::<Vec<_>>();
+                    match std::str::from_utf8(&take) {
+                        Ok(s) => {
+                            let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        Err(e) if e.valid_up_to() > 0 => {
+                            let c = std::str::from_utf8(&take[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty prefix");
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.input.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.input[self.pos..end])
+            .map_err(|_| self.err("non-ascii \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("number has no digits"));
+        }
+        if self.pos - digits_from > 1 && self.input[digits_from] == b'0' {
+            return Err(self.err("number has a leading zero"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("fraction has no digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("exponent has no digits"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number tokens are ascii")
+            .to_string();
+        Ok(JsonValue::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v =
+            JsonValue::parse(br#"{"a": [1, 2.5, -3e2], "b": "x", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn f32_round_trips_bit_exactly() {
+        for bits in [
+            0x0000_0001u32,
+            0x3f80_0000,
+            0x7f7f_ffff,
+            0xc0a0_0000,
+            0x0034_1234,
+        ] {
+            let x = f32::from_bits(bits);
+            let doc = format!("[{x}]");
+            let v = JsonValue::parse(doc.as_bytes()).unwrap();
+            let back = v.as_array().unwrap()[0].as_f32().unwrap();
+            assert_eq!(back.to_bits(), bits, "{x} must round-trip");
+        }
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndé😀""#.as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{e9}\u{1f600}"));
+        // Raw multi-byte UTF-8 passes through.
+        let v = JsonValue::parse("\"caf\u{e9}\"".as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("caf\u{e9}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"01",
+            br#""\x""#,
+            b"1 2",
+            b"tru",
+            b"[1 2]",
+            b"\"unterminated",
+            b"-",
+            b"1.",
+            b"1e",
+        ] {
+            assert!(
+                JsonValue::parse(bad).is_err(),
+                "{:?} should be rejected",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = JsonValue::parse(deep.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("MAX_DEPTH"));
+        let ok = "[".repeat(MAX_DEPTH - 1) + &"]".repeat(MAX_DEPTH - 1);
+        assert!(JsonValue::parse(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_first_and_order_is_kept() {
+        let v = JsonValue::parse(br#"{"k": 1, "k": 2, "z": 3, "a": 4}"#).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_u64), Some(1));
+        match &v {
+            JsonValue::Obj(m) => {
+                let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["k", "k", "z", "a"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let err = JsonValue::parse(b"[1, x]").unwrap_err();
+        assert_eq!(err.offset(), 4);
+    }
+
+    #[test]
+    fn parses_profile_emitter_output() {
+        // The reader must accept what the workspace's own emitters produce.
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _s = crate::span("json:demo");
+        }
+        crate::count(crate::Counter::GemmMacs, 17);
+        let profile = crate::RunProfile::capture("json-reader-test");
+        crate::set_enabled(false);
+        let v = JsonValue::parse(profile.to_json().as_bytes()).unwrap();
+        assert_eq!(
+            v.get("label").and_then(JsonValue::as_str),
+            Some("json-reader-test")
+        );
+        assert!(v.get("spans").unwrap().as_array().unwrap().len() == 1);
+    }
+}

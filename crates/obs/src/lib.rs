@@ -55,6 +55,7 @@
 //! ```
 
 pub mod hist;
+pub mod json;
 mod profile;
 
 pub use hist::{Hist, HistSpec};

@@ -245,6 +245,128 @@ impl RunProfile {
         )
     }
 
+    /// Decodes one profile from JSON produced by [`Self::to_json`] (or by
+    /// `serde_json` against the derives) using the dependency-free reader
+    /// in [`crate::json`], so `axnn obs report|diff` stay available in
+    /// fully offline builds.
+    ///
+    /// Field semantics match the derives: `label`, `counters` and `spans`
+    /// are required; `schema_version` defaults to 1 and the v2 sections
+    /// (`hists`, `health`, `events`) default to empty. Numeric members
+    /// inside records default to zero when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed construct.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        use crate::json::JsonValue;
+
+        fn str_field(v: &JsonValue, key: &str, what: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what}: missing string '{key}'"))
+        }
+        fn u64_field(v: &JsonValue, key: &str) -> u64 {
+            v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+        }
+        fn f64_field(v: &JsonValue, key: &str) -> f64 {
+            v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+        }
+        fn section<'a>(doc: &'a JsonValue, key: &str) -> Result<Vec<&'a JsonValue>, String> {
+            match doc.get(key) {
+                None => Ok(Vec::new()),
+                Some(v) => Ok(v
+                    .as_array()
+                    .ok_or_else(|| format!("'{key}' is not an array"))?
+                    .iter()
+                    .collect()),
+            }
+        }
+
+        let doc = JsonValue::parse(json.as_bytes()).map_err(|e| e.to_string())?;
+        let counters = doc
+            .get("counters")
+            .ok_or_else(|| "missing 'counters' object".to_string())?;
+        let spans = doc
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "missing 'spans' array".to_string())?;
+        Ok(RunProfile {
+            schema_version: doc
+                .get("schema_version")
+                .and_then(JsonValue::as_u64)
+                .map(|v| v as u32)
+                .unwrap_or(1),
+            label: str_field(&doc, "label", "profile")?,
+            counters: CounterTotals {
+                approx_muls: u64_field(counters, "approx_muls"),
+                lut_bytes: u64_field(counters, "lut_bytes"),
+                gemm_macs: u64_field(counters, "gemm_macs"),
+                im2col_bytes: u64_field(counters, "im2col_bytes"),
+            },
+            spans: spans
+                .iter()
+                .map(|s| {
+                    Ok(SpanRecord {
+                        name: str_field(s, "name", "span")?,
+                        count: u64_field(s, "count"),
+                        total_ms: f64_field(s, "total_ms"),
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            hists: section(&doc, "hists")?
+                .into_iter()
+                .map(|h| {
+                    let counts = match h.get("counts") {
+                        None => Vec::new(),
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| "hist 'counts' is not an array".to_string())?
+                            .iter()
+                            .map(|c| c.as_u64().ok_or_else(|| "non-u64 bucket count".to_string()))
+                            .collect::<Result<_, String>>()?,
+                    };
+                    Ok(HistRecord {
+                        name: str_field(h, "name", "hist")?,
+                        lo: f64_field(h, "lo"),
+                        hi: f64_field(h, "hi"),
+                        counts,
+                        underflow: u64_field(h, "underflow"),
+                        overflow: u64_field(h, "overflow"),
+                        count: u64_field(h, "count"),
+                        mean: f64_field(h, "mean"),
+                        std: f64_field(h, "std"),
+                        min: f64_field(h, "min"),
+                        max: f64_field(h, "max"),
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            health: section(&doc, "health")?
+                .into_iter()
+                .map(|r| {
+                    Ok(RatioRecord {
+                        name: str_field(r, "name", "health ratio")?,
+                        hits: u64_field(r, "hits"),
+                        total: u64_field(r, "total"),
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            events: section(&doc, "events")?
+                .into_iter()
+                .map(|e| {
+                    Ok(EventRecord {
+                        seq: u64_field(e, "seq"),
+                        kind: str_field(e, "kind", "event")?,
+                        label: str_field(e, "label", "event")?,
+                        value: f64_field(e, "value"),
+                        detail: str_field(e, "detail", "event")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        })
+    }
+
     /// Flat CSV: a header, then one row per counter, span, histogram,
     /// ratio and event; the six columns keep the v1 layout
     /// (`label,kind,name,count,total_ms,value`). Text fields are RFC-4180
@@ -421,6 +543,26 @@ mod tests {
         assert!(j.contains("\"counts\": [3, 0, 1]"));
         assert!(j.contains("\"hits\": 3"));
         assert!(j.contains("\"kind\": \"eps_drift\""));
+    }
+
+    #[test]
+    fn hand_written_json_round_trips_through_from_json() {
+        let p = sample();
+        let back = RunProfile::from_json(&p.to_json()).expect("round trip");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_json_defaults_v1_sections_and_rejects_garbage() {
+        let v1 = "{\"label\": \"old\", \"counters\": {\"gemm_macs\": 5}, \
+                  \"spans\": [{\"name\": \"s\", \"count\": 1, \"total_ms\": 0.5}]}";
+        let p = RunProfile::from_json(v1).expect("v1 line parses");
+        assert_eq!(p.schema_version, 1);
+        assert_eq!(p.counters.gemm_macs, 5);
+        assert_eq!(p.counters.approx_muls, 0);
+        assert!(p.hists.is_empty() && p.health.is_empty() && p.events.is_empty());
+        assert!(RunProfile::from_json("not json").is_err());
+        assert!(RunProfile::from_json("{\"label\": \"x\"}").is_err());
     }
 
     #[test]

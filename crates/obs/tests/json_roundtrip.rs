@@ -147,6 +147,18 @@ proptest! {
         assert_profiles_match(&p, &back);
     }
 
+    /// The dependency-free reader agrees with serde_json on every emitted
+    /// line (it is what `axnn obs report|diff` actually parse with).
+    #[test]
+    fn from_json_matches_serde_json(p in arb_profile()) {
+        let line = p.to_json();
+        let hand = RunProfile::from_json(&line)
+            .map_err(|e| TestCaseError::fail(format!("hand reader rejected: {e}\n{line}")))?;
+        assert_profiles_match(&p, &hand);
+        let via_serde: RunProfile = serde_json::from_str(&line).expect("serde parses");
+        assert_profiles_match(&hand, &via_serde);
+    }
+
     /// The emitted line is also valid generic JSON with the v2 sections.
     #[test]
     fn emitted_json_has_v2_sections(p in arb_profile()) {

@@ -1,0 +1,272 @@
+//! The serving benchmark matrix behind `axnn loadgen --bench`.
+//!
+//! For every requested executor × batch configuration the harness boots an
+//! in-process server on an ephemeral port, probes it with a closed-loop
+//! phase (throughput under a fixed caller population) and an open-loop
+//! phase (latency at 80% of the measured closed-loop throughput), then
+//! drains it. Two extra phases complete the picture:
+//!
+//! - an **overload** phase (queue capacity 1, single-request batches, an
+//!   8-way burst) that must provoke `overloaded` rejections — admission
+//!   control demonstrably firing, not just configured;
+//! - an **obs-overhead** phase that serves the same workload with
+//!   observability off and on in interleaved rounds and reports the
+//!   relative service-time difference. The compared quantity is the
+//!   server-reported **total compute time** per run (Σ `compute_us` over
+//!   ok responses) — the instrumented region where the per-layer obs
+//!   sites live — rather than client wall-clock, which on a shared box is
+//!   dominated by loadgen scheduling noise. Rounds run under the
+//!   quiet-window rule (host load here swings ±30%): if the off-rounds
+//!   disagree beyond a tolerance the whole round set is re-run, bounded
+//!   by a retry budget, and minima are compared — a load spike inflates
+//!   individual rounds but not the minimum of an interleaved pair.
+
+use crate::executor::ServeExecutor;
+use crate::loadgen::{self, LoadConfig};
+use crate::model::{ModelOptions, ServedModel};
+use crate::queue::QueueConfig;
+use crate::server::Server;
+use std::time::Duration;
+
+/// The benchmark matrix and its budgets.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Executor families to measure.
+    pub executors: Vec<ServeExecutor>,
+    /// `(max_batch, batch_window_us)` pairs to measure each executor under.
+    pub batch_configs: Vec<(usize, u64)>,
+    /// Queue capacity for the throughput/latency phases.
+    pub queue_cap: usize,
+    /// Concurrent loadgen connections.
+    pub connections: usize,
+    /// Requests per connection per phase.
+    pub requests: usize,
+    /// Seed for the deterministic request streams.
+    pub seed: u64,
+    /// Interleaved off/on rounds per obs-overhead attempt.
+    pub overhead_rounds: usize,
+    /// Quiet-window retries for the obs-overhead measurement.
+    pub overhead_retries: usize,
+    /// Largest tolerated spread of the off-rounds before a retry, percent.
+    pub overhead_spread_tolerance_pct: f64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            executors: vec![
+                ServeExecutor::Exact,
+                ServeExecutor::Quant,
+                ServeExecutor::Approx,
+            ],
+            batch_configs: vec![(1, 0), (8, 2000)],
+            queue_cap: 64,
+            connections: 4,
+            requests: 24,
+            seed: 1,
+            overhead_rounds: 5,
+            overhead_retries: 4,
+            overhead_spread_tolerance_pct: 30.0,
+        }
+    }
+}
+
+fn start_server(
+    checkpoint_json: &str,
+    base: &ModelOptions,
+    executor: ServeExecutor,
+    queue: QueueConfig,
+) -> Result<Server, String> {
+    let opts = ModelOptions {
+        executor,
+        ..base.clone()
+    };
+    let model = ServedModel::from_checkpoint_json(checkpoint_json, &opts)?;
+    Server::start(model, "127.0.0.1:0", queue).map_err(|e| e.to_string())
+}
+
+/// One serving phase: drive the load, propagate transport-level failures.
+fn drive(server: &Server, cfg: &LoadConfig) -> Result<loadgen::LoadReport, String> {
+    loadgen::run(server.addr(), server.input_len(), cfg).map_err(|e| e.to_string())
+}
+
+/// Measures the relative service-time cost of full observability
+/// (spans + counters + health) on the serving path, percent. Positive
+/// means obs-on was slower. The measured quantity is the server's total
+/// compute time for the run (see the module docs for why, and for the
+/// quiet-window rule).
+fn obs_overhead_pct(
+    server: &Server,
+    load: &LoadConfig,
+    cfg: &BenchConfig,
+) -> Result<(f64, usize), String> {
+    fn total_compute_us(r: &loadgen::LoadReport) -> f64 {
+        r.compute.mean_us * r.compute.count as f64
+    }
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let mut best_off = f64::INFINITY;
+        let mut worst_off = 0.0f64;
+        let mut best_on = f64::INFINITY;
+        for _ in 0..cfg.overhead_rounds {
+            axnn_obs::set_enabled(false);
+            axnn_obs::set_health_enabled(false);
+            let off = total_compute_us(&drive(server, load)?);
+            axnn_obs::set_enabled(true);
+            axnn_obs::set_health_enabled(true);
+            let on = total_compute_us(&drive(server, load)?);
+            best_off = best_off.min(off);
+            worst_off = worst_off.max(off);
+            best_on = best_on.min(on);
+        }
+        axnn_obs::set_enabled(false);
+        axnn_obs::set_health_enabled(false);
+        let spread_pct = (worst_off - best_off) / best_off * 100.0;
+        if spread_pct <= cfg.overhead_spread_tolerance_pct || attempts > cfg.overhead_retries {
+            let overhead = (best_on - best_off) / best_off * 100.0;
+            return Ok((overhead, attempts));
+        }
+    }
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Runs the full matrix against `checkpoint_json` and returns the
+/// `BENCH_serve.json` document. `base.executor` is ignored — the matrix
+/// iterates `cfg.executors`.
+pub fn run_bench(
+    checkpoint_json: &str,
+    base: &ModelOptions,
+    cfg: &BenchConfig,
+) -> Result<String, String> {
+    let mut config_objs = Vec::new();
+    for &executor in &cfg.executors {
+        for &(max_batch, window_us) in &cfg.batch_configs {
+            let queue = QueueConfig {
+                capacity: cfg.queue_cap,
+                max_batch,
+                batch_window: Duration::from_micros(window_us),
+            };
+            let mut server = start_server(checkpoint_json, base, executor, queue)?;
+            eprintln!("bench: {executor} max_batch {max_batch} window {window_us} us ...");
+            let closed = drive(
+                &server,
+                &LoadConfig {
+                    connections: cfg.connections,
+                    requests: cfg.requests,
+                    rate_rps: 0.0,
+                    seed: cfg.seed,
+                },
+            )?;
+            let open = drive(
+                &server,
+                &LoadConfig {
+                    connections: cfg.connections,
+                    requests: cfg.requests,
+                    rate_rps: (closed.throughput_rps * 0.8).max(1.0),
+                    seed: cfg.seed ^ 0x5eed,
+                },
+            )?;
+            server.shutdown();
+            config_objs.push(format!(
+                "{{\"executor\": \"{executor}\", \"max_batch\": {max_batch}, \
+                 \"batch_window_us\": {window_us}, \"queue_cap\": {}, \
+                 \"closed\": {}, \"open\": {}}}",
+                cfg.queue_cap,
+                closed.to_json(),
+                open.to_json(),
+            ));
+        }
+    }
+
+    // Overload phase: capacity 1, single-request batches, an 8-way burst.
+    // With ≥ 2 requests in flight per admitted slot, rejections are
+    // guaranteed, not probabilistic.
+    let first = *cfg.executors.first().unwrap_or(&ServeExecutor::Exact);
+    let mut server = start_server(
+        checkpoint_json,
+        base,
+        first,
+        QueueConfig {
+            capacity: 1,
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+        },
+    )?;
+    eprintln!("bench: overload burst ...");
+    let overload = drive(
+        &server,
+        &LoadConfig {
+            connections: 8,
+            requests: 4,
+            rate_rps: 0.0,
+            seed: cfg.seed ^ 0x0dd,
+        },
+    )?;
+    server.shutdown();
+    if overload.rejected == 0 {
+        return Err("overload phase provoked no rejections; admission control untested".into());
+    }
+
+    // Obs-overhead phase on the first executor with batching enabled.
+    let (max_batch, window_us) = *cfg.batch_configs.last().unwrap_or(&(8, 2000));
+    let mut server = start_server(
+        checkpoint_json,
+        base,
+        first,
+        QueueConfig {
+            capacity: cfg.queue_cap,
+            max_batch,
+            batch_window: Duration::from_micros(window_us),
+        },
+    )?;
+    eprintln!("bench: obs overhead ({} rounds) ...", cfg.overhead_rounds);
+    axnn_obs::reset();
+    let (overhead_pct, attempts) = obs_overhead_pct(
+        &server,
+        &LoadConfig {
+            connections: 2,
+            requests: 16,
+            rate_rps: 0.0,
+            seed: cfg.seed ^ 0x0b5,
+        },
+        cfg,
+    )?;
+    // The obs-on rounds populated the registries; capture proves the
+    // serving path lands in the v2 profile schema.
+    let profile = axnn_obs::RunProfile::capture(&format!("serve/{}/{first}", base.model));
+    server.shutdown();
+    axnn_obs::reset();
+
+    Ok(format!(
+        "{{\n  \"schema\": \"BENCH_serve.v1\",\n  \"model\": \"{}\",\n  \
+         \"width\": {},\n  \"hw\": {},\n  \"mult\": \"{}\",\n  \"seed\": {},\n  \
+         \"threads\": {},\n  \"configs\": [\n    {}\n  ],\n  \
+         \"overload\": {{\"executor\": \"{first}\", \"queue_cap\": 1, \"sent\": {}, \
+         \"ok\": {}, \"rejected\": {}, \"reject_rate\": {}}},\n  \
+         \"obs_overhead_pct\": {},\n  \"obs_overhead_attempts\": {attempts},\n  \
+         \"obs_profile\": {{\"spans\": {}, \"hists\": {}, \"ratios\": {}}}\n}}\n",
+        base.model,
+        fmt(base.width as f64),
+        base.hw,
+        base.mult,
+        base.seed,
+        axnn_par::num_threads(),
+        config_objs.join(",\n    "),
+        overload.sent,
+        overload.ok,
+        overload.rejected,
+        fmt(overload.reject_rate),
+        fmt(overhead_pct),
+        profile.spans.len(),
+        profile.hists.len(),
+        profile.health.len(),
+    ))
+}

@@ -1,0 +1,67 @@
+//! The executor families a serving process can run a checkpoint under.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which executor family the served network's GEMM cores use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeExecutor {
+    /// Exact f32 GEMM (the `axnn evaluate` reference path).
+    Exact,
+    /// 8-bit-activation / 4-bit-weight quantized GEMM.
+    Quant,
+    /// LUT-served approximate-multiplier GEMM.
+    Approx,
+}
+
+impl ServeExecutor {
+    /// All families, in benchmark-matrix order.
+    pub const ALL: [ServeExecutor; 3] = [
+        ServeExecutor::Exact,
+        ServeExecutor::Quant,
+        ServeExecutor::Approx,
+    ];
+
+    /// The lowercase name used on the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeExecutor::Exact => "exact",
+            ServeExecutor::Quant => "quant",
+            ServeExecutor::Approx => "approx",
+        }
+    }
+}
+
+impl fmt::Display for ServeExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ServeExecutor {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(ServeExecutor::Exact),
+            "quant" => Ok(ServeExecutor::Quant),
+            "approx" => Ok(ServeExecutor::Approx),
+            other => Err(format!(
+                "unknown executor '{other}' (use exact|quant|approx)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for e in ServeExecutor::ALL {
+            assert_eq!(e.name().parse::<ServeExecutor>().unwrap(), e);
+        }
+        assert!("fp16".parse::<ServeExecutor>().is_err());
+    }
+}

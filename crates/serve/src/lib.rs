@@ -1,0 +1,159 @@
+//! # axnn-serve
+//!
+//! A batched TCP inference service for ApproxNN checkpoints, plus the load
+//! generator that measures it.
+//!
+//! The server speaks a length-prefixed JSON protocol ([`protocol`]),
+//! admits requests into a bounded queue with explicit `overloaded`
+//! rejections ([`queue`]), cuts dynamic micro-batches (flush on
+//! max-batch-size or batch-window deadline, whichever first), and runs
+//! them on a single model-worker thread ([`server`]) through any of the
+//! three executor families — exact, 8A4W-quantized, or approximate
+//! ([`executor`], [`model`]). Parallelism lives *inside* the forward pass
+//! (`axnn-par`), never across batches, so serving inherits the workspace's
+//! bit-determinism: the same request returns the same logits whether it is
+//! served alone or inside a batch, at any thread count.
+//!
+//! Every stage reports through `axnn-obs` — queue-wait/compute latency
+//! splits, batch-size and queue-depth histograms, a served/rejected ratio —
+//! landing in the RunProfile v2 schema so `axnn obs report|diff` work on
+//! serving runs unchanged.
+//!
+//! [`loadgen`] drives a running server closed-loop (fixed caller
+//! population) or open-loop (fixed arrival schedule, coordinated-omission
+//! corrected), and [`bench`] sweeps the executor × batch-config matrix
+//! into `results/BENCH_serve.json`.
+//!
+//! ## Minimal session
+//!
+//! ```text
+//! $ axnn serve --checkpoint ckpt.json --port 7878 --executor approx &
+//! $ axnn loadgen --addr 127.0.0.1:7878 --connections 4 --requests 64
+//! ```
+
+pub mod bench;
+pub mod executor;
+pub mod loadgen;
+pub mod model;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use bench::{run_bench, BenchConfig};
+pub use executor::ServeExecutor;
+pub use loadgen::{probe_input_len, shutdown_server, Client, LoadConfig, LoadReport};
+pub use model::{ModelOptions, ServedModel};
+pub use protocol::{Request, Response, ResponseMsg};
+pub use queue::{AdmitError, BatchQueue, QueueConfig};
+pub use server::Server;
+pub use stats::LatencySummary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_models::ModelConfig;
+    use axnn_nn::Checkpoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn tiny_server(queue: QueueConfig) -> Server {
+        let mut cfg = ModelConfig::paper().with_width(0.2).with_input_hw(8);
+        cfg.batch_norm = false;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = axnn_models::resnet20(&cfg, &mut rng);
+        let json = Checkpoint::capture(&mut net).to_json();
+        let opts = ModelOptions {
+            width: 0.2,
+            hw: 8,
+            ..ModelOptions::default()
+        };
+        let model = ServedModel::from_checkpoint_json(&json, &opts).unwrap();
+        Server::start(model, "127.0.0.1:0", queue).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_session_serves_probes_and_drains() {
+        let mut server = tiny_server(QueueConfig {
+            capacity: 8,
+            max_batch: 4,
+            batch_window: Duration::from_micros(500),
+        });
+        let addr = server.addr();
+        assert_eq!(probe_input_len(addr).unwrap(), 3 * 8 * 8);
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.command("ping").unwrap().status, "pong");
+
+        let input = vec![0.25f32; server.input_len()];
+        let msg = client.infer(11, &input).unwrap();
+        assert_eq!((msg.id, msg.status.as_str()), (11, "ok"));
+        assert_eq!(msg.logits.len(), server.classes());
+        assert!(msg.batch >= 1);
+        assert!(msg.compute_us > 0.0);
+
+        // Malformed input length gets a per-request error, not a hangup.
+        let msg = client.infer(12, &[1.0, 2.0]).unwrap();
+        assert_eq!(msg.status, "error");
+        assert!(msg.detail.contains("input length"));
+
+        // Graceful drain: shutdown acks, then new work is refused.
+        assert_eq!(client.command("shutdown").unwrap().status, "draining");
+        let msg = client.infer(13, &input).unwrap();
+        assert_eq!(msg.status, "draining");
+        server.join();
+    }
+
+    #[test]
+    fn loadgen_closed_loop_reports_served_traffic() {
+        let mut server = tiny_server(QueueConfig {
+            capacity: 32,
+            max_batch: 4,
+            batch_window: Duration::from_micros(500),
+        });
+        let report = loadgen::run(
+            server.addr(),
+            server.input_len(),
+            &LoadConfig {
+                connections: 3,
+                requests: 4,
+                rate_rps: 0.0,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        assert_eq!(report.sent, 12);
+        assert_eq!(report.ok, 12);
+        assert_eq!(report.rejected + report.errors, 0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.latency.p50_us > 0.0);
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+    }
+
+    #[test]
+    fn overload_burst_is_rejected_not_queued() {
+        let mut server = tiny_server(QueueConfig {
+            capacity: 1,
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+        });
+        let report = loadgen::run(
+            server.addr(),
+            server.input_len(),
+            &LoadConfig {
+                connections: 8,
+                requests: 4,
+                rate_rps: 0.0,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        assert_eq!(report.sent, 32);
+        assert!(report.rejected > 0, "burst past capacity must be rejected");
+        assert_eq!(report.ok + report.rejected, 32, "no silent drops");
+        assert!(report.reject_rate > 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Load generation: a framing client plus closed- and open-loop drivers.
+//!
+//! The **closed loop** models a fixed population of synchronous callers:
+//! `connections` threads each fire `requests` back-to-back requests, so
+//! offered load self-throttles to the service rate — the classic
+//! throughput probe.
+//!
+//! The **open loop** models independent arrivals: each connection sends on
+//! a fixed schedule (`rate_rps` split evenly across connections) and
+//! measures latency **from the scheduled send time**, not the actual one.
+//! If the service falls behind, the backlog inflates the recorded latency
+//! instead of silently slowing the arrival process down — the
+//! coordinated-omission correction.
+//!
+//! All inputs are deterministic (`StdRng` per connection, seeded from the
+//! run seed and the connection index), so two runs against the same server
+//! offer bit-identical request streams.
+
+use crate::protocol::{read_frame, write_frame, Request, ResponseMsg};
+use crate::stats::LatencySummary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A blocking request/response client over the length-prefixed protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, payload: &str) -> io::Result<ResponseMsg> {
+        write_frame(&mut self.writer, payload.as_bytes())?;
+        let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })?;
+        ResponseMsg::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one inference request and waits for the response.
+    pub fn infer(&mut self, id: u64, input: &[f32]) -> io::Result<ResponseMsg> {
+        self.round_trip(&Request::inference_json(id, input))
+    }
+
+    /// Sends a control command (`ping`, `info`, `shutdown`).
+    pub fn command(&mut self, cmd: &str) -> io::Result<ResponseMsg> {
+        self.round_trip(&Request::command_json(cmd))
+    }
+}
+
+/// Asks the server at `addr` for its input length via `{"cmd": "info"}`.
+pub fn probe_input_len(addr: impl ToSocketAddrs) -> io::Result<usize> {
+    let msg = Client::connect(addr)?.command("info")?;
+    if msg.status != "info" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected info, got '{}'", msg.status),
+        ));
+    }
+    Ok(msg.input_len as usize)
+}
+
+/// Connects and issues `{"cmd": "shutdown"}`; returns the server's reply.
+pub fn shutdown_server(addr: impl ToSocketAddrs) -> io::Result<ResponseMsg> {
+    Client::connect(addr)?.command("shutdown")
+}
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// Open-loop target arrival rate over all connections, requests/s.
+    /// `0.0` selects the closed loop.
+    pub rate_rps: f64,
+    /// Seed for the deterministic input streams.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            requests: 32,
+            rate_rps: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated result of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Concurrent connections used.
+    pub connections: usize,
+    /// Open-loop offered rate (0 for closed loop), requests/s.
+    pub offered_rps: f64,
+    /// Requests sent.
+    pub sent: usize,
+    /// `ok` responses.
+    pub ok: usize,
+    /// `overloaded` + `draining` rejections.
+    pub rejected: usize,
+    /// `error` responses and transport failures.
+    pub errors: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Completed (`ok`) responses per second.
+    pub throughput_rps: f64,
+    /// `rejected / sent`.
+    pub reject_rate: f64,
+    /// Client-observed end-to-end latency of `ok` responses.
+    pub latency: LatencySummary,
+    /// Server-reported queue-wait split of `ok` responses.
+    pub queue_wait: LatencySummary,
+    /// Server-reported compute split of `ok` responses.
+    pub compute: LatencySummary,
+}
+
+impl LoadReport {
+    /// Hand-written JSON object (the `results/BENCH_serve.json` style).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"connections\": {}, \"offered_rps\": {}, \
+             \"sent\": {}, \"ok\": {}, \"rejected\": {}, \"errors\": {}, \
+             \"elapsed_s\": {}, \"throughput_rps\": {}, \"reject_rate\": {}, \
+             \"latency\": {{{}}}, \"queue_wait\": {{{}}}, \"compute\": {{{}}}}}",
+            self.mode,
+            self.connections,
+            fmt(self.offered_rps),
+            self.sent,
+            self.ok,
+            self.rejected,
+            self.errors,
+            fmt(self.elapsed_s),
+            fmt(self.throughput_rps),
+            fmt(self.reject_rate),
+            self.latency.json_members(),
+            self.queue_wait.json_members(),
+            self.compute.json_members(),
+        )
+    }
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Per-connection tally folded into the [`LoadReport`].
+#[derive(Debug, Default)]
+struct ConnTally {
+    sent: usize,
+    ok: usize,
+    rejected: usize,
+    errors: usize,
+    latency_us: Vec<f64>,
+    queue_us: Vec<f64>,
+    compute_us: Vec<f64>,
+}
+
+impl ConnTally {
+    fn absorb(&mut self, msg: &io::Result<ResponseMsg>, latency_us: f64) {
+        self.sent += 1;
+        match msg {
+            Ok(m) if m.status == "ok" => {
+                self.ok += 1;
+                self.latency_us.push(latency_us);
+                self.queue_us.push(m.queue_us);
+                self.compute_us.push(m.compute_us);
+            }
+            Ok(m) if m.status == "overloaded" || m.status == "draining" => self.rejected += 1,
+            _ => self.errors += 1,
+        }
+    }
+}
+
+fn deterministic_input(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Runs one load-generation phase against a running server.
+///
+/// `cfg.rate_rps == 0` drives the closed loop, anything positive the open
+/// loop. Returns an error only when a *connection* cannot be established;
+/// per-request failures are tallied in the report.
+pub fn run(addr: impl ToSocketAddrs, input_len: usize, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let open = cfg.rate_rps > 0.0;
+    // Per-connection inter-arrival gap for the open loop: the offered rate
+    // is split evenly, wrk2-style.
+    let gap = if open {
+        Duration::from_secs_f64(cfg.connections.max(1) as f64 / cfg.rate_rps)
+    } else {
+        Duration::ZERO
+    };
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let seed = cfg.seed ^ ((conn as u64 + 1) * 0x9e37_79b9);
+        let requests = cfg.requests;
+        let handle = thread::Builder::new()
+            .name(format!("loadgen-{conn}"))
+            .spawn(move || -> io::Result<ConnTally> {
+                let mut client = Client::connect(addr)?;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut tally = ConnTally::default();
+                let base = Instant::now();
+                for k in 0..requests {
+                    let scheduled = base + gap * k as u32;
+                    if open {
+                        let now = Instant::now();
+                        if scheduled > now {
+                            thread::sleep(scheduled - now);
+                        }
+                    }
+                    let input = deterministic_input(&mut rng, input_len);
+                    let t0 = if open { scheduled } else { Instant::now() };
+                    let msg = client.infer(k as u64, &input);
+                    let latency_us = t0.elapsed().as_secs_f64() * 1e6;
+                    let failed = msg.is_err();
+                    tally.absorb(&msg, latency_us);
+                    if failed {
+                        // Transport error: the connection is unusable.
+                        break;
+                    }
+                }
+                Ok(tally)
+            })?;
+        workers.push(handle);
+    }
+
+    let mut report = LoadReport {
+        mode: if open { "open" } else { "closed" },
+        connections: cfg.connections,
+        offered_rps: cfg.rate_rps,
+        ..LoadReport::default()
+    };
+    let mut latency = Vec::new();
+    let mut queue_wait = Vec::new();
+    let mut compute = Vec::new();
+    for handle in workers {
+        let tally = handle
+            .join()
+            .map_err(|_| io::Error::other("loadgen worker panicked"))??;
+        report.sent += tally.sent;
+        report.ok += tally.ok;
+        report.rejected += tally.rejected;
+        report.errors += tally.errors;
+        latency.extend(tally.latency_us);
+        queue_wait.extend(tally.queue_us);
+        compute.extend(tally.compute_us);
+    }
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    if report.elapsed_s > 0.0 {
+        report.throughput_rps = report.ok as f64 / report.elapsed_s;
+    }
+    if report.sent > 0 {
+        report.reject_rate = report.rejected as f64 / report.sent as f64;
+    }
+    report.latency = LatencySummary::from_samples(latency);
+    report.queue_wait = LatencySummary::from_samples(queue_wait);
+    report.compute = LatencySummary::from_samples(compute);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let mut r = LoadReport {
+            mode: "closed",
+            connections: 4,
+            sent: 10,
+            ok: 8,
+            rejected: 2,
+            ..LoadReport::default()
+        };
+        r.reject_rate = 0.2;
+        r.latency = LatencySummary::from_samples(vec![100.0, 200.0]);
+        let v = axnn_obs::json::JsonValue::parse(r.to_json().as_bytes()).unwrap();
+        assert_eq!(v.get("mode").and_then(|x| x.as_str()), Some("closed"));
+        assert_eq!(v.get("rejected").and_then(|x| x.as_u64()), Some(2));
+        let latency = v.get("latency").unwrap();
+        assert_eq!(latency.get("count").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("reject_rate").and_then(|x| x.as_f64()), Some(0.2));
+    }
+
+    #[test]
+    fn deterministic_inputs_repeat_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            deterministic_input(&mut a, 8),
+            deterministic_input(&mut b, 8)
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Checkpoint loading and batched inference for the serving path.
+//!
+//! A [`ServedModel`] restores an `axnn pipeline --save` checkpoint into an
+//! architecture-matched network, swaps in the requested executor family
+//! (exact / quantized / approximate) and — for the quantizing executors —
+//! runs a deterministic calibration pass so the activation steps are
+//! *frozen* before the first request. Freezing matters for batch
+//! invariance: an uncalibrated quantizing executor falls back to per-batch
+//! abs-max activation scaling, which would make a request's logits depend
+//! on its batch mates.
+
+use crate::executor::ServeExecutor;
+use axnn_data::SynthCifar;
+use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
+use axnn_nn::train::calibrate;
+use axnn_nn::{Checkpoint, Layer, Mode, Sequential};
+use axnn_proxsim::approximate_network;
+use axnn_quant::{quantize_network, QuantSpec};
+use axnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How to restore and execute a checkpoint.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Architecture name: `resnet20`, `resnet32` or `mobilenetv2`.
+    pub model: String,
+    /// Width multiplier the checkpoint was trained with.
+    pub width: f32,
+    /// Input resolution the checkpoint was trained with.
+    pub hw: usize,
+    /// Executor family to serve with.
+    pub executor: ServeExecutor,
+    /// Catalogue multiplier id for [`ServeExecutor::Approx`].
+    pub mult: String,
+    /// Seed for the deterministic calibration split (and the throwaway
+    /// initialization the checkpoint immediately overwrites).
+    pub seed: u64,
+    /// Calibration samples generated for the quantizing executors.
+    pub calib_samples: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            model: "resnet20".to_string(),
+            width: 0.25,
+            hw: 16,
+            executor: ServeExecutor::Exact,
+            mult: "trunc5".to_string(),
+            seed: 1,
+            calib_samples: 64,
+        }
+    }
+}
+
+/// Whether the pipeline folds this architecture's batch norm before
+/// quantization (mirrors `ModelKind::folds_bn`; the checkpoint of a folded
+/// model has no BN buffers, so the serving copy must be built without BN).
+fn folds_bn(model: &str) -> bool {
+    model != "mobilenetv2"
+}
+
+fn build_net(model: &str, cfg: &ModelConfig, rng: &mut StdRng) -> Result<Sequential, String> {
+    match model {
+        "resnet20" => Ok(resnet20(cfg, rng)),
+        "resnet32" => Ok(resnet32(cfg, rng)),
+        "mobilenetv2" => Ok(mobilenet_v2(cfg, rng)),
+        other => Err(format!(
+            "unknown model '{other}' (use resnet20|resnet32|mobilenetv2)"
+        )),
+    }
+}
+
+/// A restored, executor-swapped, calibrated network ready to serve batches.
+#[derive(Debug)]
+pub struct ServedModel {
+    net: Sequential,
+    channels: usize,
+    hw: usize,
+    classes: usize,
+    label: String,
+}
+
+impl ServedModel {
+    /// Restores `checkpoint_json` (the `axnn pipeline --save` format) under
+    /// `opts`, swaps executors and calibrates. Mirrors the `axnn evaluate`
+    /// restore path exactly, so the exact-executor logits are bit-identical
+    /// to evaluation.
+    pub fn from_checkpoint_json(
+        checkpoint_json: &str,
+        opts: &ModelOptions,
+    ) -> Result<Self, String> {
+        let ckpt = Checkpoint::from_json(checkpoint_json).map_err(|e| e.to_string())?;
+        Self::from_checkpoint(ckpt, opts)
+    }
+
+    /// Restores an in-memory [`Checkpoint`] under `opts` — the JSON-free
+    /// core of [`Self::from_checkpoint_json`].
+    pub fn from_checkpoint(ckpt: Checkpoint, opts: &ModelOptions) -> Result<Self, String> {
+        let mut cfg = ModelConfig::paper()
+            .with_width(opts.width)
+            .with_input_hw(opts.hw);
+        if folds_bn(&opts.model) {
+            // The pipeline saves the BN-folded quantized model for the
+            // ResNets (same rule as `axnn evaluate`).
+            cfg.batch_norm = false;
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xdead);
+        let mut net = build_net(&opts.model, &cfg, &mut rng)?;
+        ckpt.restore(&mut net).map_err(|e| e.to_string())?;
+
+        match opts.executor {
+            ServeExecutor::Exact => {}
+            ServeExecutor::Quant => {
+                quantize_network(
+                    &mut net,
+                    QuantSpec::activations_8bit(),
+                    QuantSpec::weights_4bit(),
+                );
+            }
+            ServeExecutor::Approx => {
+                let spec = axnn_axmul::catalog::by_id(&opts.mult)
+                    .ok_or_else(|| format!("unknown multiplier '{}'", opts.mult))?;
+                let multiplier = spec.build();
+                approximate_network(&mut net, multiplier.as_ref(), None);
+            }
+        }
+        let mut model = ServedModel {
+            net,
+            channels: cfg.input_channels,
+            hw: opts.hw,
+            classes: cfg.classes,
+            label: format!("{}/{}", opts.model, opts.executor),
+        };
+        if opts.executor != ServeExecutor::Exact {
+            // Freeze the activation quantizers on a deterministic synthetic
+            // split; without this, batch-dependent abs-max fallbacks would
+            // break batch invariance.
+            let (calib, _) = SynthCifar::new(opts.hw).generate(opts.calib_samples, 0, opts.seed);
+            calibrate(&mut model.net, &calib, 32, 2);
+        }
+        Ok(model)
+    }
+
+    /// Flattened input length one request must carry (`C*H*W`).
+    pub fn input_len(&self) -> usize {
+        self.channels * self.hw * self.hw
+    }
+
+    /// Number of output classes (logits per request).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `model/executor` label for profiles and reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Runs one micro-batch in [`Mode::Eval`] and splits the logits back
+    /// per request.
+    ///
+    /// Per-sample outputs are bit-identical whether a request runs alone or
+    /// inside a batch: every lowered GEMM column belongs to exactly one
+    /// sample and is accumulated in the same k-order regardless of the
+    /// batch around it, eval-mode batch norm uses running statistics, and
+    /// all quantizer steps are frozen at load time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from [`Self::input_len`] — the
+    /// server validates lengths at admission.
+    pub fn forward_batch(&mut self, inputs: &[&[f32]]) -> Vec<Vec<f32>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let n = inputs.len();
+        let len = self.input_len();
+        let mut flat = Vec::with_capacity(n * len);
+        for input in inputs {
+            assert_eq!(input.len(), len, "input length must be validated upstream");
+            flat.extend_from_slice(input);
+        }
+        let x = Tensor::from_vec(flat, &[n, self.channels, self.hw, self.hw])
+            .expect("batch tensor shape");
+        let logits = self.net.forward(&x, Mode::Eval);
+        let cols = logits.shape()[1];
+        logits
+            .as_slice()
+            .chunks(cols)
+            .map(|row| row.to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_tensor::init;
+
+    /// A tiny untrained checkpoint: enough to exercise restore + executor
+    /// swap + calibration without a training run.
+    fn tiny_checkpoint(hw: usize, width: f32) -> String {
+        let mut cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
+        cfg.batch_norm = false;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = build_net("resnet20", &cfg, &mut rng).unwrap();
+        Checkpoint::capture(&mut net).to_json()
+    }
+
+    fn opts(executor: ServeExecutor) -> ModelOptions {
+        ModelOptions {
+            width: 0.2,
+            hw: 8,
+            executor,
+            calib_samples: 32,
+            ..ModelOptions::default()
+        }
+    }
+
+    #[test]
+    fn loads_and_serves_every_executor_family() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        for executor in [
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ] {
+            let mut model = ServedModel::from_checkpoint_json(&ckpt, &opts(executor)).unwrap();
+            assert_eq!(model.input_len(), 3 * 8 * 8);
+            let mut rng = StdRng::seed_from_u64(11);
+            let x = init::uniform(&[1, model.input_len()], -1.0, 1.0, &mut rng);
+            let out = model.forward_batch(&[x.as_slice()]);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].len(), model.classes());
+            assert!(out[0].iter().all(|v| v.is_finite()), "{executor}");
+        }
+    }
+
+    #[test]
+    fn unknown_model_and_multiplier_are_reported() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        let mut bad = opts(ServeExecutor::Exact);
+        bad.model = "vgg".to_string();
+        assert!(ServedModel::from_checkpoint_json(&ckpt, &bad)
+            .unwrap_err()
+            .contains("unknown model"));
+        let mut bad = opts(ServeExecutor::Approx);
+        bad.mult = "nope".to_string();
+        assert!(ServedModel::from_checkpoint_json(&ckpt, &bad)
+            .unwrap_err()
+            .contains("unknown multiplier"));
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_an_error() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        let mut other = opts(ServeExecutor::Exact);
+        other.width = 0.5;
+        assert!(ServedModel::from_checkpoint_json(&ckpt, &other)
+            .unwrap_err()
+            .contains("checkpoint mismatch"));
+    }
+
+    #[test]
+    fn batched_forward_matches_single_requests_bitwise() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        let mut model =
+            ServedModel::from_checkpoint_json(&ckpt, &opts(ServeExecutor::Approx)).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| init::uniform(&[model.input_len()], -1.0, 1.0, &mut rng))
+            .collect();
+        let views: Vec<&[f32]> = inputs.iter().map(|t| t.as_slice()).collect();
+        let batched = model.forward_batch(&views);
+        for (i, view) in views.iter().enumerate() {
+            let alone = model.forward_batch(&[view]);
+            let a: Vec<u32> = alone[0].iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = batched[i].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "sample {i} differs alone vs batched");
+        }
+    }
+}

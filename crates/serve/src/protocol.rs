@@ -1,0 +1,417 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one JSON object preceded by its
+//! byte length as a big-endian `u32`. Length prefixing keeps framing trivial
+//! for both sides (no streaming JSON parser needed) and lets a reader
+//! reject oversized frames before allocating.
+//!
+//! Both directions use the workspace's dependency-free JSON: responses are
+//! emitted with the hand-written style of `axnn-obs` and requests are
+//! parsed with [`axnn_obs::json`], so the bytes on the wire never depend
+//! on an environment-provided serializer and the protocol stays available
+//! in fully offline builds.
+//!
+//! ## Request forms
+//!
+//! ```json
+//! {"id": 7, "input": [0.25, -1.0, ...]}   // inference
+//! {"cmd": "ping"}                          // liveness probe
+//! {"cmd": "shutdown"}                      // begin graceful drain
+//! ```
+//!
+//! ## Response forms
+//!
+//! ```json
+//! {"id": 7, "status": "ok", "logits": [...], "queue_us": 812.4,
+//!  "compute_us": 5031.0, "batch": 4}
+//! {"id": 7, "status": "overloaded"}        // admission control rejection
+//! {"id": 7, "status": "draining"}          // arrived after shutdown
+//! {"id": 7, "status": "error", "detail": "input length 12 != 192"}
+//! {"status": "pong"}                       // answer to ping
+//! {"status": "draining"}                   // answer to shutdown
+//! ```
+//!
+//! `logits` are f32 values printed with Rust's shortest round-trip
+//! formatting, so a conforming JSON parser recovers them bit-identically —
+//! the batch-invariance guarantee survives the wire.
+
+use axnn_obs::json::JsonValue;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload; a corrupt or hostile length prefix
+/// must not cause a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed the connection between messages).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A parsed client message: either an inference request (`input`) or a
+/// control command (`cmd`).
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back in the response.
+    pub id: u64,
+    /// Flattened `C*H*W` input image; empty for control messages.
+    pub input: Vec<f32>,
+    /// Control command (`"ping"`, `"info"`, or `"shutdown"`), if any.
+    pub cmd: Option<String>,
+}
+
+impl Request {
+    /// Parses a request frame. Every field is optional; unknown fields are
+    /// ignored so the protocol can grow without breaking old servers.
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let doc = JsonValue::parse(payload).map_err(|e| format!("malformed request: {e}"))?;
+        if !matches!(doc, JsonValue::Obj(_)) {
+            return Err("malformed request: not a JSON object".to_string());
+        }
+        let id = match doc.get("id") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "malformed request: 'id' is not a u64".to_string())?,
+        };
+        let input = match doc.get("input") {
+            None => Vec::new(),
+            Some(v) => v
+                .f32_array()
+                .ok_or_else(|| "malformed request: 'input' is not a number array".to_string())?,
+        };
+        let cmd = match doc.get("cmd") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "malformed request: 'cmd' is not a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        Ok(Request { id, input, cmd })
+    }
+
+    /// Serializes an inference request (client side, hand-written emitter).
+    pub fn inference_json(id: u64, input: &[f32]) -> String {
+        let mut out = format!("{{\"id\": {id}, \"input\": [");
+        for (i, v) in input.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_f32(*v));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes a control command (client side).
+    pub fn command_json(cmd: &str) -> String {
+        format!("{{\"cmd\": {}}}", json_string(cmd))
+    }
+}
+
+/// A server reply, emitted with the hand-written JSON style.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Inference completed; carries the logits and the latency split.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// One logit per class.
+        logits: Vec<f32>,
+        /// Time spent queued before the batch started, microseconds.
+        queue_us: f64,
+        /// Wall-clock of the batch forward pass, microseconds.
+        compute_us: f64,
+        /// Size of the micro-batch this request rode in.
+        batch: usize,
+    },
+    /// Rejected by admission control (`"overloaded"`) or because the server
+    /// is draining (`"draining"`).
+    Rejected {
+        /// Echoed request id.
+        id: u64,
+        /// Rejection reason: `overloaded` or `draining`.
+        reason: &'static str,
+    },
+    /// Malformed request.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Reply to a control command (`pong`, `draining`).
+    Control {
+        /// Status word.
+        status: &'static str,
+    },
+    /// Reply to `{"cmd": "info"}`: the served model's shape, so clients
+    /// need not guess the input length.
+    Info {
+        /// Flattened input length one request must carry.
+        input_len: usize,
+        /// Logits per response.
+        classes: usize,
+    },
+}
+
+impl Response {
+    /// One-line JSON object (hand-written emitter, fixed key order).
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Ok {
+                id,
+                logits,
+                queue_us,
+                compute_us,
+                batch,
+            } => {
+                let vals: Vec<String> = logits.iter().map(|&v| json_f32(v)).collect();
+                format!(
+                    "{{\"id\": {id}, \"status\": \"ok\", \"logits\": [{}], \
+                     \"queue_us\": {}, \"compute_us\": {}, \"batch\": {batch}}}",
+                    vals.join(", "),
+                    json_f64(*queue_us),
+                    json_f64(*compute_us),
+                )
+            }
+            Response::Rejected { id, reason } => {
+                format!("{{\"id\": {id}, \"status\": \"{reason}\"}}")
+            }
+            Response::Error { id, detail } => format!(
+                "{{\"id\": {id}, \"status\": \"error\", \"detail\": {}}}",
+                json_string(detail)
+            ),
+            Response::Control { status } => format!("{{\"status\": \"{status}\"}}"),
+            Response::Info { input_len, classes } => format!(
+                "{{\"status\": \"info\", \"input_len\": {input_len}, \"classes\": {classes}}}"
+            ),
+        }
+    }
+}
+
+/// A parsed server reply (client side). Absent fields keep their `Default`
+/// value, mirroring the optional-field request semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseMsg {
+    /// Echoed request id (0 for control replies).
+    pub id: u64,
+    /// `ok`, `overloaded`, `draining`, `error`, `pong`, `info`.
+    pub status: String,
+    /// Logits (present when `status == "ok"`).
+    pub logits: Vec<f32>,
+    /// Queue-wait microseconds (present when `status == "ok"`).
+    pub queue_us: f64,
+    /// Compute microseconds (present when `status == "ok"`).
+    pub compute_us: f64,
+    /// Micro-batch size (present when `status == "ok"`).
+    pub batch: u64,
+    /// Error detail (present when `status == "error"`).
+    pub detail: String,
+    /// Served input length (present when `status == "info"`).
+    pub input_len: u64,
+    /// Served class count (present when `status == "info"`).
+    pub classes: u64,
+}
+
+impl ResponseMsg {
+    /// Parses a response frame.
+    pub fn parse(payload: &[u8]) -> Result<ResponseMsg, String> {
+        let doc = JsonValue::parse(payload).map_err(|e| format!("malformed response: {e}"))?;
+        if !matches!(doc, JsonValue::Obj(_)) {
+            return Err("malformed response: not a JSON object".to_string());
+        }
+        let logits = match doc.get("logits") {
+            Some(v) => v
+                .f32_array()
+                .ok_or_else(|| "malformed response: 'logits' is not a number array".to_string())?,
+            None => Vec::new(),
+        };
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let u64_field = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let f64_field = |key: &str| doc.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        Ok(ResponseMsg {
+            id: u64_field("id"),
+            status: str_field("status"),
+            logits,
+            queue_us: f64_field("queue_us"),
+            compute_us: f64_field("compute_us"),
+            batch: u64_field("batch"),
+            detail: str_field("detail"),
+            input_len: u64_field("input_len"),
+            classes: u64_field("classes"),
+        })
+    }
+}
+
+/// Shortest f32 literal that parses back to the same bits (Rust `Display`
+/// guarantee); non-finite values, which the layers never produce, degrade
+/// to 0 like in the `axnn-obs` emitters.
+fn json_f32(x: f32) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Same contract as [`json_f32`] for f64.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSON string literal with the mandatory escapes (the `axnn-obs` emitter
+/// rules).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 8 promised bytes
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn request_json_round_trips_f32_bits() {
+        let input = vec![0.1f32, -2.5, 1.0e-7, 3.4e38, 0.0];
+        let json = Request::inference_json(42, &input);
+        let req = Request::parse(json.as_bytes()).unwrap();
+        assert_eq!(req.id, 42);
+        assert!(req.cmd.is_none());
+        let bits: Vec<u32> = req.input.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = input.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn command_json_parses_as_control() {
+        let req = Request::parse(Request::command_json("shutdown").as_bytes()).unwrap();
+        assert_eq!(req.cmd.as_deref(), Some("shutdown"));
+        assert!(req.input.is_empty());
+    }
+
+    #[test]
+    fn ok_response_round_trips_logits_bitwise() {
+        let resp = Response::Ok {
+            id: 7,
+            logits: vec![1.25, -0.75, 3.0e-5],
+            queue_us: 812.5,
+            compute_us: 5031.25,
+            batch: 4,
+        };
+        let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.id, 7);
+        assert_eq!(msg.status, "ok");
+        assert_eq!(msg.batch, 4);
+        assert_eq!(msg.queue_us, 812.5);
+        let bits: Vec<u32> = msg.logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits,
+            vec![1.25f32.to_bits(), (-0.75f32).to_bits(), 3.0e-5f32.to_bits()]
+        );
+    }
+
+    #[test]
+    fn rejection_and_error_responses_parse() {
+        let rej = Response::Rejected {
+            id: 3,
+            reason: "overloaded",
+        };
+        let msg = ResponseMsg::parse(rej.to_json().as_bytes()).unwrap();
+        assert_eq!((msg.id, msg.status.as_str()), (3, "overloaded"));
+        let err = Response::Error {
+            id: 9,
+            detail: "input length 12 != 192".to_string(),
+        };
+        let msg = ResponseMsg::parse(err.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "error");
+        assert!(msg.detail.contains("192"));
+    }
+
+    #[test]
+    fn info_response_parses() {
+        let info = Response::Info {
+            input_len: 192,
+            classes: 10,
+        };
+        let msg = ResponseMsg::parse(info.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "info");
+        assert_eq!((msg.input_len, msg.classes), (192, 10));
+    }
+}

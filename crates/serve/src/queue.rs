@@ -1,0 +1,320 @@
+//! Bounded admission-controlled queue with dynamic micro-batching.
+//!
+//! Requests are admitted only while the queue holds fewer than
+//! `capacity` jobs — beyond that the push fails immediately with
+//! [`AdmitError::Overloaded`] and the connection thread turns the failure
+//! into an explicit rejection response instead of letting latency grow
+//! without bound (admission control, not load shedding by timeout).
+//!
+//! The batcher side pops *micro-batches*: a batch flushes as soon as
+//! `max_batch` jobs are waiting **or** the oldest job has waited
+//! `batch_window`, whichever comes first. Under heavy load batches are
+//! full (throughput-optimal); under light load a lone request pays at most
+//! one window of extra latency.
+//!
+//! Shutdown is a drain: [`BatchQueue::start_drain`] atomically flips the
+//! queue into draining mode — subsequent pushes fail with
+//! [`AdmitError::Draining`], already-admitted jobs are still batched and
+//! served (immediately, ignoring the window), and [`BatchQueue::next_batch`]
+//! returns `None` once the backlog is empty so the worker can exit.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sizing of the queue and the micro-batcher.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Maximum jobs waiting; pushes beyond this are rejected.
+    pub capacity: usize,
+    /// Maximum jobs per micro-batch.
+    pub max_batch: usize,
+    /// Longest the oldest job may wait before a partial batch flushes.
+    pub batch_window: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 64,
+            max_batch: 8,
+            batch_window: Duration::from_micros(2000),
+        }
+    }
+}
+
+/// The reply a job's connection thread receives once its batch ran.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The logits for this job's input.
+    pub logits: Vec<f32>,
+    /// Time the job spent queued before its batch started, microseconds.
+    pub queue_us: f64,
+    /// Wall-clock of the whole batch forward pass, microseconds.
+    pub compute_us: f64,
+    /// Size of the micro-batch the job rode in.
+    pub batch: usize,
+}
+
+/// One admitted inference job.
+#[derive(Debug)]
+pub struct Job {
+    /// Client-chosen request id.
+    pub id: u64,
+    /// Flattened input image.
+    pub input: Vec<f32>,
+    /// Admission timestamp (queue-wait measurement starts here).
+    pub enqueued: Instant,
+    /// Where the worker sends the reply.
+    pub reply: mpsc::Sender<BatchReply>,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity.
+    Overloaded,
+    /// The server is shutting down.
+    Draining,
+}
+
+impl AdmitError {
+    /// The `status` word the protocol uses for this rejection.
+    pub fn reason(self) -> &'static str {
+        match self {
+            AdmitError::Overloaded => "overloaded",
+            AdmitError::Draining => "draining",
+        }
+    }
+}
+
+/// A micro-batch popped by the worker.
+#[derive(Debug)]
+pub struct Batch {
+    /// The jobs, in admission order.
+    pub jobs: Vec<Job>,
+    /// Queue depth at the instant the batch was cut (before removal);
+    /// recorded into the `serve:queue_depth` histogram.
+    pub depth_at_pop: usize,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// The bounded micro-batching queue shared by connection threads (push
+/// side) and the single model worker (pop side).
+pub struct BatchQueue {
+    inner: Mutex<Inner>,
+    wake: Condvar,
+    cfg: QueueConfig,
+}
+
+impl BatchQueue {
+    /// Creates an empty queue.
+    pub fn new(cfg: QueueConfig) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            wake: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> QueueConfig {
+        self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits a job, or rejects it without blocking. On success returns the
+    /// queue depth after the push (for depth telemetry at the edge).
+    pub fn push(&self, job: Job) -> Result<usize, AdmitError> {
+        let mut inner = self.lock();
+        if inner.draining {
+            return Err(AdmitError::Draining);
+        }
+        if inner.jobs.len() >= self.cfg.capacity {
+            return Err(AdmitError::Overloaded);
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.wake.notify_one();
+        Ok(depth)
+    }
+
+    /// Current queue depth (jobs waiting, not counting any batch already
+    /// popped by the worker).
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Flips the queue into draining mode and wakes the worker. Idempotent.
+    pub fn start_drain(&self) {
+        self.lock().draining = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether [`Self::start_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Blocks until a micro-batch is due and pops it, or returns `None`
+    /// when the queue is draining and empty (worker exit signal).
+    ///
+    /// A batch is due when `max_batch` jobs are waiting, when the oldest
+    /// waiting job reaches the `batch_window` deadline, or immediately
+    /// during a drain.
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(oldest) = inner.jobs.front() {
+                let full = inner.jobs.len() >= self.cfg.max_batch;
+                let deadline = oldest.enqueued + self.cfg.batch_window;
+                let now = Instant::now();
+                if full || inner.draining || now >= deadline {
+                    let depth_at_pop = inner.jobs.len();
+                    let take = depth_at_pop.min(self.cfg.max_batch);
+                    let jobs: Vec<Job> = inner.jobs.drain(..take).collect();
+                    return Some(Batch { jobs, depth_at_pop });
+                }
+                // Partial batch: sleep until the window closes or a push
+                // (or drain) wakes us early.
+                let (guard, _) = self
+                    .wake
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            } else if inner.draining {
+                return None;
+            } else {
+                inner = self.wake.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn job(id: u64) -> (Job, mpsc::Receiver<BatchReply>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                id,
+                input: Vec::new(),
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn cfg(capacity: usize, max_batch: usize, window_us: u64) -> QueueConfig {
+        QueueConfig {
+            capacity,
+            max_batch,
+            batch_window: Duration::from_micros(window_us),
+        }
+    }
+
+    #[test]
+    fn push_beyond_capacity_is_overloaded() {
+        let q = BatchQueue::new(cfg(2, 8, 1_000_000));
+        assert_eq!(q.push(job(1).0), Ok(1));
+        assert_eq!(q.push(job(2).0), Ok(2));
+        assert_eq!(q.push(job(3).0), Err(AdmitError::Overloaded));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_the_window() {
+        let q = BatchQueue::new(cfg(8, 3, 60_000_000));
+        for id in 0..4 {
+            q.push(job(id).0).unwrap();
+        }
+        let start = Instant::now();
+        let batch = q.next_batch().expect("batch due");
+        assert!(start.elapsed() < Duration::from_secs(1), "must not wait");
+        assert_eq!(batch.jobs.len(), 3, "capped at max_batch");
+        assert_eq!(batch.depth_at_pop, 4);
+        assert_eq!(
+            batch.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "admission order"
+        );
+        assert_eq!(q.depth(), 1, "remainder stays queued");
+    }
+
+    #[test]
+    fn partial_batch_flushes_when_the_window_closes() {
+        let q = BatchQueue::new(cfg(8, 8, 20_000));
+        q.push(job(7).0).unwrap();
+        let start = Instant::now();
+        let batch = q.next_batch().expect("batch due");
+        assert_eq!(batch.jobs.len(), 1);
+        assert!(
+            start.elapsed() >= Duration::from_micros(10_000),
+            "flushed suspiciously early: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn drain_rejects_new_jobs_but_serves_the_backlog() {
+        let q = BatchQueue::new(cfg(8, 4, 60_000_000));
+        q.push(job(1).0).unwrap();
+        q.push(job(2).0).unwrap();
+        q.start_drain();
+        assert_eq!(q.push(job(3).0), Err(AdmitError::Draining));
+        let batch = q.next_batch().expect("backlog still served");
+        assert_eq!(batch.jobs.len(), 2);
+        assert!(q.next_batch().is_none(), "drained and empty");
+    }
+
+    #[test]
+    fn drain_wakes_a_blocked_worker() {
+        let q = Arc::new(BatchQueue::new(cfg(8, 8, 60_000_000)));
+        let q2 = Arc::clone(&q);
+        let worker = thread::spawn(move || q2.next_batch().is_none());
+        thread::sleep(Duration::from_millis(20));
+        q.start_drain();
+        assert!(worker.join().unwrap(), "worker saw the drain and exited");
+    }
+
+    #[test]
+    fn reply_channel_delivers_in_batch_order() {
+        let q = BatchQueue::new(cfg(8, 8, 0));
+        let (j, rx) = job(9);
+        q.push(j).unwrap();
+        let batch = q.next_batch().unwrap();
+        for j in batch.jobs {
+            j.reply
+                .send(BatchReply {
+                    id: j.id,
+                    logits: vec![1.0],
+                    queue_us: 1.0,
+                    compute_us: 2.0,
+                    batch: 1,
+                })
+                .unwrap();
+        }
+        let reply = rx.recv().unwrap();
+        assert_eq!(reply.id, 9);
+        assert_eq!(reply.batch, 1);
+    }
+}

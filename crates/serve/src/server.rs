@@ -1,0 +1,289 @@
+//! The TCP inference server: acceptor, connection threads, and the single
+//! model worker.
+//!
+//! ## Thread architecture
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection threads ──push──▶ BatchQueue
+//!                                                      │ next_batch()
+//!                                                      ▼
+//!                                        model worker (owns the network)
+//!                                                      │ BatchReply
+//!                          connection threads ◀──mpsc──┘
+//! ```
+//!
+//! Exactly **one** worker thread owns the [`ServedModel`] and runs every
+//! micro-batch (parallelism comes from `axnn-par` *inside* the forward
+//! pass, not from concurrent batches). That single-consumer design is what
+//! makes serving deterministic — batches execute in queue order, and it is
+//! also what satisfies the `axnn-obs` histogram discipline: all
+//! order-sensitive hist recording (`serve:queue_wait_us`, `serve:compute_us`,
+//! `serve:batch_size`, `serve:queue_depth`) happens on the worker thread
+//! only. Connection threads touch only the order-insensitive
+//! `serve:rejected` ratio.
+//!
+//! ## Shutdown
+//!
+//! `{"cmd": "shutdown"}` (or [`Server::shutdown`]) flips the queue into
+//! draining mode: new work is rejected with `"draining"`, the admitted
+//! backlog is batched and served, the worker exits on the empty queue, and
+//! the acceptor is woken by a loop-back connection. Connection threads are
+//! detached; they exit when their peer hangs up.
+
+use crate::model::ServedModel;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::queue::{BatchQueue, BatchReply, Job, QueueConfig};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Hist geometry for per-request queue wait, microseconds.
+pub fn queue_wait_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::new(0.0, 50_000.0, 64)
+}
+
+/// Hist geometry for per-batch compute time, microseconds.
+pub fn compute_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::new(0.0, 200_000.0, 64)
+}
+
+/// Hist geometry for micro-batch sizes.
+pub fn batch_size_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::new(0.0, 64.0, 64)
+}
+
+/// Hist geometry for queue depth at batch-cut time.
+pub fn queue_depth_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::new(0.0, 256.0, 64)
+}
+
+struct Shared {
+    queue: BatchQueue,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Starts the drain exactly once and wakes the blocked acceptor with a
+    /// loop-back connection.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.start_drain();
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running inference server. Dropping it shuts it down and joins the
+/// acceptor and worker threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+    input_len: usize,
+    classes: usize,
+}
+
+impl Server {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// serving `model` under the given queue configuration.
+    pub fn start(model: ServedModel, bind_addr: &str, cfg: QueueConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let input_len = model.input_len();
+        let classes = model.classes();
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(cfg),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-worker".to_string())
+                .spawn(move || worker_loop(model, &shared))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || acceptor_loop(listener, &shared, input_len, classes))?
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            worker: Some(worker),
+            input_len,
+            classes,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Flattened input length one request must carry.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Logits per response.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Begins the graceful drain and blocks until the acceptor and worker
+    /// have exited. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Waits for a remotely initiated shutdown (`{"cmd": "shutdown"}`) to
+    /// finish draining — the blocking-serve path of `axnn serve`.
+    pub fn join(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(mut model: ServedModel, shared: &Shared) {
+    while let Some(batch) = shared.queue.next_batch() {
+        let views: Vec<&[f32]> = batch.jobs.iter().map(|j| j.input.as_slice()).collect();
+        let started = Instant::now();
+        let outputs = {
+            let _s = axnn_obs::span("serve:batch");
+            model.forward_batch(&views)
+        };
+        let compute_us = started.elapsed().as_secs_f64() * 1e6;
+        let size = batch.jobs.len();
+        axnn_obs::record_value("serve:batch_size", batch_size_spec(), size as f64);
+        axnn_obs::record_value(
+            "serve:queue_depth",
+            queue_depth_spec(),
+            batch.depth_at_pop as f64,
+        );
+        axnn_obs::record_value("serve:compute_us", compute_spec(), compute_us);
+        for (job, logits) in batch.jobs.into_iter().zip(outputs) {
+            let queue_us = started.duration_since(job.enqueued).as_secs_f64() * 1e6;
+            axnn_obs::record_value("serve:queue_wait_us", queue_wait_spec(), queue_us);
+            axnn_obs::record_ratio("serve:rejected", 0, 1);
+            // A send error means the connection died while its job was in
+            // flight; the batch result is simply dropped for that peer.
+            let _ = job.reply.send(BatchReply {
+                id: job.id,
+                logits,
+                queue_us,
+                compute_us,
+                batch: size,
+            });
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, input_len: usize, classes: usize) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_conn(stream, &shared, input_len, classes));
+        if spawned.is_err() {
+            // Thread exhaustion: drop the connection rather than the server.
+            continue;
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Shared, input_len: usize, classes: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let response = dispatch(&payload, shared, input_len, classes);
+        if write_frame(&mut writer, response.to_json().as_bytes()).is_err() {
+            break;
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -> Response {
+    let req = match Request::parse(payload) {
+        Ok(req) => req,
+        Err(detail) => return Response::Error { id: 0, detail },
+    };
+    if let Some(cmd) = req.cmd.as_deref() {
+        return match cmd {
+            "ping" => Response::Control { status: "pong" },
+            "info" => Response::Info { input_len, classes },
+            "shutdown" => {
+                shared.begin_shutdown();
+                Response::Control { status: "draining" }
+            }
+            other => Response::Error {
+                id: req.id,
+                detail: format!("unknown command '{other}'"),
+            },
+        };
+    }
+    if req.input.len() != input_len {
+        return Response::Error {
+            id: req.id,
+            detail: format!("input length {} != {input_len}", req.input.len()),
+        };
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        id: req.id,
+        input: req.input,
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Err(e) => {
+            axnn_obs::record_ratio("serve:rejected", 1, 1);
+            Response::Rejected {
+                id: req.id,
+                reason: e.reason(),
+            }
+        }
+        Ok(_) => match rx.recv() {
+            Ok(r) => Response::Ok {
+                id: r.id,
+                logits: r.logits,
+                queue_us: r.queue_us,
+                compute_us: r.compute_us,
+                batch: r.batch,
+            },
+            Err(_) => Response::Error {
+                id: req.id,
+                detail: "worker dropped the job".to_string(),
+            },
+        },
+    }
+}

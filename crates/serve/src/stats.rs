@@ -1,0 +1,121 @@
+//! Latency summaries for the load generator and the bench harness.
+
+/// Nearest-rank percentile over an already **sorted** slice: the smallest
+/// sample such that at least `p`% of the distribution is ≤ it (the
+/// convention the workspace reports use — no interpolation, every quoted
+/// latency is one that actually happened).
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// p50/p95/p99 + moments of one latency population, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+    /// Worst observed sample, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample population (consumes and sorts it).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let count = samples.len();
+        let mean_us = samples.iter().sum::<f64>() / count as f64;
+        LatencySummary {
+            count,
+            p50_us: percentile_sorted(&samples, 50.0),
+            p95_us: percentile_sorted(&samples, 95.0),
+            p99_us: percentile_sorted(&samples, 99.0),
+            mean_us,
+            max_us: samples[count - 1],
+        }
+    }
+
+    /// The summary's fields as hand-written JSON members (no braces), for
+    /// embedding into a larger object.
+    pub fn json_members(&self) -> String {
+        format!(
+            "\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"mean_us\": {}, \"max_us\": {}",
+            self.count,
+            fmt_f64(self.p50_us),
+            fmt_f64(self.p95_us),
+            fmt_f64(self.p99_us),
+            fmt_f64(self.mean_us),
+            fmt_f64(self.max_us),
+        )
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_population_is_all_zeros() {
+        assert_eq!(LatencySummary::from_samples(Vec::new()).count, 0);
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_population() {
+        // 1..=100: nearest-rank pX is exactly X.
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert_eq!(s.mean_us, 50.5);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let s = LatencySummary::from_samples(vec![7.5]);
+        assert_eq!(
+            (s.p50_us, s.p95_us, s.p99_us, s.max_us),
+            (7.5, 7.5, 7.5, 7.5)
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let s = LatencySummary::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.p50_us, 2.0);
+        assert_eq!(s.max_us, 3.0);
+    }
+
+    #[test]
+    fn json_members_embed_cleanly() {
+        let s = LatencySummary::from_samples(vec![1.0, 2.0]);
+        let obj = format!("{{{}}}", s.json_members());
+        let v = axnn_obs::json::JsonValue::parse(obj.as_bytes()).unwrap();
+        assert_eq!(v.get("count").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("max_us").and_then(|x| x.as_f64()), Some(2.0));
+    }
+}

@@ -16,7 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 OBS_TMP=$(mktemp -d)
 trap 'rm -rf "$OBS_TMP"' EXIT
 target/release/axnn pipeline --fp-epochs 1 --epochs 1 --train 64 --test 32 \
-    --hw 8 --width 0.2 --profile "$OBS_TMP/run.jsonl" >/dev/null
+    --hw 8 --width 0.2 --profile "$OBS_TMP/run.jsonl" \
+    --save "$OBS_TMP/ckpt.json" >/dev/null
 target/release/axnn obs report "$OBS_TMP/run.jsonl" >/dev/null
 target/release/axnn obs diff "$OBS_TMP/run.jsonl" "$OBS_TMP/run.jsonl" >/dev/null
 sed -E 's/"approx_muls": ([0-9]+)/"approx_muls": 9\1/' \
@@ -26,3 +27,44 @@ if target/release/axnn obs diff "$OBS_TMP/run.jsonl" "$OBS_TMP/regressed.jsonl" 
     exit 1
 fi
 echo "tier1: obs smoke OK"
+
+# Serving smoke: the checkpoint the pipeline just saved must come up on an
+# ephemeral port, survive a loadgen burst that forces admission-control
+# rejections (queue capacity 1, max-batch 1, 8 concurrent connections),
+# drain cleanly on shutdown, and leave a serving profile that
+# `axnn obs report` renders.
+target/release/axnn serve --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --port 0 --max-batch 1 --batch-window-us 200 --queue-cap 1 \
+    --profile "$OBS_TMP/serve.jsonl" >"$OBS_TMP/serve.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serving on \([^ ]*\) .*/\1/p' "$OBS_TMP/serve.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "tier1: serve did not print its ready line" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+target/release/axnn loadgen --addr "$ADDR" --connections 8 --requests 4 \
+    --shutdown true >"$OBS_TMP/loadgen.json"
+wait "$SERVE_PID"
+if ! grep -q "drained cleanly" "$OBS_TMP/serve.out"; then
+    echo "tier1: serve did not drain cleanly" >&2
+    exit 1
+fi
+if grep -q '"ok": 0[,}]' "$OBS_TMP/loadgen.json"; then
+    echo "tier1: loadgen burst served nothing" >&2
+    exit 1
+fi
+if grep -q '"rejected": 0[,}]' "$OBS_TMP/loadgen.json"; then
+    echo "tier1: overloaded serve rejected nothing (admission control broken)" >&2
+    exit 1
+fi
+target/release/axnn obs report "$OBS_TMP/serve.jsonl" | grep -q "serve" || {
+    echo "tier1: obs report does not render the serving profile" >&2
+    exit 1
+}
+echo "tier1: serve smoke OK"

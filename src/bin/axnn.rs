@@ -4,6 +4,9 @@
 //! axnn characterize <multiplier>             multiplier MRE / bias / GE fit
 //! axnn pipeline [flags]                      run Algorithm 1 end to end
 //! axnn evaluate --checkpoint <file> [flags]  restore a checkpoint and evaluate
+//! axnn serve --checkpoint <file> [flags]     batched TCP inference service
+//! axnn loadgen (--addr <h:p> | --checkpoint <file>) [flags]
+//!                                            drive a server / run the bench matrix
 //! axnn obs report <run.jsonl>                markdown health report of a profile
 //! axnn obs diff <a.jsonl> <b.jsonl> [flags]  threshold-gated profile comparison
 //! axnn help                                  this text
@@ -21,7 +24,7 @@
 //! Pipeline flags (defaults in brackets):
 //!
 //! ```text
-//! --model <resnet20|resnet32|mobilenetv2|lenet>   [resnet20]
+//! --model <resnet20|resnet32|mobilenetv2>         [resnet20]
 //! --mult <catalogue id>                           [trunc5]
 //! --method <normal|alpha|ge|kd|kd_ge>             [kd_ge]
 //! --t2 <temperature>                              [5]
@@ -36,44 +39,36 @@
 //!                          approx-op counters, numeric-health telemetry)
 //!                          as one JSONL line
 //! ```
+//!
+//! Serving flags (defaults in brackets):
+//!
+//! ```text
+//! --checkpoint <file.json>   required; the `axnn pipeline --save` output
+//! --host / --port            bind address                [127.0.0.1 / 0]
+//! --model --width --hw       architecture of the checkpoint
+//! --executor <exact|quant|approx>                        [exact]
+//! --mult <catalogue id>      multiplier for --executor approx [trunc5]
+//! --max-batch <N>            micro-batch size cap        [8]
+//! --batch-window-us <U>      partial-batch flush deadline [2000]
+//! --queue-cap <Q>            admission-control queue depth [64]
+//! --threads <T>              axnn-par worker override    [0 = default]
+//! --profile <file.jsonl>     append the serving RunProfile on drain
+//! ```
+//!
+//! The server prints `serving on <addr> ...` once ready and runs until a
+//! client sends `{"cmd": "shutdown"}` (`axnn loadgen --shutdown true`
+//! does); it then drains admitted work and exits.
 
 use approxnn::approxkd::pipeline::ModelKind;
 use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
 use approxnn::axmul::catalog;
 use approxnn::axmul::stats::MulStats;
+use approxnn::cli::{parse_known, Flags};
 use approxnn::models::ModelConfig;
 use approxnn::nn::StepDecay;
-use std::collections::HashMap;
+use approxnn::serve::{self, LoadConfig, ModelOptions, ServeExecutor, ServedModel};
 use std::process::ExitCode;
-
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
-    }
-    Ok(flags)
-}
-
-fn get_parsed<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: T,
-) -> Result<T, String> {
-    match flags.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("invalid value '{v}' for --{key}")),
-    }
-}
+use std::time::Duration;
 
 fn model_kind(name: &str) -> Result<ModelKind, String> {
     match name {
@@ -97,6 +92,18 @@ fn method(name: &str, t2: f32) -> Result<Method, String> {
             "unknown method '{other}' (use normal|alpha|ge|kd|kd_ge)"
         )),
     }
+}
+
+fn model_options(flags: &Flags, executor: ServeExecutor) -> Result<ModelOptions, String> {
+    Ok(ModelOptions {
+        model: flags.parsed("model", "resnet20".to_string())?,
+        width: flags.parsed("width", 0.25)?,
+        hw: flags.parsed("hw", 16)?,
+        executor,
+        mult: flags.parsed("mult", "trunc5".to_string())?,
+        seed: flags.parsed("seed", 1)?,
+        calib_samples: 64,
+    })
 }
 
 fn cmd_characterize(args: &[String]) -> Result<(), String> {
@@ -146,19 +153,40 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let kind = model_kind(&get_parsed(&flags, "model", "resnet20".to_string())?)?;
-    let mult_id = get_parsed(&flags, "mult", "trunc5".to_string())?;
+    const USAGE: &str = "axnn pipeline [--model M --mult ID --method NAME --t2 T --epochs E \
+                         --fp-epochs F --seed S --width W --hw H --train N --test N \
+                         --save FILE --profile FILE]";
+    let flags = parse_known(
+        args,
+        &[
+            "model",
+            "mult",
+            "method",
+            "t2",
+            "epochs",
+            "fp-epochs",
+            "seed",
+            "width",
+            "hw",
+            "train",
+            "test",
+            "save",
+            "profile",
+        ],
+        USAGE,
+    )?;
+    let kind = model_kind(&flags.parsed("model", "resnet20".to_string())?)?;
+    let mult_id: String = flags.parsed("mult", "trunc5".to_string())?;
     let spec = catalog::by_id(&mult_id).ok_or_else(|| format!("unknown multiplier '{mult_id}'"))?;
-    let t2: f32 = get_parsed(&flags, "t2", 5.0)?;
-    let method = method(&get_parsed(&flags, "method", "kd_ge".to_string())?, t2)?;
-    let seed: u64 = get_parsed(&flags, "seed", 1)?;
-    let epochs: usize = get_parsed(&flags, "epochs", 3)?;
-    let fp_epochs: usize = get_parsed(&flags, "fp-epochs", 12)?;
-    let width: f32 = get_parsed(&flags, "width", 0.25)?;
-    let hw: usize = get_parsed(&flags, "hw", 16)?;
-    let train: usize = get_parsed(&flags, "train", 320)?;
-    let test: usize = get_parsed(&flags, "test", 160)?;
+    let t2: f32 = flags.parsed("t2", 5.0)?;
+    let method = method(&flags.parsed("method", "kd_ge".to_string())?, t2)?;
+    let seed: u64 = flags.parsed("seed", 1)?;
+    let epochs: usize = flags.parsed("epochs", 3)?;
+    let fp_epochs: usize = flags.parsed("fp-epochs", 12)?;
+    let width: f32 = flags.parsed("width", 0.25)?;
+    let hw: usize = flags.parsed("hw", 16)?;
+    let train: usize = flags.parsed("train", 320)?;
+    let test: usize = flags.parsed("test", 160)?;
 
     let profile_path = flags.get("profile").cloned();
     if profile_path.is_some() {
@@ -236,26 +264,29 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         // the env API; capture the quantized teacher instead, which is the
         // deployable intermediate.
         let ckpt = approxnn::nn::Checkpoint::capture(&mut env.quantized_copy());
-        let json = serde_json::to_string(&ckpt).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        std::fs::write(path, ckpt.to_json()).map_err(|e| e.to_string())?;
         println!("saved quantized-model checkpoint to {path}");
     }
     Ok(())
 }
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let path = flags
-        .get("checkpoint")
-        .ok_or("usage: axnn evaluate --checkpoint <file> [--model ...]")?;
-    let kind = model_kind(&get_parsed(&flags, "model", "resnet20".to_string())?)?;
-    let seed: u64 = get_parsed(&flags, "seed", 1)?;
-    let width: f32 = get_parsed(&flags, "width", 0.25)?;
-    let hw: usize = get_parsed(&flags, "hw", 16)?;
-    let test: usize = get_parsed(&flags, "test", 160)?;
+    const USAGE: &str = "axnn evaluate --checkpoint <file> [--model M --seed S --width W \
+                         --hw H --test N]";
+    let flags = parse_known(
+        args,
+        &["checkpoint", "model", "seed", "width", "hw", "test"],
+        USAGE,
+    )?;
+    let path: String = flags.required("checkpoint", USAGE)?;
+    let kind = model_kind(&flags.parsed("model", "resnet20".to_string())?)?;
+    let seed: u64 = flags.parsed("seed", 1)?;
+    let width: f32 = flags.parsed("width", 0.25)?;
+    let hw: usize = flags.parsed("hw", 16)?;
+    let test: usize = flags.parsed("test", 160)?;
 
-    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let ckpt: approxnn::nn::Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let json = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+    let ckpt = approxnn::nn::Checkpoint::from_json(&json).map_err(|e| e.to_string())?;
 
     // The pipeline saves the BN-folded quantized model for the ResNets.
     let mut cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
@@ -280,6 +311,163 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "axnn serve --checkpoint <file> [--host H --port P --model M --width W \
+                         --hw H --executor exact|quant|approx --mult ID --seed S --max-batch N \
+                         --batch-window-us U --queue-cap Q --threads T --profile FILE]";
+    let flags = parse_known(
+        args,
+        &[
+            "checkpoint",
+            "host",
+            "port",
+            "model",
+            "width",
+            "hw",
+            "executor",
+            "mult",
+            "seed",
+            "max-batch",
+            "batch-window-us",
+            "queue-cap",
+            "threads",
+            "profile",
+        ],
+        USAGE,
+    )?;
+    let path: String = flags.required("checkpoint", USAGE)?;
+    let executor: ServeExecutor = flags.parsed("executor", ServeExecutor::Exact)?;
+    let opts = model_options(&flags, executor)?;
+    let host: String = flags.parsed("host", "127.0.0.1".to_string())?;
+    let port: u16 = flags.parsed("port", 0)?;
+    let queue = serve::QueueConfig {
+        capacity: flags.parsed("queue-cap", 64)?,
+        max_batch: flags.parsed("max-batch", 8)?,
+        batch_window: Duration::from_micros(flags.parsed("batch-window-us", 2000)?),
+    };
+    if queue.capacity == 0 || queue.max_batch == 0 {
+        return Err("--queue-cap and --max-batch must be at least 1".to_string());
+    }
+    let threads: usize = flags.parsed("threads", 0)?;
+    approxnn::par::set_threads(threads);
+
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("loading {path} ({}/{executor}) ...", opts.model);
+    let model = ServedModel::from_checkpoint_json(&json, &opts)?;
+    let label = model.label().to_string();
+
+    let profile_path = flags.get("profile").cloned();
+    if profile_path.is_some() {
+        approxnn::obs::reset();
+        approxnn::obs::set_enabled(true);
+        approxnn::obs::set_health_enabled(true);
+    }
+
+    let mut server =
+        serve::Server::start(model, &format!("{host}:{port}"), queue).map_err(|e| e.to_string())?;
+    // Scripts wait for this line and parse the bound (possibly ephemeral)
+    // port out of it.
+    println!(
+        "serving on {} (executor {executor}, max_batch {}, window {} us, queue {})",
+        server.addr(),
+        queue.max_batch,
+        queue.batch_window.as_micros(),
+        queue.capacity,
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.join();
+
+    if let Some(path) = &profile_path {
+        approxnn::obs::set_enabled(false);
+        approxnn::obs::set_health_enabled(false);
+        let profile = approxnn::obs::RunProfile::capture(&format!("serve/{label}"));
+        profile.append_jsonl(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "profile appended to {path}: {} spans, {} hists, {} ratios",
+            profile.spans.len(),
+            profile.hists.len(),
+            profile.health.len()
+        );
+    }
+    println!("drained cleanly");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "axnn loadgen --addr <host:port> [--connections C --requests N --rate R \
+                         --seed S --shutdown true]\n       \
+                         axnn loadgen --checkpoint <file> [--out FILE --executors LIST \
+                         --connections C --requests N --queue-cap Q --threads T \
+                         --model M --width W --hw H --mult ID --seed S]";
+    let flags = parse_known(
+        args,
+        &[
+            "addr",
+            "connections",
+            "requests",
+            "rate",
+            "seed",
+            "shutdown",
+            "checkpoint",
+            "out",
+            "executors",
+            "queue-cap",
+            "threads",
+            "model",
+            "width",
+            "hw",
+            "mult",
+        ],
+        USAGE,
+    )?;
+    match (flags.get("addr"), flags.get("checkpoint")) {
+        (Some(_), Some(_)) | (None, None) => Err(format!(
+            "give exactly one of --addr or --checkpoint\nusage: {USAGE}"
+        )),
+        (Some(addr), None) => {
+            let cfg = LoadConfig {
+                connections: flags.parsed("connections", 4)?,
+                requests: flags.parsed("requests", 32)?,
+                rate_rps: flags.parsed("rate", 0.0)?,
+                seed: flags.parsed("seed", 1)?,
+            };
+            let input_len = serve::probe_input_len(addr.as_str()).map_err(|e| e.to_string())?;
+            let report =
+                serve::loadgen::run(addr.as_str(), input_len, &cfg).map_err(|e| e.to_string())?;
+            println!("{}", report.to_json());
+            if flags.parsed("shutdown", false)? {
+                let msg = serve::shutdown_server(addr.as_str()).map_err(|e| e.to_string())?;
+                eprintln!("shutdown acknowledged: {}", msg.status);
+            }
+            Ok(())
+        }
+        (None, Some(path)) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            approxnn::par::set_threads(flags.parsed("threads", 0)?);
+            let base = model_options(&flags, ServeExecutor::Exact)?;
+            let mut bench = serve::BenchConfig {
+                connections: flags.parsed("connections", 4)?,
+                requests: flags.parsed("requests", 24)?,
+                queue_cap: flags.parsed("queue-cap", 64)?,
+                seed: flags.parsed("seed", 1)?,
+                ..serve::BenchConfig::default()
+            };
+            if let Some(list) = flags.get("executors") {
+                bench.executors = list
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            let doc = serve::run_bench(&json, &base, &bench)?;
+            let out: String = flags.parsed("out", "results/BENCH_serve.json".to_string())?;
+            std::fs::write(&out, &doc).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}");
+            Ok(())
+        }
+    }
+}
+
 fn last_profile(path: &str) -> Result<approxnn::obs::RunProfile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut profiles = approxnn::report::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -288,22 +476,23 @@ fn last_profile(path: &str) -> Result<approxnn::obs::RunProfile, String> {
 
 fn cmd_obs(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
-        "usage: axnn obs report <run.jsonl> | axnn obs diff <a.jsonl> <b.jsonl> [--flags]";
+        "axnn obs report <run.jsonl> | axnn obs diff <a.jsonl> <b.jsonl> [--counter-pct P \
+         --ratio-abs F]";
     match args.first().map(String::as_str) {
         Some("report") => {
-            let path = args.get(1).ok_or(USAGE)?;
+            let path = args.get(1).ok_or_else(|| format!("usage: {USAGE}"))?;
             let profile = last_profile(path)?;
             print!("{}", approxnn::report::render_report(&profile));
             Ok(())
         }
         Some("diff") => {
-            let a = args.get(1).ok_or(USAGE)?;
-            let b = args.get(2).ok_or(USAGE)?;
-            let flags = parse_flags(&args[3..])?;
-            let counter_pct: f64 = get_parsed(&flags, "counter-pct", 1.0)?;
+            let a = args.get(1).ok_or_else(|| format!("usage: {USAGE}"))?;
+            let b = args.get(2).ok_or_else(|| format!("usage: {USAGE}"))?;
+            let flags = parse_known(&args[3..], &["counter-pct", "ratio-abs"], USAGE)?;
+            let counter_pct: f64 = flags.parsed("counter-pct", 1.0)?;
             let thresholds = approxnn::report::DiffThresholds {
                 counter_rel: counter_pct / 100.0,
-                ratio_abs: get_parsed(&flags, "ratio-abs", 0.05)?,
+                ratio_abs: flags.parsed("ratio-abs", 0.05)?,
             };
             let baseline = last_profile(a)?;
             let candidate = last_profile(b)?;
@@ -318,7 +507,7 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
                 Ok(())
             }
         }
-        _ => Err(USAGE.to_string()),
+        _ => Err(format!("usage: {USAGE}")),
     }
 }
 
@@ -329,6 +518,9 @@ fn usage() {
     println!("  characterize <multiplier>   MRE / bias / GE fit of a catalogue multiplier");
     println!("  pipeline [--flags]          run FP training + 8A4W + approximation");
     println!("  evaluate --checkpoint <f>   restore a checkpoint and evaluate");
+    println!("  serve --checkpoint <f>      batched TCP inference service");
+    println!("  loadgen --addr <h:p>        drive a server (closed/open loop)");
+    println!("  loadgen --checkpoint <f>    run the serving bench matrix");
     println!("  obs report <run.jsonl>      markdown numeric-health report");
     println!("  obs diff <a> <b>            compare profiles; nonzero exit on regression");
     println!("  help                        this text");
@@ -342,6 +534,8 @@ fn main() -> ExitCode {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         Some("help") | None => {
             usage();

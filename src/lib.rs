@@ -18,7 +18,9 @@
 //! | [`proxsim`] | `axnn-proxsim` | approximate GEMM execution engine |
 //! | [`models`] | `axnn-models` | ResNet-20/32, MobileNetV2 builders |
 //! | [`data`] | `axnn-data` | SynthCIFAR dataset generator |
+//! | [`serve`] | `axnn-serve` | batched TCP inference service + loadgen |
 //! | [`approxkd`] | `approxkd` | ApproxKD + gradient estimation (the paper)|
+//! | [`cli`] | (this crate) | shared flag parsing for the `axnn` binary |
 //! | [`report`] | (this crate) | `axnn obs` profile analysis: reports, diffs |
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@
 //! println!("{} -> {:.1} %", result.method, result.final_acc * 100.0);
 //! ```
 
+pub mod cli;
 pub mod report;
 
 pub use approxkd;
@@ -46,4 +49,5 @@ pub use axnn_obs as obs;
 pub use axnn_par as par;
 pub use axnn_proxsim as proxsim;
 pub use axnn_quant as quant;
+pub use axnn_serve as serve;
 pub use axnn_tensor as tensor;

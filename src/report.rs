@@ -2,9 +2,11 @@
 //! trajectories, render a per-layer markdown health report, and diff two
 //! profiles with regression thresholds (the CI gate).
 //!
-//! Parsing uses `serde_json` against the derives on the obs records — the
-//! hand-written emitter and this parser are held together by the
-//! round-trip proptests in `crates/obs/tests/json_roundtrip.rs`.
+//! Parsing uses the dependency-free reader behind
+//! [`RunProfile::from_json`] — the hand-written emitter and that parser
+//! are held together by the round-trip proptests in
+//! `crates/obs/tests/json_roundtrip.rs`, which also cross-check against
+//! `serde_json` on the same derives.
 
 use crate::obs::{HistRecord, RatioRecord, RunProfile};
 use std::collections::BTreeMap;
@@ -22,7 +24,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<RunProfile>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let p: RunProfile = serde_json::from_str(line)
+        let p = RunProfile::from_json(line)
             .map_err(|e| format!("line {}: not a run profile: {e}", i + 1))?;
         out.push(p);
     }

@@ -1,0 +1,224 @@
+//! End-to-end guarantees of the serving path (`axnn-serve`):
+//!
+//! 1. **Checkpoint equivalence** — a checkpoint in the `axnn pipeline
+//!    --save` file format restored by the server produces bit-identical
+//!    logits to the `axnn evaluate` restore recipe on the same inputs.
+//! 2. **Batch invariance** — a request's logits are bit-identical whether
+//!    it is served alone or inside a micro-batch, at every thread count.
+//! 3. **The wire preserves bits** — logits decoded from the TCP protocol
+//!    equal the in-process forward bit-for-bit, through overload
+//!    rejections and a graceful drain.
+//!
+//! `set_threads` is process-global, so every case body takes [`serial`].
+
+use approxnn::data::SynthCifar;
+use approxnn::models::{resnet20, ModelConfig};
+use approxnn::nn::{Checkpoint, Layer, Mode};
+use approxnn::par;
+use approxnn::serve::{
+    Client, ModelOptions, QueueConfig, Request, ServeExecutor, ServedModel, Server,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const WIDTH: f32 = 0.2;
+const HW: usize = 8;
+const SEED: u64 = 1;
+
+/// Serializes all case bodies in this binary (see the module docs).
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A checkpoint in the exact shape `axnn pipeline --save` writes: the
+/// BN-folded quantized ResNet-20, serialized with the hand-written emitter.
+fn pipeline_style_checkpoint_json() -> &'static str {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| {
+        let mut cfg = ModelConfig::paper().with_width(WIDTH).with_input_hw(HW);
+        cfg.batch_norm = false;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = resnet20(&cfg, &mut rng);
+        Checkpoint::capture(&mut net).to_json()
+    })
+}
+
+fn serve_opts(executor: ServeExecutor) -> ModelOptions {
+    ModelOptions {
+        width: WIDTH,
+        hw: HW,
+        executor,
+        seed: SEED,
+        calib_samples: 32,
+        ..ModelOptions::default()
+    }
+}
+
+/// Deterministic test images in the evaluate recipe's shape.
+fn test_inputs(n: usize) -> Vec<Vec<f32>> {
+    let (_, test) = SynthCifar::new(HW).generate(0, n, SEED);
+    let len = test.inputs.as_slice().len() / n;
+    test.inputs
+        .as_slice()
+        .chunks(len)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// The served model restores `axnn pipeline --save` output bit-identically
+/// to the `axnn evaluate` recipe (satellite of the serving PR: the two
+/// consumers of the checkpoint format must agree).
+#[test]
+fn serve_restores_pipeline_checkpoint_bit_identical_to_evaluate() {
+    let _g = serial();
+    par::set_threads(1);
+    let json = pipeline_style_checkpoint_json();
+
+    // The `axnn evaluate` restore recipe, verbatim.
+    let mut cfg = ModelConfig::paper().with_width(WIDTH).with_input_hw(HW);
+    cfg.batch_norm = false;
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xdead);
+    let mut eval_net = resnet20(&cfg, &mut rng);
+    Checkpoint::from_json(json)
+        .expect("pipeline-format checkpoint parses")
+        .restore(&mut eval_net)
+        .expect("architecture matches");
+
+    let mut served = ServedModel::from_checkpoint_json(json, &serve_opts(ServeExecutor::Exact))
+        .expect("server loads the same file");
+
+    let inputs = test_inputs(4);
+    for (i, input) in inputs.iter().enumerate() {
+        let x = approxnn::tensor::Tensor::from_vec(input.clone(), &[1, 3, HW, HW]).unwrap();
+        let eval_logits = eval_net.forward(&x, Mode::Eval);
+        let served_logits = served.forward_batch(&[input.as_slice()]);
+        let a: Vec<u32> = eval_logits.as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = served_logits[0].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "sample {i}: serve and evaluate disagree");
+    }
+    par::set_threads(0);
+}
+
+/// One served model per executor family, built once (resnet construction
+/// and calibration dominate the test binary's runtime otherwise).
+fn shared_model(executor: ServeExecutor) -> &'static Mutex<ServedModel> {
+    static EXACT: OnceLock<Mutex<ServedModel>> = OnceLock::new();
+    static QUANT: OnceLock<Mutex<ServedModel>> = OnceLock::new();
+    static APPROX: OnceLock<Mutex<ServedModel>> = OnceLock::new();
+    let cell = match executor {
+        ServeExecutor::Exact => &EXACT,
+        ServeExecutor::Quant => &QUANT,
+        ServeExecutor::Approx => &APPROX,
+    };
+    cell.get_or_init(|| {
+        Mutex::new(
+            ServedModel::from_checkpoint_json(
+                pipeline_style_checkpoint_json(),
+                &serve_opts(executor),
+            )
+            .expect("checkpoint loads"),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A request's logits do not depend on its batch mates or on the
+    /// worker-thread count, for every executor family.
+    #[test]
+    fn served_logits_are_batch_and_thread_invariant(
+        seed in 0u64..50,
+        batch in 2usize..6,
+        pick in 0usize..6,
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+        executor in prop::sample::select(vec![
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ]),
+    ) {
+        let _g = serial();
+        let mut model = shared_model(executor).lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                approxnn::tensor::init::uniform(&[model.input_len()], -1.0, 1.0, &mut rng)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+        let pick = pick % batch;
+
+        par::set_threads(1);
+        let alone: Vec<u32> = model.forward_batch(&[inputs[pick].as_slice()])[0]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        par::set_threads(threads);
+        let views: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batched: Vec<u32> = model.forward_batch(&views)[pick]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        par::set_threads(0);
+        prop_assert_eq!(alone, batched,
+            "{} sample {}/{} differs alone@1thread vs batched@{}threads",
+            executor, pick, batch, threads);
+    }
+}
+
+/// Logits served over TCP equal the in-process forward bit-for-bit, the
+/// overloaded server rejects rather than queues, and a drained server
+/// refuses new work while answering its backlog.
+#[test]
+fn wire_protocol_preserves_logit_bits_through_overload_and_drain() {
+    let _g = serial();
+    par::set_threads(1);
+    let json = pipeline_style_checkpoint_json();
+    let opts = serve_opts(ServeExecutor::Approx);
+    let mut direct = ServedModel::from_checkpoint_json(json, &opts).expect("loads");
+    let served = ServedModel::from_checkpoint_json(json, &opts).expect("loads");
+    let input_len = served.input_len();
+    let mut server = Server::start(
+        served,
+        "127.0.0.1:0",
+        QueueConfig {
+            capacity: 8,
+            max_batch: 4,
+            batch_window: std::time::Duration::from_micros(500),
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let inputs = test_inputs(3);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (i, input) in inputs.iter().enumerate() {
+        assert_eq!(input.len(), input_len);
+        let msg = client.infer(i as u64, input).expect("round trip");
+        assert_eq!(msg.status, "ok", "request {i}: {}", msg.detail);
+        let wire: Vec<u32> = msg.logits.iter().map(|v| v.to_bits()).collect();
+        let local: Vec<u32> = direct.forward_batch(&[input.as_slice()])[0]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(wire, local, "request {i}: logits changed on the wire");
+    }
+
+    // Shutdown acknowledges with "draining"; afterwards new inference is
+    // refused with the draining rejection, not silently dropped.
+    let ack = client.command("shutdown").expect("shutdown ack");
+    assert_eq!(ack.status, "draining");
+    let refused = client.infer(99, &inputs[0]).expect("reply still framed");
+    assert_eq!(refused.status, "draining");
+    drop(client);
+    server.join();
+    par::set_threads(0);
+
+    // A parse error is reported per-request without poisoning the session.
+    let bad = Request::parse(b"{\"id\": 1, \"input\": [\"x\"]}");
+    assert!(bad.is_err(), "non-numeric input must not parse");
+}
