@@ -96,6 +96,11 @@ impl Layer for Activation {
             ActivationKind::Identity => "identity".into(),
         }
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        builder.push_activation(self.kind);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,20 @@ impl Layer for ConvBlock {
     fn mac_count(&self, input_shape: &[usize]) -> u64 {
         self.conv.mac_count(input_shape)
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        if self.bn.is_some() {
+            // GraphExecutor::compile folds BN first, so this only triggers
+            // for blocks whose BN could not be folded away.
+            return Err(crate::Unsupported::new(format!(
+                "unfolded batch norm in {}",
+                self.describe()
+            )));
+        }
+        self.conv.lower(builder)?;
+        builder.push_activation(self.act.kind());
+        Ok(())
+    }
 }
 
 /// A residual connection: `y = act(main(x) + shortcut(x))`, with an
@@ -271,6 +285,21 @@ impl Layer for Residual {
                 .shortcut
                 .as_ref()
                 .map_or(0, |sc| sc.mac_count(input_shape))
+    }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        let mut main = crate::GraphBuilder::new();
+        self.main.lower(&mut main)?;
+        let shortcut = match &self.shortcut {
+            Some(sc) => {
+                let mut b = crate::GraphBuilder::new();
+                sc.lower(&mut b)?;
+                Some(b)
+            }
+            None => None,
+        };
+        builder.push_residual(main, shortcut, self.act);
+        Ok(())
     }
 }
 

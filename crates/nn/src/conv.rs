@@ -3,7 +3,7 @@
 use crate::executor::ExecOutput;
 use crate::layer::{GemmCore, Layer, Mode};
 use crate::param::Param;
-use axnn_tensor::im2col::{col2im, gemm_out_to_nchw, im2col, nchw_to_gemm_out, ConvGeometry};
+use axnn_tensor::im2col::{col2im, gemm_out_to_nchw, im2col_into, nchw_to_gemm_out, ConvGeometry};
 use axnn_tensor::{gemm, init, Tensor};
 use rand::Rng;
 
@@ -11,6 +11,27 @@ use rand::Rng;
 #[derive(Debug)]
 struct GroupCache {
     exec: ExecOutput,
+}
+
+/// Reusable buffers kept across forward/backward calls so the interpreter
+/// path does not reallocate its largest intermediates on every batch. Each
+/// buffer is shape-checked on reuse and rebuilt when the batch shape changes.
+#[derive(Debug, Default)]
+struct ConvScratch {
+    /// im2col column matrix `[K/g, M]`, shared by all groups of one call.
+    col: Option<Tensor>,
+    /// Assembled GEMM output `[OC, M]` (grouped convolutions only).
+    out_mat: Option<Tensor>,
+    /// Assembled weight gradient (weight shape) in backward.
+    dw: Option<Tensor>,
+}
+
+/// Takes the cached buffer when its shape still matches, else allocates.
+fn scratch_buf(slot: &mut Option<Tensor>, shape: &[usize]) -> Tensor {
+    match slot.take() {
+        Some(t) if t.shape() == shape => t,
+        _ => Tensor::zeros(shape),
+    }
 }
 
 /// A 2-D convolution layer computed as `W_mat · im2col(x)` through the
@@ -41,6 +62,7 @@ pub struct Conv2d {
     geom: ConvGeometry,
     groups: usize,
     cache: Option<ConvCache>,
+    scratch: ConvScratch,
 }
 
 #[derive(Debug)]
@@ -87,6 +109,7 @@ impl Conv2d {
             geom,
             groups,
             cache: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -143,35 +166,48 @@ impl Layer for Conv2d {
             .expect("weight reshape is size-preserving");
 
         let _span = axnn_obs::span(&self.core.fwd_span);
+        let m = n * oh * ow;
+        // All groups share one column buffer: `im2col_into` zero-fills each
+        // row before the gather, and executors copy what they need to keep.
+        let mut col = scratch_buf(&mut self.scratch.col, &[kpg, m]);
         let mut group_caches = Vec::with_capacity(self.groups);
         let mut out_rows = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
+            let group_view;
             let input_g = if self.groups == 1 {
-                input.clone()
+                input
             } else {
-                input.slice_channels(g * cg, (g + 1) * cg)
+                group_view = input.slice_channels(g * cg, (g + 1) * cg);
+                &group_view
             };
-            let col = im2col(&input_g, self.geom);
+            im2col_into(input_g, self.geom, &mut col);
             axnn_obs::count(axnn_obs::Counter::Im2colBytes, (col.len() * 4) as u64);
             let wmat_g = wmat.slice_outer(g * ocg, (g + 1) * ocg);
-            let exec = self.core.executor.forward(&wmat_g, &col, mode);
-            out_rows.push(exec.y.clone());
+            let mut exec = self.core.executor.forward(&wmat_g, &col, mode);
+            // Backward differentiates the effective operands and never reads
+            // `y`, so move the output rows out instead of cloning them.
+            out_rows.push(std::mem::replace(&mut exec.y, Tensor::zeros(&[0, 0])));
             group_caches.push(GroupCache { exec });
         }
+        self.scratch.col = Some(col);
 
         // Group outputs are consecutive row blocks of the full [OC, M] matrix.
+        let grouped_mat = self.groups > 1;
         let out_mat = if self.groups == 1 {
             out_rows.pop().expect("one group")
         } else {
-            let m = n * oh * ow;
-            let mut data = Vec::with_capacity(self.out_channels * m);
-            for y in &out_rows {
-                data.extend_from_slice(y.as_slice());
+            let mut mat = scratch_buf(&mut self.scratch.out_mat, &[self.out_channels, m]);
+            let dst = mat.as_mut_slice();
+            for (g, y) in out_rows.iter().enumerate() {
+                dst[g * ocg * m..(g + 1) * ocg * m].copy_from_slice(y.as_slice());
             }
-            Tensor::from_vec(data, &[self.out_channels, m]).expect("row-block concat")
+            mat
         };
 
         let mut out = gemm_out_to_nchw(&out_mat, n, self.out_channels, oh, ow);
+        if grouped_mat {
+            self.scratch.out_mat = Some(out_mat);
+        }
         if let Some(b) = &self.core.bias {
             out.add_channel_bias(&b.value);
         }
@@ -224,14 +260,16 @@ impl Layer for Conv2d {
             dinput_groups.push(col2im(&dcol, &[n, cg, h, w], self.geom));
         }
 
-        // Accumulate weight gradient (reassemble group row blocks).
-        let mut dw_data = Vec::with_capacity(self.out_channels * kpg);
-        for dw in &dw_rows {
-            dw_data.extend_from_slice(dw.as_slice());
+        // Accumulate weight gradient (reassemble group row blocks into a
+        // reused weight-shaped scratch buffer).
+        let weight_shape = self.core.weight.value.shape().to_vec();
+        let mut dw = scratch_buf(&mut self.scratch.dw, &weight_shape);
+        let dst = dw.as_mut_slice();
+        for (g, dwg) in dw_rows.iter().enumerate() {
+            dst[g * ocg * kpg..(g + 1) * ocg * kpg].copy_from_slice(dwg.as_slice());
         }
-        let dw = Tensor::from_vec(dw_data, self.core.weight.value.shape())
-            .expect("dW matches weight shape");
         self.core.weight.accumulate(&dw);
+        self.scratch.dw = Some(dw);
 
         if self.groups == 1 {
             dinput_groups.pop().expect("one group")
@@ -268,6 +306,38 @@ impl Layer for Conv2d {
         let out = self.output_shape(input_shape);
         let per_pixel = self.k_per_group() as u64;
         (out[0] * out[1] * out[2] * out[3]) as u64 * per_pixel
+    }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        let kpg = self.k_per_group();
+        let ocg = self.out_channels / self.groups;
+        let wmat = self
+            .core
+            .weight
+            .value
+            .reshape(&[self.out_channels, kpg])
+            .expect("weight reshape is size-preserving");
+        let mut backends = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let wmat_g = wmat.slice_outer(g * ocg, (g + 1) * ocg);
+            backends.push(self.core.executor.compile_backend(&wmat_g).ok_or_else(|| {
+                crate::Unsupported::new(format!(
+                    "executor of {} has no compiled backend",
+                    self.core.label
+                ))
+            })?);
+        }
+        builder.push_conv(
+            &self.core.label,
+            self.geom,
+            self.groups,
+            self.in_channels,
+            self.out_channels,
+            self.core.bias.as_ref().map(|b| b.value.as_slice().to_vec()),
+            crate::ActivationKind::Identity,
+            backends,
+        );
+        Ok(())
     }
 }
 
@@ -398,6 +468,39 @@ mod tests {
             assert!(
                 (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
                 "idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    /// Warm scratch buffers must not change a single bit of the outputs or
+    /// gradients, including across batch-shape changes.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(4, 6, 3, 1, 1, 2, true, &mut r);
+        let x = init::uniform(&[2, 4, 5, 5], -1.0, 1.0, &mut r);
+        let mask = init::uniform(&[2, 6, 5, 5], -1.0, 1.0, &mut r);
+        let other = init::uniform(&[3, 4, 7, 7], -1.0, 1.0, &mut r);
+
+        // Round 1 runs with cold scratch; grads start from zero.
+        let y1 = conv.forward(&x, Mode::Train);
+        let dx1 = conv.backward(&mask);
+        let g1 = conv.core().weight.grad.clone();
+        // Dirty the scratch with a different batch shape, then repeat.
+        conv.forward(&other, Mode::Eval);
+        let y2 = conv.forward(&x, Mode::Train);
+        let dx2 = conv.backward(&mask);
+        let g2 = conv.core().weight.grad.clone();
+
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&y1), bits(&y2), "forward must be scratch-invariant");
+        assert_eq!(bits(&dx1), bits(&dx2), "dx must be scratch-invariant");
+        // Gradients accumulate, so round 2 must add exactly round 1's dW.
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert_eq!(
+                (a + a).to_bits(),
+                b.to_bits(),
+                "dW must be scratch-invariant"
             );
         }
     }

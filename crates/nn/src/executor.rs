@@ -75,6 +75,19 @@ pub trait LayerExecutor: fmt::Debug + Send {
     fn set_obs_label(&mut self, label: &str) {
         let _ = label;
     }
+
+    /// Compiles this executor over the frozen weight matrix `wmat` into a
+    /// fused [`GemmBackend`](crate::GemmBackend) for the graph executor, or
+    /// `None` when the executor has no compiled equivalent (the whole model
+    /// then falls back to the [`Sequential`](crate::Sequential) interpreter).
+    ///
+    /// A returned backend must be *bit-identical* to this executor's
+    /// [`forward`](Self::forward) in `Mode::Eval` followed by the owning
+    /// layer's separate bias/activation passes.
+    fn compile_backend(&self, wmat: &Tensor) -> Option<Box<dyn crate::GemmBackend>> {
+        let _ = wmat;
+        None
+    }
 }
 
 /// Full-precision executor: plain f32 GEMM, identity effective operands.
@@ -117,6 +130,69 @@ impl LayerExecutor for ExactExecutor {
 
     fn kind(&self) -> ExecutorKind {
         ExecutorKind::Exact
+    }
+
+    fn compile_backend(&self, wmat: &Tensor) -> Option<Box<dyn crate::GemmBackend>> {
+        Some(Box::new(ExactBackend { w: wmat.clone() }))
+    }
+}
+
+/// Compiled form of [`ExactExecutor`]: one fused blocked GEMM applying the
+/// bias/activation epilogue while the output tile is hot in cache.
+#[derive(Debug)]
+pub(crate) struct ExactBackend {
+    w: Tensor,
+}
+
+impl crate::GemmBackend for ExactBackend {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Exact
+    }
+
+    fn out_rows(&self) -> usize {
+        self.w.shape()[0]
+    }
+
+    fn forward(&mut self, col: &Tensor, bias: Option<&[f32]>, ep: gemm::Epilogue, out: &mut [f32]) {
+        if axnn_obs::enabled() {
+            let (oc, k) = (self.w.shape()[0], self.w.shape()[1]);
+            let m = col.shape()[1];
+            axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
+        gemm::matmul_bias_act_into(&self.w, col, bias, ep, out);
+    }
+
+    fn has_conv_kernel(&self) -> bool {
+        true
+    }
+
+    fn forward_conv(
+        &mut self,
+        input: &Tensor,
+        c0: usize,
+        geom: axnn_tensor::im2col::ConvGeometry,
+        bias: Option<&[f32]>,
+        ep: gemm::Epilogue,
+        out: &mut [f32],
+        out_channels: usize,
+    ) {
+        if axnn_obs::enabled() {
+            // Same nominal MAC count as the GEMM lowering of this group.
+            let (oc, k) = (self.w.shape()[0], self.w.shape()[1]);
+            let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+            let m = n * geom.out_dim(h) * geom.out_dim(w);
+            axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
+        axnn_tensor::conv_direct::conv2d_bias_act_into(
+            &self.w,
+            input,
+            c0,
+            geom,
+            bias,
+            ep,
+            out,
+            out_channels,
+        );
     }
 }
 

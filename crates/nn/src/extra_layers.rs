@@ -110,6 +110,11 @@ impl Layer for MaxPool2d {
     fn output_shape(&self, s: &[usize]) -> Vec<usize> {
         vec![s[0], s[1], s[2] / self.kernel, s[3] / self.kernel]
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        builder.push_max_pool(self.kernel);
+        Ok(())
+    }
 }
 
 /// Inverted dropout: in training, zeroes each activation with probability
@@ -182,6 +187,11 @@ impl Layer for Dropout {
 
     fn describe(&self) -> String {
         format!("dropout(p={})", self.p)
+    }
+
+    fn lower(&self, _builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        // Identity at inference: lowers to nothing.
+        Ok(())
     }
 }
 

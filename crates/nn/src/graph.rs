@@ -1,0 +1,1185 @@
+//! Compute-graph IR and compiler for frozen (eval-mode) models.
+//!
+//! [`GraphExecutor::compile`] lowers a [`Sequential`] into a small graph of
+//! fused ops: batch norm is folded into conv weights first (via
+//! [`Layer::fold_batch_norm`]), then conv+bias+activation and
+//! linear+bias+activation collapse into single blocked kernels that apply
+//! the epilogue while the output tile is hot in cache. Backends that
+//! provide a direct-convolution kernel
+//! ([`GemmBackend::has_conv_kernel`] — the exact f32 core does) skip the
+//! im2col gather and the `[OC, M] → NCHW` shuffle entirely and write
+//! epilogued NCHW output straight from the input activation
+//! ([`axnn_tensor::conv_direct`]); the rest run the fused GEMM over the
+//! planned column matrix. All scratch buffers are planned once per
+//! `(model fingerprint, input shape)` into a reused arena; steady-state
+//! calls hit the plan cache and allocate nothing but the returned output
+//! tensor.
+//!
+//! The arithmetic seam is [`GemmBackend`]: the exact f32 core, the
+//! fake-quant core (`axnn-quant`), and the packed-LUT approximate core
+//! (`axnn-proxsim`) all plug in behind the one trait via
+//! [`LayerExecutor::compile_backend`](crate::LayerExecutor::compile_backend).
+//! Every backend is required to be *bit-identical* to the interpreter path;
+//! executors without a compiled equivalent (e.g. gradient estimation with a
+//! non-constant error model, which needs an extra exact GEMM even at eval)
+//! return `None` and the whole model falls back to the interpreter.
+
+use crate::act::ActivationKind;
+use crate::executor::ExecutorKind;
+use crate::layer::Layer;
+use crate::seq::Sequential;
+use axnn_tensor::gemm::Epilogue;
+use axnn_tensor::im2col::{gemm_out_to_nchw_into, im2col_into, ConvGeometry};
+use axnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a model (or one of its layers/executors) could not be compiled.
+///
+/// Not an error in the failure sense: callers fall back to the
+/// [`Sequential`] interpreter, which supports everything.
+#[derive(Debug, Clone)]
+pub struct Unsupported {
+    reason: String,
+}
+
+impl Unsupported {
+    /// Creates an unsupported-construct marker with a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph compile unsupported: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A fused GEMM arithmetic core behind the compiled graph.
+///
+/// `forward` computes `ep(W·col + bias[row])` into the row-major `[OC, M]`
+/// slice `out`, overwriting every element. When `bias` is `None` no add is
+/// performed at all (adding `0.0` would flip `-0.0` outputs). The result
+/// must be bit-identical to the interpreter's executor GEMM followed by the
+/// owning layer's separate bias and activation passes.
+pub trait GemmBackend: fmt::Debug + Send {
+    /// Which executor family produced this backend.
+    fn kind(&self) -> ExecutorKind;
+
+    /// Output rows (`OC`) of this backend's frozen weight block.
+    fn out_rows(&self) -> usize;
+
+    /// Computes the fused GEMM + epilogue into `out` (`[OC, M]` row-major).
+    fn forward(&mut self, col: &Tensor, bias: Option<&[f32]>, ep: Epilogue, out: &mut [f32]);
+
+    /// True when the backend provides a fused direct-convolution kernel
+    /// ([`GemmBackend::forward_conv`]). Conv plans then skip the column
+    /// matrix, the grouped channel-slice copy and the `[OC, M] → NCHW`
+    /// shuffle entirely. Backends whose arithmetic is *defined* over the
+    /// column matrix (fake-quant, packed-LUT approximate) keep the default.
+    fn has_conv_kernel(&self) -> bool {
+        false
+    }
+
+    /// Fused direct convolution over input channels `[c0, c0 + CG)`,
+    /// writing epilogued NCHW rows straight into `out` (the full output
+    /// buffer offset to this group's first channel; `out_channels` is the
+    /// total channel count). Must be bit-identical to
+    /// [`GemmBackend::forward`] over the im2col lowering of the same
+    /// channels. Only called when [`GemmBackend::has_conv_kernel`] is true.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_conv(
+        &mut self,
+        input: &Tensor,
+        c0: usize,
+        geom: ConvGeometry,
+        bias: Option<&[f32]>,
+        ep: Epilogue,
+        out: &mut [f32],
+        out_channels: usize,
+    ) {
+        let _ = (input, c0, geom, bias, ep, out, out_channels);
+        unreachable!("backend without a conv kernel reached the direct path");
+    }
+}
+
+fn epilogue_of(kind: ActivationKind) -> Epilogue {
+    match kind {
+        ActivationKind::Relu => Epilogue::Relu,
+        ActivationKind::Relu6 => Epilogue::Relu6,
+        ActivationKind::Identity => Epilogue::Identity,
+    }
+}
+
+/// One node of the compiled graph.
+enum Op {
+    Conv {
+        span: String,
+        geom: ConvGeometry,
+        groups: usize,
+        in_channels: usize,
+        out_channels: usize,
+        bias: Option<Vec<f32>>,
+        ep: Epilogue,
+        /// One backend per group, over that group's weight row block.
+        backends: Vec<Box<dyn GemmBackend>>,
+        /// All backends expose a direct-conv kernel: skip im2col entirely.
+        direct: bool,
+    },
+    Linear {
+        span: String,
+        in_features: usize,
+        out_features: usize,
+        bias: Option<Vec<f32>>,
+        ep: Epilogue,
+        backend: Box<dyn GemmBackend>,
+    },
+    Act {
+        span: String,
+        kind: ActivationKind,
+    },
+    AvgPool {
+        span: String,
+        kernel: usize,
+    },
+    MaxPool {
+        span: String,
+        kernel: usize,
+    },
+    GlobalAvgPool {
+        span: String,
+    },
+    Flatten {
+        span: String,
+    },
+    Residual {
+        span: String,
+        main: Vec<Op>,
+        shortcut: Option<Vec<Op>>,
+        act: ActivationKind,
+    },
+}
+
+impl Op {
+    fn output_shape(&self, s: &[usize]) -> Vec<usize> {
+        match self {
+            Op::Conv {
+                geom, out_channels, ..
+            } => vec![s[0], *out_channels, geom.out_dim(s[2]), geom.out_dim(s[3])],
+            Op::Linear { out_features, .. } => vec![s[0], *out_features],
+            Op::Act { .. } => s.to_vec(),
+            Op::AvgPool { kernel, .. } | Op::MaxPool { kernel, .. } => {
+                vec![s[0], s[1], s[2] / kernel, s[3] / kernel]
+            }
+            Op::GlobalAvgPool { .. } => vec![s[0], s[1]],
+            Op::Flatten { .. } => vec![s[0], s[1..].iter().product()],
+            Op::Residual { main, .. } => {
+                let mut shape = s.to_vec();
+                for op in main {
+                    shape = op.output_shape(&shape);
+                }
+                shape
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        let span = match self {
+            Op::Conv { span, .. }
+            | Op::Linear { span, .. }
+            | Op::Act { span, .. }
+            | Op::AvgPool { span, .. }
+            | Op::MaxPool { span, .. }
+            | Op::GlobalAvgPool { span }
+            | Op::Flatten { span }
+            | Op::Residual { span, .. } => span,
+        };
+        span.strip_prefix("graph:exec:").unwrap_or(span)
+    }
+}
+
+/// Collects lowered ops during [`Layer::lower`].
+///
+/// Layers call the `push_*` methods in execution order; a standalone
+/// activation pushed right after a conv/linear op with an identity epilogue
+/// is fused into that op's GEMM kernel.
+pub struct GraphBuilder {
+    ops: Vec<Op>,
+}
+
+fn exec_span(label: &str) -> String {
+    format!("graph:exec:{label}")
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder (used for residual branch subgraphs too).
+    pub fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    /// Pushes a fused convolution op. `backends` holds one compiled GEMM
+    /// core per group, in group order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_conv(
+        &mut self,
+        label: &str,
+        geom: ConvGeometry,
+        groups: usize,
+        in_channels: usize,
+        out_channels: usize,
+        bias: Option<Vec<f32>>,
+        act: ActivationKind,
+        backends: Vec<Box<dyn GemmBackend>>,
+    ) {
+        assert_eq!(backends.len(), groups, "one backend per conv group");
+        let direct = backends.iter().all(|b| b.has_conv_kernel());
+        self.ops.push(Op::Conv {
+            span: exec_span(label),
+            geom,
+            groups,
+            in_channels,
+            out_channels,
+            bias,
+            ep: epilogue_of(act),
+            backends,
+            direct,
+        });
+    }
+
+    /// Pushes a fused fully-connected op.
+    pub fn push_linear(
+        &mut self,
+        label: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: Option<Vec<f32>>,
+        act: ActivationKind,
+        backend: Box<dyn GemmBackend>,
+    ) {
+        self.ops.push(Op::Linear {
+            span: exec_span(label),
+            in_features,
+            out_features,
+            bias,
+            ep: epilogue_of(act),
+            backend,
+        });
+    }
+
+    /// Pushes an activation, fusing it into the preceding conv/linear op's
+    /// GEMM epilogue when that op still has an identity epilogue.
+    pub fn push_activation(&mut self, kind: ActivationKind) {
+        if kind == ActivationKind::Identity {
+            return;
+        }
+        match self.ops.last_mut() {
+            Some(Op::Conv { ep, .. }) | Some(Op::Linear { ep, .. })
+                if *ep == Epilogue::Identity =>
+            {
+                *ep = epilogue_of(kind);
+            }
+            _ => self.ops.push(Op::Act {
+                span: exec_span(match kind {
+                    ActivationKind::Relu => "relu",
+                    ActivationKind::Relu6 => "relu6",
+                    ActivationKind::Identity => unreachable!("identity returned above"),
+                }),
+                kind,
+            }),
+        }
+    }
+
+    /// Pushes a non-overlapping average pool.
+    pub fn push_avg_pool(&mut self, kernel: usize) {
+        self.ops.push(Op::AvgPool {
+            span: exec_span(&format!("avgpool{kernel}x{kernel}")),
+            kernel,
+        });
+    }
+
+    /// Pushes a non-overlapping max pool.
+    pub fn push_max_pool(&mut self, kernel: usize) {
+        self.ops.push(Op::MaxPool {
+            span: exec_span(&format!("maxpool{kernel}x{kernel}")),
+            kernel,
+        });
+    }
+
+    /// Pushes a global average pool (`[N, C, H, W] -> [N, C]`).
+    pub fn push_global_avg_pool(&mut self) {
+        self.ops.push(Op::GlobalAvgPool {
+            span: exec_span("global_avgpool"),
+        });
+    }
+
+    /// Pushes a flatten (`[N, ...] -> [N, prod]`).
+    pub fn push_flatten(&mut self) {
+        self.ops.push(Op::Flatten {
+            span: exec_span("flatten"),
+        });
+    }
+
+    /// Pushes a residual op over pre-lowered branch subgraphs.
+    pub fn push_residual(
+        &mut self,
+        main: GraphBuilder,
+        shortcut: Option<GraphBuilder>,
+        act: ActivationKind,
+    ) {
+        self.ops.push(Op::Residual {
+            span: exec_span("residual"),
+            main: main.ops,
+            shortcut: shortcut.map(|b| b.ops),
+            act,
+        });
+    }
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-op arena buffers for one `(model, input shape)` pair.
+///
+/// Every tensor is allocated once at plan time and overwritten in full on
+/// every execution, so plans are reused with no per-call allocation.
+enum OpPlan {
+    Conv {
+        /// Channel-slice scratch (`[N, C/g, H, W]`) for grouped convs on
+        /// the im2col path; direct-conv plans read channels in place.
+        in_slice: Option<Tensor>,
+        /// im2col scratch `[K/g, M]`, shared across groups; `None` when
+        /// every backend runs the direct kernel.
+        col: Option<Tensor>,
+        /// Fused GEMM output `[OC, M]` (groups fill consecutive row
+        /// blocks); `None` on the direct path, which writes NCHW directly.
+        gemm: Option<Tensor>,
+        /// NCHW output.
+        out: Tensor,
+    },
+    Linear {
+        /// Transposed input `[IN, N]`.
+        col: Tensor,
+        /// Fused GEMM output `[OUT, N]`.
+        gemm: Tensor,
+        /// Row-major output `[N, OUT]`.
+        out: Tensor,
+    },
+    Simple {
+        out: Tensor,
+    },
+    Residual {
+        main: Vec<OpPlan>,
+        shortcut: Option<Vec<OpPlan>>,
+        out: Tensor,
+    },
+}
+
+impl OpPlan {
+    fn out(&self) -> &Tensor {
+        match self {
+            OpPlan::Conv { out, .. }
+            | OpPlan::Linear { out, .. }
+            | OpPlan::Simple { out }
+            | OpPlan::Residual { out, .. } => out,
+        }
+    }
+
+    /// Total arena bytes held by this plan node (scratch + outputs).
+    fn bytes(&self) -> usize {
+        match self {
+            OpPlan::Conv {
+                in_slice,
+                col,
+                gemm,
+                out,
+            } => {
+                (in_slice.as_ref().map_or(0, Tensor::len)
+                    + col.as_ref().map_or(0, Tensor::len)
+                    + gemm.as_ref().map_or(0, Tensor::len)
+                    + out.len())
+                    * 4
+            }
+            OpPlan::Linear { col, gemm, out } => (col.len() + gemm.len() + out.len()) * 4,
+            OpPlan::Simple { out } => out.len() * 4,
+            OpPlan::Residual {
+                main,
+                shortcut,
+                out,
+            } => {
+                main.iter().map(OpPlan::bytes).sum::<usize>()
+                    + shortcut
+                        .as_ref()
+                        .map_or(0, |s| s.iter().map(OpPlan::bytes).sum())
+                    + out.len() * 4
+            }
+        }
+    }
+}
+
+fn plan_op(op: &Op, s: &[usize]) -> OpPlan {
+    match op {
+        Op::Conv {
+            geom,
+            groups,
+            in_channels,
+            out_channels,
+            direct,
+            ..
+        } => {
+            let (n, h, w) = (s[0], s[2], s[3]);
+            assert_eq!(s[1], *in_channels, "conv input channel mismatch");
+            let (oh, ow) = (geom.out_dim(h), geom.out_dim(w));
+            let cg = in_channels / groups;
+            let kpg = cg * geom.kernel * geom.kernel;
+            let m = n * oh * ow;
+            OpPlan::Conv {
+                in_slice: (!*direct && *groups > 1).then(|| Tensor::zeros(&[n, cg, h, w])),
+                col: (!*direct).then(|| Tensor::zeros(&[kpg, m])),
+                gemm: (!*direct).then(|| Tensor::zeros(&[*out_channels, m])),
+                out: Tensor::zeros(&[n, *out_channels, oh, ow]),
+            }
+        }
+        Op::Linear {
+            in_features,
+            out_features,
+            ..
+        } => {
+            let n = s[0];
+            assert_eq!(s[1], *in_features, "linear input feature mismatch");
+            OpPlan::Linear {
+                col: Tensor::zeros(&[*in_features, n]),
+                gemm: Tensor::zeros(&[*out_features, n]),
+                out: Tensor::zeros(&[n, *out_features]),
+            }
+        }
+        Op::Residual { main, shortcut, .. } => OpPlan::Residual {
+            main: plan_seq(main, s),
+            shortcut: shortcut.as_ref().map(|ops| plan_seq(ops, s)),
+            out: Tensor::zeros(&op.output_shape(s)),
+        },
+        _ => OpPlan::Simple {
+            out: Tensor::zeros(&op.output_shape(s)),
+        },
+    }
+}
+
+fn plan_seq(ops: &[Op], in_shape: &[usize]) -> Vec<OpPlan> {
+    let mut s = in_shape.to_vec();
+    ops.iter()
+        .map(|op| {
+            let p = plan_op(op, &s);
+            s = op.output_shape(&s);
+            p
+        })
+        .collect()
+}
+
+/// Copies channels `[c0, c0 + cg)` of NCHW `x` into `dst` (`[N, cg, H, W]`).
+fn copy_channel_slice(x: &Tensor, c0: usize, dst: &mut Tensor) {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let cg = dst.shape()[1];
+    let hw = h * w;
+    let src = x.as_slice();
+    let out = dst.as_mut_slice();
+    for ni in 0..n {
+        let s0 = (ni * c + c0) * hw;
+        let d0 = ni * cg * hw;
+        out[d0..d0 + cg * hw].copy_from_slice(&src[s0..s0 + cg * hw]);
+    }
+}
+
+fn exec_seq(ops: &mut [Op], plans: &mut [OpPlan], input: &Tensor) {
+    debug_assert_eq!(ops.len(), plans.len(), "plan shape drifted from graph");
+    for (i, op) in ops.iter_mut().enumerate() {
+        let (done, rest) = plans.split_at_mut(i);
+        let x: &Tensor = if i == 0 { input } else { done[i - 1].out() };
+        exec_op(op, x, &mut rest[0]);
+    }
+}
+
+fn exec_op(op: &mut Op, x: &Tensor, plan: &mut OpPlan) {
+    match (op, plan) {
+        (
+            Op::Conv {
+                span,
+                geom,
+                groups,
+                in_channels,
+                out_channels,
+                bias,
+                ep,
+                backends,
+                direct,
+            },
+            OpPlan::Conv {
+                in_slice,
+                col,
+                gemm,
+                out,
+            },
+        ) => {
+            let _s = axnn_obs::span(span);
+            assert_eq!(
+                x.shape(),
+                &[x.shape()[0], *in_channels, x.shape()[2], x.shape()[3]]
+            );
+            let cg = *in_channels / *groups;
+            let ocg = *out_channels / *groups;
+            if *direct {
+                // Implicit-GEMM path: every backend reads its channel
+                // range in place and writes epilogued NCHW rows directly —
+                // no column matrix, no layout shuffle.
+                let ohw = out.shape()[2] * out.shape()[3];
+                let os = out.as_mut_slice();
+                for (g, backend) in backends.iter_mut().enumerate() {
+                    let bias_g = bias.as_ref().map(|b| &b[g * ocg..(g + 1) * ocg]);
+                    backend.forward_conv(
+                        x,
+                        g * cg,
+                        *geom,
+                        bias_g,
+                        *ep,
+                        &mut os[g * ocg * ohw..],
+                        *out_channels,
+                    );
+                }
+                return;
+            }
+            let (col, gemm) = (
+                col.as_mut().expect("im2col conv plan has a column buffer"),
+                gemm.as_mut().expect("im2col conv plan has a GEMM buffer"),
+            );
+            let m = gemm.shape()[1];
+            for (g, backend) in backends.iter_mut().enumerate() {
+                let xg: &Tensor = match in_slice {
+                    None => x,
+                    Some(slice) => {
+                        copy_channel_slice(x, g * cg, slice);
+                        slice
+                    }
+                };
+                im2col_into(xg, *geom, col);
+                axnn_obs::count(axnn_obs::Counter::Im2colBytes, (col.len() * 4) as u64);
+                let bias_g = bias.as_ref().map(|b| &b[g * ocg..(g + 1) * ocg]);
+                backend.forward(
+                    col,
+                    bias_g,
+                    *ep,
+                    &mut gemm.as_mut_slice()[g * ocg * m..(g + 1) * ocg * m],
+                );
+            }
+            let (oh, ow) = (out.shape()[2], out.shape()[3]);
+            gemm_out_to_nchw_into(gemm, x.shape()[0], *out_channels, oh, ow, out);
+        }
+        (
+            Op::Linear {
+                span,
+                in_features,
+                out_features,
+                bias,
+                ep,
+                backend,
+            },
+            OpPlan::Linear { col, gemm, out },
+        ) => {
+            let _s = axnn_obs::span(span);
+            let n = x.shape()[0];
+            assert_eq!(x.shape(), &[n, *in_features]);
+            let (inf, outf) = (*in_features, *out_features);
+            {
+                let xs = x.as_slice();
+                let cs = col.as_mut_slice();
+                for i in 0..n {
+                    for f in 0..inf {
+                        cs[f * n + i] = xs[i * inf + f];
+                    }
+                }
+            }
+            backend.forward(col, bias.as_deref(), *ep, gemm.as_mut_slice());
+            let gs = gemm.as_slice();
+            let os = out.as_mut_slice();
+            for i in 0..n {
+                for r in 0..outf {
+                    os[i * outf + r] = gs[r * n + i];
+                }
+            }
+        }
+        (Op::Act { span, kind }, OpPlan::Simple { out }) => {
+            let _s = axnn_obs::span(span);
+            for (d, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                *d = kind.apply(v);
+            }
+        }
+        (Op::AvgPool { span, kernel }, OpPlan::Simple { out }) => {
+            let _s = axnn_obs::span(span);
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let k = *kernel;
+            let (oh, ow) = (h / k, w / k);
+            let src = x.as_slice();
+            let dst = out.as_mut_slice();
+            let inv = 1.0 / (k * k) as f32;
+            for ni in 0..n {
+                for ci in 0..c {
+                    let in_base = (ni * c + ci) * h * w;
+                    let out_base = (ni * c + ci) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0;
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    acc += src[in_base + (oy * k + ky) * w + ox * k + kx];
+                                }
+                            }
+                            dst[out_base + oy * ow + ox] = acc * inv;
+                        }
+                    }
+                }
+            }
+        }
+        (Op::MaxPool { span, kernel }, OpPlan::Simple { out }) => {
+            let _s = axnn_obs::span(span);
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let k = *kernel;
+            let (oh, ow) = (h / k, w / k);
+            let src = x.as_slice();
+            let dst = out.as_mut_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let in_base = (ni * c + ci) * h * w;
+                    let out_base = (ni * c + ci) * oh * ow;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = src[in_base + (oy * k) * w + ox * k];
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let v = src[in_base + (oy * k + ky) * w + ox * k + kx];
+                                    if v > best {
+                                        best = v;
+                                    }
+                                }
+                            }
+                            dst[out_base + oy * ow + ox] = best;
+                        }
+                    }
+                }
+            }
+        }
+        (Op::GlobalAvgPool { span }, OpPlan::Simple { out }) => {
+            let _s = axnn_obs::span(span);
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let hw = (h * w) as f32;
+            let src = x.as_slice();
+            let dst = out.as_mut_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    dst[ni * c + ci] = src[base..base + h * w].iter().sum::<f32>() / hw;
+                }
+            }
+        }
+        (Op::Flatten { span }, OpPlan::Simple { out }) => {
+            let _s = axnn_obs::span(span);
+            out.as_mut_slice().copy_from_slice(x.as_slice());
+        }
+        (
+            Op::Residual {
+                span,
+                main,
+                shortcut,
+                act,
+            },
+            OpPlan::Residual {
+                main: main_plans,
+                shortcut: shortcut_plans,
+                out,
+            },
+        ) => {
+            let _s = axnn_obs::span(span);
+            exec_seq(main, main_plans, x);
+            if let (Some(sops), Some(splans)) = (shortcut.as_mut(), shortcut_plans.as_mut()) {
+                exec_seq(sops, splans, x);
+            }
+            let m: &Tensor = main_plans.last().map_or(x, |p| p.out());
+            let s: &Tensor = shortcut_plans
+                .as_ref()
+                .and_then(|p| p.last())
+                .map_or(x, |p| p.out());
+            let (ms, ss) = (m.as_slice(), s.as_slice());
+            for ((o, &a), &b) in out.as_mut_slice().iter_mut().zip(ms).zip(ss) {
+                *o = act.apply(a + b);
+            }
+        }
+        _ => unreachable!("op/plan variant mismatch"),
+    }
+}
+
+fn count_gemm_ops(ops: &[Op]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            Op::Conv { .. } | Op::Linear { .. } => 1,
+            Op::Residual { main, shortcut, .. } => {
+                count_gemm_ops(main) + shortcut.as_ref().map_or(0, |s| count_gemm_ops(s))
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// FNV-1a over the architecture description, executor kinds, and parameter
+/// bits — two models collide only if they are the same frozen network.
+fn fingerprint(net: &mut Sequential) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(net.describe().as_bytes());
+    net.visit_gemm_cores(&mut |core| {
+        h.eat(core.executor.kind().to_string().as_bytes());
+        for &d in core.weight.value.shape() {
+            h.eat(&(d as u64).to_le_bytes());
+        }
+        for &v in core.weight.value.as_slice() {
+            h.eat(&v.to_bits().to_le_bytes());
+        }
+        if let Some(b) = &core.bias {
+            for &v in b.value.as_slice() {
+                h.eat(&v.to_bits().to_le_bytes());
+            }
+        }
+    });
+    h.0
+}
+
+/// A lowered, fused model graph (architecture + frozen arithmetic cores).
+pub struct CompiledGraph {
+    ops: Vec<Op>,
+    fingerprint: u64,
+}
+
+impl CompiledGraph {
+    /// Fingerprint of the frozen model this graph was compiled from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of top-level ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of fused GEMM ops (conv + linear), including inside residuals.
+    pub fn gemm_op_count(&self) -> usize {
+        count_gemm_ops(&self.ops)
+    }
+
+    /// Top-level op names, e.g. for debug dumps.
+    pub fn op_names(&self) -> Vec<String> {
+        self.ops.iter().map(|op| op.name().to_string()).collect()
+    }
+}
+
+impl fmt::Debug for CompiledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompiledGraph[{} ops, fp {:016x}: {}]",
+            self.ops.len(),
+            self.fingerprint,
+            self.op_names().join(" -> ")
+        )
+    }
+}
+
+/// Cache-hit/miss statistics of a [`GraphExecutor`]'s plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Forward calls that reused an existing buffer plan.
+    pub hits: u64,
+    /// Forward calls that had to plan buffers for a new input shape.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit ratio in `[0, 1]`; `1.0` when no lookups happened yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Executes a [`CompiledGraph`] with per-shape plan caching.
+///
+/// Plans (arena buffers) are keyed by `(model fingerprint, input shape)`;
+/// steady-state inference over repeated batch shapes hits the cache and
+/// performs no allocation beyond the returned output tensor. Eval-mode
+/// only — training still goes through the [`Sequential`] interpreter.
+pub struct GraphExecutor {
+    graph: CompiledGraph,
+    plans: HashMap<(u64, Vec<usize>), Vec<OpPlan>>,
+    stats: PlanCacheStats,
+}
+
+impl fmt::Debug for GraphExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GraphExecutor[{:?}, {} plans, {:?}]",
+            self.graph,
+            self.plans.len(),
+            self.stats
+        )
+    }
+}
+
+impl GraphExecutor {
+    /// Compiles a frozen model into a fused graph.
+    ///
+    /// Folds batch norm into conv weights first (mutating `net`, so the
+    /// interpreter and the compiled graph share identical folded weights),
+    /// then lowers each layer via [`Layer::lower`]. Returns `Err` when any
+    /// layer or executor has no compiled equivalent; callers then fall back
+    /// to the interpreter.
+    pub fn compile(net: &mut Sequential) -> Result<Self, Unsupported> {
+        let _s = axnn_obs::span("graph:compile");
+        net.fold_batch_norm();
+        let fingerprint = fingerprint(net);
+        let mut builder = GraphBuilder::new();
+        net.lower(&mut builder)?;
+        Ok(Self {
+            graph: CompiledGraph {
+                ops: builder.ops,
+                fingerprint,
+            },
+            plans: HashMap::new(),
+            stats: PlanCacheStats::default(),
+        })
+    }
+
+    /// The compiled graph.
+    pub fn graph(&self) -> &CompiledGraph {
+        &self.graph
+    }
+
+    /// Number of cached buffer plans (distinct input shapes seen).
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Plan-cache hit/miss statistics since compilation.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Total arena bytes across all cached plans.
+    pub fn arena_bytes(&self) -> usize {
+        self.plans
+            .values()
+            .map(|plans| plans.iter().map(OpPlan::bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Runs the compiled graph on one eval-mode batch.
+    ///
+    /// Bit-identical to `Sequential::forward(input, Mode::Eval)` on the
+    /// folded source model.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let key = (self.graph.fingerprint, input.shape().to_vec());
+        if let Some(plans) = self.plans.get_mut(&key) {
+            self.stats.hits += 1;
+            axnn_obs::count(axnn_obs::Counter::PlanCacheHits, 1);
+            exec_seq(&mut self.graph.ops, plans, input);
+            return plans
+                .last()
+                .map_or_else(|| input.clone(), |p| p.out().clone());
+        }
+        self.stats.misses += 1;
+        axnn_obs::count(axnn_obs::Counter::PlanCacheMisses, 1);
+        let mut plans = {
+            let _s = axnn_obs::span("graph:plan");
+            plan_seq(&self.graph.ops, input.shape())
+        };
+        exec_seq(&mut self.graph.ops, &mut plans, input);
+        let out = plans
+            .last()
+            .map_or_else(|| input.clone(), |p| p.out().clone());
+        self.plans.insert(key, plans);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Activation;
+    use crate::block::{ConvBlock, Residual};
+    use crate::conv::Conv2d;
+    use crate::extra_layers::{Dropout, MaxPool2d};
+    use crate::layer::Mode;
+    use crate::linear::Linear;
+    use crate::pool::{AvgPool2d, Flatten, GlobalAvgPool};
+    use axnn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cnn(rng: &mut StdRng, bn: bool) -> Sequential {
+        let main = Sequential::new(vec![
+            Box::new(ConvBlock::new(
+                8,
+                8,
+                3,
+                1,
+                1,
+                1,
+                bn,
+                ActivationKind::Relu,
+                rng,
+            )) as Box<dyn Layer>,
+            Box::new(ConvBlock::new(
+                8,
+                8,
+                3,
+                1,
+                1,
+                1,
+                bn,
+                ActivationKind::Identity,
+                rng,
+            )),
+        ]);
+        Sequential::new(vec![
+            Box::new(ConvBlock::new(
+                3,
+                8,
+                3,
+                1,
+                1,
+                1,
+                bn,
+                ActivationKind::Relu,
+                rng,
+            )),
+            Box::new(Residual::new(main, None, ActivationKind::Relu)),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(AvgPool2d::new(2)),
+            Box::new(Dropout::new(0.3, 7)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(8, 10, true, rng)),
+        ])
+    }
+
+    #[test]
+    fn compiled_bit_matches_interpreter_on_cnn() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut net = small_cnn(&mut rng, true);
+        let mut exec = GraphExecutor::compile(&mut net).expect("cnn lowers");
+        // compile() folded BN, so the interpreter now runs the same weights.
+        for (shape, seed) in [
+            ([2usize, 3, 8, 8], 1u64),
+            ([1, 3, 8, 8], 2),
+            ([5, 3, 8, 8], 3),
+        ] {
+            let x = init::uniform(&shape, -1.0, 1.0, &mut StdRng::seed_from_u64(seed));
+            let want = net.forward(&x, Mode::Eval);
+            let got = exec.forward(&x);
+            assert_eq!(want.shape(), got.shape());
+            for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_shapes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut net = small_cnn(&mut rng, false);
+        let mut exec = GraphExecutor::compile(&mut net).expect("cnn lowers");
+        let x2 = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let x4 = init::uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+        exec.forward(&x2);
+        exec.forward(&x4);
+        exec.forward(&x2);
+        exec.forward(&x2);
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 2, "one plan per distinct shape");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(exec.plan_count(), 2);
+        assert!(exec.arena_bytes() > 0);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_conv_plans_skip_column_buffers() {
+        // The exact backend runs convolutions directly, so its plans hold
+        // no im2col / GEMM-layout scratch: for the same architecture and
+        // input shape the arena must be strictly smaller than the sum the
+        // column-matrix path would need. Reconstruct that sum from the
+        // plan: conv scratch is [K/g, M] + [OC, M] per conv.
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut net = small_cnn(&mut rng, false);
+        let mut exec = GraphExecutor::compile(&mut net).expect("cnn lowers");
+        let x = init::uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        exec.forward(&x);
+        // Three 3x3 convs on 8x8 inputs at batch 2: M = 128. Stem 3->8
+        // (col 27x128, gemm 8x128), two residual convs 8->8 (col 72x128,
+        // gemm 8x128 each). The im2col path would add those buffers.
+        let col_path_extra = 4 * (128 * (27 + 8) + 2 * 128 * (72 + 8));
+        assert!(
+            exec.arena_bytes() < col_path_extra,
+            "whole direct arena ({}) should undercut the dropped column scratch alone ({col_path_extra})",
+            exec.arena_bytes()
+        );
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers_bit_identically() {
+        // Two calls on the same shape with different data: the second must
+        // fully overwrite the arena (no stale-scratch leakage).
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = small_cnn(&mut rng, false);
+        let mut exec = GraphExecutor::compile(&mut net).expect("cnn lowers");
+        let xa = init::uniform(&[3, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let xb = init::uniform(&[3, 3, 8, 8], -2.0, 2.0, &mut rng);
+        exec.forward(&xa);
+        let got = exec.forward(&xb);
+        let want = net.forward(&xb, Mode::Eval);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn grouped_conv_lowers_and_matches() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(4, 8, 3, 1, 1, 2, true, &mut rng)) as Box<dyn Layer>,
+            Box::new(Activation::new(ActivationKind::Relu6)),
+            Box::new(Conv2d::new(8, 8, 3, 1, 1, 8, false, &mut rng)),
+        ]);
+        let mut exec = GraphExecutor::compile(&mut net).expect("grouped conv lowers");
+        let x = init::uniform(&[2, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let want = net.forward(&x, Mode::Eval);
+        let got = exec.forward(&x);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn projection_residual_matches() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let main = Sequential::new(vec![Box::new(ConvBlock::new(
+            4,
+            8,
+            3,
+            2,
+            1,
+            1,
+            true,
+            ActivationKind::Relu,
+            &mut rng,
+        )) as Box<dyn Layer>]);
+        let shortcut = Sequential::new(vec![Box::new(ConvBlock::new(
+            4,
+            8,
+            1,
+            2,
+            0,
+            1,
+            true,
+            ActivationKind::Identity,
+            &mut rng,
+        )) as Box<dyn Layer>]);
+        let mut net =
+            Sequential::new(vec![
+                Box::new(Residual::new(main, Some(shortcut), ActivationKind::Relu))
+                    as Box<dyn Layer>,
+            ]);
+        let mut exec = GraphExecutor::compile(&mut net).expect("projection residual lowers");
+        let x = init::uniform(&[2, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let want = net.forward(&x, Mode::Eval);
+        let got = exec.forward(&x);
+        assert_eq!(got.shape(), &[2, 8, 4, 4]);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn activation_fuses_into_preceding_gemm() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(6, 4, true, &mut rng)) as Box<dyn Layer>,
+            Box::new(Activation::new(ActivationKind::Relu)),
+        ]);
+        let exec = GraphExecutor::compile(&mut net).expect("mlp lowers");
+        assert_eq!(exec.graph().len(), 1, "relu fused into the linear op");
+        assert_eq!(exec.graph().gemm_op_count(), 1);
+    }
+
+    #[test]
+    fn plan_cache_counters_feed_obs() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(4, 2, true, &mut rng)) as Box<dyn Layer>
+        ]);
+        let mut exec = GraphExecutor::compile(&mut net).expect("mlp lowers");
+        let x = Tensor::ones(&[2, 4]);
+        // Counters are process-global and other tests run concurrently, so
+        // assert deltas (>=), and exact values on the executor-local stats.
+        let miss0 = axnn_obs::counter(axnn_obs::Counter::PlanCacheMisses);
+        let hit0 = axnn_obs::counter(axnn_obs::Counter::PlanCacheHits);
+        axnn_obs::set_enabled(true);
+        exec.forward(&x);
+        exec.forward(&x);
+        axnn_obs::set_enabled(false);
+        assert!(axnn_obs::counter(axnn_obs::Counter::PlanCacheMisses) > miss0);
+        assert!(axnn_obs::counter(axnn_obs::Counter::PlanCacheHits) > hit0);
+        assert_eq!(exec.cache_stats(), PlanCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn unsupported_layer_reports_fallback() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut net = Sequential::new(vec![
+            Box::new(crate::bn::BatchNorm2d::new(3)) as Box<dyn Layer>,
+            Box::new(Linear::new(4, 2, true, &mut rng)),
+        ]);
+        // A bare BatchNorm2d (not inside a ConvBlock) cannot be folded away.
+        let err = GraphExecutor::compile(&mut net).expect_err("bare bn is unsupported");
+        assert!(err.reason().contains("bn"), "reason: {}", err.reason());
+    }
+}

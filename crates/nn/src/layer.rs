@@ -134,6 +134,18 @@ pub trait Layer: Send {
         let _ = input_shape;
         0
     }
+
+    /// Lowers this layer into compiled graph ops (see
+    /// [`GraphExecutor::compile`](crate::GraphExecutor::compile)), pushing
+    /// onto `builder` in execution order. Default: unsupported — the model
+    /// containing this layer falls back to the interpreter.
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        let _ = builder;
+        Err(crate::Unsupported::new(format!(
+            "layer {} has no graph lowering",
+            self.describe()
+        )))
+    }
 }
 
 /// Clears gradients of every parameter reachable from `layer`.

@@ -47,6 +47,7 @@ mod checkpoint;
 mod conv;
 mod executor;
 mod extra_layers;
+mod graph;
 mod layer;
 mod linear;
 mod param;
@@ -67,6 +68,9 @@ pub use checkpoint::{Checkpoint, ParseCheckpointError, RestoreCheckpointError};
 pub use conv::Conv2d;
 pub use executor::{ExactExecutor, ExecOutput, ExecutorKind, LayerExecutor};
 pub use extra_layers::{Dropout, MaxPool2d};
+pub use graph::{
+    CompiledGraph, GemmBackend, GraphBuilder, GraphExecutor, PlanCacheStats, Unsupported,
+};
 pub use layer::{GemmCore, Layer, Mode};
 pub use linear::Linear;
 pub use param::Param;

@@ -126,6 +126,28 @@ impl Layer for Linear {
     fn mac_count(&self, input_shape: &[usize]) -> u64 {
         (input_shape[0] * self.in_features * self.out_features) as u64
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        let backend = self
+            .core
+            .executor
+            .compile_backend(&self.core.weight.value)
+            .ok_or_else(|| {
+                crate::Unsupported::new(format!(
+                    "executor of {} has no compiled backend",
+                    self.core.label
+                ))
+            })?;
+        builder.push_linear(
+            &self.core.label,
+            self.in_features,
+            self.out_features,
+            self.core.bias.as_ref().map(|b| b.value.as_slice().to_vec()),
+            crate::ActivationKind::Identity,
+            backend,
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]

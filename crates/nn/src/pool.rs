@@ -111,6 +111,11 @@ impl Layer for AvgPool2d {
     fn output_shape(&self, s: &[usize]) -> Vec<usize> {
         vec![s[0], s[1], s[2] / self.kernel, s[3] / self.kernel]
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        builder.push_avg_pool(self.kernel);
+        Ok(())
+    }
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
@@ -177,6 +182,11 @@ impl Layer for GlobalAvgPool {
     fn output_shape(&self, s: &[usize]) -> Vec<usize> {
         vec![s[0], s[1]]
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        builder.push_global_avg_pool();
+        Ok(())
+    }
 }
 
 /// Flattens `[N, ...]` to `[N, prod(...)]`.
@@ -216,6 +226,11 @@ impl Layer for Flatten {
 
     fn output_shape(&self, s: &[usize]) -> Vec<usize> {
         vec![s[0], s[1..].iter().product()]
+    }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        builder.push_flatten();
+        Ok(())
     }
 }
 

@@ -185,6 +185,13 @@ impl Layer for Sequential {
         }
         macs
     }
+
+    fn lower(&self, builder: &mut crate::GraphBuilder) -> Result<(), crate::Unsupported> {
+        for layer in &self.layers {
+            layer.lower(builder)?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for Sequential {

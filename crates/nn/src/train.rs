@@ -105,11 +105,22 @@ pub fn train_epoch(
 
 /// Evaluates classification accuracy over a dataset in [`Mode::Eval`].
 pub fn evaluate(net: &mut Sequential, data: &Dataset, batch: usize) -> f32 {
+    evaluate_with(|x| net.forward(x, Mode::Eval), data, batch)
+}
+
+/// [`evaluate`] with an arbitrary inference function — the hook the
+/// compiled [`GraphExecutor`](crate::GraphExecutor) (or any other
+/// inference path) plugs into.
+pub fn evaluate_with(
+    mut forward: impl FnMut(&Tensor) -> Tensor,
+    data: &Dataset,
+    batch: usize,
+) -> f32 {
     let _span = axnn_obs::span("evaluate");
     let mut correct = 0.0f32;
     let mut count = 0usize;
     for (x, y) in data.batches(batch) {
-        let logits = net.forward(&x, Mode::Eval);
+        let logits = forward(&x);
         correct += accuracy(&logits, y) * y.len() as f32;
         count += y.len();
     }

@@ -115,11 +115,17 @@ pub enum Counter {
     GemmMacs,
     /// Bytes moved by im2col / col2im lowering.
     Im2colBytes,
+    /// Compiled-graph forward calls that reused a cached buffer plan.
+    PlanCacheHits,
+    /// Compiled-graph forward calls that planned buffers for a new shape.
+    PlanCacheMisses,
 }
 
-const N_COUNTERS: usize = 4;
+const N_COUNTERS: usize = 6;
 
 static TOTALS: [AtomicU64; N_COUNTERS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -151,6 +157,8 @@ pub fn counter_totals() -> CounterTotals {
         lut_bytes: counter(Counter::LutBytes),
         gemm_macs: counter(Counter::GemmMacs),
         im2col_bytes: counter(Counter::Im2colBytes),
+        plan_cache_hits: counter(Counter::PlanCacheHits),
+        plan_cache_misses: counter(Counter::PlanCacheMisses),
     }
 }
 

@@ -39,6 +39,12 @@ pub struct CounterTotals {
     pub gemm_macs: u64,
     /// Bytes moved by im2col / col2im lowering.
     pub im2col_bytes: u64,
+    /// Compiled-graph forwards served from a cached buffer plan.
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Compiled-graph forwards that had to plan buffers for a new shape.
+    #[serde(default)]
+    pub plan_cache_misses: u64,
 }
 
 /// Aggregated statistics of one span label.
@@ -231,13 +237,15 @@ impl RunProfile {
             })
             .collect();
         format!(
-            "{{\"schema_version\": {}, \"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}}}, \"spans\": [{}], \"hists\": [{}], \"health\": [{}], \"events\": [{}]}}",
+            "{{\"schema_version\": {}, \"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}, \"spans\": [{}], \"hists\": [{}], \"health\": [{}], \"events\": [{}]}}",
             self.schema_version,
             json_string(&self.label),
             c.approx_muls,
             c.lut_bytes,
             c.gemm_macs,
             c.im2col_bytes,
+            c.plan_cache_hits,
+            c.plan_cache_misses,
             spans.join(", "),
             hists.join(", "),
             health.join(", "),
@@ -304,6 +312,8 @@ impl RunProfile {
                 lut_bytes: u64_field(counters, "lut_bytes"),
                 gemm_macs: u64_field(counters, "gemm_macs"),
                 im2col_bytes: u64_field(counters, "im2col_bytes"),
+                plan_cache_hits: u64_field(counters, "plan_cache_hits"),
+                plan_cache_misses: u64_field(counters, "plan_cache_misses"),
             },
             spans: spans
                 .iter()
@@ -382,6 +392,8 @@ impl RunProfile {
             ("lut_bytes", c.lut_bytes),
             ("gemm_macs", c.gemm_macs),
             ("im2col_bytes", c.im2col_bytes),
+            ("plan_cache_hits", c.plan_cache_hits),
+            ("plan_cache_misses", c.plan_cache_misses),
         ] {
             out.push_str(&format!("{label},counter,{name},,,{value}\n"));
         }
@@ -491,6 +503,8 @@ mod tests {
                 lut_bytes: 400,
                 gemm_macs: 7,
                 im2col_bytes: 0,
+                plan_cache_hits: 3,
+                plan_cache_misses: 1,
             },
             spans: vec![
                 SpanRecord {
@@ -578,8 +592,9 @@ mod tests {
         assert!(csv.contains("hist,eps:conv3x3,6,,0.5"));
         assert!(csv.contains("health,sat_x:conv3x3,200,,0.015"));
         assert!(csv.contains("event,eps_drift:trunc5,0,,2.5"));
-        // 1 header + 4 counters + 2 spans + 1 hist + 1 ratio + 1 event
-        assert_eq!(csv.lines().count(), 10);
+        assert!(csv.contains("counter,plan_cache_hits,,,3"));
+        // 1 header + 6 counters + 2 spans + 1 hist + 1 ratio + 1 event
+        assert_eq!(csv.lines().count(), 12);
     }
 
     #[test]

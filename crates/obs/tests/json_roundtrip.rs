@@ -92,7 +92,7 @@ fn arb_event() -> impl Strategy<Value = EventRecord> {
 fn arb_profile() -> impl Strategy<Value = RunProfile> {
     (
         any::<String>(),
-        any::<[u64; 4]>(),
+        any::<[u64; 6]>(),
         prop::collection::vec(arb_span(), 0..5),
         prop::collection::vec(arb_hist(), 0..4),
         prop::collection::vec(arb_ratio(), 0..4),
@@ -106,6 +106,8 @@ fn arb_profile() -> impl Strategy<Value = RunProfile> {
                 lut_bytes: c[1],
                 gemm_macs: c[2],
                 im2col_bytes: c[3],
+                plan_cache_hits: c[4],
+                plan_cache_misses: c[5],
             },
             spans,
             hists,
@@ -186,6 +188,8 @@ proptest! {
                 lut_bytes: c[1],
                 gemm_macs: c[2],
                 im2col_bytes: c[3],
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
             },
             spans,
             hists: vec![],

@@ -264,6 +264,122 @@ impl LayerExecutor for ApproxExecutor {
         self.sat_x_label = format!("sat_x:{label}");
         self.sat_w_label = format!("sat_w:{label}");
     }
+
+    fn compile_backend(&self, wmat: &Tensor) -> Option<Box<dyn axnn_nn::GemmBackend>> {
+        // Gradient estimation needs the exact reference GEMM on every
+        // forward (eq. 10) — that defeats the fused inference path, so a
+        // sloped error model keeps the whole model on the interpreter.
+        if let Some(model) = &self.error_model {
+            if !model.is_constant() {
+                return None;
+            }
+        }
+        // Weights are frozen at compile time: quantize them to codes once
+        // with the same abs-max chain as the interpreter forward.
+        let w_abs = wmat.abs_max();
+        let wq = if w_abs > 0.0 {
+            Quantizer::for_abs_max(w_abs, self.w_spec)
+        } else {
+            Quantizer::with_step(1.0, self.w_spec)
+        };
+        let (w_codes, _) = wq.quantize_tensor(wmat);
+        Some(Box::new(ApproxBackend {
+            lut: Arc::clone(&self.lut),
+            adder: self.adder.clone(),
+            w_codes,
+            wq_step: wq.step(),
+            x_quantizer: self
+                .x_quantizer
+                .or_else(|| self.calibrator.freeze(self.x_spec)),
+            x_spec: self.x_spec,
+            oc: wmat.shape()[0],
+            k: wmat.shape()[1],
+        }))
+    }
+}
+
+/// Compiled-graph GEMM core for the approximate executor: weight codes
+/// quantized once at compile time, the interpreter's activation
+/// quantization chain per batch, LUT-served approximate accumulation, and
+/// the bias+activation epilogue applied over the raw approximate output.
+/// Bit-identical to [`ApproxExecutor::forward`].
+#[derive(Debug)]
+struct ApproxBackend {
+    lut: Arc<SignedLut>,
+    adder: Option<Arc<dyn Adder>>,
+    w_codes: Vec<i32>,
+    wq_step: f32,
+    x_quantizer: Option<Quantizer>,
+    x_spec: QuantSpec,
+    oc: usize,
+    k: usize,
+}
+
+impl axnn_nn::GemmBackend for ApproxBackend {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Approximate
+    }
+
+    fn out_rows(&self) -> usize {
+        self.oc
+    }
+
+    fn forward(&mut self, col: &Tensor, bias: Option<&[f32]>, ep: gemm::Epilogue, out: &mut [f32]) {
+        let xq = self
+            .x_quantizer
+            .or_else(|| {
+                let abs_max = col.abs_max();
+                (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.x_spec))
+            })
+            .unwrap_or_else(|| Quantizer::with_step(1.0, self.x_spec));
+        let x_codes: Vec<i32> = col
+            .as_slice()
+            .iter()
+            .map(|&x| xq.quantize_code(x))
+            .collect();
+        let m = col.shape()[1];
+        let scale = self.wq_step * xq.step();
+        let y = match &self.adder {
+            Some(adder) => approx_matmul_with_adder(
+                &self.w_codes,
+                &x_codes,
+                self.oc,
+                self.k,
+                m,
+                &self.lut,
+                adder.as_ref(),
+                scale,
+            ),
+            None => approx_matmul(
+                &self.w_codes,
+                &x_codes,
+                self.oc,
+                self.k,
+                m,
+                &self.lut,
+                scale,
+            ),
+        };
+        let ys = y.as_slice();
+        match bias {
+            Some(b) => {
+                for r in 0..self.oc {
+                    let br = b[r];
+                    for (o, &v) in out[r * m..(r + 1) * m]
+                        .iter_mut()
+                        .zip(&ys[r * m..(r + 1) * m])
+                    {
+                        *o = ep.apply(v + br);
+                    }
+                }
+            }
+            None => {
+                for (o, &v) in out.iter_mut().zip(ys) {
+                    *o = ep.apply(v);
+                }
+            }
+        }
+    }
 }
 
 /// Swaps an [`ApproxExecutor`] into every conv/FC layer of `net`, sharing
@@ -457,6 +573,51 @@ mod tests {
         assert_eq!(lin.total, (4 * 8) as u64);
         assert!(p.health.iter().any(|r| r.name == "sat_x:conv"));
         axnn_obs::reset();
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreter_bits() {
+        use axnn_axmul::adder::LoaAdder;
+        let mut rng = StdRng::seed_from_u64(77);
+        let wmat = init::uniform(&[4, 16], -0.5, 0.5, &mut rng);
+        let col = init::uniform(&[16, 8], -1.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..4).map(|i| 0.05 * i as f32 - 0.1).collect();
+        let l = lut(&TruncatedMul::new(5));
+        let variants: Vec<ApproxExecutor> = vec![
+            ApproxExecutor::new(Arc::clone(&l), None),
+            ApproxExecutor::new(Arc::clone(&l), Some(PiecewiseLinearError::constant(-0.3))),
+            ApproxExecutor::new(Arc::clone(&l), None).with_adder(Arc::new(LoaAdder::new(5))),
+        ];
+        for mut ex in variants {
+            let y = ex.forward(&wmat, &col, Mode::Eval).y;
+            let mut backend = ex.compile_backend(&wmat).expect("compiles without GE");
+            assert_eq!(backend.out_rows(), 4);
+            assert_eq!(backend.kind(), ExecutorKind::Approximate);
+            let mut out = vec![0.0f32; 4 * 8];
+            backend.forward(&col, Some(&bias), gemm::Epilogue::Relu, &mut out);
+            for r in 0..4 {
+                for j in 0..8 {
+                    let expect = (y.as_slice()[r * 8 + j] + bias[r]).max(0.0);
+                    assert_eq!(
+                        out[r * 8 + j].to_bits(),
+                        expect.to_bits(),
+                        "row {r} col {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sloped_error_model_blocks_compilation() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let wmat = init::uniform(&[2, 4], -0.5, 0.5, &mut rng);
+        let sloped = PiecewiseLinearError::new(-0.05, 0.0, -10.0, 10.0);
+        let ge = ApproxExecutor::new(lut(&TruncatedMul::new(5)), Some(sloped));
+        assert!(
+            ge.compile_backend(&wmat).is_none(),
+            "GE needs the reference GEMM every call; must fall back"
+        );
     }
 
     #[test]

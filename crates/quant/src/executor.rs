@@ -218,6 +218,83 @@ impl LayerExecutor for QuantExecutor {
         self.sat_x_label = format!("sat_x:{label}");
         self.sat_w_label = format!("sat_w:{label}");
     }
+
+    fn compile_backend(&self, wmat: &Tensor) -> Option<Box<dyn axnn_nn::GemmBackend>> {
+        // Weights are frozen at compile time, so their fake-quantization
+        // is baked into the backend once. The activation quantizer is the
+        // same frozen/dynamic chain the interpreter resolves per call:
+        // freezing the calibrator here is deterministic, so a compiled
+        // forward picks the identical step.
+        let w_eff = if self.per_channel {
+            self.fake_quant_per_channel(wmat)
+        } else {
+            match self.weight_quantizer(wmat) {
+                Some(q) => q.fake_quant_tensor(wmat),
+                None => wmat.clone(),
+            }
+        };
+        let x_quantizer = self
+            .x_quantizer
+            .or_else(|| self.calibrator.freeze(self.x_spec));
+        Some(Box::new(QuantBackend {
+            w_eff,
+            x_quantizer,
+            x_spec: self.x_spec,
+            col_scratch: None,
+        }))
+    }
+}
+
+/// Compiled-graph GEMM core for the quantized executor: pre-quantized
+/// weights, fused bias+activation epilogue, and the same activation
+/// quantization chain as [`QuantExecutor::forward`] (frozen step, else a
+/// per-batch dynamic abs-max fallback). Bit-identical to the interpreter.
+#[derive(Debug)]
+struct QuantBackend {
+    w_eff: Tensor,
+    x_quantizer: Option<Quantizer>,
+    x_spec: QuantSpec,
+    /// Fake-quantized activation buffer, reused across same-shape calls so
+    /// steady-state compiled forwards allocate nothing here.
+    col_scratch: Option<Tensor>,
+}
+
+impl axnn_nn::GemmBackend for QuantBackend {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Quantized
+    }
+
+    fn out_rows(&self) -> usize {
+        self.w_eff.shape()[0]
+    }
+
+    fn forward(&mut self, col: &Tensor, bias: Option<&[f32]>, ep: gemm::Epilogue, out: &mut [f32]) {
+        let x_q = self.x_quantizer.or_else(|| {
+            let abs_max = col.abs_max();
+            (abs_max > 0.0).then(|| Quantizer::for_abs_max(abs_max, self.x_spec))
+        });
+        let col_eff: &Tensor = match &x_q {
+            Some(q) => {
+                // Same per-element fake-quant as `fake_quant_tensor`, into
+                // a reused buffer instead of a fresh allocation per call.
+                let mut scratch = match self.col_scratch.take() {
+                    Some(t) if t.shape() == col.shape() => t,
+                    _ => Tensor::zeros(col.shape()),
+                };
+                for (d, &v) in scratch.as_mut_slice().iter_mut().zip(col.as_slice()) {
+                    *d = q.fake_quant(v);
+                }
+                self.col_scratch.insert(scratch)
+            }
+            None => col,
+        };
+        if axnn_obs::enabled() {
+            let (oc, k) = (self.w_eff.shape()[0], self.w_eff.shape()[1]);
+            let m = col.shape()[1];
+            axnn_obs::count(axnn_obs::Counter::GemmMacs, (oc * k * m) as u64);
+        }
+        gemm::matmul_bias_act_into(&self.w_eff, col_eff, bias, ep, out);
+    }
 }
 
 /// Swaps fresh per-channel-weight [`QuantExecutor`]s into every conv/FC
@@ -404,6 +481,35 @@ mod tests {
         assert_eq!(sat_x.total % col.len() as u64, 0);
         assert!(ratios.iter().any(|r| r.name == "sat_w:fc(8->4)"));
         axnn_obs::reset();
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreter_bits() {
+        let mut rng = StdRng::seed_from_u64(68);
+        let wmat = init::uniform(&[4, 8], -0.5, 0.5, &mut rng);
+        let calib = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        let col = init::uniform(&[8, 16], -1.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..4).map(|i| i as f32 * 0.1 - 0.2).collect();
+        for per_channel in [false, true] {
+            let mut ex = QuantExecutor::new_8a4w().per_channel_weights(per_channel);
+            ex.forward(&wmat, &calib, Mode::Calibrate);
+            let y = ex.forward(&wmat, &col, Mode::Eval).y;
+            let mut backend = ex.compile_backend(&wmat).expect("quant always compiles");
+            assert_eq!(backend.out_rows(), 4);
+            assert_eq!(backend.kind(), ExecutorKind::Quantized);
+            let mut out = vec![0.0f32; 4 * 16];
+            backend.forward(&col, Some(&bias), gemm::Epilogue::Relu, &mut out);
+            for r in 0..4 {
+                for j in 0..16 {
+                    let expect = (y.as_slice()[r * 16 + j] + bias[r]).max(0.0);
+                    assert_eq!(
+                        out[r * 16 + j].to_bits(),
+                        expect.to_bits(),
+                        "per_channel={per_channel} row {r} col {j}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -252,7 +252,8 @@ pub fn run_bench(
          \"overload\": {{\"executor\": \"{first}\", \"queue_cap\": 1, \"sent\": {}, \
          \"ok\": {}, \"rejected\": {}, \"reject_rate\": {}}},\n  \
          \"obs_overhead_pct\": {},\n  \"obs_overhead_attempts\": {attempts},\n  \
-         \"obs_profile\": {{\"spans\": {}, \"hists\": {}, \"ratios\": {}}}\n}}\n",
+         \"obs_profile\": {{\"spans\": {}, \"hists\": {}, \"ratios\": {}, \
+         \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}\n}}\n",
         base.model,
         fmt(base.width as f64),
         base.hw,
@@ -268,5 +269,7 @@ pub fn run_bench(
         profile.spans.len(),
         profile.hists.len(),
         profile.health.len(),
+        profile.counters.plan_cache_hits,
+        profile.counters.plan_cache_misses,
     ))
 }

@@ -13,7 +13,7 @@ use crate::executor::ServeExecutor;
 use axnn_data::SynthCifar;
 use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
 use axnn_nn::train::calibrate;
-use axnn_nn::{Checkpoint, Layer, Mode, Sequential};
+use axnn_nn::{Checkpoint, GraphExecutor, Layer, Mode, PlanCacheStats, Sequential};
 use axnn_proxsim::approximate_network;
 use axnn_quant::{quantize_network, QuantSpec};
 use axnn_tensor::Tensor;
@@ -38,6 +38,10 @@ pub struct ModelOptions {
     pub seed: u64,
     /// Calibration samples generated for the quantizing executors.
     pub calib_samples: usize,
+    /// Serve micro-batches through the compiled graph executor (fused
+    /// kernels + per-batch-shape plan cache). Models that cannot be
+    /// lowered fall back to the interpreter automatically.
+    pub compiled: bool,
 }
 
 impl Default for ModelOptions {
@@ -50,6 +54,7 @@ impl Default for ModelOptions {
             mult: "trunc5".to_string(),
             seed: 1,
             calib_samples: 64,
+            compiled: true,
         }
     }
 }
@@ -76,6 +81,10 @@ fn build_net(model: &str, cfg: &ModelConfig, rng: &mut StdRng) -> Result<Sequent
 #[derive(Debug)]
 pub struct ServedModel {
     net: Sequential,
+    /// The compiled fast path; `None` when compilation was disabled or
+    /// the model could not be lowered ([`Self::fallback_reason`]).
+    compiled: Option<GraphExecutor>,
+    fallback_reason: Option<String>,
     channels: usize,
     hw: usize,
     classes: usize,
@@ -128,6 +137,8 @@ impl ServedModel {
         }
         let mut model = ServedModel {
             net,
+            compiled: None,
+            fallback_reason: None,
             channels: cfg.input_channels,
             hw: opts.hw,
             classes: cfg.classes,
@@ -139,6 +150,16 @@ impl ServedModel {
             // break batch invariance.
             let (calib, _) = SynthCifar::new(opts.hw).generate(opts.calib_samples, 0, opts.seed);
             calibrate(&mut model.net, &calib, 32, 2);
+        }
+        if opts.compiled {
+            // Compile after calibration so the backends bake in the frozen
+            // quantizer steps. Compilation folds any live batch norm into
+            // the source network, so a later interpreter fallback runs the
+            // same folded weights — the two paths stay bit-identical.
+            match GraphExecutor::compile(&mut model.net) {
+                Ok(exec) => model.compiled = Some(exec),
+                Err(e) => model.fallback_reason = Some(e.reason().to_string()),
+            }
         }
         Ok(model)
     }
@@ -156,6 +177,23 @@ impl ServedModel {
     /// `model/executor` label for profiles and reports.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// Whether micro-batches run through the compiled graph executor.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Why compilation fell back to the interpreter, if it did.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback_reason.as_deref()
+    }
+
+    /// Plan-cache hit/miss totals of the compiled executor (`None` on the
+    /// interpreter fallback). Steady-state traffic re-batches into a small
+    /// set of shapes, so after warmup this should be nearly all hits.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.compiled.as_ref().map(|c| c.cache_stats())
     }
 
     /// Runs one micro-batch in [`Mode::Eval`] and splits the logits back
@@ -184,7 +222,10 @@ impl ServedModel {
         }
         let x = Tensor::from_vec(flat, &[n, self.channels, self.hw, self.hw])
             .expect("batch tensor shape");
-        let logits = self.net.forward(&x, Mode::Eval);
+        let logits = match &mut self.compiled {
+            Some(exec) => exec.forward(&x),
+            None => self.net.forward(&x, Mode::Eval),
+        };
         let cols = logits.shape()[1];
         logits
             .as_slice()
@@ -235,6 +276,47 @@ mod tests {
             assert_eq!(out.len(), 1);
             assert_eq!(out[0].len(), model.classes());
             assert!(out[0].iter().all(|v| v.is_finite()), "{executor}");
+        }
+    }
+
+    #[test]
+    fn compiled_path_matches_interpreter_and_hits_plan_cache() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        for executor in [
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ] {
+            let mut compiled = ServedModel::from_checkpoint_json(&ckpt, &opts(executor)).unwrap();
+            assert!(
+                compiled.is_compiled(),
+                "{executor} must compile: {:?}",
+                compiled.fallback_reason()
+            );
+            let mut interp_opts = opts(executor);
+            interp_opts.compiled = false;
+            let mut interp = ServedModel::from_checkpoint_json(&ckpt, &interp_opts).unwrap();
+            assert!(!interp.is_compiled());
+            assert!(interp.plan_cache_stats().is_none());
+
+            let mut rng = StdRng::seed_from_u64(31);
+            let x = init::uniform(&[compiled.input_len()], -1.0, 1.0, &mut rng);
+            let a = compiled.forward_batch(&[x.as_slice()]);
+            let b = interp.forward_batch(&[x.as_slice()]);
+            let ab: Vec<u32> = a[0].iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b[0].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                ab, bb,
+                "{executor}: compiled logits differ from interpreter"
+            );
+
+            // A second batch of the same shape must reuse the cached plan.
+            compiled.forward_batch(&[x.as_slice()]);
+            assert_eq!(
+                compiled.plan_cache_stats(),
+                Some(PlanCacheStats { hits: 1, misses: 1 }),
+                "{executor}"
+            );
         }
     }
 

@@ -183,6 +183,202 @@ fn kernel_nn<const TILE_ROWS: usize, const TILE_COLS: usize>(
     }
 }
 
+/// Per-element epilogue fused into the copy-out of [`matmul_bias_act`]:
+/// an optional per-row bias add followed by an activation.
+///
+/// The expressions are exactly the interpreter's (`x.max(0.0)`,
+/// `x.clamp(0.0, 6.0)`), and they run *after* the full ascending-`k`
+/// accumulation — fusing them into the GEMM is bit-neutral relative to a
+/// separate bias-add pass and activation pass over the same output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Epilogue {
+    /// `y = x`.
+    Identity,
+    /// `y = max(x, 0)`.
+    Relu,
+    /// `y = clamp(x, 0, 6)`.
+    Relu6,
+}
+
+impl Epilogue {
+    /// Applies the epilogue to one element.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Epilogue::Identity => x,
+            Epilogue::Relu => x.max(0.0),
+            Epilogue::Relu6 => x.clamp(0.0, 6.0),
+        }
+    }
+}
+
+/// Computes `C = epilogue(A · B + bias)` with the bias add and activation
+/// applied while each output tile is still hot in registers/cache.
+///
+/// `bias`, when present, holds one value per output *row* (the per-channel
+/// conv bias layout after im2col lowering). With `bias = None` no add is
+/// performed at all — `x + 0.0` is not bit-neutral for `x = -0.0`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D, the inner dimensions disagree, or
+/// `bias` is not `m` long.
+pub fn matmul_bias_act(a: &Tensor, b: &Tensor, bias: Option<&[f32]>, ep: Epilogue) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul_bias_act lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul_bias_act rhs must be 2-D");
+    let mut c = Tensor::zeros(&[a.shape()[0], b.shape()[1]]);
+    matmul_bias_act_into(a, b, bias, ep, c.as_mut_slice());
+    c
+}
+
+/// As [`matmul_bias_act`], but writes into a caller-provided `m·n` output
+/// slice (every element is overwritten; no pre-zeroing needed) so
+/// steady-state callers reuse one allocation across calls.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D, the inner dimensions disagree,
+/// `out` is not exactly `m·n` long, or `bias` is not `m` long.
+pub fn matmul_bias_act_into(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&[f32]>,
+    ep: Epilogue,
+    out: &mut [f32],
+) {
+    assert_eq!(a.shape().len(), 2, "matmul_bias_act lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul_bias_act rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        k,
+        k2,
+        "matmul_bias_act inner dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(out.len(), m * n, "matmul_bias_act output length mismatch");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), m, "matmul_bias_act bias length mismatch");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mr = tile_rows();
+    axnn_par::par_chunks_mut(out, mr * n, |block, c_block| {
+        dispatch_nn_ep(av, bv, bias, ep, c_block, block * mr, k, n);
+    });
+}
+
+/// Routes one row block of the fused kernel to the widest variant the CPU
+/// supports.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_nn_ep(
+    av: &[f32],
+    bv: &[f32],
+    bias: Option<&[f32]>,
+    ep: Epilogue,
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { kernel_nn_ep_avx2(av, bv, bias, ep, c_block, i0, k, n) };
+        return;
+    }
+    kernel_nn_ep::<MR, NR>(av, bv, bias, ep, c_block, i0, k, n);
+}
+
+/// The scalar body of [`kernel_nn_ep`] recompiled with AVX2 enabled — same
+/// operation sequence, wider registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn kernel_nn_ep_avx2(
+    av: &[f32],
+    bv: &[f32],
+    bias: Option<&[f32]>,
+    ep: Epilogue,
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    kernel_nn_ep::<MR_WIDE, NR_WIDE>(av, bv, bias, ep, c_block, i0, k, n);
+}
+
+/// [`kernel_nn`] with the bias/activation epilogue applied at the copy-out
+/// point. The accumulation is untouched — same ascending-`k` fold from a
+/// `+0.0` start — so the only new per-element operations are the epilogue's.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn kernel_nn_ep<const TILE_ROWS: usize, const TILE_COLS: usize>(
+    av: &[f32],
+    bv: &[f32],
+    bias: Option<&[f32]>,
+    ep: Epilogue,
+    c_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = c_block.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = TILE_COLS.min(n - j0);
+        if rows == TILE_ROWS && jw == TILE_COLS {
+            let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+            for kk in 0..k {
+                let b_seg = &bv[kk * n + j0..kk * n + j0 + TILE_COLS];
+                for r in 0..TILE_ROWS {
+                    let a_val = av[(i0 + r) * k + kk];
+                    for (dst, &bj) in acc[r].iter_mut().zip(b_seg) {
+                        *dst += a_val * bj;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let c_row = &mut c_block[r * n + j0..r * n + j0 + TILE_COLS];
+                match bias {
+                    Some(b) => {
+                        let b_r = b[i0 + r];
+                        for (dst, &v) in c_row.iter_mut().zip(acc_row) {
+                            *dst = ep.apply(v + b_r);
+                        }
+                    }
+                    None => {
+                        for (dst, &v) in c_row.iter_mut().zip(acc_row) {
+                            *dst = ep.apply(v);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Edge tile: same ascending-k fold, scalar, epilogue at store.
+            for r in 0..rows {
+                let a_row = &av[(i0 + r) * k..(i0 + r + 1) * k];
+                for j in j0..j0 + jw {
+                    let mut acc = 0.0f32;
+                    for (kk, &a_val) in a_row.iter().enumerate() {
+                        acc += a_val * bv[kk * n + j];
+                    }
+                    let v = match bias {
+                        Some(b) => acc + b[i0 + r],
+                        None => acc,
+                    };
+                    c_block[r * n + j] = ep.apply(v);
+                }
+            }
+        }
+        j0 += jw;
+    }
+}
+
 /// Computes `C = Aᵀ · B` without materialising the transpose.
 ///
 /// # Panics
@@ -419,6 +615,37 @@ pub mod reference {
         c
     }
 
+    /// Naive fused `C = epilogue(A · B + bias)` oracle: plain i-j-k triple
+    /// loop, ascending-`k`, bias and activation applied after the full sum.
+    pub fn matmul_bias_act(
+        a: &Tensor,
+        b: &Tensor,
+        bias: Option<&[f32]>,
+        ep: super::Epilogue,
+    ) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        assert_eq!(k, b.shape()[0]);
+        let mut c = Tensor::zeros(&[m, n]);
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        let cv = c.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += av[i * k + kk] * bv[kk * n + j];
+                }
+                let v = match bias {
+                    Some(b) => acc + b[i],
+                    None => acc,
+                };
+                cv[i * n + j] = ep.apply(v);
+            }
+        }
+        c
+    }
+
     /// Naive k-i-j `C = Aᵀ · B`.
     pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         let (k, m) = (a.shape()[0], a.shape()[1]);
@@ -606,6 +833,107 @@ mod tests {
                 "matmul_nt {m}x{k}x{n}"
             );
         }
+    }
+
+    /// The fused kernel must be bit-identical to its scalar oracle *and* to
+    /// the unfused sequence (matmul, then bias add, then activation) across
+    /// awkward shapes, epilogues, and bias presence.
+    #[test]
+    fn fused_epilogue_bit_matches_reference_and_unfused() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 19),
+            (8, 72, 33),
+            (13, 9, 50),
+        ] {
+            let a = lcg_tensor(&[m, k], 23 + (m * 13 + k) as u64);
+            let b = lcg_tensor(&[k, n], 29 + (k * 7 + n) as u64);
+            let bias_t = lcg_tensor(&[m], 31 + m as u64);
+            for ep in [Epilogue::Identity, Epilogue::Relu, Epilogue::Relu6] {
+                for bias in [None, Some(bias_t.as_slice())] {
+                    let fast = matmul_bias_act(&a, &b, bias, ep);
+                    let slow = reference::matmul_bias_act(&a, &b, bias, ep);
+                    assert_eq!(
+                        fast.as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        slow.as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        "fused {m}x{k}x{n} {ep:?} bias={}",
+                        bias.is_some()
+                    );
+
+                    // Unfused sequence: plain matmul, separate bias pass,
+                    // separate activation pass.
+                    let mut unfused = matmul(&a, &b);
+                    if let Some(bv) = bias {
+                        for (i, row) in unfused.as_mut_slice().chunks_mut(n).enumerate() {
+                            for x in row.iter_mut() {
+                                *x += bv[i];
+                            }
+                        }
+                    }
+                    for x in unfused.as_mut_slice().iter_mut() {
+                        *x = ep.apply(*x);
+                    }
+                    assert_eq!(
+                        fast.as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        unfused
+                            .as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        "fused-vs-unfused {m}x{k}x{n} {ep:?} bias={}",
+                        bias.is_some()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fused kernel keeps the row-partitioned determinism contract.
+    #[test]
+    fn fused_epilogue_is_thread_count_invariant() {
+        let a = lcg_tensor(&[9, 23], 41);
+        let b = lcg_tensor(&[23, 21], 43);
+        let bias = lcg_tensor(&[9], 47);
+        axnn_par::set_threads(1);
+        let one = matmul_bias_act(&a, &b, Some(bias.as_slice()), Epilogue::Relu);
+        for threads in [2, 5, 8] {
+            axnn_par::set_threads(threads);
+            let many = matmul_bias_act(&a, &b, Some(bias.as_slice()), Epilogue::Relu);
+            assert_eq!(
+                one.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                many.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+        axnn_par::set_threads(1);
+    }
+
+    /// `_into` overwrites every element — no stale data survives reuse.
+    #[test]
+    fn fused_into_overwrites_scratch() {
+        let a = lcg_tensor(&[3, 4], 53);
+        let b = lcg_tensor(&[4, 5], 59);
+        let mut out = vec![f32::NAN; 15];
+        matmul_bias_act_into(&a, &b, None, Epilogue::Identity, &mut out);
+        let want = matmul(&a, &b);
+        assert_eq!(out, want.as_slice());
     }
 
     /// Row partitioning makes results independent of the worker count.

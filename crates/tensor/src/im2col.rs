@@ -78,6 +78,26 @@ impl ConvGeometry {
 /// Panics if `input` is not 4-D.
 pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Tensor {
     assert_eq!(input.shape().len(), 4, "im2col requires an NCHW tensor");
+    let (c, h, w) = (input.shape()[1], input.shape()[2], input.shape()[3]);
+    let k = geom.kernel;
+    let rows = c * k * k;
+    let cols = input.shape()[0] * geom.out_dim(h) * geom.out_dim(w);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    im2col_into(input, geom, &mut out);
+    out
+}
+
+/// As [`im2col`], but gathers into a caller-provided `[C·KH·KW, N·OH·OW]`
+/// buffer (each row is zero-filled before the gather, so the buffer may
+/// hold stale data from a previous call). Compiled-graph plans reuse one
+/// column buffer per conv this way instead of allocating per call.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or `out` does not have the column-matrix
+/// shape implied by `(input, geom)`.
+pub fn im2col_into(input: &Tensor, geom: ConvGeometry, out: &mut Tensor) {
+    assert_eq!(input.shape().len(), 4, "im2col requires an NCHW tensor");
     let (n, c, h, w) = (
         input.shape()[0],
         input.shape()[1],
@@ -89,16 +109,20 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Tensor {
     let ow = geom.out_dim(w);
     let rows = c * k * k;
     let cols = n * oh * ow;
-
-    let mut out = Tensor::zeros(&[rows, cols]);
+    assert_eq!(
+        out.shape(),
+        &[rows, cols],
+        "im2col output buffer shape inconsistent with input/geometry"
+    );
     if rows == 0 || cols == 0 {
-        return out;
+        return;
     }
     let src = input.as_slice();
     // Each matrix row holds one kernel tap (ci, kh, kw) and is written by
     // exactly one thread: rows are disjoint, so the gather is trivially
     // deterministic for any thread count.
     axnn_par::par_chunks_mut(out.as_mut_slice(), cols, |row, dst_row| {
+        dst_row.fill(0.0);
         let kw = row % k;
         let kh = (row / k) % k;
         let ci = row / (k * k);
@@ -121,7 +145,6 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Tensor {
             }
         }
     });
-    out
 }
 
 /// Inverse of [`im2col`]: scatters a `[C·KH·KW, N·OH·OW]` column-gradient
@@ -190,11 +213,31 @@ pub fn col2im(cols: &Tensor, input_shape: &[usize; 4], geom: ConvGeometry) -> Te
 ///
 /// Panics if the matrix shape is inconsistent with `(n, oc, oh, ow)`.
 pub fn gemm_out_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
-    assert_eq!(mat.shape(), &[oc, n * oh * ow]);
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    gemm_out_to_nchw_into(mat, n, oc, oh, ow, &mut out);
+    out
+}
+
+/// As [`gemm_out_to_nchw`], but permutes into a caller-provided
+/// `[N, OC, OH, OW]` buffer (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if the matrix or output buffer shape is inconsistent with
+/// `(n, oc, oh, ow)`.
+pub fn gemm_out_to_nchw_into(
+    mat: &Tensor,
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut Tensor,
+) {
+    assert_eq!(mat.shape(), &[oc, n * oh * ow]);
+    assert_eq!(out.shape(), &[n, oc, oh, ow]);
     let spatial = oh * ow;
     if n * oc * spatial == 0 {
-        return out;
+        return;
     }
     let src = mat.as_slice();
     // Pure permutation of disjoint spatial blocks, partitioned by image.
@@ -205,7 +248,6 @@ pub fn gemm_out_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize)
             img[dst_base..dst_base + spatial].copy_from_slice(&src[src_base..src_base + spatial]);
         }
     });
-    out
 }
 
 /// Inverse of [`gemm_out_to_nchw`]: flattens `[N, OC, OH, OW]` to
@@ -363,6 +405,22 @@ mod tests {
     fn col2mat(col: &Tensor) -> Tensor {
         let flat: Vec<f32> = col.as_slice()[..2 * 225].to_vec();
         Tensor::from_vec(flat, &[2, 225]).unwrap()
+    }
+
+    #[test]
+    fn into_variants_scrub_stale_scratch() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = arange(&[2, 3, 5, 5]);
+        let want_col = im2col(&input, geom);
+        let mut col = Tensor::from_vec(vec![7.5; want_col.len()], want_col.shape()).unwrap();
+        im2col_into(&input, geom, &mut col);
+        assert_eq!(col, want_col, "reused column buffer must match fresh");
+
+        let mat = arange(&[4, 2 * 5 * 5]);
+        let want_img = gemm_out_to_nchw(&mat, 2, 4, 5, 5);
+        let mut img = Tensor::from_vec(vec![-3.0; want_img.len()], want_img.shape()).unwrap();
+        gemm_out_to_nchw_into(&mat, 2, 4, 5, 5, &mut img);
+        assert_eq!(img, want_img, "reused NCHW buffer must match fresh");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! - elementwise and scalar arithmetic ([`ops`]),
 //! - matrix multiplication ([`gemm`]),
 //! - convolution lowering via [`im2col`]/[`col2im`](im2col::col2im),
+//! - a fused direct-convolution kernel ([`conv_direct`]) for compiled
+//!   graphs, bit-identical to the im2col lowering,
 //! - random initialisation helpers ([`init`]).
 //!
 //! Everything is deterministic given a seed, pure CPU, and dependency-light:
@@ -34,6 +36,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod conv_direct;
 pub mod gemm;
 pub mod im2col;
 pub mod init;

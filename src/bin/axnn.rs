@@ -38,6 +38,8 @@
 //! --profile <file.jsonl>   append a run profile (per-layer spans,
 //!                          approx-op counters, numeric-health telemetry)
 //!                          as one JSONL line
+//! --compiled true          also score the quantized model through the
+//!                          fused graph executor (reports plan-cache stats)
 //! ```
 //!
 //! Serving flags (defaults in brackets):
@@ -53,6 +55,9 @@
 //! --queue-cap <Q>            admission-control queue depth [64]
 //! --threads <T>              axnn-par worker override    [0 = default]
 //! --profile <file.jsonl>     append the serving RunProfile on drain
+//! --compiled <true|false>    fused graph executor with a per-batch-shape
+//!                            plan cache; falls back to the interpreter
+//!                            when a model cannot be lowered      [true]
 //! ```
 //!
 //! The server prints `serving on <addr> ...` once ready and runs until a
@@ -103,6 +108,7 @@ fn model_options(flags: &Flags, executor: ServeExecutor) -> Result<ModelOptions,
         mult: flags.parsed("mult", "trunc5".to_string())?,
         seed: flags.parsed("seed", 1)?,
         calib_samples: 64,
+        compiled: flags.parsed("compiled", true)?,
     })
 }
 
@@ -155,7 +161,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn pipeline [--model M --mult ID --method NAME --t2 T --epochs E \
                          --fp-epochs F --seed S --width W --hw H --train N --test N \
-                         --save FILE --profile FILE]";
+                         --save FILE --profile FILE --compiled true]";
     let flags = parse_known(
         args,
         &[
@@ -172,6 +178,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
             "test",
             "save",
             "profile",
+            "compiled",
         ],
         USAGE,
     )?;
@@ -243,6 +250,21 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         spec.paper_savings_pct
     );
 
+    if flags.parsed("compiled", false)? {
+        // Re-score the quantized model through the fused graph executor
+        // while profiling is still enabled, so graph:* spans and the
+        // plan-cache counters land in the captured profile.
+        match env.quant_accuracy_compiled(32) {
+            Ok((acc, stats)) => println!(
+                "compiled quantized accuracy: {:.2} % (plan cache: {} hits / {} misses)",
+                acc * 100.0,
+                stats.hits,
+                stats.misses
+            ),
+            Err(e) => eprintln!("{e}; interpreter only"),
+        }
+    }
+
     if let Some(path) = &profile_path {
         approxnn::obs::set_enabled(false);
         approxnn::obs::set_health_enabled(false);
@@ -272,10 +294,19 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn evaluate --checkpoint <file> [--model M --seed S --width W \
-                         --hw H --test N]";
+                         --hw H --test N --compiled true --profile FILE]";
     let flags = parse_known(
         args,
-        &["checkpoint", "model", "seed", "width", "hw", "test"],
+        &[
+            "checkpoint",
+            "model",
+            "seed",
+            "width",
+            "hw",
+            "test",
+            "compiled",
+            "profile",
+        ],
         USAGE,
     )?;
     let path: String = flags.required("checkpoint", USAGE)?;
@@ -284,6 +315,14 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let width: f32 = flags.parsed("width", 0.25)?;
     let hw: usize = flags.parsed("hw", 16)?;
     let test: usize = flags.parsed("test", 160)?;
+    let compiled: bool = flags.parsed("compiled", false)?;
+
+    let profile_path = flags.get("profile").cloned();
+    if profile_path.is_some() {
+        approxnn::obs::reset();
+        approxnn::obs::set_enabled(true);
+        approxnn::obs::set_health_enabled(true);
+    }
 
     let json = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
     let ckpt = approxnn::nn::Checkpoint::from_json(&json).map_err(|e| e.to_string())?;
@@ -303,7 +342,42 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     ckpt.restore(&mut net).map_err(|e| e.to_string())?;
 
     let (_, test_data) = approxnn::data::SynthCifar::new(hw).generate(0, test, seed);
-    let acc = approxnn::nn::train::evaluate(&mut net, &test_data, 32);
+    let acc = if compiled {
+        match approxnn::nn::GraphExecutor::compile(&mut net) {
+            Ok(mut exec) => {
+                let acc = approxnn::nn::train::evaluate_with(|x| exec.forward(x), &test_data, 32);
+                let stats = exec.cache_stats();
+                eprintln!(
+                    "compiled graph: {} plans, plan cache {} hits / {} misses",
+                    exec.plan_count(),
+                    stats.hits,
+                    stats.misses
+                );
+                acc
+            }
+            Err(e) => {
+                eprintln!("{e}; falling back to interpreter");
+                approxnn::nn::train::evaluate(&mut net, &test_data, 32)
+            }
+        }
+    } else {
+        approxnn::nn::train::evaluate(&mut net, &test_data, 32)
+    };
+
+    if let Some(path) = &profile_path {
+        approxnn::obs::set_enabled(false);
+        approxnn::obs::set_health_enabled(false);
+        let mode = if compiled { "compiled" } else { "interpreter" };
+        let label = format!("evaluate/{}/{mode}", kind.label());
+        let profile = approxnn::obs::RunProfile::capture(&label);
+        profile.append_jsonl(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "profile appended to {path}: {} spans, {} GEMM MACs",
+            profile.spans.len(),
+            profile.counters.gemm_macs
+        );
+    }
+
     println!(
         "checkpoint accuracy on SynthCIFAR(seed {seed}): {:.2} %",
         acc * 100.0
@@ -314,7 +388,8 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn serve --checkpoint <file> [--host H --port P --model M --width W \
                          --hw H --executor exact|quant|approx --mult ID --seed S --max-batch N \
-                         --batch-window-us U --queue-cap Q --threads T --profile FILE]";
+                         --batch-window-us U --queue-cap Q --threads T --profile FILE \
+                         --compiled false]";
     let flags = parse_known(
         args,
         &[
@@ -332,6 +407,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "queue-cap",
             "threads",
             "profile",
+            "compiled",
         ],
         USAGE,
     )?;
@@ -355,6 +431,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     eprintln!("loading {path} ({}/{executor}) ...", opts.model);
     let model = ServedModel::from_checkpoint_json(&json, &opts)?;
     let label = model.label().to_string();
+    if model.is_compiled() {
+        eprintln!("graph executor compiled (fused kernels, per-shape plan cache)");
+    } else if let Some(reason) = model.fallback_reason() {
+        eprintln!("graph compile unsupported ({reason}); serving via interpreter");
+    }
 
     let profile_path = flags.get("profile").cloned();
     if profile_path.is_some() {
@@ -383,11 +464,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         approxnn::obs::set_health_enabled(false);
         let profile = approxnn::obs::RunProfile::capture(&format!("serve/{label}"));
         profile.append_jsonl(path).map_err(|e| e.to_string())?;
+        let c = &profile.counters;
+        let lookups = c.plan_cache_hits + c.plan_cache_misses;
         eprintln!(
-            "profile appended to {path}: {} spans, {} hists, {} ratios",
+            "profile appended to {path}: {} spans, {} hists, {} ratios, plan cache {}/{} hits",
             profile.spans.len(),
             profile.hists.len(),
-            profile.health.len()
+            profile.health.len(),
+            c.plan_cache_hits,
+            lookups
         );
     }
     println!("drained cleanly");
@@ -418,6 +503,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "width",
             "hw",
             "mult",
+            "compiled",
         ],
         USAGE,
     )?;

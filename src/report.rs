@@ -104,8 +104,18 @@ pub fn render_report(p: &RunProfile) -> String {
         ("lut_bytes", c.lut_bytes),
         ("gemm_macs", c.gemm_macs),
         ("im2col_bytes", c.im2col_bytes),
+        ("plan_cache_hits", c.plan_cache_hits),
+        ("plan_cache_misses", c.plan_cache_misses),
     ] {
         let _ = writeln!(out, "| {name} | {v} |");
+    }
+    let lookups = c.plan_cache_hits + c.plan_cache_misses;
+    if lookups > 0 {
+        let _ = writeln!(
+            out,
+            "\nplan-cache hit ratio: {:.2} %",
+            c.plan_cache_hits as f64 / lookups as f64 * 100.0
+        );
     }
 
     let mut spans: Vec<_> = p.spans.iter().collect();
@@ -216,11 +226,26 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
         "## Counters\n\n| counter | baseline | candidate | change |\n|---|---:|---:|---:|\n",
     );
     let (ca, cb) = (&a.counters, &b.counters);
-    for (name, va, vb) in [
-        ("approx_muls", ca.approx_muls, cb.approx_muls),
-        ("lut_bytes", ca.lut_bytes, cb.lut_bytes),
-        ("gemm_macs", ca.gemm_macs, cb.gemm_macs),
-        ("im2col_bytes", ca.im2col_bytes, cb.im2col_bytes),
+    // The plan-cache counters describe executor plumbing, not numeric
+    // work, and legitimately differ between interpreter and compiled
+    // runs of the same model — shown, never gated.
+    for (name, va, vb, gated) in [
+        ("approx_muls", ca.approx_muls, cb.approx_muls, true),
+        ("lut_bytes", ca.lut_bytes, cb.lut_bytes, true),
+        ("gemm_macs", ca.gemm_macs, cb.gemm_macs, true),
+        ("im2col_bytes", ca.im2col_bytes, cb.im2col_bytes, true),
+        (
+            "plan_cache_hits",
+            ca.plan_cache_hits,
+            cb.plan_cache_hits,
+            false,
+        ),
+        (
+            "plan_cache_misses",
+            ca.plan_cache_misses,
+            cb.plan_cache_misses,
+            false,
+        ),
     ] {
         let rel = if va == 0 {
             if vb == 0 {
@@ -232,7 +257,7 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
             (vb as f64 - va as f64) / va as f64
         };
         let _ = writeln!(summary, "| {name} | {va} | {vb} | {:+.2} % |", rel * 100.0);
-        if rel > th.counter_rel {
+        if gated && rel > th.counter_rel {
             regressions.push(format!(
                 "counter {name} grew {:.2} % ({va} -> {vb}), tolerance {:.2} %",
                 rel * 100.0,
@@ -318,6 +343,8 @@ mod tests {
                 lut_bytes: 4000,
                 gemm_macs: 500,
                 im2col_bytes: 64,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
             },
             spans: vec![SpanRecord {
                 name: "fwd:conv3x3(8->8)/s1".to_string(),
@@ -431,6 +458,20 @@ mod tests {
         // Shrinkage is fine.
         b.counters.approx_muls = 500;
         assert!(!diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+    }
+
+    #[test]
+    fn plan_cache_counters_are_shown_but_never_gated() {
+        let a = profile("a");
+        let mut b = profile("b");
+        b.counters.plan_cache_hits = 100;
+        b.counters.plan_cache_misses = 7;
+        let d = diff_profiles(&a, &b, &DiffThresholds::default());
+        assert!(!d.is_regression(), "{:?}", d.regressions);
+        assert!(d.summary.contains("| plan_cache_hits | 0 | 100 |"));
+        let r = render_report(&b);
+        assert!(r.contains("| plan_cache_misses | 7 |"));
+        assert!(r.contains("plan-cache hit ratio: 93.46 %"));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the compiled graph executor's central guarantee:
+//! [`GraphExecutor::forward`] is **bit-identical** to the `Sequential`
+//! interpreter in eval mode — for every executor family (exact, quantized,
+//! approximate), every batch shape, and every worker count.
+//!
+//! `GraphExecutor::compile` folds batch norm into the source network, so
+//! each case compiles first and then runs the interpreter on the same
+//! (folded) weights — exactly the contract the serve worker and the
+//! tier-1 zero-drift gate rely on.
+//!
+//! `set_threads` is process-global, so every case body takes [`serial`]
+//! (same pattern as tests/thread_invariance.rs).
+//!
+//! [`GraphExecutor::forward`]: approxnn::nn::GraphExecutor::forward
+
+use approxnn::axmul::TruncatedMul;
+use approxnn::nn::{
+    ActivationKind, ConvBlock, Flatten, GlobalAvgPool, GraphExecutor, Layer, Linear, Mode,
+    Residual, Sequential,
+};
+use approxnn::par;
+use approxnn::proxsim::approximate_network;
+use approxnn::quant::{quantize_network, QuantSpec};
+use approxnn::tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes all case bodies in this binary (see the module docs).
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A paper-shaped miniature: conv+BN+ReLU stem, a residual block, a
+/// grouped conv, global pooling and a biased classifier head — one of
+/// every construct the graph compiler must lower.
+fn model(rng: &mut StdRng) -> Sequential {
+    let main = Sequential::new(vec![Box::new(ConvBlock::new(
+        6,
+        6,
+        3,
+        1,
+        1,
+        1,
+        true,
+        ActivationKind::Identity,
+        rng,
+    )) as Box<dyn Layer>]);
+    Sequential::new(vec![
+        Box::new(ConvBlock::new(
+            3,
+            6,
+            3,
+            1,
+            1,
+            1,
+            true,
+            ActivationKind::Relu,
+            rng,
+        )),
+        Box::new(Residual::new(main, None, ActivationKind::Relu)),
+        Box::new(ConvBlock::new(
+            6,
+            8,
+            3,
+            2,
+            1,
+            2,
+            true,
+            ActivationKind::Relu6,
+            rng,
+        )),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8, 5, true, rng)),
+    ])
+}
+
+/// Installs one of the three executor families on a fresh model.
+fn build(seed: u64, family: usize) -> Sequential {
+    let mut net = model(&mut StdRng::seed_from_u64(seed));
+    match family {
+        1 => quantize_network(
+            &mut net,
+            QuantSpec::activations_8bit(),
+            QuantSpec::weights_4bit(),
+        ),
+        2 => approximate_network(&mut net, &TruncatedMul::new(5), None),
+        _ => {}
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compiled path reproduces the interpreter bit for bit across
+    /// executor families, a sequence of batch shapes, and thread counts —
+    /// and its plan cache misses exactly once per distinct shape.
+    #[test]
+    fn compiled_is_bit_identical_to_interpreter(
+        seed in 0u64..60,
+        family in 0usize..3,
+        batches in proptest::collection::vec(1usize..5, 1..4),
+        hw in 6usize..9,
+        threads in 2usize..9,
+    ) {
+        let _g = serial();
+        par::set_threads(threads);
+        let mut net = build(seed, family);
+        let mut exec = GraphExecutor::compile(&mut net).expect("model must lower");
+
+        let mut r = StdRng::seed_from_u64(seed ^ 0x9E37);
+        let mut seen = std::collections::HashSet::new();
+        for &n in &batches {
+            seen.insert(n);
+            let x = init::uniform(&[n, 3, hw, hw], -1.0, 1.0, &mut r);
+            let want = net.forward(&x, Mode::Eval);
+            let got = exec.forward(&x);
+            prop_assert_eq!(bits(&want), bits(&got), "family {} batch {}", family, n);
+            // The compiled kernels themselves must be worker-count
+            // invariant: re-run the same batch single-threaded.
+            par::set_threads(1);
+            let got_one = exec.forward(&x);
+            par::set_threads(threads);
+            prop_assert_eq!(bits(&got), bits(&got_one), "thread variance, family {}", family);
+        }
+        par::set_threads(0);
+
+        // Two lookups per batch; only the first sight of a shape plans.
+        let stats = exec.cache_stats();
+        prop_assert_eq!(stats.misses, seen.len() as u64);
+        prop_assert_eq!(stats.hits, 2 * batches.len() as u64 - seen.len() as u64);
+        prop_assert_eq!(exec.plan_count(), seen.len());
+    }
+
+    /// Compiling must leave the source network inference-equivalent: the
+    /// interpreter produces the same logits before and after the BN fold
+    /// that `compile` performs (allowing for float re-association in the
+    /// folded weights).
+    #[test]
+    fn compile_keeps_interpreter_equivalent(
+        seed in 0u64..60,
+        n in 1usize..4,
+        hw in 6usize..9,
+    ) {
+        let _g = serial();
+        let mut net = build(seed, 0);
+        let x = init::uniform(&[n, 3, hw, hw], -1.0, 1.0, &mut StdRng::seed_from_u64(seed ^ 0xF0));
+        let before = net.forward(&x, Mode::Eval);
+        let _exec = GraphExecutor::compile(&mut net).expect("model must lower");
+        let after = net.forward(&x, Mode::Eval);
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "{} vs {}", a, b);
+        }
+    }
+}
