@@ -53,6 +53,13 @@ impl HistSpec {
         HistSpec::new(0.0, 16.0, 64)
     }
 
+    /// Geometry for a small integer-indexed population (one unit-width
+    /// bucket per index in `[0, n)`) — e.g. which replica worker cut each
+    /// serving batch. Recording index `i` lands exactly in bucket `i`.
+    pub fn index(n: usize) -> Self {
+        HistSpec::new(0.0, n.max(1) as f64, n.max(1))
+    }
+
     /// Bucket index for `x`: `None` means under/overflow.
     fn bucket_of(&self, x: f64) -> Option<usize> {
         if x < self.lo || x >= self.hi {
@@ -254,6 +261,16 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn index_spec_maps_each_index_to_its_own_bucket() {
+        let mut h = Hist::new(HistSpec::index(4));
+        h.record_all([0.0, 1.0, 1.0, 3.0]);
+        assert_eq!(h.bucket_counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.overflow(), 0);
+        // Degenerate population size still yields a legal spec.
+        assert_eq!(HistSpec::index(0).buckets, 1);
     }
 
     #[test]

@@ -19,11 +19,18 @@
 //!   quiet-window rule (host load here swings ±30%): if the off-rounds
 //!   disagree beyond a tolerance the whole round set is re-run, bounded
 //!   by a retry budget, and minima are compared — a load spike inflates
-//!   individual rounds but not the minimum of an interleaved pair.
+//!   individual rounds but not the minimum of an interleaved pair;
+//! - a **replica sweep** that boots the approx executor at each configured
+//!   replica count, estimates the service rate closed-loop, then probes an
+//!   open-loop rate ladder around it to locate the saturation knee —
+//!   replicas-vs-throughput, the horizontal-scaling record. Replica
+//!   speedup is bounded by the host's core count (each replica worker
+//!   needs its own core once the forward pass saturates one), so the
+//!   document records `host_cores` alongside the knees.
 
 use crate::executor::ServeExecutor;
-use crate::loadgen::{self, LoadConfig};
-use crate::model::{ModelOptions, ServedModel};
+use crate::loadgen::{self, LoadConfig, SweepConfig};
+use crate::model::{ModelOptions, ServeSpec};
 use crate::queue::QueueConfig;
 use crate::server::Server;
 use std::time::Duration;
@@ -49,6 +56,12 @@ pub struct BenchConfig {
     pub overhead_retries: usize,
     /// Largest tolerated spread of the off-rounds before a retry, percent.
     pub overhead_spread_tolerance_pct: f64,
+    /// Replica counts for the saturation-knee sweep (approx executor).
+    pub replica_set: Vec<usize>,
+    /// Open-loop rate steps per replica count in the sweep.
+    pub sweep_steps: usize,
+    /// Wall-clock budget per sweep step, seconds.
+    pub sweep_step_duration_s: f64,
 }
 
 impl Default for BenchConfig {
@@ -67,6 +80,9 @@ impl Default for BenchConfig {
             overhead_rounds: 5,
             overhead_retries: 4,
             overhead_spread_tolerance_pct: 30.0,
+            replica_set: vec![1, 2, 4],
+            sweep_steps: 5,
+            sweep_step_duration_s: 1.5,
         }
     }
 }
@@ -76,13 +92,14 @@ fn start_server(
     base: &ModelOptions,
     executor: ServeExecutor,
     queue: QueueConfig,
+    replicas: usize,
 ) -> Result<Server, String> {
     let opts = ModelOptions {
         executor,
         ..base.clone()
     };
-    let model = ServedModel::from_checkpoint_json(checkpoint_json, &opts)?;
-    Server::start(model, "127.0.0.1:0", queue).map_err(|e| e.to_string())
+    let spec = ServeSpec::from_json(checkpoint_json, &opts)?;
+    Server::start(&spec, "127.0.0.1:0", queue, replicas).map_err(|e| e.to_string())
 }
 
 /// One serving phase: drive the load, propagate transport-level failures.
@@ -154,7 +171,7 @@ pub fn run_bench(
                 max_batch,
                 batch_window: Duration::from_micros(window_us),
             };
-            let mut server = start_server(checkpoint_json, base, executor, queue)?;
+            let mut server = start_server(checkpoint_json, base, executor, queue, 1)?;
             eprintln!("bench: {executor} max_batch {max_batch} window {window_us} us ...");
             let closed = drive(
                 &server,
@@ -199,6 +216,7 @@ pub fn run_bench(
             max_batch: 1,
             batch_window: Duration::ZERO,
         },
+        1,
     )?;
     eprintln!("bench: overload burst ...");
     let overload = drive(
@@ -226,6 +244,7 @@ pub fn run_bench(
             max_batch,
             batch_window: Duration::from_micros(window_us),
         },
+        1,
     )?;
     eprintln!("bench: obs overhead ({} rounds) ...", cfg.overhead_rounds);
     axnn_obs::reset();
@@ -245,12 +264,80 @@ pub fn run_bench(
     server.shutdown();
     axnn_obs::reset();
 
+    // Replica scaling: for each replica count, estimate the service rate
+    // closed-loop, then sweep open-loop rates around it to locate the
+    // saturation knee. The approx executor is the deployment target, so it
+    // is the one measured. Replica speedup tracks the host's core count —
+    // each replica needs a core to run on — so the host parallelism is
+    // recorded next to the numbers.
+    let mut sweep_entries = Vec::new();
+    let mut knee_by_replicas: Vec<(usize, f64)> = Vec::new();
+    let sweep_exec = if cfg.executors.contains(&ServeExecutor::Approx) {
+        ServeExecutor::Approx
+    } else {
+        first
+    };
+    let (max_batch, window_us) = *cfg.batch_configs.last().unwrap_or(&(8, 2000));
+    for &replicas in &cfg.replica_set {
+        let queue = QueueConfig {
+            capacity: cfg.queue_cap,
+            max_batch,
+            batch_window: Duration::from_micros(window_us),
+        };
+        let mut server = start_server(checkpoint_json, base, sweep_exec, queue, replicas)?;
+        eprintln!("bench: replica sweep ({sweep_exec}, {replicas} replica(s)) ...");
+        let closed = drive(
+            &server,
+            &LoadConfig {
+                connections: cfg.connections.max(replicas),
+                requests: cfg.requests,
+                rate_rps: 0.0,
+                seed: cfg.seed ^ 0x4e9,
+            },
+        )?;
+        let sweep = loadgen::sweep(
+            server.addr(),
+            server.input_len(),
+            &SweepConfig {
+                connections: cfg.connections.max(replicas),
+                rates: loadgen::rate_ladder(closed.throughput_rps.max(1.0), cfg.sweep_steps),
+                step_duration_s: cfg.sweep_step_duration_s,
+                seed: cfg.seed ^ 0x5733b,
+                keepup_ratio: 0.9,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        server.shutdown();
+        knee_by_replicas.push((replicas, sweep.knee_throughput_rps));
+        sweep_entries.push(format!(
+            "{{\"replicas\": {replicas}, \"closed_rps\": {}, \"sweep\": {}}}",
+            fmt(closed.throughput_rps),
+            sweep.to_json(),
+        ));
+    }
+    let knee_at = |n: usize| {
+        knee_by_replicas
+            .iter()
+            .find(|(r, _)| *r == n)
+            .map(|(_, t)| *t)
+    };
+    let speedup = match (knee_at(1), knee_by_replicas.last()) {
+        (Some(base_knee), Some((_, best))) if base_knee > 0.0 => best / base_knee,
+        _ => 0.0,
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     Ok(format!(
-        "{{\n  \"schema\": \"BENCH_serve.v1\",\n  \"model\": \"{}\",\n  \
+        "{{\n  \"schema\": \"BENCH_serve.v2\",\n  \"model\": \"{}\",\n  \
          \"width\": {},\n  \"hw\": {},\n  \"mult\": \"{}\",\n  \"seed\": {},\n  \
          \"threads\": {},\n  \"configs\": [\n    {}\n  ],\n  \
          \"overload\": {{\"executor\": \"{first}\", \"queue_cap\": 1, \"sent\": {}, \
          \"ok\": {}, \"rejected\": {}, \"reject_rate\": {}}},\n  \
+         \"replica_sweep\": {{\"executor\": \"{sweep_exec}\", \"host_cores\": {host_cores}, \
+         \"max_batch\": {max_batch}, \"batch_window_us\": {window_us}, \
+         \"knee_speedup_max_vs_1\": {}, \"entries\": [\n    {}\n  ]}},\n  \
          \"obs_overhead_pct\": {},\n  \"obs_overhead_attempts\": {attempts},\n  \
          \"obs_profile\": {{\"spans\": {}, \"hists\": {}, \"ratios\": {}, \
          \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}\n}}\n",
@@ -265,6 +352,8 @@ pub fn run_bench(
         overload.ok,
         overload.rejected,
         fmt(overload.reject_rate),
+        fmt(speedup),
+        sweep_entries.join(",\n    "),
         fmt(overhead_pct),
         profile.spans.len(),
         profile.hists.len(),

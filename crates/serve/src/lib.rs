@@ -4,31 +4,41 @@
 //! generator that measures it.
 //!
 //! The server speaks a length-prefixed JSON protocol ([`protocol`]),
-//! admits requests into a bounded queue with explicit `overloaded`
-//! rejections ([`queue`]), cuts dynamic micro-batches (flush on
-//! max-batch-size or batch-window deadline, whichever first), and runs
-//! them on a single model-worker thread ([`server`]) through any of the
-//! three executor families — exact, 8A4W-quantized, or approximate
-//! ([`executor`], [`model`]). Parallelism lives *inside* the forward pass
-//! (`axnn-par`), never across batches, so serving inherits the workspace's
-//! bit-determinism: the same request returns the same logits whether it is
-//! served alone or inside a batch, at any thread count.
+//! admits requests into a globally bounded queue set with explicit
+//! `overloaded` rejections ([`queue`]), cuts dynamic micro-batches (flush
+//! on max-batch-size or batch-window deadline, whichever first), and runs
+//! them on **N replica model workers** behind a least-loaded dispatcher
+//! ([`server`]) through any of the three executor families — exact,
+//! 8A4W-quantized, or approximate ([`executor`], [`model`]). Every replica
+//! is built bit-identically from one shared frozen checkpoint
+//! ([`ServeSpec`]) with its own compiled plan cache and scratch arena, so
+//! serving keeps the workspace's bit-determinism: the same request returns
+//! the same logits whether it is served alone or inside a batch, at any
+//! thread count, on any replica, at any replica count.
+//!
+//! A running server hot-swaps checkpoints without dropping connections:
+//! `{"cmd": "reload", "path": ...}` builds the new replica set off the
+//! worker threads, canary-diffs it against the live model, and stages it
+//! for each worker to pick up between batches ([`server`] docs).
 //!
 //! Every stage reports through `axnn-obs` — queue-wait/compute latency
-//! splits, batch-size and queue-depth histograms, a served/rejected ratio —
-//! landing in the RunProfile v2 schema so `axnn obs report|diff` work on
-//! serving runs unchanged.
+//! splits, batch-size/queue-depth/replica histograms, served/rejected and
+//! per-replica plan-cache ratios, swap events — landing in the RunProfile
+//! v2 schema so `axnn obs report|diff` work on serving runs unchanged.
 //!
 //! [`loadgen`] drives a running server closed-loop (fixed caller
-//! population) or open-loop (fixed arrival schedule, coordinated-omission
-//! corrected), and [`bench`] sweeps the executor × batch-config matrix
-//! into `results/BENCH_serve.json`.
+//! population), open-loop (fixed arrival schedule, coordinated-omission
+//! corrected), or as a multi-rate open-loop [`loadgen::sweep`] that
+//! locates the saturation knee; [`bench`] sweeps the executor ×
+//! batch-config matrix plus the replicas-vs-throughput knee into
+//! `results/BENCH_serve.json`.
 //!
 //! ## Minimal session
 //!
 //! ```text
-//! $ axnn serve --checkpoint ckpt.json --port 7878 --executor approx &
+//! $ axnn serve --checkpoint ckpt.json --port 7878 --executor approx --replicas 4 &
 //! $ axnn loadgen --addr 127.0.0.1:7878 --connections 4 --requests 64
+//! $ axnn loadgen --addr 127.0.0.1:7878 --reload ckpt_v2.json   # hot-swap
 //! ```
 
 pub mod bench;
@@ -42,10 +52,13 @@ pub mod stats;
 
 pub use bench::{run_bench, BenchConfig};
 pub use executor::ServeExecutor;
-pub use loadgen::{probe_input_len, shutdown_server, Client, LoadConfig, LoadReport};
-pub use model::{ModelOptions, ServedModel};
+pub use loadgen::{
+    canary_probe, probe_input_len, reload_server, shutdown_server, Client, LoadConfig, LoadReport,
+    SweepConfig, SweepReport,
+};
+pub use model::{ModelOptions, ServeSpec, ServedModel};
 pub use protocol::{Request, Response, ResponseMsg};
-pub use queue::{AdmitError, BatchQueue, QueueConfig};
+pub use queue::{AdmitError, BatchQueue, Dispatcher, QueueConfig};
 pub use server::Server;
 pub use stats::LatencySummary;
 
@@ -58,19 +71,29 @@ mod tests {
     use rand::SeedableRng;
     use std::time::Duration;
 
-    fn tiny_server(queue: QueueConfig) -> Server {
+    fn tiny_checkpoint_json(seed: u64) -> String {
         let mut cfg = ModelConfig::paper().with_width(0.2).with_input_hw(8);
         cfg.batch_norm = false;
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut net = axnn_models::resnet20(&cfg, &mut rng);
-        let json = Checkpoint::capture(&mut net).to_json();
+        Checkpoint::capture(&mut net).to_json()
+    }
+
+    fn tiny_spec() -> ServeSpec {
         let opts = ModelOptions {
             width: 0.2,
             hw: 8,
             ..ModelOptions::default()
         };
-        let model = ServedModel::from_checkpoint_json(&json, &opts).unwrap();
-        Server::start(model, "127.0.0.1:0", queue).unwrap()
+        ServeSpec::from_json(&tiny_checkpoint_json(3), &opts).unwrap()
+    }
+
+    fn tiny_server_at(bind: &str, queue: QueueConfig, replicas: usize) -> Server {
+        Server::start(&tiny_spec(), bind, queue, replicas).unwrap()
+    }
+
+    fn tiny_server(queue: QueueConfig) -> Server {
+        tiny_server_at("127.0.0.1:0", queue, 1)
     }
 
     #[test]
@@ -130,6 +153,104 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         assert!(report.latency.p50_us > 0.0);
         assert!(report.latency.p99_us >= report.latency.p50_us);
+    }
+
+    #[test]
+    fn replica_server_serves_and_drains() {
+        let mut server = tiny_server_at(
+            "127.0.0.1:0",
+            QueueConfig {
+                capacity: 16,
+                max_batch: 2,
+                batch_window: Duration::from_micros(200),
+            },
+            3,
+        );
+        assert_eq!(server.replicas(), 3);
+        let report = loadgen::run(
+            server.addr(),
+            server.input_len(),
+            &LoadConfig {
+                connections: 4,
+                requests: 6,
+                rate_rps: 0.0,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        assert_eq!(report.ok, 24, "every request served across replicas");
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn wildcard_bind_still_drains() {
+        // Regression: begin_shutdown used to connect to the bound address
+        // verbatim; a 0.0.0.0 bind is not connectable, so the acceptor
+        // never woke and shutdown() hung forever.
+        let mut server = tiny_server_at("0.0.0.0:0", QueueConfig::default(), 1);
+        assert!(server.addr().ip().is_unspecified());
+        let loopback =
+            std::net::SocketAddr::new("127.0.0.1".parse().unwrap(), server.addr().port());
+        let input = vec![0.5f32; server.input_len()];
+        let msg = Client::connect(loopback).unwrap().infer(1, &input).unwrap();
+        assert_eq!(msg.status, "ok");
+        server.shutdown(); // must return, not hang on the acceptor join
+    }
+
+    #[test]
+    fn hot_swap_keeps_connections_and_changes_the_model() {
+        let mut server = tiny_server_at(
+            "127.0.0.1:0",
+            QueueConfig {
+                capacity: 16,
+                max_batch: 4,
+                batch_window: Duration::from_micros(200),
+            },
+            2,
+        );
+        let input = vec![0.25f32; server.input_len()];
+        let mut client = Client::connect(server.addr()).unwrap();
+        let before = client.infer(1, &input).unwrap();
+        assert_eq!(before.status, "ok");
+
+        // Swap in a *different* tiny checkpoint (new init seed) in process.
+        let resp = server.reload(&tiny_checkpoint_json(8));
+        let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "reloaded", "{}", msg.detail);
+        assert_eq!((msg.generation, msg.replicas), (1, 2));
+        assert!(
+            msg.max_abs_delta > 0.0,
+            "different weights must move the canary"
+        );
+        assert_eq!(server.generation(), 1);
+
+        // The same connection keeps working and every subsequent request
+        // is answered by the new model (stable logits across repeats).
+        let after = client.infer(2, &input).unwrap();
+        assert_eq!(after.status, "ok");
+        let old_bits: Vec<u32> = before.logits.iter().map(|v| v.to_bits()).collect();
+        let new_bits: Vec<u32> = after.logits.iter().map(|v| v.to_bits()).collect();
+        assert_ne!(old_bits, new_bits, "logits must come from the new model");
+        for id in 3..9 {
+            let again = client.infer(id, &input).unwrap();
+            let bits: Vec<u32> = again.logits.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, new_bits, "request {id}: replicas disagree post-swap");
+        }
+
+        // A reload of a mismatched architecture is rejected, old model keeps
+        // serving.
+        let mut cfg = ModelConfig::paper().with_width(0.4).with_input_hw(8);
+        cfg.batch_norm = false;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = axnn_models::resnet20(&cfg, &mut rng);
+        let wrong = Checkpoint::capture(&mut net).to_json();
+        let resp = server.reload(&wrong);
+        let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "error");
+        assert_eq!(server.generation(), 1, "failed reload must not bump");
+        assert_eq!(client.infer(9, &input).unwrap().status, "ok");
+        server.shutdown();
     }
 
     #[test]

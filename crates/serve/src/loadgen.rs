@@ -79,6 +79,28 @@ pub fn shutdown_server(addr: impl ToSocketAddrs) -> io::Result<ResponseMsg> {
     Client::connect(addr)?.command("shutdown")
 }
 
+/// Connects and issues `{"cmd": "reload", "path": ...}` — the checkpoint
+/// hot-swap trigger. `path` is resolved on the **server's** filesystem.
+pub fn reload_server(addr: impl ToSocketAddrs, path: &str) -> io::Result<ResponseMsg> {
+    let mut client = Client::connect(addr)?;
+    client.round_trip(&Request::reload_json(path))
+}
+
+/// Sends the deterministic canary request derived from `seed` and returns
+/// the reply. Bit-identical servers answer with bit-identical logits, so
+/// two probes with the same seed against servers that should agree (e.g.
+/// 1 vs 4 replicas) can be compared byte-for-byte — the tier-1
+/// replica-invariance gate.
+pub fn canary_probe(
+    addr: impl ToSocketAddrs,
+    input_len: usize,
+    seed: u64,
+) -> io::Result<ResponseMsg> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = deterministic_input(&mut rng, input_len);
+    Client::connect(addr)?.infer(seed, &input)
+}
+
 /// Parameters of one load-generation run.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadConfig {
@@ -200,6 +222,14 @@ fn deterministic_input(rng: &mut StdRng, len: usize) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
 }
 
+/// Offset of the `k`-th open-loop send from the connection's start time.
+/// Computed as one f64 product: exact for any realistic sweep length,
+/// immune to the `usize as u32` truncation and `Duration * u32` overflow
+/// of the naive `gap * k`.
+fn scheduled_offset(gap_secs: f64, k: usize) -> Duration {
+    Duration::from_secs_f64(gap_secs * k as f64)
+}
+
 /// Runs one load-generation phase against a running server.
 ///
 /// `cfg.rate_rps == 0` drives the closed loop, anything positive the open
@@ -212,11 +242,14 @@ pub fn run(addr: impl ToSocketAddrs, input_len: usize, cfg: &LoadConfig) -> io::
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
     let open = cfg.rate_rps > 0.0;
     // Per-connection inter-arrival gap for the open loop: the offered rate
-    // is split evenly, wrk2-style.
-    let gap = if open {
-        Duration::from_secs_f64(cfg.connections.max(1) as f64 / cfg.rate_rps)
+    // is split evenly, wrk2-style. Kept in f64 seconds — the k-th send is
+    // scheduled via `scheduled_offset`, which multiplies in f64 instead of
+    // the old `gap * k as u32` (a usize→u32 truncation plus a
+    // `Duration * u32` overflow hazard on long sweeps).
+    let gap_secs = if open {
+        cfg.connections.max(1) as f64 / cfg.rate_rps
     } else {
-        Duration::ZERO
+        0.0
     };
 
     let started = Instant::now();
@@ -232,7 +265,7 @@ pub fn run(addr: impl ToSocketAddrs, input_len: usize, cfg: &LoadConfig) -> io::
                 let mut tally = ConnTally::default();
                 let base = Instant::now();
                 for k in 0..requests {
-                    let scheduled = base + gap * k as u32;
+                    let scheduled = base + scheduled_offset(gap_secs, k);
                     if open {
                         let now = Instant::now();
                         if scheduled > now {
@@ -289,6 +322,134 @@ pub fn run(addr: impl ToSocketAddrs, input_len: usize, cfg: &LoadConfig) -> io::
     Ok(report)
 }
 
+/// Parameters of a multi-rate open-loop sweep ([`sweep`]).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Concurrent connections per rate step.
+    pub connections: usize,
+    /// Offered rates to probe, requests/s, in ascending order.
+    pub rates: Vec<f64>,
+    /// Wall-clock budget per rate step; the per-connection request count
+    /// is derived as `rate * step_duration / connections` (min 4).
+    pub step_duration_s: f64,
+    /// Seed for the deterministic request streams.
+    pub seed: u64,
+    /// A step "keeps up" when `throughput / offered ≥` this and nothing
+    /// was rejected or errored.
+    pub keepup_ratio: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            connections: 4,
+            rates: Vec::new(),
+            step_duration_s: 1.5,
+            seed: 1,
+            keepup_ratio: 0.9,
+        }
+    }
+}
+
+/// One probed rate of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered rate of this step, requests/s.
+    pub offered_rps: f64,
+    /// Whether the step met the keep-up criterion.
+    pub kept_up: bool,
+    /// Full open-loop report of the step.
+    pub report: LoadReport,
+}
+
+/// Result of a [`sweep`]: the probed points and the located saturation
+/// knee.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// One point per probed rate, in probe order.
+    pub points: Vec<SweepPoint>,
+    /// Highest offered rate that still kept up (0 when none did).
+    pub knee_offered_rps: f64,
+    /// Best completed throughput observed across all points — the
+    /// saturated service rate.
+    pub knee_throughput_rps: f64,
+}
+
+impl SweepReport {
+    /// Hand-written JSON object for `results/BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"offered_rps\": {}, \"kept_up\": {}, \"report\": {}}}",
+                    fmt(p.offered_rps),
+                    p.kept_up,
+                    p.report.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"knee_offered_rps\": {}, \"knee_throughput_rps\": {}, \"points\": [{}]}}",
+            fmt(self.knee_offered_rps),
+            fmt(self.knee_throughput_rps),
+            points.join(", "),
+        )
+    }
+}
+
+/// Probes the server open-loop at each configured rate and locates the
+/// saturation knee: the highest offered rate the service still keeps up
+/// with (completed/offered ≥ `keepup_ratio`, zero rejects/errors). The
+/// knee throughput is the best completed rate seen at any step — past the
+/// knee an open-loop service saturates flat, so the maximum is the
+/// service's capacity.
+pub fn sweep(
+    addr: impl ToSocketAddrs + Copy,
+    input_len: usize,
+    cfg: &SweepConfig,
+) -> io::Result<SweepReport> {
+    let mut out = SweepReport::default();
+    for (step, &rate) in cfg.rates.iter().enumerate() {
+        let requests =
+            ((rate * cfg.step_duration_s / cfg.connections.max(1) as f64).ceil() as usize).max(4);
+        let report = run(
+            addr,
+            input_len,
+            &LoadConfig {
+                connections: cfg.connections,
+                requests,
+                rate_rps: rate,
+                seed: cfg.seed ^ ((step as u64 + 1) << 16),
+            },
+        )?;
+        let kept_up = report.throughput_rps >= cfg.keepup_ratio * rate
+            && report.rejected == 0
+            && report.errors == 0;
+        if kept_up {
+            out.knee_offered_rps = out.knee_offered_rps.max(rate);
+        }
+        out.knee_throughput_rps = out.knee_throughput_rps.max(report.throughput_rps);
+        out.points.push(SweepPoint {
+            offered_rps: rate,
+            kept_up,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+/// A geometric rate ladder around an estimated service rate — the default
+/// probe set for [`sweep`] when the caller has a closed-loop throughput
+/// estimate.
+pub fn rate_ladder(estimate_rps: f64, steps: usize) -> Vec<f64> {
+    // 0.5x .. ~2x the estimate: below the knee, at it, and past it.
+    let lo = (estimate_rps * 0.5).max(1.0);
+    let growth = 1.32f64;
+    (0..steps).map(|i| lo * growth.powi(i as i32)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +472,63 @@ mod tests {
         let latency = v.get("latency").unwrap();
         assert_eq!(latency.get("count").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(v.get("reject_rate").and_then(|x| x.as_f64()), Some(0.2));
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_immune_to_u32_truncation() {
+        // Regression: `gap * k as u32` truncated k at 2^32 and could
+        // overflow Duration * u32 far earlier; the f64 path must keep
+        // growing monotonically across both hazards.
+        let gap = 0.001; // 1 ms
+        let before = scheduled_offset(gap, u32::MAX as usize);
+        let after = scheduled_offset(gap, u32::MAX as usize + 1);
+        assert!(after > before, "must not wrap at the u32 boundary");
+        // A 1-hour gap times 5000 sends overflowed `Duration * u32`
+        // arithmetic pathways measured in nanoseconds; f64 seconds do not.
+        let huge = scheduled_offset(3600.0, 5000);
+        assert_eq!(huge.as_secs(), 5000 * 3600);
+        assert_eq!(scheduled_offset(0.0, 123), Duration::ZERO);
+    }
+
+    #[test]
+    fn rate_ladder_brackets_the_estimate() {
+        let rates = rate_ladder(100.0, 6);
+        assert_eq!(rates.len(), 6);
+        assert!(rates[0] <= 51.0, "starts below the estimate: {rates:?}");
+        assert!(
+            *rates.last().unwrap() > 150.0,
+            "ends past the estimate: {rates:?}"
+        );
+        assert!(rates.windows(2).all(|w| w[1] > w[0]), "ascending");
+    }
+
+    #[test]
+    fn sweep_report_json_is_valid() {
+        let mut report = SweepReport {
+            knee_offered_rps: 80.0,
+            knee_throughput_rps: 92.5,
+            ..SweepReport::default()
+        };
+        report.points.push(SweepPoint {
+            offered_rps: 80.0,
+            kept_up: true,
+            report: LoadReport {
+                mode: "open",
+                ok: 10,
+                sent: 10,
+                ..LoadReport::default()
+            },
+        });
+        let v = axnn_obs::json::JsonValue::parse(report.to_json().as_bytes()).unwrap();
+        assert_eq!(
+            v.get("knee_offered_rps").and_then(|x| x.as_f64()),
+            Some(80.0)
+        );
+        let points = v.get("points").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(
+            points[0].get("kept_up").and_then(|x| x.as_bool()),
+            Some(true)
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@ use axnn_proxsim::approximate_network;
 use axnn_quant::{quantize_network, QuantSpec};
 use axnn_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// How to restore and execute a checkpoint.
 #[derive(Debug, Clone)]
@@ -101,12 +102,13 @@ impl ServedModel {
         opts: &ModelOptions,
     ) -> Result<Self, String> {
         let ckpt = Checkpoint::from_json(checkpoint_json).map_err(|e| e.to_string())?;
-        Self::from_checkpoint(ckpt, opts)
+        Self::from_checkpoint(&ckpt, opts)
     }
 
     /// Restores an in-memory [`Checkpoint`] under `opts` — the JSON-free
-    /// core of [`Self::from_checkpoint_json`].
-    pub fn from_checkpoint(ckpt: Checkpoint, opts: &ModelOptions) -> Result<Self, String> {
+    /// core of [`Self::from_checkpoint_json`]. Borrowing the checkpoint
+    /// lets replica builds share one parsed copy ([`ServeSpec`]).
+    pub fn from_checkpoint(ckpt: &Checkpoint, opts: &ModelOptions) -> Result<Self, String> {
         let mut cfg = ModelConfig::paper()
             .with_width(opts.width)
             .with_input_hw(opts.hw);
@@ -233,6 +235,65 @@ impl ServedModel {
             .map(|row| row.to_vec())
             .collect()
     }
+
+    /// Logits for the deterministic canary input derived from `seed` — the
+    /// reference point the hot-swap health check diffs old vs new models
+    /// on. Also warms the batch-1 plan on a compiled model.
+    pub fn canary_logits(&mut self, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Vec<f32> = (0..self.input_len())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        self.forward_batch(&[&input]).remove(0)
+    }
+}
+
+/// A recipe for building any number of bit-identical [`ServedModel`]
+/// replicas: the parsed checkpoint is shared frozen behind an [`Arc`]
+/// (weights are read once, never per replica), while every [`Self::build`]
+/// call produces a model with its **own** network, compiled
+/// [`GraphExecutor`] plan cache and scratch arena — replicas never contend
+/// on mutable state. Restore, calibration and compilation are all
+/// seed-deterministic, so two builds of the same spec serve bit-identical
+/// logits.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    ckpt: Arc<Checkpoint>,
+    opts: ModelOptions,
+}
+
+impl ServeSpec {
+    /// Parses `checkpoint_json` once and captures the build options.
+    pub fn from_json(checkpoint_json: &str, opts: &ModelOptions) -> Result<Self, String> {
+        let ckpt = Checkpoint::from_json(checkpoint_json).map_err(|e| e.to_string())?;
+        Ok(ServeSpec {
+            ckpt: Arc::new(ckpt),
+            opts: opts.clone(),
+        })
+    }
+
+    /// Wraps an already-parsed checkpoint.
+    pub fn from_checkpoint(ckpt: Checkpoint, opts: &ModelOptions) -> Self {
+        ServeSpec {
+            ckpt: Arc::new(ckpt),
+            opts: opts.clone(),
+        }
+    }
+
+    /// The build options the spec was captured with.
+    pub fn options(&self) -> &ModelOptions {
+        &self.opts
+    }
+
+    /// Builds one replica from the shared checkpoint.
+    pub fn build(&self) -> Result<ServedModel, String> {
+        ServedModel::from_checkpoint(&self.ckpt, &self.opts)
+    }
+
+    /// Builds `n` bit-identical replicas.
+    pub fn build_replicas(&self, n: usize) -> Result<Vec<ServedModel>, String> {
+        (0..n).map(|_| self.build()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +404,28 @@ mod tests {
         assert!(ServedModel::from_checkpoint_json(&ckpt, &other)
             .unwrap_err()
             .contains("checkpoint mismatch"));
+    }
+
+    #[test]
+    fn spec_builds_bit_identical_replicas_off_one_shared_checkpoint() {
+        let ckpt = tiny_checkpoint(8, 0.2);
+        let spec = ServeSpec::from_json(&ckpt, &opts(ServeExecutor::Approx)).unwrap();
+        let mut replicas = spec.build_replicas(3).unwrap();
+        assert_eq!(replicas.len(), 3);
+        let canaries: Vec<Vec<u32>> = replicas
+            .iter_mut()
+            .map(|m| m.canary_logits(7).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(canaries[0], canaries[1]);
+        assert_eq!(canaries[0], canaries[2]);
+        // Same seed, same replica → same canary; different seed → (almost
+        // surely) different input, and a deterministic re-derivation.
+        let again: Vec<u32> = replicas[0]
+            .canary_logits(7)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(canaries[0], again);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! {"id": 7, "input": [0.25, -1.0, ...]}   // inference
 //! {"cmd": "ping"}                          // liveness probe
 //! {"cmd": "shutdown"}                      // begin graceful drain
+//! {"cmd": "reload", "path": "ckpt.json"}   // hot-swap checkpoint
 //! ```
 //!
 //! ## Response forms
@@ -29,6 +30,8 @@
 //! {"id": 7, "status": "error", "detail": "input length 12 != 192"}
 //! {"status": "pong"}                       // answer to ping
 //! {"status": "draining"}                   // answer to shutdown
+//! {"status": "reloaded", "generation": 2, "replicas": 4,
+//!  "max_abs_delta": 0.02, "mean_abs_delta": 0.003}   // hot-swap done
 //! ```
 //!
 //! `logits` are f32 values printed with Rust's shortest round-trip
@@ -51,14 +54,28 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
-/// frame boundary (the peer closed the connection between messages).
+/// Reads one length-prefixed frame. Returns `Ok(None)` only on a clean EOF
+/// at a frame boundary (the peer closed the connection between messages);
+/// an EOF *inside* the 4-byte length prefix is a truncated frame and fails
+/// with `InvalidData`. `read_exact` cannot make that distinction — its
+/// `UnexpectedEof` looks the same after 0 or 3 bytes — so the prefix is
+/// read manually and the byte count tracked.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("connection closed mid-prefix ({filled} of 4 length bytes)"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
@@ -80,8 +97,11 @@ pub struct Request {
     pub id: u64,
     /// Flattened `C*H*W` input image; empty for control messages.
     pub input: Vec<f32>,
-    /// Control command (`"ping"`, `"info"`, or `"shutdown"`), if any.
+    /// Control command (`"ping"`, `"info"`, `"shutdown"`, `"reload"`), if
+    /// any.
     pub cmd: Option<String>,
+    /// Server-side checkpoint path for `{"cmd": "reload"}`.
+    pub path: Option<String>,
 }
 
 impl Request {
@@ -112,7 +132,20 @@ impl Request {
                     .to_string(),
             ),
         };
-        Ok(Request { id, input, cmd })
+        let path = match doc.get("path") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "malformed request: 'path' is not a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        Ok(Request {
+            id,
+            input,
+            cmd,
+            path,
+        })
     }
 
     /// Serializes an inference request (client side, hand-written emitter).
@@ -131,6 +164,11 @@ impl Request {
     /// Serializes a control command (client side).
     pub fn command_json(cmd: &str) -> String {
         format!("{{\"cmd\": {}}}", json_string(cmd))
+    }
+
+    /// Serializes a hot-swap request for a server-side checkpoint path.
+    pub fn reload_json(path: &str) -> String {
+        format!("{{\"cmd\": \"reload\", \"path\": {}}}", json_string(path))
     }
 }
 
@@ -178,6 +216,19 @@ pub enum Response {
         /// Logits per response.
         classes: usize,
     },
+    /// Reply to `{"cmd": "reload"}`: the new checkpoint was canary-checked
+    /// and staged into every replica.
+    Reloaded {
+        /// Swap generation now current (increments once per reload).
+        generation: u64,
+        /// Number of replica workers that received the new model.
+        replicas: usize,
+        /// Largest |Δlogit| between the old and new model on the canary
+        /// input — the health headline of the swap.
+        max_abs_delta: f64,
+        /// Mean |Δlogit| on the canary input.
+        mean_abs_delta: f64,
+    },
 }
 
 impl Response {
@@ -211,6 +262,18 @@ impl Response {
             Response::Info { input_len, classes } => format!(
                 "{{\"status\": \"info\", \"input_len\": {input_len}, \"classes\": {classes}}}"
             ),
+            Response::Reloaded {
+                generation,
+                replicas,
+                max_abs_delta,
+                mean_abs_delta,
+            } => format!(
+                "{{\"status\": \"reloaded\", \"generation\": {generation}, \
+                 \"replicas\": {replicas}, \"max_abs_delta\": {}, \
+                 \"mean_abs_delta\": {}}}",
+                json_f64(*max_abs_delta),
+                json_f64(*mean_abs_delta),
+            ),
         }
     }
 }
@@ -237,6 +300,14 @@ pub struct ResponseMsg {
     pub input_len: u64,
     /// Served class count (present when `status == "info"`).
     pub classes: u64,
+    /// Swap generation (present when `status == "reloaded"`).
+    pub generation: u64,
+    /// Replica count that got the swap (present when `status == "reloaded"`).
+    pub replicas: u64,
+    /// Canary max |Δlogit| (present when `status == "reloaded"`).
+    pub max_abs_delta: f64,
+    /// Canary mean |Δlogit| (present when `status == "reloaded"`).
+    pub mean_abs_delta: f64,
 }
 
 impl ResponseMsg {
@@ -270,6 +341,10 @@ impl ResponseMsg {
             detail: str_field("detail"),
             input_len: u64_field("input_len"),
             classes: u64_field("classes"),
+            generation: u64_field("generation"),
+            replicas: u64_field("replicas"),
+            max_abs_delta: f64_field("max_abs_delta"),
+            mean_abs_delta: f64_field("mean_abs_delta"),
         })
     }
 }
@@ -348,6 +423,58 @@ mod tests {
     }
 
     #[test]
+    fn partial_length_prefix_is_an_error_not_a_clean_close() {
+        // Regression: EOF after 1–3 prefix bytes used to be reported as
+        // Ok(None), indistinguishable from a clean close.
+        for cut in 1..4usize {
+            let buf = 8u32.to_be_bytes()[..cut].to_vec();
+            let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+            assert!(
+                err.to_string().contains(&format!("{cut} of 4")),
+                "detail names the byte count: {err}"
+            );
+        }
+        // Zero prefix bytes is still the clean close.
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+    }
+
+    /// A reader that hands out the prefix one byte per call — the framing
+    /// must tolerate short reads, not just short frames.
+    struct OneByte(Cursor<Vec<u8>>);
+    impl Read for OneByte {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn prefix_assembles_across_short_reads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"xyz").unwrap();
+        let mut r = OneByte(Cursor::new(buf));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"xyz");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_round_trip_at_the_max_len_boundary() {
+        // Exactly MAX_FRAME_LEN is the largest legal payload...
+        let payload = vec![0x5au8; MAX_FRAME_LEN];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let got = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(got.len(), MAX_FRAME_LEN);
+        assert_eq!(got, payload);
+        // ...and one byte more is rejected before any payload allocation.
+        let mut over = Vec::new();
+        over.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(over)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn request_json_round_trips_f32_bits() {
         let input = vec![0.1f32, -2.5, 1.0e-7, 3.4e38, 0.0];
         let json = Request::inference_json(42, &input);
@@ -402,6 +529,24 @@ mod tests {
         let msg = ResponseMsg::parse(err.to_json().as_bytes()).unwrap();
         assert_eq!(msg.status, "error");
         assert!(msg.detail.contains("192"));
+    }
+
+    #[test]
+    fn reload_request_and_response_round_trip() {
+        let req =
+            Request::parse(Request::reload_json("results/ckpt \"v2\".json").as_bytes()).unwrap();
+        assert_eq!(req.cmd.as_deref(), Some("reload"));
+        assert_eq!(req.path.as_deref(), Some("results/ckpt \"v2\".json"));
+        let resp = Response::Reloaded {
+            generation: 3,
+            replicas: 4,
+            max_abs_delta: 0.125,
+            mean_abs_delta: 0.0625,
+        };
+        let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "reloaded");
+        assert_eq!((msg.generation, msg.replicas), (3, 4));
+        assert_eq!((msg.max_abs_delta, msg.mean_abs_delta), (0.125, 0.0625));
     }
 
     #[test]

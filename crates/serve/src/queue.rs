@@ -17,8 +17,16 @@
 //! [`AdmitError::Draining`], already-admitted jobs are still batched and
 //! served (immediately, ignoring the window), and [`BatchQueue::next_batch`]
 //! returns `None` once the backlog is empty so the worker can exit.
+//!
+//! With replica workers, a [`Dispatcher`] fronts one `BatchQueue` per
+//! replica: admission control stays **global** (a shared permit counter
+//! enforces the configured capacity across all replicas, so N replicas do
+//! not silently multiply the queue bound), and each admitted job lands on
+//! the least-loaded replica queue. Per-queue batching semantics — the
+//! max-batch/window flush rule — are unchanged.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -205,6 +213,105 @@ impl BatchQueue {
     }
 }
 
+/// Least-loaded dispatch over one [`BatchQueue`] per replica, with a
+/// **global** admission bound.
+///
+/// The shared permit counter means `cfg.capacity` keeps its single-worker
+/// meaning — "jobs waiting across the whole server" — no matter how many
+/// replicas exist. Each per-replica queue is sized to the full capacity so
+/// the local bound never fires before the global one (with one replica the
+/// two coincide and the dispatcher degenerates to today's semantics
+/// exactly). Workers call [`Dispatcher::release`] once per popped batch to
+/// return the permits.
+pub struct Dispatcher {
+    queues: Vec<BatchQueue>,
+    admitted: AtomicUsize,
+    capacity: usize,
+    draining: AtomicBool,
+}
+
+impl Dispatcher {
+    /// One queue per replica, all batching under `cfg`, admission bounded
+    /// globally by `cfg.capacity`.
+    ///
+    /// # Panics
+    /// If `replicas == 0`.
+    pub fn new(cfg: QueueConfig, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        Dispatcher {
+            queues: (0..replicas).map(|_| BatchQueue::new(cfg)).collect(),
+            admitted: AtomicUsize::new(0),
+            capacity: cfg.capacity,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of replica queues.
+    pub fn replicas(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The queue replica `i` pops from.
+    pub fn queue(&self, i: usize) -> &BatchQueue {
+        &self.queues[i]
+    }
+
+    /// Admits a job onto the least-loaded replica queue, or rejects it
+    /// without blocking. On success returns `(replica, depth_after_push)`.
+    pub fn push(&self, job: Job) -> Result<(usize, usize), AdmitError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(AdmitError::Draining);
+        }
+        // Global admission: claim a permit or reject. fetch_update never
+        // overshoots under contention, unlike an add-then-check.
+        if self
+            .admitted
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(AdmitError::Overloaded);
+        }
+        // Least-loaded pick; ties go to the lowest index so a single
+        // trickle of requests stays on replica 0 (warm plan cache).
+        let replica = (0..self.queues.len())
+            .min_by_key(|&i| self.queues[i].depth())
+            .expect("at least one replica");
+        match self.queues[replica].push(job) {
+            Ok(depth) => Ok((replica, depth)),
+            Err(e) => {
+                // Lost the race with a drain; hand the permit back.
+                self.admitted.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns `batch_len` permits after a worker popped a batch.
+    pub fn release(&self, batch_len: usize) {
+        self.admitted.fetch_sub(batch_len, Ordering::SeqCst);
+    }
+
+    /// Jobs currently admitted and waiting, across all replicas.
+    pub fn admitted(&self) -> usize {
+        self.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Flips every replica queue into draining mode. Idempotent.
+    pub fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for q in &self.queues {
+            q.start_drain();
+        }
+    }
+
+    /// Whether [`Self::start_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +423,57 @@ mod tests {
         let reply = rx.recv().unwrap();
         assert_eq!(reply.id, 9);
         assert_eq!(reply.batch, 1);
+    }
+
+    #[test]
+    fn dispatcher_capacity_is_global_not_per_replica() {
+        let d = Dispatcher::new(cfg(3, 8, 60_000_000), 4);
+        for id in 0..3 {
+            d.push(job(id).0).unwrap();
+        }
+        assert_eq!(d.push(job(9).0), Err(AdmitError::Overloaded));
+        assert_eq!(d.admitted(), 3, "4 replicas must not quadruple capacity");
+    }
+
+    #[test]
+    fn dispatcher_spreads_to_the_least_loaded_queue() {
+        let d = Dispatcher::new(cfg(8, 8, 60_000_000), 3);
+        let mut replicas = Vec::new();
+        for id in 0..6 {
+            let (replica, depth) = d.push(job(id).0).unwrap();
+            replicas.push(replica);
+            assert!(depth <= 2);
+        }
+        // Round-robin by construction: every queue is shortest in turn.
+        assert_eq!(replicas, vec![0, 1, 2, 0, 1, 2]);
+        for i in 0..3 {
+            assert_eq!(d.queue(i).depth(), 2);
+        }
+    }
+
+    #[test]
+    fn dispatcher_release_reopens_admission() {
+        let d = Dispatcher::new(cfg(1, 1, 0), 2);
+        d.push(job(1).0).unwrap();
+        assert_eq!(d.push(job(2).0), Err(AdmitError::Overloaded));
+        let batch = d.queue(0).next_batch().unwrap();
+        d.release(batch.jobs.len());
+        assert_eq!(d.admitted(), 0);
+        let (replica, _) = d.push(job(3).0).unwrap();
+        assert_eq!(replica, 0, "both queues empty again; ties go to index 0");
+    }
+
+    #[test]
+    fn dispatcher_drain_fans_out_and_rejects() {
+        let d = Dispatcher::new(cfg(8, 4, 60_000_000), 3);
+        d.push(job(1).0).unwrap();
+        d.start_drain();
+        assert!(d.is_draining());
+        assert_eq!(d.push(job(2).0), Err(AdmitError::Draining));
+        // Backlog still served, then every worker sees the exit signal.
+        assert_eq!(d.queue(0).next_batch().unwrap().jobs.len(), 1);
+        for i in 0..3 {
+            assert!(d.queue(i).next_batch().is_none(), "replica {i}");
+        }
     }
 }

@@ -1,44 +1,75 @@
-//! The TCP inference server: acceptor, connection threads, and the single
-//! model worker.
+//! The TCP inference server: acceptor, connection threads, and N replica
+//! model workers behind a least-loaded dispatcher.
 //!
 //! ## Thread architecture
 //!
 //! ```text
-//! acceptor ──spawns──▶ connection threads ──push──▶ BatchQueue
-//!                                                      │ next_batch()
-//!                                                      ▼
-//!                                        model worker (owns the network)
-//!                                                      │ BatchReply
-//!                          connection threads ◀──mpsc──┘
+//! acceptor ──spawns──▶ connection threads ──push──▶ Dispatcher
+//!                                             (least-loaded pick, global
+//!                                              admission permits)
+//!                                    │                  │
+//!                                    │        ┌─────────┼─────────┐
+//!                                    │        ▼         ▼         ▼
+//!                                    │   worker 0   worker 1 … worker N-1
+//!                                    │   (own net + plan cache + arena)
+//!                                    │        │ BatchReply
+//!                                    ◀──mpsc──┘
 //! ```
 //!
-//! Exactly **one** worker thread owns the [`ServedModel`] and runs every
-//! micro-batch (parallelism comes from `axnn-par` *inside* the forward
-//! pass, not from concurrent batches). That single-consumer design is what
-//! makes serving deterministic — batches execute in queue order, and it is
-//! also what satisfies the `axnn-obs` histogram discipline: all
-//! order-sensitive hist recording (`serve:queue_wait_us`, `serve:compute_us`,
-//! `serve:batch_size`, `serve:queue_depth`) happens on the worker thread
-//! only. Connection threads touch only the order-insensitive
-//! `serve:rejected` ratio.
+//! Every replica worker owns a full [`ServedModel`] built from one shared
+//! frozen checkpoint ([`ServeSpec`]); builds are seed-deterministic, so the
+//! replicas are bit-identical and a request's logits do not depend on
+//! *which* replica serves it — the replica-count analogue of the
+//! batch/thread invariance (`tests/serve_invariance.rs`). Parallelism
+//! *inside* a forward pass still comes from `axnn-par`; replicas add
+//! coarse-grained concurrency across micro-batches on multi-core hosts.
+//!
+//! Order-sensitive hist recording now happens on N worker threads, so the
+//! f64 moments of the serving hists interleave nondeterministically — they
+//! always measured wall-clock quantities that vary run to run, so no
+//! determinism guarantee is lost. Per-replica telemetry flows into the
+//! serve RunProfile: a `serve:replica_batches` histogram of which replica
+//! cut each batch, `serve:plan_cache:r<i>` hit ratios, and `serve_swap`
+//! events.
+//!
+//! ## Hot-swap
+//!
+//! `{"cmd": "reload", "path": ...}` (or [`Server::reload`]) builds a full
+//! replica set from the new checkpoint **on the connection thread** — the
+//! workers keep serving the old model throughout — then canary-diffs the
+//! new model against the live one: both generations run the same
+//! deterministic canary input, and the max/mean |Δlogit| are reported in
+//! the `reloaded` response (the `axnn obs report` drift-style health
+//! headline; non-finite canary logits abort the swap). The staged models
+//! are published to per-replica slots and a generation counter is bumped;
+//! each worker picks its new model up **between batches**, so in-flight
+//! batches finish on the old weights and no connection is ever dropped.
+//! Concurrent reloads serialize on the swap lock.
 //!
 //! ## Shutdown
 //!
-//! `{"cmd": "shutdown"}` (or [`Server::shutdown`]) flips the queue into
-//! draining mode: new work is rejected with `"draining"`, the admitted
-//! backlog is batched and served, the worker exits on the empty queue, and
-//! the acceptor is woken by a loop-back connection. Connection threads are
-//! detached; they exit when their peer hangs up.
+//! `{"cmd": "shutdown"}` (or [`Server::shutdown`]) flips the dispatcher
+//! into draining mode: new work is rejected with `"draining"`, the
+//! admitted backlog is batched and served, every worker exits on its empty
+//! queue, and the acceptor is woken by a loop-back connection — aimed at
+//! the loopback IP when the server is bound to a wildcard address, where a
+//! connect to `0.0.0.0`/`::` itself would fail and leave the acceptor
+//! blocked forever. Connection threads are detached; they exit when their
+//! peer hangs up.
 
-use crate::model::ServedModel;
+use crate::model::{ModelOptions, ServeSpec, ServedModel};
 use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::queue::{BatchQueue, BatchReply, Job, QueueConfig};
+use crate::queue::{BatchReply, Dispatcher, Job, QueueConfig};
 use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
+
+/// Seed of the deterministic canary input the hot-swap health check runs
+/// through the old and new model.
+pub const CANARY_SEED: u64 = 0xca7a;
 
 /// Hist geometry for per-request queue wait, microseconds.
 pub fn queue_wait_spec() -> axnn_obs::HistSpec {
@@ -60,10 +91,42 @@ pub fn queue_depth_spec() -> axnn_obs::HistSpec {
     axnn_obs::HistSpec::new(0.0, 256.0, 64)
 }
 
+/// Hist geometry for the replica index that cut each batch — the
+/// per-replica batch counters of the serve profile.
+pub fn replica_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::index(16)
+}
+
+/// State guarded by the swap lock: the live canary reference and how many
+/// reloads have completed.
+struct SwapInner {
+    /// Live model's logits on the canary input, refreshed on every swap.
+    canary: Vec<f32>,
+}
+
 struct Shared {
-    queue: BatchQueue,
+    dispatcher: Dispatcher,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Build options the server was started with; reloads reuse them (a
+    /// hot-swap replaces weights, never the architecture or executor).
+    opts: ModelOptions,
+    /// One staged-model slot per replica; a worker takes its slot when it
+    /// observes a generation bump between batches.
+    slots: Vec<Mutex<Option<ServedModel>>>,
+    /// Swap generation; bumped once per completed reload.
+    generation: AtomicU64,
+    /// Serializes reloads and guards the canary reference.
+    swap: Mutex<SwapInner>,
+    /// Live connection handlers (join handle + a second stream handle).
+    /// `Server::join` waits on these after the workers exit, so a drain can
+    /// never outrun an unflushed reply — without the join, the process
+    /// could exit while a handler still held a response in its write
+    /// buffer, and the client would see an unexplained EOF. The stream
+    /// handle lets `join` force-close the read half of idle connections
+    /// once the drain is complete (every owed reply is flushed by then),
+    /// so a silent client cannot hold the join open forever.
+    conns: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
 }
 
 impl Shared {
@@ -71,9 +134,24 @@ impl Shared {
     /// loop-back connection.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            self.queue.start_drain();
-            let _ = TcpStream::connect(self.addr);
+            self.dispatcher.start_drain();
+            let _ = TcpStream::connect(wake_addr(self.addr));
         }
+    }
+}
+
+/// Where to connect to wake the acceptor: the bound address, except that a
+/// wildcard bind (`0.0.0.0` / `::`) is not connectable — aim at the
+/// matching loopback IP with the bound port instead.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        let ip = match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        };
+        SocketAddr::new(ip, addr.port())
+    } else {
+        addr
     }
 }
 
@@ -82,31 +160,53 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     input_len: usize,
     classes: usize,
 }
 
 impl Server {
     /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
-    /// serving `model` under the given queue configuration.
-    pub fn start(model: ServedModel, bind_addr: &str, cfg: QueueConfig) -> io::Result<Server> {
+    /// `replicas` model workers built from `spec` under the given queue
+    /// configuration. Model-build failures surface as `io::Error`s.
+    pub fn start(
+        spec: &ServeSpec,
+        bind_addr: &str,
+        cfg: QueueConfig,
+        replicas: usize,
+    ) -> io::Result<Server> {
+        if replicas == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "need at least one replica",
+            ));
+        }
+        let mut models = spec.build_replicas(replicas).map_err(io::Error::other)?;
+        let canary = models[0].canary_logits(CANARY_SEED);
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
-        let input_len = model.input_len();
-        let classes = model.classes();
+        let input_len = models[0].input_len();
+        let classes = models[0].classes();
         let shared = Arc::new(Shared {
-            queue: BatchQueue::new(cfg),
+            dispatcher: Dispatcher::new(cfg, replicas),
             shutdown: AtomicBool::new(false),
             addr,
+            opts: spec.options().clone(),
+            slots: (0..replicas).map(|_| Mutex::new(None)).collect(),
+            generation: AtomicU64::new(0),
+            swap: Mutex::new(SwapInner { canary }),
+            conns: Mutex::new(Vec::new()),
         });
 
-        let worker = {
+        let mut workers = Vec::with_capacity(replicas);
+        for (replica, model) in models.drain(..).enumerate() {
             let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("serve-worker".to_string())
-                .spawn(move || worker_loop(model, &shared))?
-        };
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{replica}"))
+                    .spawn(move || worker_loop(model, replica, &shared))?,
+            );
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -116,7 +216,7 @@ impl Server {
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
-            worker: Some(worker),
+            workers,
             input_len,
             classes,
         })
@@ -137,16 +237,28 @@ impl Server {
         self.classes
     }
 
-    /// Begins the graceful drain and blocks until the acceptor and worker
+    /// Number of replica workers.
+    pub fn replicas(&self) -> usize {
+        self.shared.dispatcher.replicas()
+    }
+
+    /// Completed hot-swap count.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Hot-swaps the served checkpoint in process (the `{"cmd": "reload"}`
+    /// path without the wire). Returns the `reloaded` response or the
+    /// rejection that aborted the swap.
+    pub fn reload(&self, checkpoint_json: &str) -> Response {
+        handle_reload(&self.shared, checkpoint_json, self.input_len, self.classes)
+    }
+
+    /// Begins the graceful drain and blocks until the acceptor and workers
     /// have exited. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
         self.shared.begin_shutdown();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
-        }
+        self.join();
     }
 
     /// Waits for a remotely initiated shutdown (`{"cmd": "shutdown"}`) to
@@ -155,8 +267,24 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.worker.take() {
+        for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Workers have exited, so every admitted job has sent its reply and
+        // `write_frame` flushes per response — any reply a client is owed is
+        // either flushed or in a handler's final `write_frame` call. Closing
+        // the read half wakes handlers blocked on an idle connection; they
+        // finish any in-progress write, observe the EOF, and exit, and only
+        // then does `join` return.
+        let conns = {
+            let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *conns)
+        };
+        for (_, stream) in &conns {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        for (handle, _) in conns {
+            let _ = handle.join();
         }
     }
 }
@@ -167,8 +295,31 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(mut model: ServedModel, shared: &Shared) {
-    while let Some(batch) = shared.queue.next_batch() {
+fn worker_loop(mut model: ServedModel, replica: usize, shared: &Shared) {
+    // Pre-formatted per-replica labels (the obs discipline: no per-record
+    // allocation on the hot path).
+    let pc_label = format!("serve:plan_cache:r{replica}");
+    let swap_label = format!("serve:r{replica}");
+    let mut seen_gen = shared.generation.load(Ordering::SeqCst);
+    let mut pc_last = model.plan_cache_stats().unwrap_or_default();
+    while let Some(batch) = shared.dispatcher.queue(replica).next_batch() {
+        shared.dispatcher.release(batch.jobs.len());
+        // Swap point: between batches, never mid-batch. Taking the slot is
+        // cheap (one mutex, usually uncontended); the expensive build
+        // already happened on the reload thread.
+        let gen = shared.generation.load(Ordering::SeqCst);
+        if gen != seen_gen {
+            if let Some(fresh) = shared.slots[replica]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                model = fresh;
+                pc_last = model.plan_cache_stats().unwrap_or_default();
+                axnn_obs::event("serve_swap", &swap_label, gen as f64, "picked up new model");
+            }
+            seen_gen = gen;
+        }
         let views: Vec<&[f32]> = batch.jobs.iter().map(|j| j.input.as_slice()).collect();
         let started = Instant::now();
         let outputs = {
@@ -184,6 +335,15 @@ fn worker_loop(mut model: ServedModel, shared: &Shared) {
             batch.depth_at_pop as f64,
         );
         axnn_obs::record_value("serve:compute_us", compute_spec(), compute_us);
+        axnn_obs::record_value("serve:replica_batches", replica_spec(), replica as f64);
+        if let Some(stats) = model.plan_cache_stats() {
+            // Per-replica plan-cache hit ratio, recorded as this batch's
+            // delta so the profile's hits/total reflect serving traffic.
+            let hits = stats.hits - pc_last.hits;
+            let misses = stats.misses - pc_last.misses;
+            axnn_obs::record_ratio(&pc_label, hits, hits + misses);
+            pc_last = stats;
+        }
         for (job, logits) in batch.jobs.into_iter().zip(outputs) {
             let queue_us = started.duration_since(job.enqueued).as_secs_f64() * 1e6;
             axnn_obs::record_value("serve:queue_wait_us", queue_wait_spec(), queue_us);
@@ -201,19 +361,97 @@ fn worker_loop(mut model: ServedModel, shared: &Shared) {
     }
 }
 
+/// Builds, canary-checks and stages a new model set; called with the raw
+/// checkpoint JSON (the wire path reads the file first). Runs entirely off
+/// the worker threads — serving continues on the old model throughout.
+fn handle_reload(
+    shared: &Shared,
+    checkpoint_json: &str,
+    input_len: usize,
+    classes: usize,
+) -> Response {
+    // One reload at a time; the guard also protects the canary reference.
+    let mut swap = shared.swap.lock().unwrap_or_else(|e| e.into_inner());
+    let reject = |detail: String| Response::Error { id: 0, detail };
+    let spec = match ServeSpec::from_json(checkpoint_json, &shared.opts) {
+        Ok(spec) => spec,
+        Err(e) => return reject(format!("reload rejected: {e}")),
+    };
+    let replicas = shared.slots.len();
+    let mut models = match spec.build_replicas(replicas) {
+        Ok(models) => models,
+        Err(e) => return reject(format!("reload rejected: {e}")),
+    };
+    if models[0].input_len() != input_len || models[0].classes() != classes {
+        return reject(format!(
+            "reload rejected: shape {}→{} / {}→{} classes changed; start a new server instead",
+            input_len,
+            models[0].input_len(),
+            classes,
+            models[0].classes(),
+        ));
+    }
+    // Canary health check: the new model must produce finite logits on the
+    // deterministic canary input; the old-vs-new deltas are the swap's
+    // health headline (reported, not gated — a retrained checkpoint is
+    // *supposed* to differ).
+    let fresh = models[0].canary_logits(CANARY_SEED);
+    if !fresh.iter().all(|v| v.is_finite()) {
+        return reject("reload rejected: canary produced non-finite logits".to_string());
+    }
+    let (mut max_d, mut sum_d) = (0.0f64, 0.0f64);
+    for (a, b) in swap.canary.iter().zip(&fresh) {
+        let d = (*a as f64 - *b as f64).abs();
+        max_d = max_d.max(d);
+        sum_d += d;
+    }
+    let mean_d = sum_d / fresh.len().max(1) as f64;
+    for (slot, model) in shared.slots.iter().zip(models.drain(..)) {
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(model);
+    }
+    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    swap.canary = fresh;
+    axnn_obs::event(
+        "serve_reload",
+        "serve:swap",
+        max_d,
+        "checkpoint staged to all replicas",
+    );
+    Response::Reloaded {
+        generation,
+        replicas,
+        max_abs_delta: max_d,
+        mean_abs_delta: mean_d,
+    }
+}
+
 fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, input_len: usize, classes: usize) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
+        // A second handle to the socket, kept out of the spawn closure; it
+        // is registered in `shared.conns` so `Server::join` can wait for
+        // the handler's last reply to flush, and it doubles as the inline
+        // fallback: if thread creation fails (transient EAGAIN under
+        // load), the connection is served on the acceptor thread instead
+        // of being silently dropped — the client sees a slow reply, never
+        // an unexplained EOF.
+        let Ok(second) = stream.try_clone() else {
+            continue;
+        };
+        let handler_shared = Arc::clone(shared);
         let spawned = thread::Builder::new()
             .name("serve-conn".to_string())
-            .spawn(move || handle_conn(stream, &shared, input_len, classes));
-        if spawned.is_err() {
-            // Thread exhaustion: drop the connection rather than the server.
-            continue;
+            .spawn(move || handle_conn(stream, &handler_shared, input_len, classes));
+        match spawned {
+            Ok(handle) => {
+                let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+                conns.retain(|(h, _)| !h.is_finished());
+                conns.push((handle, second));
+            }
+            Err(_) => handle_conn(second, shared, input_len, classes),
         }
     }
 }
@@ -245,6 +483,21 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
                 shared.begin_shutdown();
                 Response::Control { status: "draining" }
             }
+            "reload" => {
+                let Some(path) = req.path.as_deref() else {
+                    return Response::Error {
+                        id: req.id,
+                        detail: "reload needs a 'path'".to_string(),
+                    };
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(json) => handle_reload(shared, &json, input_len, classes),
+                    Err(e) => Response::Error {
+                        id: req.id,
+                        detail: format!("reload rejected: {path}: {e}"),
+                    },
+                }
+            }
             other => Response::Error {
                 id: req.id,
                 detail: format!("unknown command '{other}'"),
@@ -264,7 +517,7 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
         enqueued: Instant::now(),
         reply: tx,
     };
-    match shared.queue.push(job) {
+    match shared.dispatcher.push(job) {
         Err(e) => {
             axnn_obs::record_ratio("serve:rejected", 1, 1);
             Response::Rejected {

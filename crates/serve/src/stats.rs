@@ -104,6 +104,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_p0_and_p100_hit_the_extremes() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        // p=0 rounds its rank of 0 up to the first sample (nearest-rank
+        // percentiles are always real samples, never an extrapolation)...
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        // ...and p=100 is exactly the max, never past the end.
+        assert_eq!(percentile_sorted(&sorted, 100.0), 4.0);
+        // Out-of-range p stays clamped to the population.
+        assert_eq!(percentile_sorted(&sorted, 250.0), 4.0);
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_answers_every_p() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&[42.0], p), 42.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_duplicates_do_not_skew_the_rank() {
+        // Eight duplicates then two outliers: p50 must sit in the
+        // duplicate mass, p95/p100 on the outliers.
+        let sorted = [5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0, 11.0];
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 80.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 90.0), 9.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 11.0);
+        let all_same = [3.0; 7];
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&all_same, p), 3.0);
+        }
+    }
+
+    #[test]
     fn unsorted_input_is_sorted_first() {
         let s = LatencySummary::from_samples(vec![3.0, 1.0, 2.0]);
         assert_eq!(s.p50_us, 2.0);

@@ -69,6 +69,74 @@ target/release/axnn obs report "$OBS_TMP/serve.jsonl" | grep -q "serve" || {
 }
 echo "tier1: serve smoke OK"
 
+# Replica-invariance smoke: the same deterministic canary probe must return
+# bit-identical logits from a 1-replica and a 4-replica server (the probe
+# prints only the logit bit patterns, so `cmp` is exact).
+for R in 1 4; do
+    target/release/axnn serve --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+        --port 0 --replicas "$R" >"$OBS_TMP/serve_r$R.out" &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/^serving on \([^ ]*\) .*/\1/p' "$OBS_TMP/serve_r$R.out")
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "tier1: serve --replicas $R did not print its ready line" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    target/release/axnn loadgen --addr "$ADDR" --canary-seed 3 >"$OBS_TMP/canary_r$R.json"
+    target/release/axnn loadgen --addr "$ADDR" --connections 2 --requests 2 \
+        --shutdown true >/dev/null
+    wait "$SERVE_PID"
+done
+if ! cmp -s "$OBS_TMP/canary_r1.json" "$OBS_TMP/canary_r4.json"; then
+    echo "tier1: logits differ between 1-replica and 4-replica servers" >&2
+    exit 1
+fi
+echo "tier1: replica invariance smoke OK"
+
+# Hot-swap smoke: reload the running server onto a fresh checkpoint in the
+# middle of an open-loop load run; the swap must be acknowledged and the
+# load report must show zero dropped connections (no errors) and zero
+# rejections — nothing in flight is lost to the swap.
+target/release/axnn serve --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --port 0 --replicas 2 --queue-cap 64 >"$OBS_TMP/serve_swap.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serving on \([^ ]*\) .*/\1/p' "$OBS_TMP/serve_swap.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "tier1: hot-swap serve did not print its ready line" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+target/release/axnn loadgen --addr "$ADDR" --connections 2 --requests 40 \
+    --rate 60 >"$OBS_TMP/swap_load.json" &
+LOAD_PID=$!
+sleep 0.4
+target/release/axnn loadgen --addr "$ADDR" --reload "$OBS_TMP/ckpt.json" \
+    >"$OBS_TMP/swap_ack.json"
+wait "$LOAD_PID"
+target/release/axnn loadgen --addr "$ADDR" --connections 1 --requests 1 \
+    --shutdown true >/dev/null
+wait "$SERVE_PID"
+grep -q '"status": "reloaded"' "$OBS_TMP/swap_ack.json" || {
+    echo "tier1: hot-swap reload was not acknowledged" >&2
+    exit 1
+}
+if ! grep -q '"errors": 0[,}]' "$OBS_TMP/swap_load.json" ||
+    ! grep -q '"rejected": 0[,}]' "$OBS_TMP/swap_load.json"; then
+    echo "tier1: hot-swap dropped or rejected in-flight requests" >&2
+    exit 1
+fi
+echo "tier1: hot-swap smoke OK"
+
 # Compiled-graph smoke: scoring the same checkpoint through the interpreter
 # and through the fused graph executor must print the same accuracy line,
 # the compiled profile must carry graph:* spans, and `obs diff` with the

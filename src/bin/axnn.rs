@@ -68,10 +68,10 @@ use approxnn::approxkd::pipeline::ModelKind;
 use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
 use approxnn::axmul::catalog;
 use approxnn::axmul::stats::MulStats;
-use approxnn::cli::{parse_known, Flags};
+use approxnn::cli::{parse_known, parse_usize_list, Flags};
 use approxnn::models::ModelConfig;
 use approxnn::nn::StepDecay;
-use approxnn::serve::{self, LoadConfig, ModelOptions, ServeExecutor, ServedModel};
+use approxnn::serve::{self, LoadConfig, ModelOptions, ServeExecutor};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -388,8 +388,8 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn serve --checkpoint <file> [--host H --port P --model M --width W \
                          --hw H --executor exact|quant|approx --mult ID --seed S --max-batch N \
-                         --batch-window-us U --queue-cap Q --threads T --profile FILE \
-                         --compiled false]";
+                         --batch-window-us U --queue-cap Q --replicas R --threads T \
+                         --profile FILE --compiled false]";
     let flags = parse_known(
         args,
         &[
@@ -405,6 +405,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "max-batch",
             "batch-window-us",
             "queue-cap",
+            "replicas",
             "threads",
             "profile",
             "compiled",
@@ -424,18 +425,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if queue.capacity == 0 || queue.max_batch == 0 {
         return Err("--queue-cap and --max-batch must be at least 1".to_string());
     }
+    let replicas: usize = flags.parsed("replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".to_string());
+    }
     let threads: usize = flags.parsed("threads", 0)?;
     approxnn::par::set_threads(threads);
 
     let json = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    eprintln!("loading {path} ({}/{executor}) ...", opts.model);
-    let model = ServedModel::from_checkpoint_json(&json, &opts)?;
-    let label = model.label().to_string();
-    if model.is_compiled() {
+    eprintln!(
+        "loading {path} ({}/{executor}, {replicas} replica(s)) ...",
+        opts.model
+    );
+    let spec = serve::ServeSpec::from_json(&json, &opts)?;
+    // One probe build for the startup diagnostics; the server builds its
+    // own replica set from the same shared checkpoint.
+    let probe = spec.build()?;
+    let label = probe.label().to_string();
+    if probe.is_compiled() {
         eprintln!("graph executor compiled (fused kernels, per-shape plan cache)");
-    } else if let Some(reason) = model.fallback_reason() {
+    } else if let Some(reason) = probe.fallback_reason() {
         eprintln!("graph compile unsupported ({reason}); serving via interpreter");
     }
+    drop(probe);
 
     let profile_path = flags.get("profile").cloned();
     if profile_path.is_some() {
@@ -444,12 +456,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         approxnn::obs::set_health_enabled(true);
     }
 
-    let mut server =
-        serve::Server::start(model, &format!("{host}:{port}"), queue).map_err(|e| e.to_string())?;
+    let mut server = serve::Server::start(&spec, &format!("{host}:{port}"), queue, replicas)
+        .map_err(|e| e.to_string())?;
     // Scripts wait for this line and parse the bound (possibly ephemeral)
     // port out of it.
     println!(
-        "serving on {} (executor {executor}, max_batch {}, window {} us, queue {})",
+        "serving on {} (executor {executor}, max_batch {}, window {} us, queue {}, replicas {replicas})",
         server.addr(),
         queue.max_batch,
         queue.batch_window.as_micros(),
@@ -481,10 +493,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn loadgen --addr <host:port> [--connections C --requests N --rate R \
-                         --seed S --shutdown true]\n       \
+                         --seed S --shutdown true | --reload FILE | --canary-seed S]\n       \
                          axnn loadgen --checkpoint <file> [--out FILE --executors LIST \
-                         --connections C --requests N --queue-cap Q --threads T \
-                         --model M --width W --hw H --mult ID --seed S]";
+                         --replica-set LIST --sweep-steps N --connections C --requests N \
+                         --queue-cap Q --threads T --model M --width W --hw H --mult ID --seed S]";
     let flags = parse_known(
         args,
         &[
@@ -494,9 +506,13 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "rate",
             "seed",
             "shutdown",
+            "reload",
+            "canary-seed",
             "checkpoint",
             "out",
             "executors",
+            "replica-set",
+            "sweep-steps",
             "queue-cap",
             "threads",
             "model",
@@ -512,6 +528,44 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "give exactly one of --addr or --checkpoint\nusage: {USAGE}"
         )),
         (Some(addr), None) => {
+            if let Some(ckpt) = flags.get("reload") {
+                // Hot-swap the running server onto a new checkpoint file
+                // (read server-side) and print the canary-diff response.
+                let msg = serve::reload_server(addr.as_str(), ckpt).map_err(|e| e.to_string())?;
+                println!(
+                    "{{\"status\": \"{}\", \"generation\": {}, \"replicas\": {}, \
+                     \"max_abs_delta\": {}, \"mean_abs_delta\": {}, \"detail\": \"{}\"}}",
+                    msg.status,
+                    msg.generation,
+                    msg.replicas,
+                    msg.max_abs_delta,
+                    msg.mean_abs_delta,
+                    msg.detail.replace('"', "'"),
+                );
+                return if msg.status == "reloaded" {
+                    Ok(())
+                } else {
+                    Err(format!("reload failed: {}", msg.detail))
+                };
+            }
+            if flags.has("canary-seed") {
+                // Deterministic probe: print only the logits, so two servers
+                // can be bit-compared with `cmp` on the output.
+                let seed: u64 = flags.parsed("canary-seed", 0)?;
+                let input_len = serve::probe_input_len(addr.as_str()).map_err(|e| e.to_string())?;
+                let msg = serve::canary_probe(addr.as_str(), input_len, seed)
+                    .map_err(|e| e.to_string())?;
+                if msg.status != "ok" {
+                    return Err(format!("canary probe failed: {}", msg.detail));
+                }
+                let logits: Vec<String> = msg
+                    .logits
+                    .iter()
+                    .map(|v| format!("{:08x}", v.to_bits()))
+                    .collect();
+                println!("{{\"logit_bits\": [\"{}\"]}}", logits.join("\", \""));
+                return Ok(());
+            }
             let cfg = LoadConfig {
                 connections: flags.parsed("connections", 4)?,
                 requests: flags.parsed("requests", 32)?,
@@ -537,6 +591,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 requests: flags.parsed("requests", 24)?,
                 queue_cap: flags.parsed("queue-cap", 64)?,
                 seed: flags.parsed("seed", 1)?,
+                sweep_steps: flags.parsed("sweep-steps", 5)?,
                 ..serve::BenchConfig::default()
             };
             if let Some(list) = flags.get("executors") {
@@ -544,6 +599,10 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                     .split(',')
                     .map(|s| s.trim().parse())
                     .collect::<Result<Vec<_>, _>>()?;
+            }
+            if let Some(list) = flags.get("replica-set") {
+                bench.replica_set = parse_usize_list(list)
+                    .map_err(|e| format!("--replica-set: {e}\nusage: {USAGE}"))?;
             }
             let doc = serve::run_bench(&json, &base, &bench)?;
             let out: String = flags.parsed("out", "results/BENCH_serve.json".to_string())?;

@@ -68,6 +68,24 @@ impl Flags {
     }
 }
 
+/// Parses a comma-separated list of positive integers (`"1,2,4"`), as used
+/// by list-valued flags like `--replica-set`. Rejects empty lists, empty
+/// items, zeros, and non-numeric items.
+pub fn parse_usize_list(list: &str) -> Result<Vec<usize>, String> {
+    let items: Vec<usize> = list
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            s.parse::<usize>()
+                .map_err(|_| format!("invalid list item '{s}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() || items.contains(&0) {
+        return Err(format!("expected positive integers, got '{list}'"));
+    }
+    Ok(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +131,16 @@ mod tests {
     fn duplicate_flag_is_an_error() {
         let err = parse_known(&args(&["--seed", "1", "--seed", "2"]), &["seed"], "u").unwrap_err();
         assert!(err.contains("given twice"));
+    }
+
+    #[test]
+    fn usize_lists_parse_and_reject_garbage() {
+        assert_eq!(parse_usize_list("1,2,4").unwrap(), vec![1, 2, 4]);
+        assert_eq!(parse_usize_list(" 3 , 5 ").unwrap(), vec![3, 5]);
+        assert!(parse_usize_list("").is_err());
+        assert!(parse_usize_list("1,,2").is_err());
+        assert!(parse_usize_list("1,0").is_err());
+        assert!(parse_usize_list("1,x").is_err());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! 3. **The wire preserves bits** — logits decoded from the TCP protocol
 //!    equal the in-process forward bit-for-bit, through overload
 //!    rejections and a graceful drain.
+//! 4. **Replica invariance** — a served request's logits do not depend on
+//!    the server's replica count or on which replica answered, for every
+//!    executor family (the replicas × batch × executor matrix).
 //!
 //! `set_threads` is process-global, so every case body takes [`serial`].
 
@@ -16,12 +19,14 @@ use approxnn::models::{resnet20, ModelConfig};
 use approxnn::nn::{Checkpoint, Layer, Mode};
 use approxnn::par;
 use approxnn::serve::{
-    Client, ModelOptions, QueueConfig, Request, ServeExecutor, ServedModel, Server,
+    Client, ModelOptions, QueueConfig, Request, ServeExecutor, ServeSpec, ServedModel, Server,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 const WIDTH: f32 = 0.2;
 const HW: usize = 8;
@@ -171,6 +176,110 @@ proptest! {
     }
 }
 
+/// One running server per (executor, replica-count) cell of the matrix,
+/// booted on demand and leaked for the binary's lifetime (replica builds
+/// plus calibration dominate the runtime otherwise).
+fn shared_server(executor: ServeExecutor, replicas: usize) -> &'static Server {
+    static CACHE: OnceLock<Mutex<HashMap<(u8, usize), &'static Server>>> = OnceLock::new();
+    let key = (
+        match executor {
+            ServeExecutor::Exact => 0u8,
+            ServeExecutor::Quant => 1,
+            ServeExecutor::Approx => 2,
+        },
+        replicas,
+    );
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    cache.entry(key).or_insert_with(|| {
+        let spec = ServeSpec::from_json(pipeline_style_checkpoint_json(), &serve_opts(executor))
+            .expect("spec builds");
+        Box::leak(Box::new(
+            Server::start(
+                &spec,
+                "127.0.0.1:0",
+                QueueConfig {
+                    capacity: 32,
+                    max_batch: 3,
+                    batch_window: Duration::from_micros(300),
+                },
+                replicas,
+            )
+            .expect("bind ephemeral port"),
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The replicas × batch × executor matrix: logits served over TCP by an
+    /// N-replica server equal the single in-process model bit-for-bit, for
+    /// every replica count, every concurrent-batch composition, and every
+    /// executor family — so any replica answering any mix of batch mates is
+    /// indistinguishable from the reference.
+    #[test]
+    fn served_logits_are_replica_invariant(
+        seed in 0u64..40,
+        batch in 1usize..5,
+        replicas in prop::sample::select(vec![1usize, 2, 4]),
+        executor in prop::sample::select(vec![
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ]),
+    ) {
+        let _g = serial();
+        par::set_threads(1);
+        let server = shared_server(executor, replicas);
+        let input_len = server.input_len();
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed * 131 + i as u64);
+                approxnn::tensor::init::uniform(&[input_len], -1.0, 1.0, &mut rng)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+
+        // Concurrent clients so the dispatcher actually spreads the batch
+        // across replicas (and cuts mixed micro-batches).
+        let addr = server.addr();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let input = input.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.infer(i as u64, &input).expect("round trip")
+                })
+            })
+            .collect();
+        let answers: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+
+        let mut model = shared_model(executor).lock().unwrap_or_else(|e| e.into_inner());
+        for msg in answers {
+            prop_assert_eq!(msg.status.as_str(), "ok", "request {}: {}", msg.id, msg.detail);
+            let i = msg.id as usize;
+            let wire: Vec<u32> = msg.logits.iter().map(|v| v.to_bits()).collect();
+            let local: Vec<u32> = model.forward_batch(&[inputs[i].as_slice()])[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(wire, local,
+                "{} request {} of {} differs at {} replicas",
+                executor, i, batch, replicas);
+        }
+        par::set_threads(0);
+    }
+}
+
 /// Logits served over TCP equal the in-process forward bit-for-bit, the
 /// overloaded server rejects rather than queues, and a drained server
 /// refuses new work while answering its backlog.
@@ -180,17 +289,18 @@ fn wire_protocol_preserves_logit_bits_through_overload_and_drain() {
     par::set_threads(1);
     let json = pipeline_style_checkpoint_json();
     let opts = serve_opts(ServeExecutor::Approx);
-    let mut direct = ServedModel::from_checkpoint_json(json, &opts).expect("loads");
-    let served = ServedModel::from_checkpoint_json(json, &opts).expect("loads");
-    let input_len = served.input_len();
+    let spec = ServeSpec::from_json(json, &opts).expect("spec builds");
+    let mut direct = spec.build().expect("loads");
+    let input_len = direct.input_len();
     let mut server = Server::start(
-        served,
+        &spec,
         "127.0.0.1:0",
         QueueConfig {
             capacity: 8,
             max_batch: 4,
             batch_window: std::time::Duration::from_micros(500),
         },
+        1,
     )
     .expect("bind ephemeral port");
 
