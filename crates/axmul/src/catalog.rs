@@ -66,7 +66,11 @@ impl fmt::Display for MultiplierSpec {
 }
 
 /// All multipliers appearing in the paper's Tables III, V, VI and VII.
-pub const PAPER_MULTIPLIERS: &[MultiplierSpec] = &[
+///
+/// A `static`, not a `const`: every `&'static MultiplierSpec` handed out
+/// (by [`by_id`], [`Catalog::paper`], …) must alias the one allocation,
+/// so specs can be compared and keyed by pointer identity.
+pub static PAPER_MULTIPLIERS: &[MultiplierSpec] = &[
     MultiplierSpec {
         id: "trunc1",
         family: Family::Truncated(1),
@@ -157,6 +161,94 @@ pub fn by_id(id: &str) -> Option<&'static MultiplierSpec> {
     PAPER_MULTIPLIERS.iter().find(|s| s.id == id)
 }
 
+/// A registry of multiplier specs with **stable, sorted iteration order**
+/// and duplicate-id rejection at registration time.
+///
+/// The heterogeneous search enumerates its per-layer pool from a catalogue;
+/// if two entries shared an id, or iteration order depended on insertion
+/// order, the same `--seed` could explore a different assignment space
+/// between runs. The registry makes both impossible: [`Catalog::register`]
+/// refuses a second entry with an id already present, and
+/// [`Catalog::entries`] is always sorted by id.
+///
+/// ```
+/// use axnn_axmul::catalog::Catalog;
+/// let cat = Catalog::paper();
+/// assert_eq!(cat.len(), 13);
+/// assert!(cat.get("trunc5").is_some());
+/// let ids = cat.ids();
+/// let mut sorted = ids.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(ids, sorted);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Kept sorted by id; `register` inserts at the binary-search position.
+    entries: Vec<&'static MultiplierSpec>,
+}
+
+impl Catalog {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with every entry of [`PAPER_MULTIPLIERS`].
+    pub fn paper() -> Self {
+        let mut cat = Self::new();
+        for spec in PAPER_MULTIPLIERS {
+            cat.register(spec)
+                .expect("paper catalogue has unique multiplier ids");
+        }
+        cat
+    }
+
+    /// Registers one spec, keeping the listing sorted.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a spec whose id is already registered (even if the entries
+    /// are otherwise identical — silently deduplicating would hide a
+    /// mis-built catalogue).
+    pub fn register(&mut self, spec: &'static MultiplierSpec) -> Result<(), String> {
+        match self.entries.binary_search_by(|e| e.id.cmp(spec.id)) {
+            Ok(_) => Err(format!("duplicate multiplier id '{}'", spec.id)),
+            Err(pos) => {
+                self.entries.insert(pos, spec);
+                Ok(())
+            }
+        }
+    }
+
+    /// The registered specs, sorted by id.
+    pub fn entries(&self) -> &[&'static MultiplierSpec] {
+        &self.entries
+    }
+
+    /// The registered ids, sorted.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: &str) -> Option<&'static MultiplierSpec> {
+        self.entries
+            .binary_search_by(|e| e.id.cmp(id))
+            .ok()
+            .map(|i| self.entries[i])
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +309,37 @@ mod tests {
     fn display_is_informative() {
         let s = by_id("trunc5").unwrap().to_string();
         assert!(s.contains("trunc5") && s.contains("38"));
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_lists_sorted() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        // Insert out of sorted order on purpose.
+        cat.register(by_id("trunc5").unwrap()).unwrap();
+        cat.register(by_id("evo228").unwrap()).unwrap();
+        cat.register(by_id("trunc1").unwrap()).unwrap();
+        assert_eq!(cat.ids(), vec!["evo228", "trunc1", "trunc5"]);
+        let err = cat.register(by_id("evo228").unwrap()).unwrap_err();
+        assert!(err.contains("duplicate multiplier id 'evo228'"), "{err}");
+        assert_eq!(cat.len(), 3, "failed registration must not mutate");
+        assert_eq!(cat.get("trunc1").unwrap().id, "trunc1");
+        assert!(cat.get("trunc9").is_none());
+    }
+
+    #[test]
+    fn paper_registry_is_complete_sorted_and_stable() {
+        let cat = Catalog::paper();
+        assert_eq!(cat.len(), PAPER_MULTIPLIERS.len());
+        let ids = cat.ids();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "listing must be sorted by id");
+        // Iteration order is a pure function of the id set, not of the
+        // declaration order in PAPER_MULTIPLIERS.
+        assert_eq!(ids, Catalog::paper().ids());
+        for spec in PAPER_MULTIPLIERS {
+            assert!(std::ptr::eq(cat.get(spec.id).unwrap(), spec));
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! percent (see tests) — adequate for ordering designs on a Pareto front,
 //! which is all the paper uses the numbers for.
 
+use crate::catalog::MultiplierSpec;
 use crate::mult::{W_BITS, X_BITS};
 
 /// Number of adder/AND cells in the exact 8×4 array multiplier.
@@ -96,9 +97,45 @@ pub fn network_mac_savings(approx_macs: u64, total_macs: u64, mult_savings: f32)
     mult_savings * (approx_macs as f64 / total_macs as f64) as f32
 }
 
+/// Relative energy cost of one MAC on the exact multiplier — the baseline
+/// every [`relative_cost`] is expressed against.
+pub const EXACT_RELATIVE_COST: f64 = 1.0;
+
+/// Relative per-MAC energy cost of a catalogue entry: the exact multiplier
+/// costs [`EXACT_RELATIVE_COST`] = 1.0, an entry saving `s` % costs
+/// `1 - s/100`.
+///
+/// Computed in f64 from the published savings so the heterogeneous search
+/// can sum MAC-weighted costs without drift.
+///
+/// ```
+/// let spec = axnn_axmul::catalog::by_id("trunc5").unwrap();
+/// assert!((axnn_axmul::energy::relative_cost(spec) - 0.62).abs() < 1e-12);
+/// ```
+pub fn relative_cost(spec: &MultiplierSpec) -> f64 {
+    EXACT_RELATIVE_COST - spec.paper_savings_pct as f64 / 100.0
+}
+
+/// MAC-weighted relative network energy of a per-layer assignment:
+/// `Σ macs_i · cost_i / Σ macs_i`, where each `cost_i` is a per-MAC
+/// relative cost ([`relative_cost`] for approximate layers,
+/// [`EXACT_RELATIVE_COST`] for exact ones). An all-exact network scores
+/// exactly 1.0.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or carries zero total MACs.
+pub fn weighted_relative_energy(layers: &[(u64, f64)]) -> f64 {
+    let total: u64 = layers.iter().map(|(macs, _)| macs).sum();
+    assert!(total > 0, "network must have MACs");
+    let weighted: f64 = layers.iter().map(|&(macs, cost)| macs as f64 * cost).sum();
+    weighted / total as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::{Catalog, Family};
 
     #[test]
     fn truncation_savings_track_paper_table() {
@@ -149,5 +186,90 @@ mod tests {
     fn mitchell_savings_in_plausible_band() {
         let s = mitchell_savings();
         assert!(s > 0.3 && s < 0.8, "{s}");
+    }
+
+    #[test]
+    fn every_catalog_entry_has_sane_energy_numbers() {
+        let cat = Catalog::paper();
+        assert!(!cat.is_empty());
+        for spec in cat.entries() {
+            // Published savings are a valid fraction of the exact energy…
+            assert!(
+                (0.0..100.0).contains(&spec.paper_savings_pct),
+                "{}: savings {} % out of range",
+                spec.id,
+                spec.paper_savings_pct
+            );
+            // …so the relative cost is positive and below the baseline.
+            let cost = relative_cost(spec);
+            assert!(
+                cost > 0.0 && cost < EXACT_RELATIVE_COST,
+                "{}: relative cost {cost}",
+                spec.id
+            );
+            // The first-order cell model must agree with the published
+            // truncated-family numbers (the model's stated accuracy band).
+            if let Family::Truncated(t) = spec.family {
+                let modeled = truncation_savings(t);
+                assert!(
+                    (modeled - spec.paper_savings_pct / 100.0).abs() < 0.07,
+                    "{}: model {modeled} vs paper {} %",
+                    spec.id,
+                    spec.paper_savings_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_cost_is_monotone_where_the_model_claims_it() {
+        // More truncated columns -> more cells removed -> cheaper MACs.
+        // The paper's Table V savings are strictly increasing in the
+        // truncation parameter, so the cost must strictly decrease.
+        let cat = Catalog::paper();
+        let mut trunc: Vec<_> = cat
+            .entries()
+            .iter()
+            .filter_map(|s| match s.family {
+                Family::Truncated(t) => Some((t, relative_cost(s))),
+                Family::EvoLike(_) => None,
+            })
+            .collect();
+        trunc.sort_by_key(|&(t, _)| t);
+        assert_eq!(trunc.len(), 5);
+        for pair in trunc.windows(2) {
+            assert!(
+                pair[1].1 < pair[0].1,
+                "trunc{} cost {} !< trunc{} cost {}",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_energy_blends_and_baselines() {
+        // All-exact network scores exactly the baseline.
+        assert_eq!(
+            weighted_relative_energy(&[(10, EXACT_RELATIVE_COST), (90, EXACT_RELATIVE_COST)]),
+            1.0
+        );
+        // Homogeneous assignment scores the multiplier's own cost.
+        let spec = crate::catalog::by_id("trunc5").unwrap();
+        let c = relative_cost(spec);
+        assert_eq!(weighted_relative_energy(&[(10, c), (90, c)]), c);
+        // MAC weighting: a cheap multiplier on the heavy layer dominates.
+        let heavy_cheap = weighted_relative_energy(&[(90, c), (10, 1.0)]);
+        let light_cheap = weighted_relative_energy(&[(10, c), (90, 1.0)]);
+        assert!(heavy_cheap < light_cheap);
+        assert!((heavy_cheap - (0.9 * c + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have MACs")]
+    fn weighted_energy_rejects_zero_macs() {
+        let _ = weighted_relative_energy(&[(0, 1.0)]);
     }
 }

@@ -29,6 +29,7 @@ fn main() {
             ModelKind::ResNet20 => resnet20(&cfg, &mut rng),
             ModelKind::ResNet32 => resnet32(&cfg, &mut rng),
             ModelKind::MobileNetV2 => mobilenet_v2(&cfg, &mut rng),
+            ModelKind::LeNet => unreachable!("Table I has no LeNet row"),
         };
         let profile = ModelProfile::measure(&mut full, &cfg.input_shape(1));
         drop(full);

@@ -6,7 +6,7 @@ use crate::ge::{fit_error_model, ErrorFit, McConfig};
 use crate::methods::{fine_tune, fine_tune_monitored, FineTuneResult, Method};
 use axnn_axmul::catalog::MultiplierSpec;
 use axnn_data::SynthCifar;
-use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
+use axnn_models::{lenet, mobilenet_v2, resnet20, resnet32, ModelConfig};
 use axnn_nn::train::{calibrate, evaluate, logits_over, Dataset};
 use axnn_nn::{Layer, Sequential};
 use axnn_proxsim::approximate_network;
@@ -25,6 +25,9 @@ pub enum ModelKind {
     ResNet32,
     /// MobileNetV2 \[7\] — BN kept (paper §IV).
     MobileNetV2,
+    /// LeNet-style plain CNN — the smallest credible target, used by the
+    /// heterogeneous search smokes; BN folded like the ResNets.
+    LeNet,
 }
 
 impl ModelKind {
@@ -39,6 +42,7 @@ impl ModelKind {
             ModelKind::ResNet20 => "ResNet20",
             ModelKind::ResNet32 => "ResNet32",
             ModelKind::MobileNetV2 => "MobileNetV2",
+            ModelKind::LeNet => "LeNet",
         }
     }
 }
@@ -126,6 +130,7 @@ impl ExperimentEnv {
             ModelKind::ResNet20 => resnet20(cfg, rng),
             ModelKind::ResNet32 => resnet32(cfg, rng),
             ModelKind::MobileNetV2 => mobilenet_v2(cfg, rng),
+            ModelKind::LeNet => lenet(cfg, rng),
         }
     }
 
@@ -464,6 +469,109 @@ impl ExperimentEnv {
         result
     }
 
+    /// Installs `net` as the stored quantized model — the entry point for
+    /// running stage 2 (or the heterogeneous search) from a restored
+    /// checkpoint without re-training in process. The stage-2 teacher
+    /// logits are recomputed from `net` over the training split.
+    ///
+    /// `net` must be architecture-matched to this environment's model
+    /// config (for BN-folding models: built with `batch_norm = false`, as
+    /// checkpoint restoration does). Checkpoints restore with exact
+    /// executors, so any exact GEMM core is re-quantized to 8A4W and the
+    /// observers recalibrated here before the teacher logits are taken.
+    pub fn adopt_quantized(&mut self, mut net: Sequential, batch: usize) {
+        net.visit_gemm_cores(&mut |core| {
+            if core.executor.kind() == axnn_nn::ExecutorKind::Exact {
+                core.set_executor(Box::new(axnn_quant::QuantExecutor::new_8a4w()));
+            }
+        });
+        calibrate(&mut net, &self.train, batch, 2);
+        self.quant_logits = Some(logits_over(&mut net, &self.train, batch));
+        self.quant_net = Some(net);
+    }
+
+    /// Heterogeneous stage 2: approximates the quantized model with a
+    /// *per-layer* multiplier assignment (network order; `None` = stay
+    /// 8A4W-exact) and fine-tunes it with `method` against the quantized
+    /// teacher — how the `axnn-search` winner is refined.
+    ///
+    /// One LUT (and, for GE methods, one error-model fit) is built per
+    /// distinct multiplier in the assignment. No ε-drift monitor is
+    /// attached: the monitor pools residuals network-wide against a single
+    /// multiplier's Monte-Carlo baseline, which has no meaning when layers
+    /// run different multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization stage has not run (and was not
+    /// [`adopt_quantized`](Self::adopt_quantized)), or if
+    /// `assignment.len()` differs from the GEMM layer count.
+    pub fn approximation_stage_assigned(
+        &mut self,
+        assignment: &[Option<&'static MultiplierSpec>],
+        method: Method,
+        cfg: &StageConfig,
+    ) -> FineTuneResult {
+        use std::collections::BTreeMap;
+        use std::sync::Arc;
+        assert_eq!(
+            assignment.len(),
+            self.gemm_layer_count(),
+            "assignment must cover every GEMM layer"
+        );
+        let _span = axnn_obs::span("stage:approx_ft");
+        let mut student = self.copy_quant();
+
+        // One LUT + optional GE fit per distinct multiplier (BTreeMap for
+        // a deterministic build order).
+        let mut shared: BTreeMap<&str, (Arc<axnn_proxsim::SignedLut>, Option<_>)> = BTreeMap::new();
+        for spec in assignment.iter().flatten() {
+            shared.entry(spec.id).or_insert_with(|| {
+                let lut = Arc::new(axnn_proxsim::SignedLut::build(spec.build().as_ref()));
+                let model = method.uses_ge().then(|| self.fit_ge(spec).model);
+                (lut, model)
+            });
+        }
+        let per_layer: Vec<_> = assignment
+            .iter()
+            .map(|slot| {
+                slot.map(|spec| {
+                    let (lut, model) = &shared[spec.id];
+                    (Arc::clone(lut), *model)
+                })
+            })
+            .collect();
+        axnn_proxsim::approximate_network_assigned(&mut student, &per_layer);
+        student.visit_gemm_cores(&mut |core| {
+            if core.executor.kind() == axnn_nn::ExecutorKind::Exact {
+                core.set_executor(Box::new(axnn_quant::QuantExecutor::new_8a4w()));
+            }
+        });
+        calibrate(&mut student, &self.train, cfg.batch, 2);
+
+        let teacher_logits = self
+            .quant_logits
+            .clone()
+            .expect("run quantization_stage first");
+        let teacher = method.temperature().map(|t2| (&teacher_logits, t2));
+        let mut result = fine_tune_monitored(
+            &mut student,
+            teacher,
+            &self.train,
+            &self.test,
+            cfg,
+            method.alpha(),
+            method.label(),
+            None,
+        );
+        let ids: Vec<&str> = assignment
+            .iter()
+            .map(|s| s.map_or("exact", |spec| spec.id))
+            .collect();
+        result.method = format!("hetero[{}]:{}", ids.join(","), method.label());
+        result
+    }
+
     /// Accuracy of the approximated (not yet fine-tuned) model — the
     /// tables' "Initial Acc." column, also returned by
     /// [`approximation_stage`](Self::approximation_stage) as
@@ -567,6 +675,80 @@ mod tests {
             stats.hits > 0,
             "repeated batch shapes must reuse the cached plan"
         );
+    }
+
+    #[test]
+    fn lenet_env_trains_and_counts_gemm_layers() {
+        let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+        let mut env = ExperimentEnv::new(ModelKind::LeNet, cfg, 80, 40, 9);
+        assert!(ModelKind::LeNet.folds_bn());
+        assert_eq!(ModelKind::LeNet.label(), "LeNet");
+        assert_eq!(env.gemm_layer_count(), 3);
+        let acc = env.train_fp(&tiny_stage(10));
+        // Pocket-sized model + data: require clearly-above-chance (10
+        // classes), not a real fit — the bound must hold for any RNG.
+        assert!(acc > 0.15, "LeNet FP accuracy {acc} barely above chance");
+    }
+
+    #[test]
+    fn assigned_approximation_mixes_multipliers_and_labels_result() {
+        let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+        let mut env = ExperimentEnv::new(ModelKind::LeNet, cfg, 80, 40, 11);
+        env.train_fp(&tiny_stage(4));
+        env.quantization_stage(&tiny_stage(1), true);
+        let assignment = vec![
+            Some(catalog::by_id("trunc5").unwrap()),
+            None,
+            Some(catalog::by_id("trunc3").unwrap()),
+        ];
+        let r = env.approximation_stage_assigned(
+            &assignment,
+            Method::approx_kd_ge(5.0),
+            &tiny_stage(1),
+        );
+        assert!(r.final_acc >= 0.0 && r.final_acc <= 1.0, "{r:?}");
+        assert!(
+            r.method.starts_with("hetero[trunc5,exact,trunc3]:"),
+            "method label: {}",
+            r.method
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover every GEMM layer")]
+    fn assigned_approximation_rejects_wrong_length() {
+        let mut env = tiny_env();
+        env.train_fp(&tiny_stage(1));
+        env.quantization_stage(&tiny_stage(1), true);
+        env.approximation_stage_assigned(&[None], Method::Normal, &tiny_stage(1));
+    }
+
+    #[test]
+    fn adopt_quantized_enables_stage_two_without_in_process_training() {
+        let mut env = tiny_env();
+        env.train_fp(&tiny_stage(4));
+        env.quantization_stage(&tiny_stage(1), true);
+
+        // Two fresh envs over the same data that never trained in process:
+        // adoption must be deterministic and unlock stage 2.
+        let make_fresh = || {
+            let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+            ExperimentEnv::new(ModelKind::ResNet20, cfg, 80, 40, 7)
+        };
+        let mut fresh = make_fresh();
+        fresh.adopt_quantized(env.quantized_copy(), 32);
+        let adopted = fresh.quant_accuracy(32);
+        assert!((0.0..=1.0).contains(&adopted), "accuracy {adopted}");
+        let mut again = make_fresh();
+        again.adopt_quantized(env.quantized_copy(), 32);
+        assert_eq!(
+            adopted.to_bits(),
+            again.quant_accuracy(32).to_bits(),
+            "adoption must be bit-deterministic"
+        );
+        let spec = catalog::by_id("trunc4").unwrap();
+        let r = fresh.approximation_stage(spec, Method::approx_kd(5.0), &tiny_stage(1));
+        assert!(r.final_acc >= 0.0 && r.final_acc <= 1.0, "{r:?}");
     }
 
     #[test]

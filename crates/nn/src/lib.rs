@@ -52,6 +52,7 @@ mod layer;
 mod linear;
 mod param;
 mod pool;
+mod probe;
 mod seq;
 mod sgd;
 
@@ -75,5 +76,6 @@ pub use layer::{GemmCore, Layer, Mode};
 pub use linear::Linear;
 pub use param::Param;
 pub use pool::{AvgPool2d, Flatten, GlobalAvgPool};
+pub use probe::{gemm_mac_profile, MacProbe};
 pub use seq::Sequential;
 pub use sgd::{Sgd, StepDecay};

@@ -1,0 +1,133 @@
+//! Per-layer GEMM work measurement.
+//!
+//! Whole-network MAC counts (`axnn_models::ModelProfile`) are not enough
+//! for heterogeneous per-layer approximation: the energy model weights each
+//! layer's multiplier cost by
+//! that layer's *own* MAC share. [`gemm_mac_profile`] measures exactly that
+//! by swapping a counting [`MacProbe`] executor into every GEMM core and
+//! running one forward pass — the count is derived from the lowered
+//! operand shapes the executor actually sees, so grouped convolutions and
+//! shape plumbing are accounted for without re-deriving the lowering.
+
+use crate::executor::{ExactExecutor, ExecOutput, ExecutorKind, LayerExecutor};
+use crate::seq::Sequential;
+use crate::{Layer, Mode};
+use axnn_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A [`LayerExecutor`] that counts the MACs of every forward call into a
+/// shared cell and otherwise behaves as the [`ExactExecutor`].
+///
+/// Grouped convolutions invoke the executor once per group; the counter
+/// accumulates across calls, so the total is the layer's full GEMM work.
+#[derive(Debug)]
+pub struct MacProbe {
+    macs: Arc<AtomicU64>,
+    inner: ExactExecutor,
+}
+
+impl MacProbe {
+    /// Creates a probe accumulating into `macs`.
+    pub fn new(macs: Arc<AtomicU64>) -> Self {
+        Self {
+            macs,
+            inner: ExactExecutor::new(),
+        }
+    }
+}
+
+impl LayerExecutor for MacProbe {
+    fn forward(&mut self, wmat: &Tensor, col: &Tensor, mode: Mode) -> ExecOutput {
+        let (oc, k) = (wmat.shape()[0], wmat.shape()[1]);
+        let m = col.shape()[1];
+        self.macs.fetch_add((oc * k * m) as u64, Ordering::Relaxed);
+        self.inner.forward(wmat, col, mode)
+    }
+
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Exact
+    }
+}
+
+/// Measures the per-GEMM-layer MAC counts of one forward pass of `input`:
+/// `(label, macs)` per conv/FC layer in network order.
+///
+/// Swaps a [`MacProbe`] into every GEMM core and leaves it there — run on a
+/// throwaway copy of the network, not on a model whose executors matter.
+pub fn gemm_mac_profile(net: &mut Sequential, input: &Tensor) -> Vec<(String, u64)> {
+    let mut counters: Vec<(String, Arc<AtomicU64>)> = Vec::new();
+    net.visit_gemm_cores(&mut |core| {
+        let macs = Arc::new(AtomicU64::new(0));
+        counters.push((core.label.clone(), Arc::clone(&macs)));
+        core.set_executor(Box::new(MacProbe::new(macs)));
+    });
+    let _ = net.forward(input, Mode::Eval);
+    counters
+        .into_iter()
+        .map(|(label, macs)| (label, macs.load(Ordering::Relaxed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, ActivationKind, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probe_counts_match_layer_mac_counts() {
+        let mut rng = StdRng::seed_from_u64(150);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(6, 10, true, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Relu)),
+            Box::new(Linear::new(10, 4, true, &mut rng)),
+        ]);
+        let profile = gemm_mac_profile(&mut net, &Tensor::ones(&[3, 6]));
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].1, (3 * 6 * 10) as u64);
+        assert_eq!(profile[1].1, (3 * 10 * 4) as u64);
+        assert!(profile[0].0.contains("fc"), "label: {}", profile[0].0);
+        let total: u64 = profile.iter().map(|(_, m)| m).sum();
+        assert_eq!(total, net.mac_count(&[3, 6]));
+    }
+
+    #[test]
+    fn probe_forward_is_bitwise_exact() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let mut reference = Sequential::new(vec![
+            Box::new(Linear::new(5, 7, true, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Relu)),
+            Box::new(Linear::new(7, 3, true, &mut rng)),
+        ]);
+        let x = axnn_tensor::init::uniform(&[2, 5], -1.0, 1.0, &mut rng);
+        let want = reference.forward(&x, Mode::Eval);
+
+        // Probing must not perturb the numerics of the probed pass itself.
+        let mut probed = Sequential::new(vec![
+            Box::new(Linear::new(5, 7, true, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Relu)),
+            Box::new(Linear::new(7, 3, true, &mut rng)),
+        ]);
+        probed.copy_params_from(&mut reference);
+        let mut counters = Vec::new();
+        probed.visit_gemm_cores(&mut |core| {
+            let macs = Arc::new(AtomicU64::new(0));
+            counters.push(Arc::clone(&macs));
+            core.set_executor(Box::new(MacProbe::new(macs)));
+        });
+        let got = probed.forward(&x, Mode::Eval);
+        assert_eq!(
+            want.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            got.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) > 0));
+    }
+}

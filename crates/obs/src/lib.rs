@@ -119,11 +119,21 @@ pub enum Counter {
     PlanCacheHits,
     /// Compiled-graph forward calls that planned buffers for a new shape.
     PlanCacheMisses,
+    /// Candidate assignments actually scored by the heterogeneous search
+    /// (inference + energy model; cache hits are not counted here).
+    SearchEvals,
+    /// Search candidates answered from the assignment evaluation cache.
+    SearchCacheHits,
+    /// Search candidates missing the evaluation cache (scored fresh).
+    SearchCacheMisses,
 }
 
-const N_COUNTERS: usize = 6;
+const N_COUNTERS: usize = 9;
 
 static TOTALS: [AtomicU64; N_COUNTERS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -159,6 +169,9 @@ pub fn counter_totals() -> CounterTotals {
         im2col_bytes: counter(Counter::Im2colBytes),
         plan_cache_hits: counter(Counter::PlanCacheHits),
         plan_cache_misses: counter(Counter::PlanCacheMisses),
+        search_evals: counter(Counter::SearchEvals),
+        search_cache_hits: counter(Counter::SearchCacheHits),
+        search_cache_misses: counter(Counter::SearchCacheMisses),
     }
 }
 

@@ -45,6 +45,15 @@ pub struct CounterTotals {
     /// Compiled-graph forwards that had to plan buffers for a new shape.
     #[serde(default)]
     pub plan_cache_misses: u64,
+    /// Heterogeneous-search candidates scored fresh (inference + energy).
+    #[serde(default)]
+    pub search_evals: u64,
+    /// Heterogeneous-search candidates answered from the evaluation cache.
+    #[serde(default)]
+    pub search_cache_hits: u64,
+    /// Heterogeneous-search candidates that missed the evaluation cache.
+    #[serde(default)]
+    pub search_cache_misses: u64,
 }
 
 /// Aggregated statistics of one span label.
@@ -237,7 +246,7 @@ impl RunProfile {
             })
             .collect();
         format!(
-            "{{\"schema_version\": {}, \"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}, \"spans\": [{}], \"hists\": [{}], \"health\": [{}], \"events\": [{}]}}",
+            "{{\"schema_version\": {}, \"label\": {}, \"counters\": {{\"approx_muls\": {}, \"lut_bytes\": {}, \"gemm_macs\": {}, \"im2col_bytes\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"search_evals\": {}, \"search_cache_hits\": {}, \"search_cache_misses\": {}}}, \"spans\": [{}], \"hists\": [{}], \"health\": [{}], \"events\": [{}]}}",
             self.schema_version,
             json_string(&self.label),
             c.approx_muls,
@@ -246,6 +255,9 @@ impl RunProfile {
             c.im2col_bytes,
             c.plan_cache_hits,
             c.plan_cache_misses,
+            c.search_evals,
+            c.search_cache_hits,
+            c.search_cache_misses,
             spans.join(", "),
             hists.join(", "),
             health.join(", "),
@@ -314,6 +326,9 @@ impl RunProfile {
                 im2col_bytes: u64_field(counters, "im2col_bytes"),
                 plan_cache_hits: u64_field(counters, "plan_cache_hits"),
                 plan_cache_misses: u64_field(counters, "plan_cache_misses"),
+                search_evals: u64_field(counters, "search_evals"),
+                search_cache_hits: u64_field(counters, "search_cache_hits"),
+                search_cache_misses: u64_field(counters, "search_cache_misses"),
             },
             spans: spans
                 .iter()
@@ -394,6 +409,9 @@ impl RunProfile {
             ("im2col_bytes", c.im2col_bytes),
             ("plan_cache_hits", c.plan_cache_hits),
             ("plan_cache_misses", c.plan_cache_misses),
+            ("search_evals", c.search_evals),
+            ("search_cache_hits", c.search_cache_hits),
+            ("search_cache_misses", c.search_cache_misses),
         ] {
             out.push_str(&format!("{label},counter,{name},,,{value}\n"));
         }
@@ -505,6 +523,9 @@ mod tests {
                 im2col_bytes: 0,
                 plan_cache_hits: 3,
                 plan_cache_misses: 1,
+                search_evals: 9,
+                search_cache_hits: 4,
+                search_cache_misses: 9,
             },
             spans: vec![
                 SpanRecord {
@@ -593,8 +614,9 @@ mod tests {
         assert!(csv.contains("health,sat_x:conv3x3,200,,0.015"));
         assert!(csv.contains("event,eps_drift:trunc5,0,,2.5"));
         assert!(csv.contains("counter,plan_cache_hits,,,3"));
-        // 1 header + 6 counters + 2 spans + 1 hist + 1 ratio + 1 event
-        assert_eq!(csv.lines().count(), 12);
+        assert!(csv.contains("counter,search_evals,,,9"));
+        // 1 header + 9 counters + 2 spans + 1 hist + 1 ratio + 1 event
+        assert_eq!(csv.lines().count(), 15);
     }
 
     #[test]

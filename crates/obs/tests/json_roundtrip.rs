@@ -92,7 +92,7 @@ fn arb_event() -> impl Strategy<Value = EventRecord> {
 fn arb_profile() -> impl Strategy<Value = RunProfile> {
     (
         any::<String>(),
-        any::<[u64; 6]>(),
+        any::<[u64; 9]>(),
         prop::collection::vec(arb_span(), 0..5),
         prop::collection::vec(arb_hist(), 0..4),
         prop::collection::vec(arb_ratio(), 0..4),
@@ -108,6 +108,9 @@ fn arb_profile() -> impl Strategy<Value = RunProfile> {
                 im2col_bytes: c[3],
                 plan_cache_hits: c[4],
                 plan_cache_misses: c[5],
+                search_evals: c[6],
+                search_cache_hits: c[7],
+                search_cache_misses: c[8],
             },
             spans,
             hists,
@@ -190,6 +193,9 @@ proptest! {
                 im2col_bytes: c[3],
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
+                search_evals: 0,
+                search_cache_hits: 0,
+                search_cache_misses: 0,
             },
             spans,
             hists: vec![],

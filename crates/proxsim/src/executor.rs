@@ -418,6 +418,44 @@ pub fn approximate_network_where(
     });
 }
 
+/// Heterogeneous approximation: assigns each GEMM layer (network order) its
+/// own prebuilt LUT and optional error model. `None` entries keep the
+/// layer's current executor (the caller typically quantizes those to 8A4W).
+///
+/// Unlike [`approximate_network_where`], which shares one multiplier across
+/// the selected layers, this is the per-layer plumbing behind the
+/// `axnn-search` assignment space: callers build one [`SignedLut`] per
+/// distinct multiplier in the pool and hand out `Arc` clones per layer.
+///
+/// Run a [`Mode::Calibrate`] pass afterwards to freeze activation steps.
+///
+/// # Panics
+///
+/// Panics if `assignment.len()` differs from the network's GEMM layer count.
+pub fn approximate_network_assigned(
+    net: &mut Sequential,
+    assignment: &[Option<(Arc<SignedLut>, Option<PiecewiseLinearError>)>],
+) {
+    let mut index = 0usize;
+    net.visit_gemm_cores(&mut |core| {
+        assert!(
+            index < assignment.len(),
+            "assignment covers {} layers but the network has more",
+            assignment.len()
+        );
+        if let Some((lut, error_model)) = &assignment[index] {
+            core.set_executor(Box::new(ApproxExecutor::new(Arc::clone(lut), *error_model)));
+        }
+        index += 1;
+    });
+    assert_eq!(
+        index,
+        assignment.len(),
+        "assignment covers {} layers but the network has {index}",
+        assignment.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,6 +549,51 @@ mod tests {
         // Forward still works end to end.
         let y = net.forward(&init::uniform(&[3, 4], -1.0, 1.0, &mut rng), Mode::Eval);
         assert_eq!(y.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn assigned_approximation_gives_each_layer_its_own_multiplier() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut net = Sequential::new(vec![
+            Box::new(axnn_nn::Linear::new(4, 6, true, &mut rng)),
+            Box::new(axnn_nn::Activation::new(axnn_nn::ActivationKind::Relu)),
+            Box::new(axnn_nn::Linear::new(6, 5, true, &mut rng)),
+            Box::new(axnn_nn::Linear::new(5, 2, true, &mut rng)),
+        ]);
+        let trunc = lut(&TruncatedMul::new(5));
+        let evo = lut(&EvoLikeMul::calibrated(228, 0.19));
+        approximate_network_assigned(
+            &mut net,
+            &[
+                Some((Arc::clone(&trunc), None)),
+                None,
+                Some((Arc::clone(&evo), None)),
+            ],
+        );
+        let mut seen = Vec::new();
+        net.visit_gemm_cores(&mut |c| seen.push(c.executor.kind()));
+        assert_eq!(
+            seen,
+            vec![
+                ExecutorKind::Approximate,
+                ExecutorKind::Exact,
+                ExecutorKind::Approximate
+            ],
+            "None entries keep the current executor"
+        );
+        let y = net.forward(&init::uniform(&[3, 4], -1.0, 1.0, &mut rng), Mode::Eval);
+        assert_eq!(y.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers 1 layers")]
+    fn assigned_approximation_rejects_wrong_length() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let mut net = Sequential::new(vec![
+            Box::new(axnn_nn::Linear::new(4, 4, true, &mut rng)),
+            Box::new(axnn_nn::Linear::new(4, 2, true, &mut rng)),
+        ]);
+        approximate_network_assigned(&mut net, &[Some((lut(&TruncatedMul::new(3)), None))]);
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub mod gemm;
 mod signed_lut;
 
 pub use error_model::PiecewiseLinearError;
-pub use executor::{approximate_network, approximate_network_where, ApproxExecutor};
+pub use executor::{
+    approximate_network, approximate_network_assigned, approximate_network_where, ApproxExecutor,
+};
 pub use gemm::{approx_matmul, approx_matmul_with_adder};
 pub use signed_lut::SignedLut;

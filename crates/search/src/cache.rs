@@ -1,0 +1,116 @@
+//! Shared candidate-evaluation cache.
+//!
+//! Both strategies revisit assignments (the greedy trajectory is the evo
+//! elite's neighbourhood; homogeneous rows overlap mutation products), and
+//! one evaluation costs a calibration plus a full validation pass — so
+//! every score is keyed by its assignment fingerprint and computed once.
+
+use std::collections::BTreeMap;
+
+/// Score of one candidate assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Validation accuracy (no fine-tuning).
+    pub accuracy: f32,
+    /// MAC-weighted relative energy (exact = 1.0).
+    pub energy: f64,
+}
+
+/// Deterministic evaluation cache keyed by the assignment's pool indices.
+///
+/// A `BTreeMap` keeps iteration in lexicographic assignment order, so
+/// everything derived from a full scan (the Pareto frontier, the report)
+/// is independent of evaluation order.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: BTreeMap<Vec<usize>, Score>,
+    evals: u64,
+    hits: u64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached score for `assignment`, or computes, records and
+    /// returns it. Maintains both the local stats and the global
+    /// observability counters (`SearchEvals`, `SearchCacheHits`,
+    /// `SearchCacheMisses`).
+    pub fn get_or_insert_with(
+        &mut self,
+        assignment: &[usize],
+        compute: impl FnOnce() -> Score,
+    ) -> Score {
+        if let Some(score) = self.map.get(assignment) {
+            self.hits += 1;
+            axnn_obs::count(axnn_obs::Counter::SearchCacheHits, 1);
+            return *score;
+        }
+        self.evals += 1;
+        axnn_obs::count(axnn_obs::Counter::SearchCacheMisses, 1);
+        axnn_obs::count(axnn_obs::Counter::SearchEvals, 1);
+        let score = compute();
+        self.map.insert(assignment.to_vec(), score);
+        score
+    }
+
+    /// Number of fresh evaluations performed (= cache misses).
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Number of probes answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of distinct assignments scored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been scored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All scored assignments in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<usize>, &Score)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_fingerprint_and_counts() {
+        let mut cache = EvalCache::new();
+        let mut computed = 0;
+        let mut score = |a: &[usize], acc: f32| {
+            cache.get_or_insert_with(a, || {
+                computed += 1;
+                Score {
+                    accuracy: acc,
+                    energy: 0.5,
+                }
+            })
+        };
+        let first = score(&[0, 1], 0.7);
+        // The second probe must be served from the cache: same score, no
+        // recompute even with a different (ignored) closure result.
+        let again = score(&[0, 1], 0.1);
+        assert_eq!(first, again);
+        score(&[1, 0], 0.6);
+        assert_eq!(computed, 2);
+        assert_eq!(cache.evals(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        let keys: Vec<_> = cache.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![vec![0, 1], vec![1, 0]], "lexicographic order");
+    }
+}

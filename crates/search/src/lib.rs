@@ -1,0 +1,44 @@
+//! # axnn-search
+//!
+//! Heterogeneous per-layer approximate-multiplier search.
+//!
+//! The paper fine-tunes one multiplier across the whole network; this
+//! crate searches a *per-layer* assignment instead: given a trained
+//! quantized model and an accuracy floor, find the assignment of catalogue
+//! multipliers (or the exact one) to each conv/FC layer that minimizes the
+//! MAC-weighted modeled energy ([`axnn_axmul::energy`]) while keeping
+//! validation accuracy at or above the floor.
+//!
+//! The pieces:
+//!
+//! - [`SearchSpace`]: the multiplier pool (exact always at index 0)
+//!   crossed with the network's measured per-layer MAC profile;
+//! - [`EvalCache`]: every candidate scored once, keyed by its assignment
+//!   fingerprint, shared by all strategies;
+//! - [`SearchStrategy`] with two implementations — [`GreedySearch`]
+//!   (sensitivity-ordered descent seeded by `approxkd::resiliency`) and
+//!   [`EvoSearch`] (tournament selection + one-layer mutation,
+//!   deterministic per seed);
+//! - [`run_search`]: the driver producing a [`SearchReport`] with the
+//!   accuracy/energy Pareto frontier, a homogeneous-vs-heterogeneous
+//!   comparison, and an ApproxKD(+GE) fine-tune of the winner — emitted
+//!   as `results/BENCH_search.json` by `axnn search`.
+//!
+//! Determinism: the report carries no wall-clock fields, every tie in the
+//! search breaks on a total order, and the evolutionary RNG is seeded from
+//! the run seed — so two runs with the same flags produce byte-identical
+//! reports.
+
+mod cache;
+mod report;
+mod runner;
+mod space;
+mod strategy;
+
+pub use cache::{EvalCache, Score};
+pub use report::{
+    pareto_frontier, FineTunedSummary, HomogeneousRow, ParetoPoint, SearchReport, StrategyRun,
+};
+pub use runner::{run_search, Evaluator, FloorSpec, SearchConfig, StrategyChoice};
+pub use space::{PoolEntry, SearchSpace};
+pub use strategy::{better, Candidate, CandidateEval, EvoSearch, GreedySearch, SearchStrategy};

@@ -1,0 +1,359 @@
+//! Pareto frontier extraction and the `BENCH_search.json` report.
+//!
+//! The report is hand-serialized with a fixed key order and contains no
+//! wall-clock fields, so two runs with the same seed produce byte-identical
+//! files — the property the tier-1 smoke asserts.
+
+use crate::cache::{EvalCache, Score};
+use std::fmt::Write;
+
+/// One point on the accuracy/energy frontier (or the winner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Per-layer multiplier ids in network order (`"exact"` included).
+    pub assignment: Vec<String>,
+    /// Validation accuracy (no fine-tuning).
+    pub accuracy: f32,
+    /// MAC-weighted relative energy (exact = 1.0).
+    pub energy: f64,
+}
+
+/// Outcome of one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyRun {
+    /// Strategy name (`"greedy"` / `"evo"`).
+    pub name: &'static str,
+    /// Best floor-clearing candidate the strategy saw, if any.
+    pub best: Option<(Vec<usize>, Score)>,
+}
+
+/// One homogeneous (single-multiplier, whole-network) comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomogeneousRow {
+    /// Pool id (`"exact"` or a catalogue id).
+    pub id: String,
+    /// Validation accuracy.
+    pub accuracy: f32,
+    /// Relative energy.
+    pub energy: f64,
+    /// Whether the row clears the accuracy floor.
+    pub feasible: bool,
+}
+
+/// Fine-tuning outcome of the winning assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTunedSummary {
+    /// Method label, e.g. `hetero[trunc5,exact,trunc3]:ApproxKD+GE`.
+    pub method: String,
+    /// Accuracy before fine-tuning.
+    pub initial_acc: f32,
+    /// Accuracy after fine-tuning.
+    pub final_acc: f32,
+}
+
+/// Everything one `axnn search` run learned.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Model label.
+    pub model: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Resolved absolute accuracy floor.
+    pub floor: f32,
+    /// All-exact baseline score.
+    pub baseline: Score,
+    /// Per-layer `(label, macs)`.
+    pub layers: Vec<(String, u64)>,
+    /// Pool `(id, relative cost)` rows, exact first.
+    pub pool: Vec<(String, f64)>,
+    /// Per-strategy outcomes.
+    pub strategies: Vec<StrategyRun>,
+    /// Fresh candidate evaluations.
+    pub evals: u64,
+    /// Cache-served probes.
+    pub cache_hits: u64,
+    /// Distinct assignments scored.
+    pub scored: usize,
+    /// Homogeneous comparison table.
+    pub homogeneous: Vec<HomogeneousRow>,
+    /// Cheapest feasible homogeneous row.
+    pub best_homogeneous: Option<HomogeneousRow>,
+    /// Accuracy-descending Pareto frontier (energy non-increasing).
+    pub pareto: Vec<ParetoPoint>,
+    /// Best feasible assignment overall.
+    pub winner: Option<ParetoPoint>,
+    /// ApproxKD(+GE) fine-tuning of the winner, when requested.
+    pub fine_tuned: Option<FineTunedSummary>,
+}
+
+/// Extracts the non-dominated set (maximize accuracy, minimize energy)
+/// from every scored assignment, sorted by accuracy descending — so the
+/// energies are strictly decreasing along the returned frontier.
+pub fn pareto_frontier(cache: &EvalCache) -> Vec<(Vec<usize>, Score)> {
+    let mut all: Vec<(Vec<usize>, Score)> = cache.iter().map(|(k, s)| (k.clone(), *s)).collect();
+    // Accuracy descending; ties broken by energy ascending, then by key,
+    // so the sweep and the output are deterministic.
+    all.sort_by(|a, b| {
+        b.1.accuracy
+            .total_cmp(&a.1.accuracy)
+            .then(a.1.energy.total_cmp(&b.1.energy))
+            .then(a.0.cmp(&b.0))
+    });
+    let mut frontier: Vec<(Vec<usize>, Score)> = Vec::new();
+    for (key, score) in all {
+        match frontier.last() {
+            Some((_, prev)) if score.energy >= prev.energy => {}
+            _ => frontier.push((key, score)),
+        }
+    }
+    frontier
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_point(p: &ParetoPoint) -> String {
+    let ids: Vec<String> = p
+        .assignment
+        .iter()
+        .map(|i| format!("\"{}\"", esc(i)))
+        .collect();
+    format!(
+        "{{\"assignment\": [{}], \"accuracy\": {}, \"energy\": {}}}",
+        ids.join(", "),
+        p.accuracy,
+        p.energy
+    )
+}
+
+impl SearchReport {
+    /// Serializes the report with a fixed key order and no timing fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let o = &mut out;
+        let _ = writeln!(o, "{{");
+        let _ = writeln!(o, "  \"schema\": \"BENCH_search.v1\",");
+        let _ = writeln!(o, "  \"model\": \"{}\",", esc(&self.model));
+        let _ = writeln!(o, "  \"seed\": {},", self.seed);
+        let _ = writeln!(o, "  \"floor\": {},", self.floor);
+        let _ = writeln!(
+            o,
+            "  \"baseline\": {{\"accuracy\": {}, \"energy\": {}}},",
+            self.baseline.accuracy, self.baseline.energy
+        );
+        let layers: Vec<String> = self
+            .layers
+            .iter()
+            .map(|(label, macs)| format!("{{\"label\": \"{}\", \"macs\": {macs}}}", esc(label)))
+            .collect();
+        let _ = writeln!(o, "  \"layers\": [{}],", layers.join(", "));
+        let pool: Vec<String> = self
+            .pool
+            .iter()
+            .map(|(id, cost)| format!("{{\"id\": \"{}\", \"cost\": {cost}}}", esc(id)))
+            .collect();
+        let _ = writeln!(o, "  \"pool\": [{}],", pool.join(", "));
+        let _ = writeln!(o, "  \"strategies\": [");
+        for (i, s) in self.strategies.iter().enumerate() {
+            let best = match &s.best {
+                None => "null".to_string(),
+                Some((assignment, score)) => {
+                    let idx: Vec<String> = assignment.iter().map(|p| p.to_string()).collect();
+                    format!(
+                        "{{\"assignment_indices\": [{}], \"accuracy\": {}, \"energy\": {}}}",
+                        idx.join(", "),
+                        score.accuracy,
+                        score.energy
+                    )
+                }
+            };
+            let comma = if i + 1 < self.strategies.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                o,
+                "    {{\"name\": \"{}\", \"best\": {best}}}{comma}",
+                s.name
+            );
+        }
+        let _ = writeln!(o, "  ],");
+        let _ = writeln!(o, "  \"evals\": {},", self.evals);
+        let _ = writeln!(o, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(o, "  \"scored\": {},", self.scored);
+        let _ = writeln!(o, "  \"homogeneous\": [");
+        for (i, r) in self.homogeneous.iter().enumerate() {
+            let comma = if i + 1 < self.homogeneous.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                o,
+                "    {{\"id\": \"{}\", \"accuracy\": {}, \"energy\": {}, \"feasible\": {}}}{comma}",
+                esc(&r.id),
+                r.accuracy,
+                r.energy,
+                r.feasible
+            );
+        }
+        let _ = writeln!(o, "  ],");
+        let best_h = match &self.best_homogeneous {
+            None => "null".to_string(),
+            Some(r) => format!(
+                "{{\"id\": \"{}\", \"accuracy\": {}, \"energy\": {}}}",
+                esc(&r.id),
+                r.accuracy,
+                r.energy
+            ),
+        };
+        let _ = writeln!(o, "  \"best_homogeneous\": {best_h},");
+        let _ = writeln!(o, "  \"pareto\": [");
+        for (i, p) in self.pareto.iter().enumerate() {
+            let comma = if i + 1 < self.pareto.len() { "," } else { "" };
+            let _ = writeln!(o, "    {}{comma}", json_point(p));
+        }
+        let _ = writeln!(o, "  ],");
+        let winner = match &self.winner {
+            None => "null".to_string(),
+            Some(p) => json_point(p),
+        };
+        let _ = writeln!(o, "  \"winner\": {winner},");
+        let ft = match &self.fine_tuned {
+            None => "null".to_string(),
+            Some(f) => format!(
+                "{{\"method\": \"{}\", \"initial_acc\": {}, \"final_acc\": {}}}",
+                esc(&f.method),
+                f.initial_acc,
+                f.final_acc
+            ),
+        };
+        let _ = writeln!(o, "  \"fine_tuned\": {ft}");
+        let _ = writeln!(o, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seeded_cache(points: &[(f32, f64)]) -> EvalCache {
+        let mut cache = EvalCache::new();
+        for (i, &(accuracy, energy)) in points.iter().enumerate() {
+            cache.get_or_insert_with(&[i], || Score { accuracy, energy });
+        }
+        cache
+    }
+
+    #[test]
+    fn frontier_keeps_only_non_dominated_points() {
+        // (acc, energy): the 0.8/0.4 point dominates 0.7/0.5; 0.9/0.8 and
+        // 0.6/0.2 survive on their own axes.
+        let cache = seeded_cache(&[(0.9, 0.8), (0.8, 0.4), (0.7, 0.5), (0.6, 0.2)]);
+        let frontier = pareto_frontier(&cache);
+        let pairs: Vec<(f32, f64)> = frontier
+            .iter()
+            .map(|(_, s)| (s.accuracy, s.energy))
+            .collect();
+        assert_eq!(pairs, vec![(0.9, 0.8), (0.8, 0.4), (0.6, 0.2)]);
+    }
+
+    #[test]
+    fn report_serialization_is_deterministic_and_complete() {
+        let report = SearchReport {
+            model: "LeNet".into(),
+            seed: 7,
+            floor: 0.5,
+            baseline: Score {
+                accuracy: 0.6,
+                energy: 1.0,
+            },
+            layers: vec![("conv1".into(), 100), ("fc".into(), 50)],
+            pool: vec![("exact".into(), 1.0), ("trunc5".into(), 0.62)],
+            strategies: vec![StrategyRun {
+                name: "greedy",
+                best: Some((
+                    vec![1, 0],
+                    Score {
+                        accuracy: 0.55,
+                        energy: 0.75,
+                    },
+                )),
+            }],
+            evals: 4,
+            cache_hits: 2,
+            scored: 4,
+            homogeneous: vec![HomogeneousRow {
+                id: "exact".into(),
+                accuracy: 0.6,
+                energy: 1.0,
+                feasible: true,
+            }],
+            best_homogeneous: None,
+            pareto: vec![ParetoPoint {
+                assignment: vec!["trunc5".into(), "exact".into()],
+                accuracy: 0.55,
+                energy: 0.75,
+            }],
+            winner: None,
+            fine_tuned: Some(FineTunedSummary {
+                method: "hetero[trunc5,exact]:ApproxKD+GE".into(),
+                initial_acc: 0.55,
+                final_acc: 0.58,
+            }),
+        };
+        let a = report.to_json();
+        assert_eq!(a, report.to_json(), "serialization must be deterministic");
+        for key in [
+            "\"schema\": \"BENCH_search.v1\"",
+            "\"model\": \"LeNet\"",
+            "\"floor\": 0.5",
+            "\"pareto\": [",
+            "\"best_homogeneous\": null",
+            "\"winner\": null",
+            "\"fine_tuned\": {\"method\": \"hetero[trunc5,exact]:ApproxKD+GE\"",
+            "\"evals\": 4",
+        ] {
+            assert!(a.contains(key), "missing {key} in:\n{a}");
+        }
+        assert!(!a.contains("seconds"), "no wall-clock fields allowed");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn frontier_is_sorted_and_non_dominated(
+            points in proptest::collection::vec((0u8..=100, 0u8..=100), 1..40)
+        ) {
+            let scored: Vec<(f32, f64)> = points
+                .iter()
+                .map(|&(a, e)| (a as f32 / 100.0, e as f64 / 100.0))
+                .collect();
+            let cache = seeded_cache(&scored);
+            let frontier = pareto_frontier(&cache);
+            prop_assert!(!frontier.is_empty());
+            // Accuracy strictly decreasing? No — ties collapse to one
+            // representative; accuracy is non-increasing and energy is
+            // strictly decreasing along the frontier.
+            for w in frontier.windows(2) {
+                prop_assert!(w[0].1.accuracy >= w[1].1.accuracy);
+                prop_assert!(w[0].1.energy > w[1].1.energy);
+            }
+            // No frontier point is dominated by any scored point.
+            for (_, f) in &frontier {
+                for &(acc, energy) in &scored {
+                    let dominates = acc >= f.accuracy
+                        && energy <= f.energy
+                        && (acc > f.accuracy || energy < f.energy);
+                    prop_assert!(!dominates, "({acc}, {energy}) dominates ({}, {})",
+                        f.accuracy, f.energy);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The per-layer assignment space: which multiplier each GEMM layer may
+//! run, and what an assignment costs under the paper's energy numbers.
+
+use axnn_axmul::catalog::{Catalog, MultiplierSpec};
+use axnn_axmul::energy::{relative_cost, weighted_relative_energy, EXACT_RELATIVE_COST};
+
+/// One choice a layer can make: stay 8A4W-exact or run a catalogued
+/// approximate multiplier.
+#[derive(Debug, Clone)]
+pub struct PoolEntry {
+    /// `"exact"` for the exact slot, otherwise the catalogue id.
+    pub id: &'static str,
+    /// `None` for the exact slot.
+    pub spec: Option<&'static MultiplierSpec>,
+    /// Per-MAC energy relative to the exact multiplier
+    /// ([`relative_cost`]; exact = 1.0).
+    pub cost: f64,
+}
+
+/// The search space: a multiplier pool (index 0 is always the exact
+/// multiplier) crossed with the network's GEMM layers, each weighted by
+/// its measured MAC count.
+///
+/// An *assignment* is a `Vec<usize>` of pool indices, one per GEMM layer
+/// in network order — `vec![0; layers]` is the all-exact baseline.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    pool: Vec<PoolEntry>,
+    layer_macs: Vec<(String, u64)>,
+}
+
+impl SearchSpace {
+    /// Builds the space from a multiplier catalogue and the network's
+    /// per-layer MAC profile (`axnn_nn::gemm_mac_profile`). `filter`
+    /// restricts the pool to the named catalogue ids (the exact slot is
+    /// always present and need not be named).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown filter id, an empty pool, or an
+    /// empty/zero-MAC layer profile.
+    pub fn new(
+        catalog: &Catalog,
+        filter: Option<&[String]>,
+        layer_macs: Vec<(String, u64)>,
+    ) -> Result<Self, String> {
+        if layer_macs.is_empty() {
+            return Err("network has no GEMM layers".into());
+        }
+        if layer_macs.iter().all(|&(_, m)| m == 0) {
+            return Err("layer MAC profile is all zeros".into());
+        }
+        let mut pool = vec![PoolEntry {
+            id: "exact",
+            spec: None,
+            cost: EXACT_RELATIVE_COST,
+        }];
+        match filter {
+            Some(ids) => {
+                for id in ids {
+                    if id == "exact" {
+                        continue;
+                    }
+                    let spec = catalog
+                        .get(id)
+                        .ok_or_else(|| format!("unknown multiplier '{id}' in pool filter"))?;
+                    pool.push(PoolEntry {
+                        id: spec.id,
+                        spec: Some(spec),
+                        cost: relative_cost(spec),
+                    });
+                }
+            }
+            None => {
+                for &spec in catalog.entries() {
+                    pool.push(PoolEntry {
+                        id: spec.id,
+                        spec: Some(spec),
+                        cost: relative_cost(spec),
+                    });
+                }
+            }
+        }
+        // The registry listing is sorted and deduplicated; a filter may
+        // not repeat ids either, or assignment indices become ambiguous.
+        pool[1..].sort_by(|a, b| a.id.cmp(b.id));
+        if pool.windows(2).any(|w| w[0].id == w[1].id) {
+            return Err("pool filter repeats a multiplier id".into());
+        }
+        if pool.len() < 2 {
+            return Err("pool has no approximate multiplier".into());
+        }
+        Ok(Self { pool, layer_macs })
+    }
+
+    /// The multiplier pool; index 0 is always the exact slot.
+    pub fn pool(&self) -> &[PoolEntry] {
+        &self.pool
+    }
+
+    /// Number of GEMM layers (the assignment length).
+    pub fn layers(&self) -> usize {
+        self.layer_macs.len()
+    }
+
+    /// Per-layer `(label, macs)` in network order.
+    pub fn layer_macs(&self) -> &[(String, u64)] {
+        &self.layer_macs
+    }
+
+    /// MAC-weighted relative energy of an assignment (exact network = 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length or a pool index is out of range.
+    pub fn energy(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.layers(), "assignment length");
+        let layers: Vec<(u64, f64)> = assignment
+            .iter()
+            .zip(&self.layer_macs)
+            .map(|(&p, &(_, macs))| (macs, self.pool[p].cost))
+            .collect();
+        weighted_relative_energy(&layers)
+    }
+
+    /// Pool ids of an assignment, in network order.
+    pub fn assignment_ids(&self, assignment: &[usize]) -> Vec<&'static str> {
+        assignment.iter().map(|&p| self.pool[p].id).collect()
+    }
+
+    /// Per-layer multiplier specs of an assignment (`None` = exact) — the
+    /// shape `approximation_stage_assigned` consumes.
+    pub fn assignment_specs(&self, assignment: &[usize]) -> Vec<Option<&'static MultiplierSpec>> {
+        assignment.iter().map(|&p| self.pool[p].spec).collect()
+    }
+
+    /// The pool's cheapest (most aggressive) approximate multiplier — the
+    /// probe the greedy strategy uses for its sensitivity ordering.
+    pub fn harshest(&self) -> &'static MultiplierSpec {
+        self.pool[1..]
+            .iter()
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .and_then(|e| e.spec)
+            .expect("pool has an approximate multiplier")
+    }
+
+    /// Approximate pool indices (everything except the exact slot),
+    /// ordered from cheapest to most expensive.
+    pub fn by_cost(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (1..self.pool.len()).collect();
+        order.sort_by(|&a, &b| self.pool[a].cost.total_cmp(&self.pool[b].cost));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(filter: Option<&[String]>) -> SearchSpace {
+        SearchSpace::new(
+            &Catalog::paper(),
+            filter,
+            vec![("a".into(), 100), ("b".into(), 300)],
+        )
+        .expect("valid space")
+    }
+
+    #[test]
+    fn pool_starts_exact_and_is_sorted() {
+        let s = space(None);
+        assert_eq!(s.pool()[0].id, "exact");
+        assert_eq!(s.pool()[0].cost, 1.0);
+        assert_eq!(s.pool().len(), 1 + Catalog::paper().len());
+        assert!(s.pool()[1..].windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(s.layers(), 2);
+    }
+
+    #[test]
+    fn filter_restricts_and_validates() {
+        let ids = vec!["trunc5".to_string(), "trunc3".to_string()];
+        let s = space(Some(&ids));
+        assert_eq!(
+            s.pool().iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec!["exact", "trunc3", "trunc5"]
+        );
+        let bad = vec!["nonsense".to_string()];
+        assert!(
+            SearchSpace::new(&Catalog::paper(), Some(&bad), vec![("a".into(), 1)])
+                .unwrap_err()
+                .contains("unknown multiplier")
+        );
+        let dup = vec!["trunc5".to_string(), "trunc5".to_string()];
+        assert!(
+            SearchSpace::new(&Catalog::paper(), Some(&dup), vec![("a".into(), 1)])
+                .unwrap_err()
+                .contains("repeats")
+        );
+    }
+
+    #[test]
+    fn energy_is_mac_weighted() {
+        let ids = vec!["trunc5".to_string()];
+        let s = space(Some(&ids));
+        assert_eq!(s.energy(&[0, 0]), 1.0);
+        let t5 = s.pool()[1].cost;
+        // Layer b holds 3/4 of the MACs.
+        let e = s.energy(&[0, 1]);
+        assert!((e - (0.25 + 0.75 * t5)).abs() < 1e-12, "energy {e}");
+        assert!(s.energy(&[1, 1]) < e && e < 1.0);
+    }
+
+    #[test]
+    fn orderings_follow_cost() {
+        let s = space(None);
+        let by_cost = s.by_cost();
+        assert_eq!(by_cost.len(), s.pool().len() - 1);
+        for w in by_cost.windows(2) {
+            assert!(s.pool()[w[0]].cost <= s.pool()[w[1]].cost);
+        }
+        let harshest = s.harshest();
+        assert!(s.pool()[1..]
+            .iter()
+            .all(|e| relative_cost(harshest) <= e.cost));
+    }
+}

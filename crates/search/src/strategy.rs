@@ -1,0 +1,307 @@
+//! Search strategies over the per-layer assignment space.
+//!
+//! Both strategies implement [`SearchStrategy`] and talk to the network
+//! only through [`CandidateEval`], so they are testable against a cheap
+//! synthetic scorer and share the real evaluator (and its cache) at run
+//! time.
+
+use crate::cache::Score;
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scoring interface the strategies search against.
+pub trait CandidateEval {
+    /// The space being searched.
+    fn space(&self) -> &SearchSpace;
+    /// Scores one assignment (accuracy + modeled energy). Implementations
+    /// are expected to cache by assignment fingerprint.
+    fn score(&mut self, assignment: &[usize]) -> Score;
+}
+
+/// A candidate assignment together with its score.
+pub type Candidate = (Vec<usize>, Score);
+
+/// One search strategy: explores the space and returns the best candidate
+/// it saw that met the accuracy floor (`None` if nothing did).
+pub trait SearchStrategy {
+    /// Strategy name for reports.
+    fn label(&self) -> &'static str;
+    /// Runs the search against `eval` with the given accuracy floor.
+    fn run(&mut self, eval: &mut dyn CandidateEval, floor: f32) -> Option<Candidate>;
+}
+
+/// `a` is a strictly better feasible candidate than `b`: lower energy,
+/// then higher accuracy, then lexicographically smaller assignment (the
+/// last tie-break keeps the choice deterministic).
+pub fn better(a: &Candidate, b: &Candidate) -> bool {
+    match a.1.energy.total_cmp(&b.1.energy) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => match b.1.accuracy.total_cmp(&a.1.accuracy) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.0 < b.0,
+        },
+    }
+}
+
+fn consider(best: &mut Option<Candidate>, cand: Candidate, floor: f32) {
+    if cand.1.accuracy < floor {
+        return;
+    }
+    match best {
+        Some(b) if !better(&cand, b) => {}
+        _ => *best = Some(cand),
+    }
+}
+
+/// Greedy sensitivity-ordered descent.
+///
+/// Starting from the all-exact assignment, layers are visited from most
+/// resilient to most sensitive (the order a `core::resiliency` sweep
+/// produces). Each layer tries the pool's multipliers from cheapest to
+/// most expensive and keeps the first one whose whole-network accuracy
+/// still clears the floor; if none does, the layer stays exact.
+#[derive(Debug, Clone)]
+pub struct GreedySearch {
+    order: Vec<usize>,
+}
+
+impl GreedySearch {
+    /// Creates the strategy from a layer visiting order (most resilient
+    /// first), e.g. `ResiliencyReport::resilient_order()`.
+    pub fn new(order: Vec<usize>) -> Self {
+        Self { order }
+    }
+}
+
+impl SearchStrategy for GreedySearch {
+    fn label(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn run(&mut self, eval: &mut dyn CandidateEval, floor: f32) -> Option<Candidate> {
+        let layers = eval.space().layers();
+        assert_eq!(self.order.len(), layers, "order must cover every layer");
+        let by_cost = eval.space().by_cost();
+        let mut current = vec![0usize; layers];
+        let mut best = None;
+        let baseline = eval.score(&current);
+        consider(&mut best, (current.clone(), baseline), floor);
+        for &layer in &self.order {
+            for &pool_idx in &by_cost {
+                let mut cand = current.clone();
+                cand[layer] = pool_idx;
+                let score = eval.score(&cand);
+                if score.accuracy >= floor {
+                    consider(&mut best, (cand.clone(), score), floor);
+                    current = cand;
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Evolutionary search (grown out of the `axmul::evo_like` family's
+/// namesake): tournament selection, elitism, and a one-layer-redraw
+/// mutation, fully deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct EvoSearch {
+    generations: usize,
+    population: usize,
+    seed: u64,
+}
+
+impl EvoSearch {
+    /// Tournament size.
+    const TOURNAMENT: usize = 3;
+
+    /// Creates the strategy. `population` is clamped to at least 2.
+    pub fn new(generations: usize, population: usize, seed: u64) -> Self {
+        Self {
+            generations,
+            population: population.max(2),
+            seed,
+        }
+    }
+
+    /// Ranking fitness (minimized): feasible candidates compete on energy;
+    /// infeasible ones are pushed above every feasible energy (≤ 1.0) and
+    /// compete on their floor violation.
+    fn fitness(score: &Score, floor: f32) -> f64 {
+        if score.accuracy >= floor {
+            score.energy
+        } else {
+            2.0 + (floor - score.accuracy) as f64
+        }
+    }
+}
+
+impl SearchStrategy for EvoSearch {
+    fn label(&self) -> &'static str {
+        "evo"
+    }
+
+    fn run(&mut self, eval: &mut dyn CandidateEval, floor: f32) -> Option<Candidate> {
+        let layers = eval.space().layers();
+        let pool = eval.space().pool().len();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0e70_5ea7);
+        let mut population: Vec<Vec<usize>> = Vec::with_capacity(self.population);
+        // Seed with the all-exact assignment so the feasible region is
+        // never empty when the floor admits the baseline.
+        population.push(vec![0; layers]);
+        while population.len() < self.population {
+            population.push((0..layers).map(|_| rng.gen_range(0..pool)).collect());
+        }
+
+        let mut best = None;
+        for _generation in 0..self.generations {
+            let _span = axnn_obs::span("search:generation");
+            let scored: Vec<Candidate> = population
+                .iter()
+                .map(|a| (a.clone(), eval.score(a)))
+                .collect();
+            for cand in &scored {
+                consider(&mut best, cand.clone(), floor);
+            }
+            let fit: Vec<f64> = scored
+                .iter()
+                .map(|(_, s)| Self::fitness(s, floor))
+                .collect();
+            // Elitism: the fittest individual survives unchanged (ties
+            // resolved by index, which is deterministic).
+            let elite = (0..scored.len())
+                .min_by(|&a, &b| fit[a].total_cmp(&fit[b]))
+                .expect("population is non-empty");
+            let mut next = vec![scored[elite].0.clone()];
+            while next.len() < self.population {
+                let winner = (0..Self::TOURNAMENT)
+                    .map(|_| rng.gen_range(0..scored.len()))
+                    .min_by(|&a, &b| fit[a].total_cmp(&fit[b]).then(a.cmp(&b)))
+                    .expect("tournament is non-empty");
+                let mut child = scored[winner].0.clone();
+                child[rng.gen_range(0..layers)] = rng.gen_range(0..pool);
+                next.push(child);
+            }
+            population = next;
+        }
+        // The last generation's children were produced but never scored.
+        for a in &population {
+            let score = eval.score(a);
+            consider(&mut best, (a.clone(), score), floor);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_axmul::catalog::Catalog;
+
+    /// Synthetic scorer: accuracy falls linearly with summed pool
+    /// aggressiveness, scaled per layer, so the trade-off is smooth and
+    /// fully deterministic.
+    struct Synth {
+        space: SearchSpace,
+        calls: usize,
+    }
+
+    impl Synth {
+        fn new(pool: &[&str], macs: &[u64]) -> Self {
+            let ids: Vec<String> = pool.iter().map(|s| s.to_string()).collect();
+            let layer_macs = macs
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (format!("l{i}"), m))
+                .collect();
+            Self {
+                space: SearchSpace::new(&Catalog::paper(), Some(&ids), layer_macs)
+                    .expect("valid space"),
+                calls: 0,
+            }
+        }
+    }
+
+    impl CandidateEval for Synth {
+        fn space(&self) -> &SearchSpace {
+            &self.space
+        }
+
+        fn score(&mut self, assignment: &[usize]) -> Score {
+            self.calls += 1;
+            let energy = self.space.energy(assignment);
+            // Cheaper multipliers hurt accuracy more; later layers are
+            // more sensitive.
+            let drop: f32 = assignment
+                .iter()
+                .enumerate()
+                .map(|(layer, &p)| (1.0 - self.space.pool()[p].cost as f32) * (1 + layer) as f32)
+                .sum::<f32>()
+                * 0.2;
+            Score {
+                accuracy: 0.9 - drop,
+                energy,
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_takes_cheapest_feasible_per_layer() {
+        let mut eval = Synth::new(&["trunc1", "trunc3", "trunc5"], &[100, 100]);
+        let mut greedy = GreedySearch::new(vec![0, 1]);
+        let best = greedy.run(&mut eval, 0.75).expect("baseline is feasible");
+        assert!(best.1.accuracy >= 0.75);
+        assert!(best.1.energy < 1.0, "must beat the all-exact baseline");
+        // A second identical run is bit-identical.
+        let mut eval2 = Synth::new(&["trunc1", "trunc3", "trunc5"], &[100, 100]);
+        let again = GreedySearch::new(vec![0, 1]).run(&mut eval2, 0.75).unwrap();
+        assert_eq!(best.0, again.0);
+        assert_eq!(best.1.accuracy.to_bits(), again.1.accuracy.to_bits());
+        assert_eq!(best.1.energy.to_bits(), again.1.energy.to_bits());
+    }
+
+    #[test]
+    fn greedy_keeps_everything_exact_under_an_unreachable_floor() {
+        let mut eval = Synth::new(&["trunc5"], &[100, 100]);
+        let mut greedy = GreedySearch::new(vec![1, 0]);
+        let best = greedy.run(&mut eval, 0.9).expect("baseline feasible");
+        assert_eq!(best.0, vec![0, 0], "only the baseline clears 0.9");
+        assert_eq!(best.1.energy, 1.0);
+    }
+
+    #[test]
+    fn evo_is_deterministic_per_seed_and_respects_the_floor() {
+        let run = |seed| {
+            let mut eval = Synth::new(&["trunc2", "trunc4", "trunc5"], &[50, 100, 200]);
+            EvoSearch::new(4, 6, seed).run(&mut eval, 0.7)
+        };
+        let a = run(9).expect("feasible");
+        let b = run(9).expect("feasible");
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.energy.to_bits(), b.1.energy.to_bits());
+        assert!(a.1.accuracy >= 0.7);
+        assert!(a.1.energy <= 1.0);
+        // Different seeds are allowed to differ, but must stay feasible.
+        let c = run(10).expect("feasible");
+        assert!(c.1.accuracy >= 0.7);
+    }
+
+    #[test]
+    fn better_orders_by_energy_then_accuracy_then_assignment() {
+        let s = |acc, energy| Score {
+            accuracy: acc,
+            energy,
+        };
+        let a = (vec![1, 0], s(0.8, 0.5));
+        let b = (vec![0, 1], s(0.9, 0.6));
+        assert!(better(&a, &b) && !better(&b, &a));
+        let c = (vec![0, 1], s(0.9, 0.5));
+        assert!(better(&c, &a));
+        let d = (vec![0, 2], s(0.9, 0.5));
+        assert!(better(&c, &d) && !better(&d, &c));
+    }
+}

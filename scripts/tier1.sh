@@ -167,3 +167,36 @@ target/release/axnn obs diff "$OBS_TMP/eval_interp.jsonl" "$OBS_TMP/eval_compile
     exit 1
 }
 echo "tier1: compiled graph smoke OK"
+
+# Search smoke: a tiny heterogeneous multiplier search must (a) emit a
+# report with a non-empty Pareto frontier whose energies are monotone
+# non-increasing, (b) be fully deterministic — a same-seed rerun produces a
+# byte-identical BENCH file — and (c) surface its counters in `obs report`.
+SEARCH_FLAGS="--model lenet --width 0.2 --hw 8 --train 64 --test 32 --seed 5 \
+    --fp-epochs 2 --quant-epochs 1 --strategy both --generations 2 \
+    --population 4 --drop 0.2 --pool trunc3,trunc5 --ft-epochs 0 --batch 16"
+target/release/axnn search $SEARCH_FLAGS --out "$OBS_TMP/search_a.json" \
+    --profile "$OBS_TMP/search.jsonl" >/dev/null
+target/release/axnn search $SEARCH_FLAGS --out "$OBS_TMP/search_b.json" >/dev/null
+if ! cmp -s "$OBS_TMP/search_a.json" "$OBS_TMP/search_b.json"; then
+    echo "tier1: same-seed search reruns differ (determinism broken)" >&2
+    exit 1
+fi
+awk '
+    /"pareto": \[/ { inside = 1; next }
+    inside && /^  \]/ { inside = 0; next }
+    inside && match($0, /"energy": [0-9.eE+-]+/) {
+        e = substr($0, RSTART + 10, RLENGTH - 10) + 0
+        if (seen && e > prev + 1e-12) {
+            printf "tier1: Pareto energy increases (%.9f -> %.9f)\n", prev, e
+            exit 1
+        }
+        prev = e; seen = 1
+    }
+    END { if (!seen) { print "tier1: search produced an empty Pareto frontier"; exit 1 } }
+' "$OBS_TMP/search_a.json"
+target/release/axnn obs report "$OBS_TMP/search.jsonl" | grep -q "search" || {
+    echo "tier1: obs report does not surface the search counters" >&2
+    exit 1
+}
+echo "tier1: search smoke OK"

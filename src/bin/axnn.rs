@@ -4,6 +4,8 @@
 //! axnn characterize <multiplier>             multiplier MRE / bias / GE fit
 //! axnn pipeline [flags]                      run Algorithm 1 end to end
 //! axnn evaluate --checkpoint <file> [flags]  restore a checkpoint and evaluate
+//! axnn search [flags]                        heterogeneous per-layer multiplier
+//!                                            search (energy/accuracy Pareto)
 //! axnn serve --checkpoint <file> [flags]     batched TCP inference service
 //! axnn loadgen (--addr <h:p> | --checkpoint <file>) [flags]
 //!                                            drive a server / run the bench matrix
@@ -40,6 +42,20 @@
 //!                          as one JSONL line
 //! --compiled true          also score the quantized model through the
 //!                          fused graph executor (reports plan-cache stats)
+//! ```
+//!
+//! Search flags (defaults in brackets; training flags as in `pipeline`):
+//!
+//! ```text
+//! --model <resnet20|resnet32|mobilenetv2|lenet>   [lenet]
+//! --strategy <greedy|evo|both>                    [both]
+//! --generations <G> / --population <P>            [4 / 8]
+//! --floor <absolute acc> | --drop <drop vs exact> [--drop 0.05]
+//! --pool <id,id,...>       restrict the multiplier pool (exact always in)
+//! --ft-epochs <E>          ApproxKD+GE fine-tune of the winner (0 skips) [2]
+//! --checkpoint <file.json> search from a saved quantized model instead of
+//!                          training in process
+//! --out <file>             [results/BENCH_search.json]
 //! ```
 //!
 //! Serving flags (defaults in brackets):
@@ -80,8 +96,9 @@ fn model_kind(name: &str) -> Result<ModelKind, String> {
         "resnet20" => Ok(ModelKind::ResNet20),
         "resnet32" => Ok(ModelKind::ResNet32),
         "mobilenetv2" => Ok(ModelKind::MobileNetV2),
+        "lenet" => Ok(ModelKind::LeNet),
         other => Err(format!(
-            "unknown model '{other}' (use resnet20|resnet32|mobilenetv2)"
+            "unknown model '{other}' (use resnet20|resnet32|mobilenetv2|lenet)"
         )),
     }
 }
@@ -338,6 +355,7 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         ModelKind::ResNet20 => approxnn::models::resnet20(&cfg, &mut rng),
         ModelKind::ResNet32 => approxnn::models::resnet32(&cfg, &mut rng),
         ModelKind::MobileNetV2 => approxnn::models::mobilenet_v2(&cfg, &mut rng),
+        ModelKind::LeNet => approxnn::models::lenet(&cfg, &mut rng),
     };
     ckpt.restore(&mut net).map_err(|e| e.to_string())?;
 
@@ -382,6 +400,204 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         "checkpoint accuracy on SynthCIFAR(seed {seed}): {:.2} %",
         acc * 100.0
     );
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "axnn search [--model M --width W --hw H --train N --test N --seed S \
+                         --fp-epochs F --quant-epochs Q --strategy greedy|evo|both \
+                         --generations G --population P --floor A | --drop D --pool id,id \
+                         --ft-epochs E --batch B --checkpoint FILE --out FILE --profile FILE]";
+    let flags = parse_known(
+        args,
+        &[
+            "model",
+            "width",
+            "hw",
+            "train",
+            "test",
+            "seed",
+            "fp-epochs",
+            "quant-epochs",
+            "strategy",
+            "generations",
+            "population",
+            "floor",
+            "drop",
+            "pool",
+            "ft-epochs",
+            "batch",
+            "checkpoint",
+            "out",
+            "profile",
+        ],
+        USAGE,
+    )?;
+    let kind = model_kind(&flags.parsed("model", "lenet".to_string())?)?;
+    let seed: u64 = flags.parsed("seed", 1)?;
+    let width: f32 = flags.parsed("width", 0.25)?;
+    let hw: usize = flags.parsed("hw", 16)?;
+    let train: usize = flags.parsed("train", 320)?;
+    let test: usize = flags.parsed("test", 160)?;
+    let fp_epochs: usize = flags.parsed("fp-epochs", 12)?;
+    let quant_epochs: usize = flags.parsed("quant-epochs", 2)?;
+    let generations: usize = flags.parsed("generations", 4)?;
+    let population: usize = flags.parsed("population", 8)?;
+    let ft_epochs: usize = flags.parsed("ft-epochs", 2)?;
+    let batch: usize = flags.parsed("batch", 32)?;
+    let out: String = flags.parsed("out", "results/BENCH_search.json".to_string())?;
+    let strategy = match flags.parsed("strategy", "both".to_string())?.as_str() {
+        "greedy" => approxnn::search::StrategyChoice::Greedy,
+        "evo" => approxnn::search::StrategyChoice::Evo,
+        "both" => approxnn::search::StrategyChoice::Both,
+        other => return Err(format!("unknown strategy '{other}' (use greedy|evo|both)")),
+    };
+    let floor = match flags.get("floor") {
+        Some(_) => approxnn::search::FloorSpec::Absolute(flags.parsed("floor", 0.0)?),
+        None => approxnn::search::FloorSpec::Drop(flags.parsed("drop", 0.05)?),
+    };
+    let pool: Option<Vec<String>> = flags.get("pool").map(|p| {
+        p.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    });
+
+    let profile_path = flags.get("profile").cloned();
+    if profile_path.is_some() {
+        approxnn::obs::reset();
+        approxnn::obs::set_enabled(true);
+        approxnn::obs::set_health_enabled(true);
+    }
+
+    let cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
+    let mut env = ExperimentEnv::new(kind, cfg, train, test, seed);
+    if let Some(path) = flags.get("checkpoint") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let ckpt = approxnn::nn::Checkpoint::from_json(&json).map_err(|e| e.to_string())?;
+        let mut net_cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
+        if kind.folds_bn() {
+            net_cfg.batch_norm = false;
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead);
+        let mut net = match kind {
+            ModelKind::ResNet20 => approxnn::models::resnet20(&net_cfg, &mut rng),
+            ModelKind::ResNet32 => approxnn::models::resnet32(&net_cfg, &mut rng),
+            ModelKind::MobileNetV2 => approxnn::models::mobilenet_v2(&net_cfg, &mut rng),
+            ModelKind::LeNet => approxnn::models::lenet(&net_cfg, &mut rng),
+        };
+        ckpt.restore(&mut net).map_err(|e| e.to_string())?;
+        env.adopt_quantized(net, batch);
+    } else {
+        let fp_cfg = StageConfig {
+            epochs: fp_epochs,
+            batch: 32,
+            lr: StepDecay::new(0.05, (fp_epochs / 2).max(1), 0.5),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        };
+        let q_cfg = StageConfig {
+            epochs: quant_epochs,
+            batch: 32,
+            lr: StepDecay::new(5e-4, (quant_epochs / 2).max(1), 0.5),
+            momentum: 0.9,
+            track_epochs: false,
+            clip_norm: Some(10.0),
+        };
+        let fp_acc = env.train_fp(&fp_cfg);
+        println!("FP accuracy: {:.2} %", fp_acc * 100.0);
+        let q = env.quantization_stage(&q_cfg, true);
+        println!("8A4W accuracy: {:.2} %", q.acc_after_ft * 100.0);
+    }
+
+    let ft_cfg = StageConfig {
+        epochs: ft_epochs,
+        batch: 32,
+        lr: StepDecay::new(5e-4, (ft_epochs / 2).max(1), 0.5),
+        momentum: 0.9,
+        track_epochs: false,
+        clip_norm: Some(10.0),
+    };
+    let search_cfg = approxnn::search::SearchConfig {
+        floor,
+        strategy,
+        generations,
+        population,
+        seed,
+        batch,
+        pool,
+        fine_tune: (ft_epochs > 0).then_some((Method::approx_kd_ge(5.0), ft_cfg)),
+    };
+    let report = approxnn::search::run_search(&mut env, &search_cfg)?;
+
+    println!(
+        "baseline {:.2} %, floor {:.2} %, {} candidates scored ({} evals, {} cache hits)",
+        report.baseline.accuracy * 100.0,
+        report.floor * 100.0,
+        report.scored,
+        report.evals,
+        report.cache_hits
+    );
+    for s in &report.strategies {
+        match &s.best {
+            Some((_, score)) => println!(
+                "  {}: accuracy {:.2} % at energy {:.4}",
+                s.name,
+                score.accuracy * 100.0,
+                score.energy
+            ),
+            None => println!("  {}: no candidate met the floor", s.name),
+        }
+    }
+    if let Some(h) = &report.best_homogeneous {
+        println!(
+            "best homogeneous: {} at energy {:.4} ({:.2} %)",
+            h.id,
+            h.energy,
+            h.accuracy * 100.0
+        );
+    }
+    if let Some(w) = &report.winner {
+        println!(
+            "winner: [{}] at energy {:.4} ({:.2} %)",
+            w.assignment.join(","),
+            w.energy,
+            w.accuracy * 100.0
+        );
+    }
+    if let Some(ft) = &report.fine_tuned {
+        println!(
+            "fine-tuned ({}): {:.2} % -> {:.2} %",
+            ft.method,
+            ft.initial_acc * 100.0,
+            ft.final_acc * 100.0
+        );
+    }
+    println!("Pareto frontier: {} points", report.pareto.len());
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+
+    if let Some(path) = &profile_path {
+        approxnn::obs::set_enabled(false);
+        approxnn::obs::set_health_enabled(false);
+        let label = format!("search/{}/seed{}", kind.label(), seed);
+        let profile = approxnn::obs::RunProfile::capture(&label);
+        profile.append_jsonl(path).map_err(|e| e.to_string())?;
+        let c = &profile.counters;
+        eprintln!(
+            "profile appended to {path}: {} evals, {} cache hits, {} cache misses",
+            c.search_evals, c.search_cache_hits, c.search_cache_misses
+        );
+    }
     Ok(())
 }
 
@@ -663,6 +879,7 @@ fn usage() {
     println!("  characterize <multiplier>   MRE / bias / GE fit of a catalogue multiplier");
     println!("  pipeline [--flags]          run FP training + 8A4W + approximation");
     println!("  evaluate --checkpoint <f>   restore a checkpoint and evaluate");
+    println!("  search [--flags]            heterogeneous per-layer multiplier search");
     println!("  serve --checkpoint <f>      batched TCP inference service");
     println!("  loadgen --addr <h:p>        drive a server (closed/open loop)");
     println!("  loadgen --checkpoint <f>    run the serving bench matrix");
@@ -679,6 +896,7 @@ fn main() -> ExitCode {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),

@@ -19,6 +19,7 @@
 //! | [`models`] | `axnn-models` | ResNet-20/32, MobileNetV2 builders |
 //! | [`data`] | `axnn-data` | SynthCIFAR dataset generator |
 //! | [`serve`] | `axnn-serve` | batched TCP inference service + loadgen |
+//! | [`search`] | `axnn-search` | heterogeneous per-layer multiplier search |
 //! | [`approxkd`] | `approxkd` | ApproxKD + gradient estimation (the paper)|
 //! | [`cli`] | (this crate) | shared flag parsing for the `axnn` binary |
 //! | [`report`] | (this crate) | `axnn obs` profile analysis: reports, diffs |
@@ -49,5 +50,6 @@ pub use axnn_obs as obs;
 pub use axnn_par as par;
 pub use axnn_proxsim as proxsim;
 pub use axnn_quant as quant;
+pub use axnn_search as search;
 pub use axnn_serve as serve;
 pub use axnn_tensor as tensor;

@@ -106,6 +106,9 @@ pub fn render_report(p: &RunProfile) -> String {
         ("im2col_bytes", c.im2col_bytes),
         ("plan_cache_hits", c.plan_cache_hits),
         ("plan_cache_misses", c.plan_cache_misses),
+        ("search_evals", c.search_evals),
+        ("search_cache_hits", c.search_cache_hits),
+        ("search_cache_misses", c.search_cache_misses),
     ] {
         let _ = writeln!(out, "| {name} | {v} |");
     }
@@ -115,6 +118,14 @@ pub fn render_report(p: &RunProfile) -> String {
             out,
             "\nplan-cache hit ratio: {:.2} %",
             c.plan_cache_hits as f64 / lookups as f64 * 100.0
+        );
+    }
+    let probes = c.search_cache_hits + c.search_cache_misses;
+    if probes > 0 {
+        let _ = writeln!(
+            out,
+            "\nsearch-cache hit ratio: {:.2} %",
+            c.search_cache_hits as f64 / probes as f64 * 100.0
         );
     }
 
@@ -226,9 +237,9 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
         "## Counters\n\n| counter | baseline | candidate | change |\n|---|---:|---:|---:|\n",
     );
     let (ca, cb) = (&a.counters, &b.counters);
-    // The plan-cache counters describe executor plumbing, not numeric
-    // work, and legitimately differ between interpreter and compiled
-    // runs of the same model — shown, never gated.
+    // The plan-cache and search counters describe executor plumbing and
+    // search progress, not numeric work, and legitimately differ between
+    // otherwise-equivalent runs — shown, never gated.
     for (name, va, vb, gated) in [
         ("approx_muls", ca.approx_muls, cb.approx_muls, true),
         ("lut_bytes", ca.lut_bytes, cb.lut_bytes, true),
@@ -244,6 +255,19 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
             "plan_cache_misses",
             ca.plan_cache_misses,
             cb.plan_cache_misses,
+            false,
+        ),
+        ("search_evals", ca.search_evals, cb.search_evals, false),
+        (
+            "search_cache_hits",
+            ca.search_cache_hits,
+            cb.search_cache_hits,
+            false,
+        ),
+        (
+            "search_cache_misses",
+            ca.search_cache_misses,
+            cb.search_cache_misses,
             false,
         ),
     ] {
@@ -345,6 +369,9 @@ mod tests {
                 im2col_bytes: 64,
                 plan_cache_hits: 0,
                 plan_cache_misses: 0,
+                search_evals: 0,
+                search_cache_hits: 0,
+                search_cache_misses: 0,
             },
             spans: vec![SpanRecord {
                 name: "fwd:conv3x3(8->8)/s1".to_string(),
@@ -466,12 +493,18 @@ mod tests {
         let mut b = profile("b");
         b.counters.plan_cache_hits = 100;
         b.counters.plan_cache_misses = 7;
+        b.counters.search_evals = 12;
+        b.counters.search_cache_hits = 6;
+        b.counters.search_cache_misses = 12;
         let d = diff_profiles(&a, &b, &DiffThresholds::default());
         assert!(!d.is_regression(), "{:?}", d.regressions);
         assert!(d.summary.contains("| plan_cache_hits | 0 | 100 |"));
+        assert!(d.summary.contains("| search_evals | 0 | 12 |"));
         let r = render_report(&b);
         assert!(r.contains("| plan_cache_misses | 7 |"));
         assert!(r.contains("plan-cache hit ratio: 93.46 %"));
+        assert!(r.contains("| search_cache_hits | 6 |"));
+        assert!(r.contains("search-cache hit ratio: 33.33 %"));
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //! [`RunProfile`]: approxnn::obs::RunProfile
 
 use approxnn::approxkd::ge::{fit_error_model, McConfig};
-use approxnn::axmul::TruncatedMul;
+use approxnn::approxkd::pipeline::ModelKind;
+use approxnn::approxkd::resiliency::analyze_resiliency;
+use approxnn::approxkd::{ExperimentEnv, StageConfig};
+use approxnn::axmul::{catalog, TruncatedMul};
+use approxnn::models::ModelConfig;
+use approxnn::nn::StepDecay;
 use approxnn::nn::{Conv2d, Layer, LayerExecutor, Mode};
 use approxnn::obs;
 use approxnn::par;
@@ -306,5 +311,47 @@ proptest! {
             _ => prop_assert!(false, "grad_scale presence must not depend on telemetry"),
         }
         prop_assert!(p.hists.iter().any(|h| h.name == "eps:prop"));
+    }
+}
+
+// A resiliency sweep trains a small model per case, so this property gets
+// its own block with few cases — it is the heterogeneous search's seed
+// data, and the search's determinism guarantee rests on it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `approxkd::resiliency` sweeps are thread-count invariant: the
+    /// baseline and every per-layer solo accuracy / drop come out
+    /// bit-identical for one worker and for N, so the greedy search's
+    /// layer ordering never depends on the machine's core count.
+    #[test]
+    fn resiliency_sweep_is_thread_invariant(seed in 0u64..30, threads in 2usize..9) {
+        let _g = serial();
+        par::set_threads(0);
+        let cfg = ModelConfig::mini().with_width(0.2).with_input_hw(8);
+        let mut env = ExperimentEnv::new(ModelKind::LeNet, cfg, 48, 24, seed);
+        env.train_fp(
+            &StageConfig::quick()
+                .with_epochs(2)
+                .with_lr(StepDecay::new(0.05, 1, 0.5)),
+        );
+        env.quantization_stage(&StageConfig::quick().with_epochs(1), true);
+        let spec = catalog::by_id("trunc5").expect("catalogued");
+
+        par::set_threads(1);
+        let one = analyze_resiliency(&mut env, spec, 8);
+        par::set_threads(threads);
+        let many = analyze_resiliency(&mut env, spec, 8);
+        par::set_threads(0);
+
+        prop_assert_eq!(one.baseline.to_bits(), many.baseline.to_bits());
+        prop_assert_eq!(one.layers.len(), many.layers.len());
+        for (a, b) in one.layers.iter().zip(&many.layers) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(a.solo_accuracy.to_bits(), b.solo_accuracy.to_bits());
+            prop_assert_eq!(a.drop.to_bits(), b.drop.to_bits());
+        }
+        prop_assert_eq!(one.resilient_order(), many.resilient_order());
     }
 }
