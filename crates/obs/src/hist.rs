@@ -17,6 +17,7 @@
 //! (asserted by `tests/thread_invariance.rs`).
 
 use crate::profile::HistRecord;
+use std::fmt;
 
 /// Bucket geometry of a [`Hist`]: `buckets` equal-width bins over `[lo, hi)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,35 @@ impl HistSpec {
         Some((((x - self.lo) / w) as usize).min(self.buckets - 1))
     }
 }
+
+/// Rejected [`Hist::try_merge`]: the two histograms have different bucket
+/// geometries, so their counts do not line up bucket-for-bucket. Carrying
+/// both specs makes the mismatch diagnosable at the call site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecMismatch {
+    /// Geometry of the histogram being merged into.
+    pub into: HistSpec,
+    /// Geometry of the histogram being merged from.
+    pub from: HistSpec,
+}
+
+impl fmt::Display for SpecMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot merge histograms with different bucket geometries: \
+             into [{}, {}) x {} buckets, from [{}, {}) x {} buckets",
+            self.into.lo,
+            self.into.hi,
+            self.into.buckets,
+            self.from.lo,
+            self.from.hi,
+            self.from.buckets
+        )
+    }
+}
+
+impl std::error::Error for SpecMismatch {}
 
 /// A fixed-bucket histogram plus Welford moments. See the module docs for
 /// the determinism discipline.
@@ -133,11 +163,27 @@ impl Hist {
     /// coordinator merges them *in shard order*.
     ///
     /// # Panics
-    /// If the bucket geometries differ.
+    /// If the bucket geometries differ. Callers that cannot rule a
+    /// mismatch out statically (e.g. merging histograms restored from a
+    /// profile on disk) should use [`try_merge`](Hist::try_merge) instead.
     pub fn merge(&mut self, other: &Hist) {
-        assert_eq!(self.spec, other.spec, "merging incompatible histograms");
+        if let Err(e) = self.try_merge(other) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked [`merge`](Hist::merge): refuses (leaving `self` untouched)
+    /// when the bucket geometries differ, instead of silently mis-merging
+    /// counts whose bucket edges do not line up.
+    pub fn try_merge(&mut self, other: &Hist) -> Result<(), SpecMismatch> {
+        if self.spec != other.spec {
+            return Err(SpecMismatch {
+                into: self.spec,
+                from: other.spec,
+            });
+        }
         if other.count == 0 {
-            return;
+            return Ok(());
         }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
@@ -152,6 +198,7 @@ impl Hist {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Bucket geometry.
@@ -230,6 +277,49 @@ impl Hist {
         self.overflow
     }
 
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) reconstructed from the
+    /// bucket counts: walks the cumulative counts to the bucket holding the
+    /// nearest-rank target and linearly interpolates inside it. Underflow
+    /// mass resolves to [`min`](Hist::min), overflow mass to
+    /// [`max`](Hist::max), and the interpolated value is clamped into the
+    /// observed `[min, max]` so a sparse bucket cannot report a value
+    /// outside what was actually recorded. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The endpoints are exact — the Welford extremes, not a bucket
+        // edge.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Nearest-rank target (1-based), matching percentile conventions
+        // elsewhere in the workspace.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = self.underflow;
+        if target <= cum {
+            return self.min;
+        }
+        let w = (self.spec.hi - self.spec.lo) / self.spec.buckets as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if target <= next {
+                let frac = (target - cum) as f64 / c as f64;
+                let v = self.spec.lo + w * (i as f64 + frac);
+                return v.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
     /// Serializable snapshot under `name` (schema v2 `hists` entry).
     pub fn to_record(&self, name: &str) -> HistRecord {
         HistRecord {
@@ -271,6 +361,28 @@ mod tests {
         assert_eq!(h.overflow(), 0);
         // Degenerate population size still yields a legal spec.
         assert_eq!(HistSpec::index(0).buckets, 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_respect_flows() {
+        let mut h = Hist::new(HistSpec::new(0.0, 100.0, 100));
+        // 1..=100 -> bucket i holds value i+something; p50 ~ 50, p99 ~ 99.
+        h.record_all((1..=100).map(f64::from));
+        assert!((h.quantile(0.5) - 50.0).abs() <= 1.0, "{}", h.quantile(0.5));
+        assert!(
+            (h.quantile(0.99) - 99.0).abs() <= 1.0,
+            "{}",
+            h.quantile(0.99)
+        );
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        // All mass in the flows resolves to the observed extremes.
+        let mut f = Hist::new(HistSpec::new(0.0, 1.0, 4));
+        f.record_all([-5.0, -5.0, 9.0]);
+        assert_eq!(f.quantile(0.5), -5.0);
+        assert_eq!(f.quantile(1.0), 9.0);
+        // Empty hist degrades to zero.
+        assert_eq!(Hist::new(HistSpec::eps()).quantile(0.5), 0.0);
     }
 
     #[test]
@@ -343,6 +455,39 @@ mod tests {
         let r = h.to_record("empty");
         assert_eq!(r.count, 0);
         assert_eq!(r.mean, 0.0);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_geometries() {
+        let base = HistSpec::new(0.0, 10.0, 10);
+        let mut h = Hist::new(base);
+        h.record_all([1.0, 2.0]);
+        let before = h.clone();
+        for bad in [
+            HistSpec::new(-1.0, 10.0, 10), // lo differs
+            HistSpec::new(0.0, 20.0, 10),  // hi differs
+            HistSpec::new(0.0, 10.0, 5),   // bucket count differs
+        ] {
+            let mut other = Hist::new(bad);
+            other.record(3.0);
+            let err = h.try_merge(&other).expect_err("mismatch must be refused");
+            assert_eq!(err.into, base);
+            assert_eq!(err.from, bad);
+            assert!(err.to_string().contains("different bucket geometries"));
+            assert_eq!(h, before, "a refused merge must leave the target intact");
+        }
+        // Matching geometry still merges.
+        let mut ok = Hist::new(base);
+        ok.record(4.0);
+        h.try_merge(&ok).expect("same spec merges");
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket geometries")]
+    fn merge_panics_on_mismatched_geometries() {
+        let mut h = Hist::new(HistSpec::new(0.0, 10.0, 10));
+        h.merge(&Hist::new(HistSpec::new(0.0, 10.0, 5)));
     }
 
     #[test]

@@ -57,11 +57,13 @@
 pub mod hist;
 pub mod json;
 mod profile;
+pub mod window;
 
-pub use hist::{Hist, HistSpec};
+pub use hist::{Hist, HistSpec, SpecMismatch};
 pub use profile::{
     CounterTotals, EventRecord, HistRecord, RatioRecord, RunProfile, SpanRecord, SCHEMA_VERSION,
 };
+pub use window::{CounterWindow, DeltaTracker, HistWindow, WindowSpec};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -1,0 +1,356 @@
+//! Sliding-window aggregation for the live observability plane.
+//!
+//! The registries in this crate are cumulative: a [`crate::RunProfile`]
+//! answers "what happened since the last reset". A *serving* deployment
+//! needs the other question — "what happened over the last N seconds" —
+//! answered repeatedly and cheaply while the process keeps running. This
+//! module provides the three pieces:
+//!
+//! - [`HistWindow`]: a ring of per-slot [`Hist`]s. Recording lands in the
+//!   slot owning the current time epoch (lazily recycling slots whose
+//!   epoch has expired), and [`HistWindow::merged`] folds the live slots
+//!   into one histogram **in ascending epoch order** — the same
+//!   shard-order discipline that makes [`Hist::merge`]'s f64 moments
+//!   deterministic.
+//! - [`CounterWindow`]: the integer analogue, a ring of per-slot event
+//!   counts, for rates (requests/s, batches/s) over the window.
+//! - [`DeltaTracker`]: turns a cumulative monotonic counter (the
+//!   [`crate::counter`] atomics, a plan-cache hit total) into per-snapshot
+//!   deltas, saturating at zero across resets instead of underflowing.
+//!
+//! ## Time is an argument, not an ambient
+//!
+//! Every operation takes `now_millis` explicitly (milliseconds on any
+//! monotonic clock; serving code uses `Instant` elapsed since process
+//! start). Windows therefore never read a clock themselves, which keeps
+//! them trivially testable and keeps the recording path free of syscalls
+//! beyond what the caller already paid for.
+//!
+//! ## Cost model
+//!
+//! A window is a plain struct — the caller owns the locking (axnn-serve
+//! keeps its windows behind one mutex that is touched once per *batch*,
+//! not per request). Recording is O(1); a snapshot merges at most `slots`
+//! histograms.
+
+use crate::hist::{Hist, HistSpec};
+
+/// Ring geometry of a sliding window: `slots` slots of `slot_millis` each,
+/// covering the last `slots * slot_millis` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Number of ring slots.
+    pub slots: usize,
+    /// Width of one slot, milliseconds.
+    pub slot_millis: u64,
+}
+
+impl WindowSpec {
+    /// A ring of `slots` slots of `slot_millis` each.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn new(slots: usize, slot_millis: u64) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        assert!(slot_millis > 0, "slots must have nonzero width");
+        WindowSpec { slots, slot_millis }
+    }
+
+    /// Default serving geometry: 10 slots x 1 s — "the last 10 seconds"
+    /// at 1 s granularity.
+    pub fn serve() -> Self {
+        WindowSpec::new(10, 1000)
+    }
+
+    /// Total window span in milliseconds.
+    pub fn span_millis(&self) -> u64 {
+        self.slots as u64 * self.slot_millis
+    }
+
+    /// The span actually covered after `uptime_millis` of recording —
+    /// `min(span, uptime)`, floored at one slot. Rates divided by this are
+    /// honest during warm-up instead of understated by the empty slots.
+    pub fn covered_millis(&self, uptime_millis: u64) -> u64 {
+        self.span_millis().min(uptime_millis).max(self.slot_millis)
+    }
+
+    /// Slot epoch owning `now_millis`.
+    fn epoch(&self, now_millis: u64) -> u64 {
+        now_millis / self.slot_millis
+    }
+
+    /// Whether a slot stamped `slot_epoch` is still inside the window at
+    /// `now_epoch`.
+    fn live(&self, slot_epoch: u64, now_epoch: u64) -> bool {
+        slot_epoch + self.slots as u64 > now_epoch && slot_epoch <= now_epoch
+    }
+}
+
+/// One ring slot: the epoch it was last recycled for, plus its histogram.
+#[derive(Debug, Clone)]
+struct HistSlot {
+    epoch: u64,
+    hist: Hist,
+}
+
+/// A sliding window of mergeable histograms. See the module docs.
+#[derive(Debug, Clone)]
+pub struct HistWindow {
+    window: WindowSpec,
+    hist_spec: HistSpec,
+    slots: Vec<HistSlot>,
+}
+
+impl HistWindow {
+    /// An empty window: `window` ring geometry, `hist_spec` bucket
+    /// geometry for every slot.
+    pub fn new(window: WindowSpec, hist_spec: HistSpec) -> Self {
+        HistWindow {
+            window,
+            hist_spec,
+            slots: (0..window.slots)
+                .map(|_| HistSlot {
+                    // u64::MAX marks "never used": no real epoch reaches it,
+                    // so the slot is recycled on first touch and never
+                    // counted live.
+                    epoch: u64::MAX,
+                    hist: Hist::new(hist_spec),
+                })
+                .collect(),
+        }
+    }
+
+    /// Ring geometry.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// Bucket geometry of the slot histograms.
+    pub fn hist_spec(&self) -> HistSpec {
+        self.hist_spec
+    }
+
+    /// Records `x` into the slot owning `now_millis`, recycling the slot
+    /// first if it still holds an expired epoch.
+    pub fn record(&mut self, now_millis: u64, x: f64) {
+        self.slot_for(now_millis).record(x);
+    }
+
+    /// Merges a locally accumulated histogram into the slot owning
+    /// `now_millis` (the per-batch pattern: record a batch into a local
+    /// `Hist`, then fold it in under one lock).
+    pub fn merge(&mut self, now_millis: u64, other: &Hist) {
+        self.slot_for(now_millis).merge(other);
+    }
+
+    fn slot_for(&mut self, now_millis: u64) -> &mut Hist {
+        let epoch = self.window.epoch(now_millis);
+        let idx = (epoch % self.window.slots as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.epoch != epoch {
+            slot.hist = Hist::new(self.hist_spec);
+            slot.epoch = epoch;
+        }
+        &mut slot.hist
+    }
+
+    /// Folds the slots still live at `now_millis` into one histogram, in
+    /// ascending epoch order — a fixed merge order, so the f64 moments are
+    /// a deterministic function of the slot contents.
+    pub fn merged(&self, now_millis: u64) -> Hist {
+        let now_epoch = self.window.epoch(now_millis);
+        let mut live: Vec<&HistSlot> = self
+            .slots
+            .iter()
+            .filter(|s| s.epoch != u64::MAX && self.window.live(s.epoch, now_epoch))
+            .collect();
+        live.sort_by_key(|s| s.epoch);
+        let mut total = Hist::new(self.hist_spec);
+        for slot in live {
+            total.merge(&slot.hist);
+        }
+        total
+    }
+}
+
+/// A sliding window of event counts — the integer analogue of
+/// [`HistWindow`], for rates over the last N seconds.
+#[derive(Debug, Clone)]
+pub struct CounterWindow {
+    window: WindowSpec,
+    /// `(epoch, count)` per ring slot; epoch `u64::MAX` means never used.
+    slots: Vec<(u64, u64)>,
+}
+
+impl CounterWindow {
+    /// An empty counter window with the given ring geometry.
+    pub fn new(window: WindowSpec) -> Self {
+        CounterWindow {
+            window,
+            slots: vec![(u64::MAX, 0); window.slots],
+        }
+    }
+
+    /// Ring geometry.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// Adds `n` events at `now_millis`.
+    pub fn add(&mut self, now_millis: u64, n: u64) {
+        let epoch = self.window.epoch(now_millis);
+        let idx = (epoch % self.window.slots as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.0 != epoch {
+            *slot = (epoch, 0);
+        }
+        slot.1 += n;
+    }
+
+    /// Total events in the slots still live at `now_millis`.
+    pub fn total(&self, now_millis: u64) -> u64 {
+        let now_epoch = self.window.epoch(now_millis);
+        self.slots
+            .iter()
+            .filter(|(e, _)| *e != u64::MAX && self.window.live(*e, now_epoch))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Events per second over the covered span (see
+    /// [`WindowSpec::covered_millis`]); `uptime_millis` keeps warm-up
+    /// rates honest.
+    pub fn rate_per_sec(&self, now_millis: u64, uptime_millis: u64) -> f64 {
+        let covered = self.window.covered_millis(uptime_millis);
+        self.total(now_millis) as f64 * 1000.0 / covered as f64
+    }
+}
+
+/// Converts a cumulative monotonic counter into per-snapshot deltas.
+///
+/// `delta(c)` returns how much the counter grew since the previous call.
+/// If the counter went *backwards* (an [`crate::reset`] between
+/// snapshots), the delta saturates to zero and tracking restarts from the
+/// new value — a reset must never produce a huge underflowed delta.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaTracker {
+    last: u64,
+}
+
+impl DeltaTracker {
+    /// A tracker whose first `delta` call reports growth from zero.
+    pub fn new() -> Self {
+        DeltaTracker::default()
+    }
+
+    /// Growth since the previous call (zero if the counter moved
+    /// backwards).
+    pub fn delta(&mut self, cumulative: u64) -> u64 {
+        let d = cumulative.saturating_sub(self.last);
+        self.last = cumulative;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> HistSpec {
+        HistSpec::new(0.0, 100.0, 10)
+    }
+
+    #[test]
+    fn window_spec_validates_and_measures() {
+        let w = WindowSpec::new(4, 250);
+        assert_eq!(w.span_millis(), 1000);
+        assert_eq!(w.covered_millis(100), 250); // floor: one slot
+        assert_eq!(w.covered_millis(600), 600); // warm-up: uptime
+        assert_eq!(w.covered_millis(5000), 1000); // steady state: span
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_are_rejected() {
+        WindowSpec::new(0, 1000);
+    }
+
+    #[test]
+    fn values_expire_as_the_window_slides() {
+        let mut w = HistWindow::new(WindowSpec::new(3, 1000), spec());
+        w.record(0, 10.0);
+        w.record(1100, 20.0);
+        w.record(2200, 30.0);
+        assert_eq!(w.merged(2500).count(), 3);
+        // Epoch 3 evicts epoch 0's slot contents from the live set.
+        assert_eq!(w.merged(3100).count(), 2);
+        assert_eq!(w.merged(3100).min(), 20.0);
+        // Far future: everything expired.
+        assert!(w.merged(60_000).is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_recycles_stale_contents() {
+        let mut w = HistWindow::new(WindowSpec::new(2, 1000), spec());
+        w.record(0, 10.0);
+        // Epoch 2 maps onto epoch 0's ring slot; the stale value must not
+        // leak into the recycled slot.
+        w.record(2000, 50.0);
+        let m = w.merged(2000);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.min(), 50.0);
+    }
+
+    #[test]
+    fn merged_is_deterministic_and_order_fixed() {
+        let build = || {
+            let mut w = HistWindow::new(WindowSpec::new(4, 500), spec());
+            for i in 0..40 {
+                w.record(i * 47, (i as f64 * 13.7) % 100.0);
+            }
+            w
+        };
+        let (a, b) = (build(), build());
+        let (ma, mb) = (a.merged(1900), b.merged(1900));
+        assert_eq!(ma.mean().to_bits(), mb.mean().to_bits());
+        assert_eq!(ma.variance().to_bits(), mb.variance().to_bits());
+        assert_eq!(ma.bucket_counts(), mb.bucket_counts());
+    }
+
+    #[test]
+    fn batch_merge_lands_in_the_current_slot() {
+        let mut w = HistWindow::new(WindowSpec::serve(), spec());
+        let mut local = Hist::new(spec());
+        local.record_all([1.0, 2.0, 3.0]);
+        w.merge(500, &local);
+        assert_eq!(w.merged(500).count(), 3);
+    }
+
+    #[test]
+    fn counter_window_totals_and_rates() {
+        let mut c = CounterWindow::new(WindowSpec::new(4, 1000));
+        c.add(0, 5);
+        c.add(1500, 3);
+        c.add(3999, 2);
+        assert_eq!(c.total(3999), 10);
+        // Epoch 4 expires epoch 0's 5 events.
+        assert_eq!(c.total(4000), 5);
+        // Steady-state rate: 5 events over a 4 s window.
+        assert!((c.rate_per_sec(4000, 100_000) - 1.25).abs() < 1e-12);
+        // Warm-up rate divides by uptime, not the full span.
+        let mut fresh = CounterWindow::new(WindowSpec::new(4, 1000));
+        fresh.add(900, 9);
+        assert!((fresh.rate_per_sec(999, 1000) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_tracker_is_monotonic_and_reset_safe() {
+        let mut d = DeltaTracker::new();
+        assert_eq!(d.delta(10), 10);
+        assert_eq!(d.delta(25), 15);
+        assert_eq!(d.delta(25), 0);
+        // Counter reset: saturate, then track from the new baseline.
+        assert_eq!(d.delta(3), 0);
+        assert_eq!(d.delta(7), 4);
+    }
+}

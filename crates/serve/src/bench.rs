@@ -20,19 +20,34 @@
 //!   disagree beyond a tolerance the whole round set is re-run, bounded
 //!   by a retry budget, and minima are compared — a load spike inflates
 //!   individual rounds but not the minimum of an interleaved pair;
+//! - a **metrics-overhead** phase that serves the same closed-loop
+//!   workload with the serving metrics plane (trace ring + sliding
+//!   windows, `{"cmd": "metrics"}`) disabled and enabled in interleaved
+//!   rounds. Unlike the obs-overhead phase, the compared quantity is
+//!   closed-loop **throughput**: the plane's cost sits *outside* the
+//!   forward-pass span (one batch record after compute, before replies),
+//!   so Σ `compute_us` cannot see it by construction. The same
+//!   quiet-window retry rule applies, and maxima are compared — a load
+//!   spike deflates individual rounds but not the maximum of an
+//!   interleaved pair;
 //! - a **replica sweep** that boots the approx executor at each configured
 //!   replica count, estimates the service rate closed-loop, then probes an
 //!   open-loop rate ladder around it to locate the saturation knee —
 //!   replicas-vs-throughput, the horizontal-scaling record. Replica
 //!   speedup is bounded by the host's core count (each replica worker
 //!   needs its own core once the forward pass saturates one), so the
-//!   document records `host_cores` alongside the knees.
+//!   document records `host_cores` alongside the knees. The sweep's last
+//!   replica count is then re-probed with a live metrics consumer
+//!   attached (a poller thread issuing `metrics` + `trace` every few
+//!   milliseconds) — the knee-under-observation datapoint.
 
 use crate::executor::ServeExecutor;
 use crate::loadgen::{self, LoadConfig, SweepConfig};
 use crate::model::{ModelOptions, ServeSpec};
 use crate::queue::QueueConfig;
 use crate::server::Server;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The benchmark matrix and its budgets.
@@ -56,6 +71,9 @@ pub struct BenchConfig {
     pub overhead_retries: usize,
     /// Largest tolerated spread of the off-rounds before a retry, percent.
     pub overhead_spread_tolerance_pct: f64,
+    /// Poll period of the attached metrics consumer in the
+    /// knee-under-observation probe, milliseconds.
+    pub metrics_poll_ms: u64,
     /// Replica counts for the saturation-knee sweep (approx executor).
     pub replica_set: Vec<usize>,
     /// Open-loop rate steps per replica count in the sweep.
@@ -80,6 +98,7 @@ impl Default for BenchConfig {
             overhead_rounds: 5,
             overhead_retries: 4,
             overhead_spread_tolerance_pct: 30.0,
+            metrics_poll_ms: 25,
             replica_set: vec![1, 2, 4],
             sweep_steps: 5,
             sweep_step_duration_s: 1.5,
@@ -142,6 +161,40 @@ fn obs_overhead_pct(
         let spread_pct = (worst_off - best_off) / best_off * 100.0;
         if spread_pct <= cfg.overhead_spread_tolerance_pct || attempts > cfg.overhead_retries {
             let overhead = (best_on - best_off) / best_off * 100.0;
+            return Ok((overhead, attempts));
+        }
+    }
+}
+
+/// Measures the relative closed-loop throughput cost of the serving
+/// metrics plane (per-request trace records + sliding-window aggregation),
+/// percent. Positive means plane-on was slower. Throughput is the right
+/// probe here: the plane's work happens per batch *outside* the compute
+/// span, so the obs-overhead phase's Σ `compute_us` metric is blind to it
+/// (see the module docs, and the quiet-window rule there).
+fn metrics_overhead_pct(
+    server: &Server,
+    load: &LoadConfig,
+    cfg: &BenchConfig,
+) -> Result<(f64, usize), String> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let mut best_off = 0.0f64;
+        let mut worst_off = f64::INFINITY;
+        let mut best_on = 0.0f64;
+        for _ in 0..cfg.overhead_rounds {
+            server.metrics_plane().set_enabled(false);
+            let off = drive(server, load)?.throughput_rps;
+            server.metrics_plane().set_enabled(true);
+            let on = drive(server, load)?.throughput_rps;
+            best_off = best_off.max(off);
+            worst_off = worst_off.min(off);
+            best_on = best_on.max(on);
+        }
+        let spread_pct = (best_off - worst_off) / best_off * 100.0;
+        if spread_pct <= cfg.overhead_spread_tolerance_pct || attempts > cfg.overhead_retries {
+            let overhead = (best_off - best_on) / best_off * 100.0;
             return Ok((overhead, attempts));
         }
     }
@@ -261,6 +314,23 @@ pub fn run_bench(
     // The obs-on rounds populated the registries; capture proves the
     // serving path lands in the v2 profile schema.
     let profile = axnn_obs::RunProfile::capture(&format!("serve/{}/{first}", base.model));
+
+    // Metrics-plane overhead on the same server (axnn-obs is off here, so
+    // only the plane toggles between the interleaved rounds).
+    eprintln!(
+        "bench: metrics-plane overhead ({} rounds) ...",
+        cfg.overhead_rounds
+    );
+    let (metrics_overhead_pct, metrics_attempts) = metrics_overhead_pct(
+        &server,
+        &LoadConfig {
+            connections: 2,
+            requests: 16,
+            rate_rps: 0.0,
+            seed: cfg.seed ^ 0x3e7,
+        },
+        cfg,
+    )?;
     server.shutdown();
     axnn_obs::reset();
 
@@ -321,6 +391,71 @@ pub fn run_bench(
             .find(|(r, _)| *r == n)
             .map(|(_, t)| *t)
     };
+
+    // Knee under observation: rerun the sweep at the largest replica count
+    // with a live metrics consumer attached — a poller thread issuing the
+    // `metrics` and `trace` protocol commands every `metrics_poll_ms`.
+    // Observation must not collapse the saturation knee.
+    let obs_replicas = *cfg.replica_set.last().unwrap_or(&1);
+    let mut server = start_server(
+        checkpoint_json,
+        base,
+        sweep_exec,
+        QueueConfig {
+            capacity: cfg.queue_cap,
+            max_batch,
+            batch_window: Duration::from_micros(window_us),
+        },
+        obs_replicas,
+    )?;
+    eprintln!("bench: knee with metrics poller attached ({obs_replicas} replica(s)) ...");
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let addr = server.addr();
+        let poll = Duration::from_millis(cfg.metrics_poll_ms.max(1));
+        std::thread::spawn(move || {
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(mut client) = loadgen::Client::connect(addr) {
+                    if client.metrics(None).is_ok() && client.trace_tail(8).is_ok() {
+                        polls += 1;
+                    }
+                }
+                std::thread::sleep(poll);
+            }
+            polls
+        })
+    };
+    let closed = drive(
+        &server,
+        &LoadConfig {
+            connections: cfg.connections.max(obs_replicas),
+            requests: cfg.requests,
+            rate_rps: 0.0,
+            seed: cfg.seed ^ 0x4e9,
+        },
+    )?;
+    let observed_sweep = loadgen::sweep(
+        server.addr(),
+        server.input_len(),
+        &SweepConfig {
+            connections: cfg.connections.max(obs_replicas),
+            rates: loadgen::rate_ladder(closed.throughput_rps.max(1.0), cfg.sweep_steps),
+            step_duration_s: cfg.sweep_step_duration_s,
+            seed: cfg.seed ^ 0x5733b,
+            keepup_ratio: 0.9,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    stop.store(true, Ordering::Relaxed);
+    let metrics_polls = poller.join().unwrap_or(0);
+    server.shutdown();
+    if metrics_polls == 0 {
+        return Err(
+            "knee probe's metrics poller completed no polls; metrics plane untested".into(),
+        );
+    }
     let speedup = match (knee_at(1), knee_by_replicas.last()) {
         (Some(base_knee), Some((_, best))) if base_knee > 0.0 => best / base_knee,
         _ => 0.0,
@@ -330,7 +465,7 @@ pub fn run_bench(
         .unwrap_or(1);
 
     Ok(format!(
-        "{{\n  \"schema\": \"BENCH_serve.v2\",\n  \"model\": \"{}\",\n  \
+        "{{\n  \"schema\": \"BENCH_serve.v3\",\n  \"model\": \"{}\",\n  \
          \"width\": {},\n  \"hw\": {},\n  \"mult\": \"{}\",\n  \"seed\": {},\n  \
          \"threads\": {},\n  \"configs\": [\n    {}\n  ],\n  \
          \"overload\": {{\"executor\": \"{first}\", \"queue_cap\": 1, \"sent\": {}, \
@@ -338,7 +473,12 @@ pub fn run_bench(
          \"replica_sweep\": {{\"executor\": \"{sweep_exec}\", \"host_cores\": {host_cores}, \
          \"max_batch\": {max_batch}, \"batch_window_us\": {window_us}, \
          \"knee_speedup_max_vs_1\": {}, \"entries\": [\n    {}\n  ]}},\n  \
+         \"knee_with_metrics\": {{\"replicas\": {obs_replicas}, \
+         \"poll_ms\": {}, \"metrics_polls\": {metrics_polls}, \"knee_rps\": {}, \
+         \"knee_plain_rps\": {}}},\n  \
          \"obs_overhead_pct\": {},\n  \"obs_overhead_attempts\": {attempts},\n  \
+         \"metrics_overhead_pct\": {},\n  \
+         \"metrics_overhead_attempts\": {metrics_attempts},\n  \
          \"obs_profile\": {{\"spans\": {}, \"hists\": {}, \"ratios\": {}, \
          \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}\n}}\n",
         base.model,
@@ -354,7 +494,11 @@ pub fn run_bench(
         fmt(overload.reject_rate),
         fmt(speedup),
         sweep_entries.join(",\n    "),
+        cfg.metrics_poll_ms.max(1),
+        fmt(observed_sweep.knee_throughput_rps),
+        fmt(knee_at(obs_replicas).unwrap_or(0.0)),
         fmt(overhead_pct),
+        fmt(metrics_overhead_pct),
         profile.spans.len(),
         profile.hists.len(),
         profile.health.len(),

@@ -44,6 +44,7 @@
 pub mod bench;
 pub mod executor;
 pub mod loadgen;
+pub mod metrics;
 pub mod model;
 pub mod protocol;
 pub mod queue;
@@ -56,6 +57,7 @@ pub use loadgen::{
     canary_probe, probe_input_len, reload_server, shutdown_server, Client, LoadConfig, LoadReport,
     SweepConfig, SweepReport,
 };
+pub use metrics::{MetricsPlane, SnapshotContext, TraceRecord, METRICS_SCHEMA_VERSION};
 pub use model::{ModelOptions, ServeSpec, ServedModel};
 pub use protocol::{Request, Response, ResponseMsg};
 pub use queue::{AdmitError, BatchQueue, Dispatcher, QueueConfig};
@@ -125,6 +127,86 @@ mod tests {
         assert_eq!(client.command("shutdown").unwrap().status, "draining");
         let msg = client.infer(13, &input).unwrap();
         assert_eq!(msg.status, "draining");
+        server.join();
+    }
+
+    #[test]
+    fn metrics_and_trace_serve_live_traffic() {
+        let mut server = tiny_server_at(
+            "127.0.0.1:0",
+            QueueConfig {
+                capacity: 16,
+                max_batch: 4,
+                batch_window: Duration::from_micros(500),
+            },
+            2,
+        );
+        let input = vec![0.25f32; server.input_len()];
+        let mut client = Client::connect(server.addr()).unwrap();
+        for id in 1..=6 {
+            assert_eq!(client.infer(id, &input).unwrap().status, "ok");
+        }
+        let snap = client.metrics(None).unwrap();
+        let doc = axnn_obs::json::JsonValue::parse(snap.as_bytes()).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("metrics"));
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(METRICS_SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("replicas").unwrap().as_u64(), Some(2));
+        let totals = doc.get("totals").unwrap();
+        assert_eq!(totals.get("ok").unwrap().as_u64(), Some(6));
+        let window = doc.get("window").unwrap();
+        assert!(window.get("rps").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            window.get("per_replica").unwrap().as_array().unwrap().len(),
+            2
+        );
+
+        let tail = client.trace_tail(4).unwrap();
+        let doc = axnn_obs::json::JsonValue::parse(tail.as_bytes()).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("trace"));
+        let traces = doc.get("traces").unwrap().as_array().unwrap();
+        assert_eq!(traces.len(), 4);
+        let last = traces.last().unwrap();
+        assert_eq!(last.get("trace_id").unwrap().as_u64(), Some(6));
+        assert_eq!(last.get("request_id").unwrap().as_u64(), Some(6));
+        assert!(last.get("compute_us").unwrap().as_f64().unwrap() > 0.0);
+
+        // Prometheus exposition rides the same framing.
+        let prom = client.metrics(Some("prometheus")).unwrap();
+        assert!(prom.contains("axnn_serve_requests_ok_total"));
+        // An unknown format is a per-request error, not a hangup.
+        assert!(client.metrics(Some("xml")).is_err());
+        assert_eq!(client.command("ping").unwrap().status, "pong");
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_server_still_answers_metrics_and_trace() {
+        let mut server = tiny_server(QueueConfig {
+            capacity: 8,
+            max_batch: 4,
+            batch_window: Duration::from_micros(500),
+        });
+        let input = vec![0.5f32; server.input_len()];
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.infer(1, &input).unwrap().status, "ok");
+        assert_eq!(client.command("shutdown").unwrap().status, "draining");
+        // Inference is refused now, but the read-only snapshot commands
+        // keep answering — they are handled before admission control.
+        assert_eq!(client.infer(2, &input).unwrap().status, "draining");
+        let snap = client.metrics(None).unwrap();
+        let doc = axnn_obs::json::JsonValue::parse(snap.as_bytes()).unwrap();
+        assert_eq!(doc.get("draining").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            doc.get("totals").unwrap().get("ok").unwrap().as_u64(),
+            Some(1)
+        );
+        let tail = client.trace_tail(8).unwrap();
+        let doc = axnn_obs::json::JsonValue::parse(tail.as_bytes()).unwrap();
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(1));
+        drop(client);
         server.join();
     }
 

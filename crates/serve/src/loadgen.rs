@@ -60,6 +60,54 @@ impl Client {
     pub fn command(&mut self, cmd: &str) -> io::Result<ResponseMsg> {
         self.round_trip(&Request::command_json(cmd))
     }
+
+    /// Sends one request and returns the raw response frame — for the
+    /// snapshot commands (`metrics`, `trace`), whose JSON bodies carry more
+    /// structure than [`ResponseMsg`] models.
+    pub fn raw_round_trip(&mut self, payload: &str) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.writer, payload.as_bytes())?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// Fetches the live metrics snapshot (`{"cmd": "metrics"}`) as a JSON
+    /// string. `format` of `Some("prometheus")` asks for the text
+    /// exposition envelope instead.
+    pub fn metrics(&mut self, format: Option<&str>) -> io::Result<String> {
+        let frame = self.raw_round_trip(&Request::metrics_json(format))?;
+        snapshot_body(frame, "metrics")
+    }
+
+    /// Fetches the last `n` trace records (`{"cmd": "trace"}`) as a JSON
+    /// string.
+    pub fn trace_tail(&mut self, n: usize) -> io::Result<String> {
+        let frame = self.raw_round_trip(&Request::trace_json(n))?;
+        snapshot_body(frame, "trace")
+    }
+}
+
+/// Validates a snapshot frame: UTF-8, and its `status` is the expected
+/// word (a server-side `error` response surfaces as `InvalidData` with the
+/// detail).
+fn snapshot_body(frame: Vec<u8>, want_status: &str) -> io::Result<String> {
+    let msg =
+        ResponseMsg::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if msg.status != want_status {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "expected status '{want_status}', got '{}'{}",
+                msg.status,
+                if msg.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {}", msg.detail)
+                }
+            ),
+        ));
+    }
+    String::from_utf8(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Asks the server at `addr` for its input length via `{"cmd": "info"}`.

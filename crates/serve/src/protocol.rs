@@ -18,7 +18,14 @@
 //! {"cmd": "ping"}                          // liveness probe
 //! {"cmd": "shutdown"}                      // begin graceful drain
 //! {"cmd": "reload", "path": "ckpt.json"}   // hot-swap checkpoint
+//! {"cmd": "metrics"}                       // live metrics snapshot (JSON)
+//! {"cmd": "metrics", "format": "prometheus"}   // text exposition wrapped
+//!                                              // in a JSON envelope
+//! {"cmd": "trace", "n": 16}                // last n request trace records
 //! ```
+//!
+//! `metrics` and `trace` are read-only: they are answered before admission
+//! control, so they keep working on a draining server.
 //!
 //! ## Response forms
 //!
@@ -97,11 +104,16 @@ pub struct Request {
     pub id: u64,
     /// Flattened `C*H*W` input image; empty for control messages.
     pub input: Vec<f32>,
-    /// Control command (`"ping"`, `"info"`, `"shutdown"`, `"reload"`), if
-    /// any.
+    /// Control command (`"ping"`, `"info"`, `"shutdown"`, `"reload"`,
+    /// `"metrics"`, `"trace"`), if any.
     pub cmd: Option<String>,
     /// Server-side checkpoint path for `{"cmd": "reload"}`.
     pub path: Option<String>,
+    /// Record count for `{"cmd": "trace"}` (server default when absent).
+    pub n: Option<usize>,
+    /// Output format for `{"cmd": "metrics"}`: `"json"` (default) or
+    /// `"prometheus"`.
+    pub format: Option<String>,
 }
 
 impl Request {
@@ -140,11 +152,28 @@ impl Request {
                     .to_string(),
             ),
         };
+        let n = match doc.get("n") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| "malformed request: 'n' is not a usize".to_string())?,
+            ),
+        };
+        let format = match doc.get("format") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "malformed request: 'format' is not a string".to_string())?
+                    .to_string(),
+            ),
+        };
         Ok(Request {
             id,
             input,
             cmd,
             path,
+            n,
+            format,
         })
     }
 
@@ -169,6 +198,21 @@ impl Request {
     /// Serializes a hot-swap request for a server-side checkpoint path.
     pub fn reload_json(path: &str) -> String {
         format!("{{\"cmd\": \"reload\", \"path\": {}}}", json_string(path))
+    }
+
+    /// Serializes a metrics-snapshot request. `format` of `None` or
+    /// `Some("json")` asks for the JSON snapshot, `Some("prometheus")` for
+    /// the text exposition.
+    pub fn metrics_json(format: Option<&str>) -> String {
+        match format {
+            None => "{\"cmd\": \"metrics\"}".to_string(),
+            Some(f) => format!("{{\"cmd\": \"metrics\", \"format\": {}}}", json_string(f)),
+        }
+    }
+
+    /// Serializes a trace-tail request for the last `n` records.
+    pub fn trace_json(n: usize) -> String {
+        format!("{{\"cmd\": \"trace\", \"n\": {n}}}")
     }
 }
 
@@ -229,6 +273,14 @@ pub enum Response {
         /// Mean |Δlogit| on the canary input.
         mean_abs_delta: f64,
     },
+    /// Reply to `{"cmd": "metrics"}` / `{"cmd": "trace"}`: a pre-rendered
+    /// JSON object (the metrics plane emits its own snapshot with a
+    /// schema-versioned fixed key order, including a leading `"status"`
+    /// member), passed through verbatim rather than re-encoded.
+    Snapshot {
+        /// Complete JSON object, emitted as-is.
+        json: String,
+    },
 }
 
 impl Response {
@@ -274,6 +326,7 @@ impl Response {
                 json_f64(*max_abs_delta),
                 json_f64(*mean_abs_delta),
             ),
+            Response::Snapshot { json } => json.clone(),
         }
     }
 }
@@ -352,7 +405,7 @@ impl ResponseMsg {
 /// Shortest f32 literal that parses back to the same bits (Rust `Display`
 /// guarantee); non-finite values, which the layers never produce, degrade
 /// to 0 like in the `axnn-obs` emitters.
-fn json_f32(x: f32) -> String {
+pub(crate) fn json_f32(x: f32) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -361,7 +414,7 @@ fn json_f32(x: f32) -> String {
 }
 
 /// Same contract as [`json_f32`] for f64.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -371,7 +424,7 @@ fn json_f64(x: f64) -> String {
 
 /// JSON string literal with the mandatory escapes (the `axnn-obs` emitter
 /// rules).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -547,6 +600,33 @@ mod tests {
         assert_eq!(msg.status, "reloaded");
         assert_eq!((msg.generation, msg.replicas), (3, 4));
         assert_eq!((msg.max_abs_delta, msg.mean_abs_delta), (0.125, 0.0625));
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_round_trip() {
+        let req = Request::parse(Request::metrics_json(None).as_bytes()).unwrap();
+        assert_eq!(req.cmd.as_deref(), Some("metrics"));
+        assert!(req.format.is_none());
+        let req = Request::parse(Request::metrics_json(Some("prometheus")).as_bytes()).unwrap();
+        assert_eq!(req.cmd.as_deref(), Some("metrics"));
+        assert_eq!(req.format.as_deref(), Some("prometheus"));
+        let req = Request::parse(Request::trace_json(16).as_bytes()).unwrap();
+        assert_eq!(req.cmd.as_deref(), Some("trace"));
+        assert_eq!(req.n, Some(16));
+        // Like every other field, absent n/format keep their defaults.
+        let req = Request::parse(b"{\"cmd\": \"trace\"}").unwrap();
+        assert!(req.n.is_none());
+    }
+
+    #[test]
+    fn snapshot_response_passes_through_verbatim() {
+        let json = "{\"status\": \"metrics\", \"schema_version\": 1, \"window\": {}}";
+        let resp = Response::Snapshot {
+            json: json.to_string(),
+        };
+        assert_eq!(resp.to_json(), json);
+        let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
+        assert_eq!(msg.status, "metrics");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! max-batch/window flush rule — are unchanged.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -72,6 +72,12 @@ pub struct BatchReply {
 pub struct Job {
     /// Client-chosen request id.
     pub id: u64,
+    /// Server-assigned trace id, drawn from the server-wide sequence
+    /// inside [`BatchQueue::push`] while the queue mutex is held — so ids
+    /// are monotonic in queue order and a popped batch's jobs always carry
+    /// strictly increasing ids. Rejected requests never receive an id
+    /// (the id space is dense: `1..=last_trace_id`).
+    pub trace: u64,
     /// Flattened input image.
     pub input: Vec<f32>,
     /// Admission timestamp (queue-wait measurement starts here).
@@ -146,7 +152,12 @@ impl BatchQueue {
 
     /// Admits a job, or rejects it without blocking. On success returns the
     /// queue depth after the push (for depth telemetry at the edge).
-    pub fn push(&self, job: Job) -> Result<usize, AdmitError> {
+    ///
+    /// The job's trace id is drawn from `trace_seq` *under the queue
+    /// mutex*, after the admission checks — ids are therefore monotonic in
+    /// queue order (a popped batch is admission-ordered by construction)
+    /// and rejected requests never consume one.
+    pub fn push(&self, mut job: Job, trace_seq: &AtomicU64) -> Result<usize, AdmitError> {
         let mut inner = self.lock();
         if inner.draining {
             return Err(AdmitError::Draining);
@@ -154,6 +165,7 @@ impl BatchQueue {
         if inner.jobs.len() >= self.cfg.capacity {
             return Err(AdmitError::Overloaded);
         }
+        job.trace = trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
         inner.jobs.push_back(job);
         let depth = inner.jobs.len();
         drop(inner);
@@ -258,7 +270,9 @@ impl Dispatcher {
 
     /// Admits a job onto the least-loaded replica queue, or rejects it
     /// without blocking. On success returns `(replica, depth_after_push)`.
-    pub fn push(&self, job: Job) -> Result<(usize, usize), AdmitError> {
+    /// `trace_seq` is the server-wide trace-id sequence, drawn from under
+    /// the chosen queue's mutex (see [`BatchQueue::push`]).
+    pub fn push(&self, job: Job, trace_seq: &AtomicU64) -> Result<(usize, usize), AdmitError> {
         if self.draining.load(Ordering::SeqCst) {
             return Err(AdmitError::Draining);
         }
@@ -278,7 +292,7 @@ impl Dispatcher {
         let replica = (0..self.queues.len())
             .min_by_key(|&i| self.queues[i].depth())
             .expect("at least one replica");
-        match self.queues[replica].push(job) {
+        match self.queues[replica].push(job, trace_seq) {
             Ok(depth) => Ok((replica, depth)),
             Err(e) => {
                 // Lost the race with a drain; hand the permit back.
@@ -318,11 +332,16 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
+    fn seq() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+
     fn job(id: u64) -> (Job, mpsc::Receiver<BatchReply>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
                 id,
+                trace: id,
                 input: Vec::new(),
                 enqueued: Instant::now(),
                 reply: tx,
@@ -341,18 +360,20 @@ mod tests {
 
     #[test]
     fn push_beyond_capacity_is_overloaded() {
+        let seq = seq();
         let q = BatchQueue::new(cfg(2, 8, 1_000_000));
-        assert_eq!(q.push(job(1).0), Ok(1));
-        assert_eq!(q.push(job(2).0), Ok(2));
-        assert_eq!(q.push(job(3).0), Err(AdmitError::Overloaded));
+        assert_eq!(q.push(job(1).0, &seq), Ok(1));
+        assert_eq!(q.push(job(2).0, &seq), Ok(2));
+        assert_eq!(q.push(job(3).0, &seq), Err(AdmitError::Overloaded));
         assert_eq!(q.depth(), 2);
     }
 
     #[test]
     fn full_batch_flushes_without_waiting_for_the_window() {
+        let seq = seq();
         let q = BatchQueue::new(cfg(8, 3, 60_000_000));
         for id in 0..4 {
-            q.push(job(id).0).unwrap();
+            q.push(job(id).0, &seq).unwrap();
         }
         let start = Instant::now();
         let batch = q.next_batch().expect("batch due");
@@ -364,13 +385,19 @@ mod tests {
             vec![0, 1, 2],
             "admission order"
         );
+        assert_eq!(
+            batch.jobs.iter().map(|j| j.trace).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "trace ids are dense and admission-ordered"
+        );
         assert_eq!(q.depth(), 1, "remainder stays queued");
     }
 
     #[test]
     fn partial_batch_flushes_when_the_window_closes() {
+        let seq = seq();
         let q = BatchQueue::new(cfg(8, 8, 20_000));
-        q.push(job(7).0).unwrap();
+        q.push(job(7).0, &seq).unwrap();
         let start = Instant::now();
         let batch = q.next_batch().expect("batch due");
         assert_eq!(batch.jobs.len(), 1);
@@ -383,11 +410,12 @@ mod tests {
 
     #[test]
     fn drain_rejects_new_jobs_but_serves_the_backlog() {
+        let seq = seq();
         let q = BatchQueue::new(cfg(8, 4, 60_000_000));
-        q.push(job(1).0).unwrap();
-        q.push(job(2).0).unwrap();
+        q.push(job(1).0, &seq).unwrap();
+        q.push(job(2).0, &seq).unwrap();
         q.start_drain();
-        assert_eq!(q.push(job(3).0), Err(AdmitError::Draining));
+        assert_eq!(q.push(job(3).0, &seq), Err(AdmitError::Draining));
         let batch = q.next_batch().expect("backlog still served");
         assert_eq!(batch.jobs.len(), 2);
         assert!(q.next_batch().is_none(), "drained and empty");
@@ -405,9 +433,10 @@ mod tests {
 
     #[test]
     fn reply_channel_delivers_in_batch_order() {
+        let seq = seq();
         let q = BatchQueue::new(cfg(8, 8, 0));
         let (j, rx) = job(9);
-        q.push(j).unwrap();
+        q.push(j, &seq).unwrap();
         let batch = q.next_batch().unwrap();
         for j in batch.jobs {
             j.reply
@@ -427,20 +456,22 @@ mod tests {
 
     #[test]
     fn dispatcher_capacity_is_global_not_per_replica() {
+        let seq = seq();
         let d = Dispatcher::new(cfg(3, 8, 60_000_000), 4);
         for id in 0..3 {
-            d.push(job(id).0).unwrap();
+            d.push(job(id).0, &seq).unwrap();
         }
-        assert_eq!(d.push(job(9).0), Err(AdmitError::Overloaded));
+        assert_eq!(d.push(job(9).0, &seq), Err(AdmitError::Overloaded));
         assert_eq!(d.admitted(), 3, "4 replicas must not quadruple capacity");
     }
 
     #[test]
     fn dispatcher_spreads_to_the_least_loaded_queue() {
+        let seq = seq();
         let d = Dispatcher::new(cfg(8, 8, 60_000_000), 3);
         let mut replicas = Vec::new();
         for id in 0..6 {
-            let (replica, depth) = d.push(job(id).0).unwrap();
+            let (replica, depth) = d.push(job(id).0, &seq).unwrap();
             replicas.push(replica);
             assert!(depth <= 2);
         }
@@ -453,23 +484,25 @@ mod tests {
 
     #[test]
     fn dispatcher_release_reopens_admission() {
+        let seq = seq();
         let d = Dispatcher::new(cfg(1, 1, 0), 2);
-        d.push(job(1).0).unwrap();
-        assert_eq!(d.push(job(2).0), Err(AdmitError::Overloaded));
+        d.push(job(1).0, &seq).unwrap();
+        assert_eq!(d.push(job(2).0, &seq), Err(AdmitError::Overloaded));
         let batch = d.queue(0).next_batch().unwrap();
         d.release(batch.jobs.len());
         assert_eq!(d.admitted(), 0);
-        let (replica, _) = d.push(job(3).0).unwrap();
+        let (replica, _) = d.push(job(3).0, &seq).unwrap();
         assert_eq!(replica, 0, "both queues empty again; ties go to index 0");
     }
 
     #[test]
     fn dispatcher_drain_fans_out_and_rejects() {
+        let seq = seq();
         let d = Dispatcher::new(cfg(8, 4, 60_000_000), 3);
-        d.push(job(1).0).unwrap();
+        d.push(job(1).0, &seq).unwrap();
         d.start_drain();
         assert!(d.is_draining());
-        assert_eq!(d.push(job(2).0), Err(AdmitError::Draining));
+        assert_eq!(d.push(job(2).0, &seq), Err(AdmitError::Draining));
         // Backlog still served, then every worker sees the exit signal.
         assert_eq!(d.queue(0).next_batch().unwrap().jobs.len(), 1);
         for i in 0..3 {

@@ -57,9 +57,13 @@
 //! blocked forever. Connection threads are detached; they exit when their
 //! peer hangs up.
 
+use crate::metrics::{
+    BatchObservation, JobObservation, MetricsPlane, SnapshotContext, TRACE_DEFAULT_N,
+};
 use crate::model::{ModelOptions, ServeSpec, ServedModel};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::queue::{BatchReply, Dispatcher, Job, QueueConfig};
+use axnn_obs::WindowSpec;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -127,9 +131,20 @@ struct Shared {
     /// once the drain is complete (every owed reply is flushed by then),
     /// so a silent client cannot hold the join open forever.
     conns: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+    /// Live metrics: trace ids + ring, sliding windows, cumulative totals.
+    metrics: MetricsPlane,
 }
 
 impl Shared {
+    /// Server-level facts the metrics snapshot reports.
+    fn snapshot_ctx(&self) -> SnapshotContext {
+        SnapshotContext {
+            replicas: self.slots.len(),
+            generation: self.generation.load(Ordering::SeqCst),
+            draining: self.shutdown.load(Ordering::SeqCst),
+        }
+    }
+
     /// Starts the drain exactly once and wakes the blocked acceptor with a
     /// loop-back connection.
     fn begin_shutdown(&self) {
@@ -196,6 +211,7 @@ impl Server {
             generation: AtomicU64::new(0),
             swap: Mutex::new(SwapInner { canary }),
             conns: Mutex::new(Vec::new()),
+            metrics: MetricsPlane::new(replicas, WindowSpec::serve()),
         });
 
         let mut workers = Vec::with_capacity(replicas);
@@ -245,6 +261,25 @@ impl Server {
     /// Completed hot-swap count.
     pub fn generation(&self) -> u64 {
         self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// The live metrics plane (enable/disable recording, e.g. for the
+    /// overhead bench).
+    pub fn metrics_plane(&self) -> &MetricsPlane {
+        &self.shared.metrics
+    }
+
+    /// The `{"cmd": "metrics"}` JSON snapshot, in process.
+    pub fn metrics_json(&self) -> String {
+        self.shared
+            .metrics
+            .snapshot_json(&self.shared.snapshot_ctx())
+    }
+
+    /// The `{"cmd": "trace"}` response body for the last `n` records, in
+    /// process.
+    pub fn trace_json(&self, n: usize) -> String {
+        self.shared.metrics.trace_json(n)
     }
 
     /// Hot-swaps the served checkpoint in process (the `{"cmd": "reload"}`
@@ -336,16 +371,39 @@ fn worker_loop(mut model: ServedModel, replica: usize, shared: &Shared) {
         );
         axnn_obs::record_value("serve:compute_us", compute_spec(), compute_us);
         axnn_obs::record_value("serve:replica_batches", replica_spec(), replica as f64);
-        if let Some(stats) = model.plan_cache_stats() {
+        let (pc_hits, pc_misses) = if let Some(stats) = model.plan_cache_stats() {
             // Per-replica plan-cache hit ratio, recorded as this batch's
             // delta so the profile's hits/total reflect serving traffic.
             let hits = stats.hits - pc_last.hits;
             let misses = stats.misses - pc_last.misses;
             axnn_obs::record_ratio(&pc_label, hits, hits + misses);
             pc_last = stats;
-        }
-        for (job, logits) in batch.jobs.into_iter().zip(outputs) {
-            let queue_us = started.duration_since(job.enqueued).as_secs_f64() * 1e6;
+            (hits, misses)
+        } else {
+            (0, 0)
+        };
+        // One metrics-plane touch per batch: queue waits are measured here
+        // (before the replies go out, so a trace never races its own
+        // record), and the plane assigns the batch id the traces carry.
+        let job_obs: Vec<JobObservation> = batch
+            .jobs
+            .iter()
+            .map(|job| JobObservation {
+                trace_id: job.trace,
+                request_id: job.id,
+                admitted_ms: shared.metrics.offset_ms(job.enqueued),
+                queue_us: started.duration_since(job.enqueued).as_secs_f64() * 1e6,
+            })
+            .collect();
+        shared.metrics.note_batch(&BatchObservation {
+            replica,
+            compute_us,
+            plan_cache_hits: pc_hits,
+            plan_cache_misses: pc_misses,
+            jobs: &job_obs,
+        });
+        for ((job, logits), obs) in batch.jobs.into_iter().zip(outputs).zip(&job_obs) {
+            let queue_us = obs.queue_us;
             axnn_obs::record_value("serve:queue_wait_us", queue_wait_spec(), queue_us);
             axnn_obs::record_ratio("serve:rejected", 0, 1);
             // A send error means the connection died while its job was in
@@ -479,6 +537,23 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
         return match cmd {
             "ping" => Response::Control { status: "pong" },
             "info" => Response::Info { input_len, classes },
+            // Read-only snapshots, answered before admission control: they
+            // keep working on a draining or overloaded server.
+            "metrics" => match req.format.as_deref() {
+                None | Some("json") => Response::Snapshot {
+                    json: shared.metrics.snapshot_json(&shared.snapshot_ctx()),
+                },
+                Some("prometheus") => Response::Snapshot {
+                    json: shared.metrics.prometheus_json(&shared.snapshot_ctx()),
+                },
+                Some(other) => Response::Error {
+                    id: req.id,
+                    detail: format!("unknown metrics format '{other}'"),
+                },
+            },
+            "trace" => Response::Snapshot {
+                json: shared.metrics.trace_json(req.n.unwrap_or(TRACE_DEFAULT_N)),
+            },
             "shutdown" => {
                 shared.begin_shutdown();
                 Response::Control { status: "draining" }
@@ -513,13 +588,19 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
     let (tx, rx) = mpsc::channel();
     let job = Job {
         id: req.id,
+        // Placeholder: the real trace id is drawn from the server-wide
+        // sequence inside the queue push, under the queue mutex, so ids
+        // are monotonic in admission order and rejected requests never
+        // consume one (the id space stays dense).
+        trace: 0,
         input: req.input,
         enqueued: Instant::now(),
         reply: tx,
     };
-    match shared.dispatcher.push(job) {
+    match shared.dispatcher.push(job, shared.metrics.trace_seq()) {
         Err(e) => {
             axnn_obs::record_ratio("serve:rejected", 1, 1);
+            shared.metrics.note_rejected();
             Response::Rejected {
                 id: req.id,
                 reason: e.reason(),

@@ -137,6 +137,53 @@ if ! grep -q '"errors": 0[,}]' "$OBS_TMP/swap_load.json" ||
 fi
 echo "tier1: hot-swap smoke OK"
 
+# Observability-plane smoke: a loaded server must answer the `metrics` and
+# `trace` protocol commands live — `obs top --once --json` reports nonzero
+# window throughput and per-replica batch counts, and `obs tail --once`
+# prints well-formed trace records.
+target/release/axnn serve --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --port 0 --replicas 2 --queue-cap 64 >"$OBS_TMP/serve_obs.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serving on \([^ ]*\) .*/\1/p' "$OBS_TMP/serve_obs.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "tier1: observability serve did not print its ready line" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+target/release/axnn loadgen --addr "$ADDR" --connections 4 --requests 8 >/dev/null
+target/release/axnn obs top "$ADDR" --once --json >"$OBS_TMP/top.json"
+grep -q '"status": "metrics"' "$OBS_TMP/top.json" || {
+    echo "tier1: obs top did not return a metrics snapshot" >&2
+    exit 1
+}
+if grep -q '"rps": 0[,}]' "$OBS_TMP/top.json"; then
+    echo "tier1: metrics window reports zero throughput right after a burst" >&2
+    exit 1
+fi
+grep -q '"per_replica": \[{"replica": 0' "$OBS_TMP/top.json" || {
+    echo "tier1: metrics snapshot lacks the per-replica section" >&2
+    exit 1
+}
+grep -Eq '"replica": [01], "batches": [1-9]' "$OBS_TMP/top.json" || {
+    echo "tier1: no replica recorded any batches" >&2
+    exit 1
+}
+target/release/axnn obs tail "$ADDR" --once --n 8 >"$OBS_TMP/tail.out"
+grep -Eq '^#[0-9]+ req=[0-9]+ t=\+[0-9.]+ms queue=[0-9]+us compute=[0-9]+us batch=[0-9]+\(n=[0-9]+\) replica=[01] plan_cache=(hit|miss)$' \
+    "$OBS_TMP/tail.out" || {
+    echo "tier1: obs tail printed no well-formed trace record" >&2
+    exit 1
+}
+target/release/axnn loadgen --addr "$ADDR" --connections 1 --requests 1 \
+    --shutdown true >/dev/null
+wait "$SERVE_PID"
+echo "tier1: observability plane smoke OK"
+
 # Compiled-graph smoke: scoring the same checkpoint through the interpreter
 # and through the fused graph executor must print the same accuracy line,
 # the compiled profile must carry graph:* spans, and `obs diff` with the

@@ -11,6 +11,8 @@
 //!                                            drive a server / run the bench matrix
 //! axnn obs report <run.jsonl>                markdown health report of a profile
 //! axnn obs diff <a.jsonl> <b.jsonl> [flags]  threshold-gated profile comparison
+//! axnn obs top <addr> [flags]                live metrics dashboard of a server
+//! axnn obs tail <addr> [flags]               streaming request-trace printer
 //! axnn help                                  this text
 //! ```
 //!
@@ -21,6 +23,20 @@
 //! ```text
 //! --counter-pct <percent>   tolerated work-counter growth      [1]
 //! --ratio-abs <fraction>    tolerated bad-direction ratio move [0.05]
+//! --json                    machine-readable output (stable key order;
+//!                           the nonzero-exit contract is unchanged)
+//! ```
+//!
+//! `obs top` and `obs tail` watch a *running* server over the `metrics` /
+//! `trace` protocol commands:
+//!
+//! ```text
+//! top:  --once            one frame, then exit (scripting)
+//!       --json            print the raw snapshot JSON instead
+//!       --interval-ms <M> refresh period                     [1000]
+//! tail: --n <K>           initial backlog of trace records   [16]
+//!       --once            print the backlog, then exit
+//!       --interval-ms <M> poll period                        [500]
 //! ```
 //!
 //! Pipeline flags (defaults in brackets):
@@ -84,7 +100,7 @@ use approxnn::approxkd::pipeline::ModelKind;
 use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
 use approxnn::axmul::catalog;
 use approxnn::axmul::stats::MulStats;
-use approxnn::cli::{parse_known, parse_usize_list, Flags};
+use approxnn::cli::{parse_known, parse_usize_list, take_flag, Flags};
 use approxnn::models::ModelConfig;
 use approxnn::nn::StepDecay;
 use approxnn::serve::{self, LoadConfig, ModelOptions, ServeExecutor};
@@ -837,8 +853,9 @@ fn last_profile(path: &str) -> Result<approxnn::obs::RunProfile, String> {
 
 fn cmd_obs(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
-        "axnn obs report <run.jsonl> | axnn obs diff <a.jsonl> <b.jsonl> [--counter-pct P \
-         --ratio-abs F]";
+        "axnn obs report <run.jsonl> | axnn obs diff <a.jsonl> <b.jsonl> [--json] [--counter-pct \
+         P --ratio-abs F] | axnn obs top <addr> [--once] [--json] [--interval-ms M] | axnn obs \
+         tail <addr> [--n K] [--interval-ms M]";
     match args.first().map(String::as_str) {
         Some("report") => {
             let path = args.get(1).ok_or_else(|| format!("usage: {USAGE}"))?;
@@ -847,18 +864,30 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("diff") => {
-            let a = args.get(1).ok_or_else(|| format!("usage: {USAGE}"))?;
-            let b = args.get(2).ok_or_else(|| format!("usage: {USAGE}"))?;
-            let flags = parse_known(&args[3..], &["counter-pct", "ratio-abs"], USAGE)?;
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let as_json = take_flag(&mut rest, "json");
+            let a = rest
+                .first()
+                .ok_or_else(|| format!("usage: {USAGE}"))?
+                .clone();
+            let b = rest
+                .get(1)
+                .ok_or_else(|| format!("usage: {USAGE}"))?
+                .clone();
+            let flags = parse_known(&rest[2..], &["counter-pct", "ratio-abs"], USAGE)?;
             let counter_pct: f64 = flags.parsed("counter-pct", 1.0)?;
             let thresholds = approxnn::report::DiffThresholds {
                 counter_rel: counter_pct / 100.0,
                 ratio_abs: flags.parsed("ratio-abs", 0.05)?,
             };
-            let baseline = last_profile(a)?;
-            let candidate = last_profile(b)?;
+            let baseline = last_profile(&a)?;
+            let candidate = last_profile(&b)?;
             let diff = approxnn::report::diff_profiles(&baseline, &candidate, &thresholds);
-            print!("{}", diff.summary);
+            if as_json {
+                println!("{}", diff.to_json());
+            } else {
+                print!("{}", diff.summary);
+            }
             if diff.is_regression() {
                 Err(format!(
                     "{} regression(s) past thresholds",
@@ -868,7 +897,76 @@ fn cmd_obs(args: &[String]) -> Result<(), String> {
                 Ok(())
             }
         }
+        Some("top") => cmd_obs_top(&args[1..], USAGE),
+        Some("tail") => cmd_obs_tail(&args[1..], USAGE),
         _ => Err(format!("usage: {USAGE}")),
+    }
+}
+
+/// `axnn obs top <addr>`: periodic-refresh dashboard over `{"cmd":
+/// "metrics"}`. `--once` prints one frame and exits; `--json` prints the
+/// raw snapshot instead of the rendered dashboard (for scripting).
+fn cmd_obs_top(args: &[String], usage: &str) -> Result<(), String> {
+    let mut rest: Vec<String> = args.to_vec();
+    let once = take_flag(&mut rest, "once");
+    let as_json = take_flag(&mut rest, "json");
+    let addr = rest
+        .first()
+        .ok_or_else(|| format!("usage: {usage}"))?
+        .clone();
+    let flags = parse_known(&rest[1..], &["interval-ms"], usage)?;
+    let interval = Duration::from_millis(flags.parsed("interval-ms", 1000u64)?);
+    let mut client = serve::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    loop {
+        let snap = client.metrics(None).map_err(|e| format!("{addr}: {e}"))?;
+        if as_json {
+            println!("{snap}");
+        } else {
+            let frame = approxnn::report::render_top(&snap)?;
+            if !once {
+                // ANSI clear + home keeps the dashboard in place.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{frame}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `axnn obs tail <addr>`: streaming trace printer over `{"cmd": "trace"}`
+/// — polls the ring and prints records it has not shown yet.
+fn cmd_obs_tail(args: &[String], usage: &str) -> Result<(), String> {
+    let mut rest: Vec<String> = args.to_vec();
+    let once = take_flag(&mut rest, "once");
+    let addr = rest
+        .first()
+        .ok_or_else(|| format!("usage: {usage}"))?
+        .clone();
+    let flags = parse_known(&rest[1..], &["n", "interval-ms"], usage)?;
+    let backlog: usize = flags.parsed("n", 16)?;
+    let interval = Duration::from_millis(flags.parsed("interval-ms", 500u64)?);
+    let mut client = serve::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let mut cursor = 0u64;
+    let mut n = backlog;
+    loop {
+        let tail = client.trace_tail(n).map_err(|e| format!("{addr}: {e}"))?;
+        let (lines, last) = approxnn::report::trace_lines(&tail, cursor)?;
+        cursor = last;
+        for line in lines {
+            println!("{line}");
+        }
+        if once {
+            return Ok(());
+        }
+        // After the initial backlog, ask for the full ring so a burst
+        // between polls cannot outrun the tail.
+        n = serve::metrics::TRACE_RING_CAPACITY;
+        std::thread::sleep(interval);
     }
 }
 
@@ -885,6 +983,8 @@ fn usage() {
     println!("  loadgen --checkpoint <f>    run the serving bench matrix");
     println!("  obs report <run.jsonl>      markdown numeric-health report");
     println!("  obs diff <a> <b>            compare profiles; nonzero exit on regression");
+    println!("  obs top <addr>              live metrics dashboard (--once --json to script)");
+    println!("  obs tail <addr>             stream per-request trace records");
     println!("  help                        this text");
     println!();
     println!("see `src/bin/axnn.rs` docs for the full flag list");

@@ -68,6 +68,17 @@ impl Flags {
     }
 }
 
+/// Removes every occurrence of the value-less toggle `--name` from `args`,
+/// returning whether it was present. Toggles (`--json`, `--once`) take no
+/// value, so they must be stripped before [`parse_known`], which would
+/// otherwise swallow the next flag as their value.
+pub fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let flag = format!("--{name}");
+    let before = args.len();
+    args.retain(|a| a != &flag);
+    args.len() != before
+}
+
 /// Parses a comma-separated list of positive integers (`"1,2,4"`), as used
 /// by list-valued flags like `--replica-set`. Rejects empty lists, empty
 /// items, zeros, and non-numeric items.
@@ -131,6 +142,16 @@ mod tests {
     fn duplicate_flag_is_an_error() {
         let err = parse_known(&args(&["--seed", "1", "--seed", "2"]), &["seed"], "u").unwrap_err();
         assert!(err.contains("given twice"));
+    }
+
+    #[test]
+    fn bare_toggles_are_stripped_before_pair_parsing() {
+        let mut a = args(&["--json", "--counter-pct", "2", "--once"]);
+        assert!(take_flag(&mut a, "json"));
+        assert!(take_flag(&mut a, "once"));
+        assert!(!take_flag(&mut a, "json"), "already removed");
+        let f = parse_known(&a, &["counter-pct"], "u").unwrap();
+        assert_eq!(f.parsed("counter-pct", 0.0).unwrap(), 2.0);
     }
 
     #[test]

@@ -202,20 +202,128 @@ impl Default for DiffThresholds {
     }
 }
 
+/// One work counter's comparison inside a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDiff {
+    /// Counter name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+    /// Relative change (fraction; +∞ when growing from zero).
+    pub rel_change: f64,
+    /// Whether this counter participates in the regression gate.
+    pub gated: bool,
+    /// Whether it violated the threshold.
+    pub regressed: bool,
+}
+
+/// One health ratio's comparison inside a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioDiff {
+    /// Ratio label (`sat_x:<layer>`, `ge_lin:<layer>`, ...).
+    pub name: String,
+    /// Baseline rate; `None` when the ratio is new in the candidate.
+    pub baseline: Option<f64>,
+    /// Candidate rate.
+    pub candidate: f64,
+    /// `candidate - baseline` (0 for new ratios).
+    pub delta: f64,
+    /// Whether it moved past the threshold in its bad direction.
+    pub regressed: bool,
+}
+
 /// Outcome of a profile comparison: the rendered summary plus the flagged
-/// regressions (empty = gate passes).
+/// regressions (empty = gate passes), plus the structured rows behind the
+/// `--json` rendering.
 #[derive(Debug, Clone)]
 pub struct DiffReport {
     /// Markdown comparison summary.
     pub summary: String,
     /// One line per threshold violation.
     pub regressions: Vec<String>,
+    /// Baseline profile label.
+    pub baseline_label: String,
+    /// Candidate profile label.
+    pub candidate_label: String,
+    /// Per-counter comparison, in the fixed counter order.
+    pub counters: Vec<CounterDiff>,
+    /// Per-ratio comparison, sorted by ratio name.
+    pub ratios: Vec<RatioDiff>,
+    /// `eps_drift` event counts: (baseline, candidate).
+    pub drift_events: (usize, usize),
 }
 
 impl DiffReport {
     /// Whether any threshold was violated.
     pub fn is_regression(&self) -> bool {
         !self.regressions.is_empty()
+    }
+
+    /// Machine-readable rendering (`axnn obs diff --json`): one JSON object
+    /// with a fixed, documented key order, so CI can gate on specific
+    /// metrics without parsing markdown. The exit-code contract is the
+    /// caller's (`regression` mirrors it in-band).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\": 1, \"baseline\": {}, \"candidate\": {}, \
+             \"regression\": {}, \"counters\": [",
+            json_string(&self.baseline_label),
+            json_string(&self.candidate_label),
+            self.is_regression(),
+        );
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            // Growth from zero is ±∞ — emitted as null, not a misleading 0.
+            let rel = if c.rel_change.is_finite() {
+                json_f64(c.rel_change)
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!(
+                "{{\"name\": {}, \"baseline\": {}, \"candidate\": {}, \
+                 \"rel_change\": {rel}, \"gated\": {}, \"regressed\": {}}}",
+                json_string(&c.name),
+                c.baseline,
+                c.candidate,
+                c.gated,
+                c.regressed,
+            ));
+        }
+        out.push_str("], \"ratios\": [");
+        for (i, r) in self.ratios.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let baseline = match r.baseline {
+                Some(b) => json_f64(b),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"name\": {}, \"baseline\": {baseline}, \"candidate\": {}, \
+                 \"delta\": {}, \"regressed\": {}}}",
+                json_string(&r.name),
+                json_f64(r.candidate),
+                json_f64(r.delta),
+                r.regressed,
+            ));
+        }
+        out.push_str(&format!(
+            "], \"events\": {{\"eps_drift_baseline\": {}, \"eps_drift_candidate\": {}}}, \
+             \"regressions\": [",
+            self.drift_events.0, self.drift_events.1,
+        ));
+        for (i, r) in self.regressions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(r));
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -230,6 +338,8 @@ impl DiffReport {
 pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> DiffReport {
     let mut summary = String::new();
     let mut regressions = Vec::new();
+    let mut counter_rows = Vec::new();
+    let mut ratio_rows = Vec::new();
     let _ = writeln!(summary, "# Profile diff\n\nbaseline: {}", a.label);
     let _ = writeln!(summary, "candidate: {}\n", b.label);
 
@@ -281,13 +391,22 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
             (vb as f64 - va as f64) / va as f64
         };
         let _ = writeln!(summary, "| {name} | {va} | {vb} | {:+.2} % |", rel * 100.0);
-        if gated && rel > th.counter_rel {
+        let regressed = gated && rel > th.counter_rel;
+        if regressed {
             regressions.push(format!(
                 "counter {name} grew {:.2} % ({va} -> {vb}), tolerance {:.2} %",
                 rel * 100.0,
                 th.counter_rel * 100.0
             ));
         }
+        counter_rows.push(CounterDiff {
+            name: name.to_string(),
+            baseline: va,
+            candidate: vb,
+            rel_change: rel,
+            gated,
+            regressed,
+        });
     }
 
     let ratios_a: BTreeMap<&str, &RatioRecord> =
@@ -298,6 +417,13 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
     for rb in &b.health {
         let Some(ra) = ratios_a.get(rb.name.as_str()) else {
             let _ = writeln!(summary, "| {} | — | {:.4} | new |", rb.name, rb.rate());
+            ratio_rows.push(RatioDiff {
+                name: rb.name.clone(),
+                baseline: None,
+                candidate: rb.rate(),
+                delta: 0.0,
+                regressed: false,
+            });
             continue;
         };
         let delta = rb.rate() - ra.rate();
@@ -315,7 +441,8 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
         } else {
             delta
         };
-        if bad > th.ratio_abs {
+        let regressed = bad > th.ratio_abs;
+        if regressed {
             regressions.push(format!(
                 "ratio {} moved {delta:+.4} ({:.4} -> {:.4}), tolerance {:.4}",
                 rb.name,
@@ -324,7 +451,15 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
                 th.ratio_abs
             ));
         }
+        ratio_rows.push(RatioDiff {
+            name: rb.name.clone(),
+            baseline: Some(ra.rate()),
+            candidate: rb.rate(),
+            delta,
+            regressed,
+        });
     }
+    ratio_rows.sort_by(|x, y| x.name.cmp(&y.name));
 
     let drift = |p: &RunProfile| p.events.iter().filter(|e| e.kind == "eps_drift").count();
     let (da, db) = (drift(a), drift(b));
@@ -350,7 +485,175 @@ pub fn diff_profiles(a: &RunProfile, b: &RunProfile, th: &DiffThresholds) -> Dif
     DiffReport {
         summary,
         regressions,
+        baseline_label: a.label.clone(),
+        candidate_label: b.label.clone(),
+        counters: counter_rows,
+        ratios: ratio_rows,
+        drift_events: (da, db),
     }
+}
+
+/// Renders one `{"cmd": "metrics"}` snapshot as the `axnn obs top`
+/// dashboard text.
+///
+/// # Errors
+///
+/// Returns a message when the snapshot is not a well-formed metrics
+/// document.
+pub fn render_top(snapshot: &str) -> Result<String, String> {
+    use crate::obs::json::JsonValue;
+    let doc =
+        JsonValue::parse(snapshot.as_bytes()).map_err(|e| format!("malformed snapshot: {e}"))?;
+    if doc.get("status").and_then(JsonValue::as_str) != Some("metrics") {
+        return Err("not a metrics snapshot".to_string());
+    }
+    let u64_of = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let f64_of = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "axnn serve — live metrics (schema v{})",
+        u64_of(&doc, "schema_version")
+    );
+    let _ = writeln!(
+        out,
+        "uptime {:.1} s | replicas {} | generation {} | draining {} | recording {}",
+        u64_of(&doc, "uptime_ms") as f64 / 1e3,
+        u64_of(&doc, "replicas"),
+        u64_of(&doc, "generation"),
+        doc.get("draining")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        if doc.get("enabled").and_then(JsonValue::as_bool) == Some(false) {
+            "off"
+        } else {
+            "on"
+        },
+    );
+    let window = doc.get("window").ok_or("snapshot has no window section")?;
+    let _ = writeln!(
+        out,
+        "\nwindow (last {:.1} s)   rps {:.1} | rejected/s {:.1}",
+        f64_of(window, "covered_ms") / 1e3,
+        f64_of(window, "rps"),
+        f64_of(window, "reject_rps"),
+    );
+    for key in ["queue_wait_us", "compute_us", "batch_size"] {
+        if let Some(h) = window.get(key) {
+            let _ = writeln!(
+                out,
+                "  {key:<14} p50 {:>10.1}  p99 {:>10.1}  mean {:>10.1}  (n {})",
+                f64_of(h, "p50"),
+                f64_of(h, "p99"),
+                f64_of(h, "mean"),
+                u64_of(h, "count"),
+            );
+        }
+    }
+    if let Some(per) = window.get("per_replica").and_then(JsonValue::as_array) {
+        let _ = writeln!(out, "\nreplica   batches   pc_hits  pc_misses   hit%");
+        for r in per {
+            let _ = writeln!(
+                out,
+                "{:>7} {:>9} {:>9} {:>10} {:>6.1}",
+                u64_of(r, "replica"),
+                u64_of(r, "batches"),
+                u64_of(r, "plan_cache_hits"),
+                u64_of(r, "plan_cache_misses"),
+                f64_of(r, "plan_cache_hit_ratio") * 100.0,
+            );
+        }
+    }
+    if let Some(totals) = doc.get("totals") {
+        let _ = writeln!(
+            out,
+            "\ntotals: ok {} | rejected {} | batches {} | last trace id {}",
+            u64_of(totals, "ok"),
+            u64_of(totals, "rejected"),
+            u64_of(totals, "batches"),
+            u64_of(totals, "last_trace_id"),
+        );
+    }
+    Ok(out)
+}
+
+/// Formats the records of one `{"cmd": "trace"}` response whose trace id
+/// exceeds `after`, oldest first — the incremental step of `axnn obs
+/// tail`. Returns the lines plus the highest trace id seen (pass it back
+/// as the next `after`).
+///
+/// # Errors
+///
+/// Returns a message when the document is not a well-formed trace
+/// response.
+pub fn trace_lines(trace_json: &str, after: u64) -> Result<(Vec<String>, u64), String> {
+    use crate::obs::json::JsonValue;
+    let doc =
+        JsonValue::parse(trace_json.as_bytes()).map_err(|e| format!("malformed trace: {e}"))?;
+    if doc.get("status").and_then(JsonValue::as_str) != Some("trace") {
+        return Err("not a trace response".to_string());
+    }
+    let records = doc
+        .get("traces")
+        .and_then(JsonValue::as_array)
+        .ok_or("trace response has no 'traces' array")?;
+    let mut lines = Vec::new();
+    let mut last = after;
+    for r in records {
+        let id = r.get("trace_id").and_then(JsonValue::as_u64).unwrap_or(0);
+        if id <= after {
+            continue;
+        }
+        last = last.max(id);
+        let f = |key: &str| r.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let u = |key: &str| r.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        lines.push(format!(
+            "#{id} req={} t=+{:.1}ms queue={:.0}us compute={:.0}us \
+             batch={}(n={}) replica={} plan_cache={}",
+            u("request_id"),
+            f("admitted_ms"),
+            f("queue_us"),
+            f("compute_us"),
+            u("batch_id"),
+            u("batch_size"),
+            u("replica"),
+            if r.get("plan_cache_hit").and_then(JsonValue::as_bool) == Some(true) {
+                "hit"
+            } else {
+                "miss"
+            },
+        ));
+    }
+    Ok((lines, last))
+}
+
+/// Shortest f64 literal that parses back to the same value; non-finite
+/// degrades to 0 (the workspace emitter rule).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -522,6 +825,110 @@ mod tests {
         let mut b = profile("b");
         b.health[0].hits = 80;
         assert!(diff_profiles(&a, &b, &DiffThresholds::default()).is_regression());
+    }
+
+    #[test]
+    fn diff_json_is_machine_readable_with_stable_keys() {
+        use crate::obs::json::JsonValue;
+        let a = profile("a");
+        let mut b = profile("b");
+        b.counters.approx_muls = 1011; // regresses past the 1 % default
+        b.health[1].hits = 20; // sat_x up 19 points: regresses
+        let d = diff_profiles(&a, &b, &DiffThresholds::default());
+        assert!(d.is_regression());
+        let json = d.to_json();
+        let doc = JsonValue::parse(json.as_bytes()).expect("diff json parses");
+        assert_eq!(doc.get("baseline").unwrap().as_str(), Some("a"));
+        assert_eq!(doc.get("regression").unwrap().as_bool(), Some(true));
+        let counters = doc.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(
+            counters[0].get("name").unwrap().as_str(),
+            Some("approx_muls")
+        );
+        assert_eq!(counters[0].get("regressed").unwrap().as_bool(), Some(true));
+        assert_eq!(counters[0].get("candidate").unwrap().as_u64(), Some(1011));
+        // Ungated counters are marked as such.
+        let pc = counters
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("plan_cache_hits"))
+            .unwrap();
+        assert_eq!(pc.get("gated").unwrap().as_bool(), Some(false));
+        // Ratios are sorted by name: ge_lin before sat_x.
+        let ratios = doc.get("ratios").unwrap().as_array().unwrap();
+        assert!(ratios[0]
+            .get("name")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("ge_lin:"));
+        let sat = &ratios[1];
+        assert_eq!(sat.get("regressed").unwrap().as_bool(), Some(true));
+        assert!(doc.get("regressions").unwrap().as_array().unwrap().len() >= 2);
+        // Key order is stable across renderings (CI can diff raw strings).
+        assert_eq!(json, d.to_json());
+
+        // A clean diff reports regression: false with an empty list.
+        let clean = diff_profiles(&a, &profile("c"), &DiffThresholds::default());
+        let doc = JsonValue::parse(clean.to_json().as_bytes()).unwrap();
+        assert_eq!(doc.get("regression").unwrap().as_bool(), Some(false));
+        assert!(doc
+            .get("regressions")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn top_renders_a_metrics_snapshot() {
+        let snap = r#"{"status": "metrics", "schema_version": 1, "uptime_ms": 2500,
+            "enabled": true, "replicas": 2, "generation": 1, "draining": false,
+            "totals": {"ok": 64, "rejected": 3, "batches": 20, "last_trace_id": 67},
+            "window": {"covered_ms": 2500, "ok": 64, "rejected": 3, "rps": 25.6,
+                "reject_rps": 1.2,
+                "queue_wait_us": {"count": 64, "mean": 800.0, "p50": 750.0, "p99": 1900.0, "min": 10.0, "max": 2000.0},
+                "compute_us": {"count": 20, "mean": 5000.0, "p50": 4800.0, "p99": 9000.0, "min": 100.0, "max": 9500.0},
+                "batch_size": {"count": 20, "mean": 3.2, "p50": 3.0, "p99": 4.0, "min": 1.0, "max": 4.0},
+                "per_replica": [{"replica": 0, "batches": 12, "plan_cache_hits": 11,
+                    "plan_cache_misses": 1, "plan_cache_hit_ratio": 0.9166}]},
+            "health": []}"#;
+        let text = render_top(snap).expect("renders");
+        assert!(text.contains("rps 25.6"), "{text}");
+        assert!(text.contains("replicas 2"), "{text}");
+        assert!(text.contains("queue_wait_us"), "{text}");
+        assert!(text.contains("ok 64 | rejected 3"), "{text}");
+        assert!(render_top("{\"status\": \"pong\"}").is_err());
+    }
+
+    #[test]
+    fn trace_lines_are_incremental() {
+        let t = r#"{"status": "trace", "count": 3, "capacity": 512, "last_trace_id": 9,
+            "traces": [
+              {"trace_id": 7, "request_id": 1, "admitted_ms": 10.0, "queue_us": 100.0,
+               "compute_us": 900.0, "batch_id": 4, "batch_size": 2, "replica": 0, "plan_cache_hit": true},
+              {"trace_id": 8, "request_id": 2, "admitted_ms": 11.0, "queue_us": 120.0,
+               "compute_us": 900.0, "batch_id": 4, "batch_size": 2, "replica": 0, "plan_cache_hit": true},
+              {"trace_id": 9, "request_id": 3, "admitted_ms": 15.0, "queue_us": 90.0,
+               "compute_us": 450.0, "batch_id": 5, "batch_size": 1, "replica": 1, "plan_cache_hit": false}
+            ]}"#;
+        let (lines, last) = trace_lines(t, 0).expect("parses");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(last, 9);
+        assert!(lines[0].starts_with("#7 req=1 "), "{}", lines[0]);
+        assert!(
+            lines[2].contains("replica=1 plan_cache=miss"),
+            "{}",
+            lines[2]
+        );
+        // Already-seen ids are filtered: only the new record prints.
+        let (lines, last) = trace_lines(t, 8).expect("parses");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(last, 9);
+        // Nothing new keeps the cursor.
+        let (lines, last) = trace_lines(t, 9).expect("parses");
+        assert!(lines.is_empty());
+        assert_eq!(last, 9);
+        assert!(trace_lines("{\"status\": \"metrics\"}", 0).is_err());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! 4. **Replica invariance** — a served request's logits do not depend on
 //!    the server's replica count or on which replica answered, for every
 //!    executor family (the replicas × batch × executor matrix).
+//! 5. **Observability is passive** — logits are bit-identical with the
+//!    metrics plane enabled and disabled, and the trace ring stays bounded
+//!    and strictly ordered under concurrent multi-replica load.
 //!
 //! `set_threads` is process-global, so every case body takes [`serial`].
 
@@ -275,6 +278,163 @@ proptest! {
             prop_assert_eq!(wire, local,
                 "{} request {} of {} differs at {} replicas",
                 executor, i, batch, replicas);
+        }
+        par::set_threads(0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The metrics plane never touches the numerics: the same request
+    /// served with the plane disabled and then enabled yields bit-identical
+    /// logits, both equal to the in-process reference.
+    #[test]
+    fn served_logits_are_bit_identical_with_metrics_plane_toggled(
+        seed in 100u64..140,
+        batch in 1usize..4,
+        replicas in prop::sample::select(vec![1usize, 2]),
+        executor in prop::sample::select(vec![
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ]),
+    ) {
+        let _g = serial();
+        par::set_threads(1);
+        let server = shared_server(executor, replicas);
+        let input_len = server.input_len();
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed * 977 + i as u64);
+                approxnn::tensor::init::uniform(&[input_len], -1.0, 1.0, &mut rng)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+        let addr = server.addr();
+
+        let serve_all = |inputs: &[Vec<f32>]| -> Vec<Vec<u32>> {
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    let input = input.clone();
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let msg = client.infer(i as u64, &input).expect("round trip");
+                        assert_eq!(msg.status, "ok", "request {i}: {}", msg.detail);
+                        (msg.id as usize, msg.logits)
+                    })
+                })
+                .collect();
+            let mut out = vec![Vec::new(); inputs.len()];
+            for h in handles {
+                let (i, logits) = h.join().expect("client thread");
+                out[i] = logits.iter().map(|v| v.to_bits()).collect();
+            }
+            out
+        };
+
+        server.metrics_plane().set_enabled(false);
+        let dark = serve_all(&inputs);
+        server.metrics_plane().set_enabled(true);
+        let lit = serve_all(&inputs);
+
+        let mut model = shared_model(executor).lock().unwrap_or_else(|e| e.into_inner());
+        for (i, input) in inputs.iter().enumerate() {
+            let local: Vec<u32> = model.forward_batch(&[input.as_slice()])[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(&dark[i], &local,
+                "{} request {}: plane-off logits differ from reference", executor, i);
+            prop_assert_eq!(&lit[i], &local,
+                "{} request {}: plane-on logits differ from reference", executor, i);
+        }
+        par::set_threads(0);
+    }
+
+    /// Under concurrent load on a multi-replica server the trace ring stays
+    /// bounded by its capacity and completion-ordered: every trace id
+    /// appears at most once, records of one batch are contiguous with
+    /// strictly increasing (admission-ordered) trace ids, and every record
+    /// is internally consistent (valid replica, sane batch shape).
+    #[test]
+    fn trace_ring_is_bounded_and_ordered_under_concurrent_load(
+        seed in 200u64..230,
+        clients in 2usize..7,
+        replicas in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let _g = serial();
+        par::set_threads(1);
+        let server = shared_server(ServeExecutor::Exact, replicas);
+        let input_len = server.input_len();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed * 389 + i as u64);
+                let input: Vec<f32> =
+                    approxnn::tensor::init::uniform(&[input_len], -1.0, 1.0, &mut rng)
+                        .as_slice()
+                        .to_vec();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let msg = client.infer(i as u64, &input).expect("round trip");
+                    assert_eq!(msg.status, "ok", "request {i}: {}", msg.detail);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+
+        let mut client = Client::connect(addr).expect("connect");
+        let body = client
+            .trace_tail(approxnn::serve::metrics::TRACE_RING_CAPACITY)
+            .expect("trace answers");
+        let doc = approxnn::obs::json::JsonValue::parse(body.as_bytes())
+            .expect("trace body parses");
+        let count = doc.get("count").and_then(|v| v.as_usize()).expect("count");
+        let capacity = doc.get("capacity").and_then(|v| v.as_usize()).expect("capacity");
+        prop_assert_eq!(capacity, approxnn::serve::metrics::TRACE_RING_CAPACITY);
+        prop_assert!(count <= capacity, "ring overflowed: {} > {}", count, capacity);
+        let traces = doc.get("traces").and_then(|v| v.as_array()).expect("traces");
+        prop_assert_eq!(traces.len(), count);
+        prop_assert!(count >= clients.min(capacity),
+            "expected at least this round's {} records, got {}", clients, count);
+
+        let last_id = doc.get("last_trace_id").and_then(|v| v.as_u64()).expect("last id");
+        let mut seen = std::collections::HashSet::new();
+        let mut closed_batches = std::collections::HashSet::new();
+        let mut prev_batch = 0u64;
+        let mut prev_id_in_batch = 0u64;
+        for t in traces {
+            let id = t.get("trace_id").and_then(|v| v.as_u64()).expect("trace_id");
+            prop_assert!(id >= 1 && id <= last_id,
+                "record id {} outside 1..={}", id, last_id);
+            prop_assert!(seen.insert(id), "trace id {} recorded twice", id);
+            let batch_id = t.get("batch_id").and_then(|v| v.as_u64()).expect("batch_id");
+            if batch_id == prev_batch {
+                prop_assert!(id > prev_id_in_batch,
+                    "batch {}: trace ids not admission-ordered ({} after {})",
+                    batch_id, id, prev_id_in_batch);
+            } else {
+                prop_assert!(closed_batches.insert(prev_batch),
+                    "batch {} records are not contiguous in the ring", prev_batch);
+                prop_assert!(!closed_batches.contains(&batch_id),
+                    "batch {} reappeared after being closed", batch_id);
+                prev_batch = batch_id;
+            }
+            prev_id_in_batch = id;
+            let replica = t.get("replica").and_then(|v| v.as_usize()).expect("replica");
+            prop_assert!(replica < replicas, "replica {} out of range", replica);
+            let size = t.get("batch_size").and_then(|v| v.as_usize()).expect("batch_size");
+            prop_assert!(size >= 1, "empty batch recorded");
+            let queue = t.get("queue_us").and_then(|v| v.as_f64()).expect("queue_us");
+            let compute = t.get("compute_us").and_then(|v| v.as_f64()).expect("compute_us");
+            prop_assert!(queue >= 0.0 && compute >= 0.0, "negative span recorded");
+            prop_assert!(t.get("plan_cache_hit").and_then(|v| v.as_bool()).is_some());
         }
         par::set_threads(0);
     }
