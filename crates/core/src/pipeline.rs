@@ -125,6 +125,49 @@ impl ExperimentEnv {
         Self::new(ModelKind::ResNet20, ModelConfig::mini(), 320, 160, seed)
     }
 
+    /// Creates an environment over caller-provided splits — the hook the
+    /// streaming dataloader (`axnn_data::loader::StreamLoader`) plugs
+    /// into. The splits must match the model's input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split's feature shape differs from the model's
+    /// `[3, input_hw, input_hw]`.
+    pub fn with_data(
+        kind: ModelKind,
+        model_cfg: ModelConfig,
+        train: Dataset,
+        test: Dataset,
+        seed: u64,
+    ) -> Self {
+        let want = [
+            model_cfg.input_channels,
+            model_cfg.input_hw,
+            model_cfg.input_hw,
+        ];
+        for (name, split) in [("train", &train), ("test", &test)] {
+            assert_eq!(
+                &split.inputs.shape()[1..],
+                &want,
+                "{name} split shape does not match the model input"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fp_net = Self::build(kind, &model_cfg, &mut rng);
+        Self {
+            kind,
+            model_cfg,
+            train,
+            test,
+            fp_net,
+            fp_test_acc: 0.0,
+            fp_logits: None,
+            quant_net: None,
+            quant_logits: None,
+            seed,
+        }
+    }
+
     fn build(kind: ModelKind, cfg: &ModelConfig, rng: &mut StdRng) -> Sequential {
         match kind {
             ModelKind::ResNet20 => resnet20(cfg, rng),

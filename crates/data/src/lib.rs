@@ -24,7 +24,9 @@
 //! ```
 
 pub mod augment;
+pub mod loader;
 mod patterns;
+pub mod resize;
 
 use axnn_nn::train::Dataset;
 use axnn_tensor::Tensor;
@@ -66,6 +68,11 @@ impl SynthCifar {
     /// Image side length.
     pub fn hw(&self) -> usize {
         self.hw
+    }
+
+    /// Additive Gaussian noise sigma.
+    pub fn noise(&self) -> f32 {
+        self.noise
     }
 
     /// Renders one image of class `label`.

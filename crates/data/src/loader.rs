@@ -1,0 +1,429 @@
+//! Prefetching multi-threaded dataloader with deterministic per-seed
+//! ordering.
+//!
+//! Worker threads render raw frames, run the [`crate::resize`]
+//! preprocessing pipeline, assemble mini-batches, and push them through a
+//! bounded channel; the consumer reassembles them **by batch index**, not
+//! arrival order, so the stream a training loop sees depends only on
+//! `(seed, epoch)` — never on worker count, prefetch depth, or scheduling.
+//!
+//! ## Determinism model
+//!
+//! Each image is a pure function of `(seed, dataset index)`: index `i` has
+//! label `i % CLASSES` and its own `StdRng` seeded from a mix of the
+//! loader seed and `i`. Epoch `e` visits the indices in a Fisher–Yates
+//! order drawn from `(seed, e)`. Batch `b` covers order positions
+//! `[b*batch, (b+1)*batch)` and is rendered by worker `b % workers`; the
+//! consumer holds out-of-order batches in a reassembly buffer until their
+//! turn. This is a *different* deterministic stream from
+//! [`SynthCifar::generate`], which draws every image from one sequential
+//! RNG — a single stream cannot be split across workers, so the loader
+//! trades stream-compatibility for scalability while keeping bit-exact
+//! reproducibility per seed.
+//!
+//! Every batch travels through the full raw-frame pipeline (render →
+//! HWC frame → decode → resize → CHW → normalize), exactly what a serving
+//! client would do; with `src_hw` unset the resize is a same-size pass,
+//! which the kernels guarantee is an exact identity. Stages record obs
+//! spans and health hists: `data:decode` / `data:resize` on the workers,
+//! `data:prefetch_wait` around the consumer's channel wait.
+
+use crate::resize::{chw_to_hwc, prefetch_wait_spec, FrameData, PreprocessSpec, RawFrame};
+use crate::{SynthCifar, CLASSES};
+use axnn_nn::train::Dataset;
+use axnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Loader shape: mini-batch size, worker threads, bounded-channel depth,
+/// stream seed, and (optionally) the source resolution frames are rendered
+/// at before being resized to the generator's target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoaderConfig {
+    /// Mini-batch size (> 0).
+    pub batch: usize,
+    /// Rendering worker threads (> 0).
+    pub workers: usize,
+    /// Bounded-channel capacity in batches (> 0); how far workers may run
+    /// ahead of the consumer.
+    pub prefetch: usize,
+    /// Stream seed; together with the epoch it fully determines the
+    /// batches.
+    pub seed: u64,
+    /// Source frame resolution (≥ 4). `None` renders at the target
+    /// resolution, making the resize stage an exact identity.
+    pub src_hw: Option<usize>,
+}
+
+impl LoaderConfig {
+    /// A config with the default worker count (2) and prefetch depth (4).
+    pub fn new(batch: usize, seed: u64) -> LoaderConfig {
+        LoaderConfig {
+            batch,
+            workers: 2,
+            prefetch: 4,
+            seed,
+            src_hw: None,
+        }
+    }
+}
+
+/// Mixes the loader seed with a dataset index into one per-image RNG seed
+/// (splitmix-style finalizer, so neighbouring indices decorrelate).
+fn image_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders dataset index `idx` and runs it through the preprocessing
+/// pipeline — a pure function of `(gen, spec, seed, idx)`.
+fn render_one(gen: &SynthCifar, spec: &PreprocessSpec, seed: u64, idx: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(image_seed(seed, idx));
+    let img = gen.render(idx % CLASSES, &mut rng);
+    let hw = gen.hw();
+    let frame = RawFrame {
+        height: hw,
+        width: hw,
+        channels: 3,
+        data: FrameData::F32(chw_to_hwc(img.as_slice(), hw, hw, 3)),
+    };
+    spec.apply(&frame)
+        .expect("loader frames are well-formed by construction")
+}
+
+/// A prefetching streaming view over a [`SynthCifar`] split.
+pub struct StreamLoader {
+    gen: SynthCifar,
+    size: usize,
+    cfg: LoaderConfig,
+}
+
+impl StreamLoader {
+    /// Creates a loader streaming `size` images from `gen`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch`, `workers` or `prefetch` is zero, or when
+    /// `src_hw` is below the 4×4 pattern minimum.
+    pub fn new(gen: SynthCifar, size: usize, cfg: LoaderConfig) -> StreamLoader {
+        assert!(cfg.batch > 0, "loader batch size must be non-zero");
+        assert!(cfg.workers > 0, "loader needs at least one worker");
+        assert!(cfg.prefetch > 0, "loader prefetch depth must be non-zero");
+        if let Some(src) = cfg.src_hw {
+            assert!(src >= 4, "source frames must be at least 4x4");
+        }
+        StreamLoader { gen, size, cfg }
+    }
+
+    /// Images per epoch.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the loader streams nothing.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Batches one epoch yields (the last one may be partial).
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.size == 0 {
+            0
+        } else {
+            self.size.div_ceil(self.cfg.batch)
+        }
+    }
+
+    /// The index order epoch `epoch` visits — a Fisher–Yates shuffle drawn
+    /// from `(seed, epoch)` only, exposed so callers can audit or replay
+    /// the stream.
+    pub fn epoch_order(&self, epoch: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.size).collect();
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg.seed ^ 0x6570_6f63 ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        for i in (1..self.size).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+    }
+
+    /// Starts the workers for one epoch and returns the batch iterator.
+    /// Batches arrive in order `(inputs [n, 3, hw, hw], labels)`; dropping
+    /// the iterator early stops and joins the workers.
+    pub fn epoch(&self, epoch: u64) -> EpochIter {
+        let total = self.batches_per_epoch();
+        let order = Arc::new(self.epoch_order(epoch));
+        let (tx, rx) = mpsc::sync_channel(self.cfg.prefetch);
+        let hw = self.gen.hw();
+        let src_hw = self.cfg.src_hw.unwrap_or(hw);
+        let gen_src = SynthCifar::new(src_hw).with_noise(self.gen.noise());
+        let spec = PreprocessSpec::for_input(3, hw);
+        let (batch, workers, seed, size) =
+            (self.cfg.batch, self.cfg.workers, self.cfg.seed, self.size);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let tx = tx.clone();
+            let order = Arc::clone(&order);
+            let spec = spec.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("axnn-loader-{w}"))
+                    .spawn(move || {
+                        let mut b = w;
+                        while b < total {
+                            let lo = b * batch;
+                            let hi = (lo + batch).min(size);
+                            let mut flat = Vec::with_capacity((hi - lo) * spec.input_len());
+                            let mut labels = Vec::with_capacity(hi - lo);
+                            for &idx in &order[lo..hi] {
+                                flat.extend_from_slice(&render_one(&gen_src, &spec, seed, idx));
+                                labels.push(idx % CLASSES);
+                            }
+                            let inputs = Tensor::from_vec(flat, &[hi - lo, 3, hw, hw])
+                                .expect("batch shape is consistent by construction");
+                            // A send error means the consumer hung up early;
+                            // quietly stop producing.
+                            if tx.send((b, inputs, labels)).is_err() {
+                                return;
+                            }
+                            b += workers;
+                        }
+                    })
+                    .expect("spawn loader worker"),
+            );
+        }
+        drop(tx);
+        EpochIter {
+            rx: Some(rx),
+            handles,
+            pending: BTreeMap::new(),
+            next: 0,
+            total,
+        }
+    }
+
+    /// Streams one full epoch into a [`Dataset`] — the drop-in path for
+    /// consumers built around materialized splits (`axnn pipeline
+    /// --loader`).
+    pub fn materialize(&self, epoch: u64) -> Dataset {
+        let hw = self.gen.hw();
+        let mut flat = Vec::with_capacity(self.size * 3 * hw * hw);
+        let mut labels = Vec::with_capacity(self.size);
+        for (inputs, batch_labels) in self.epoch(epoch) {
+            flat.extend_from_slice(inputs.as_slice());
+            labels.extend(batch_labels);
+        }
+        let inputs = if labels.is_empty() {
+            Tensor::zeros(&[0, 3, hw, hw])
+        } else {
+            Tensor::from_vec(flat, &[labels.len(), 3, hw, hw])
+                .expect("epoch shape is consistent by construction")
+        };
+        Dataset::new(inputs, labels)
+    }
+}
+
+/// Iterator over one epoch's batches, in batch-index order.
+///
+/// Out-of-order arrivals (a fast worker finishing batch `b+2` before a slow
+/// one finishes `b`) wait in a reassembly buffer keyed by batch index; the
+/// buffer stays small because the bounded channel already limits how far
+/// any worker can run ahead.
+pub struct EpochIter {
+    rx: Option<Receiver<(usize, Tensor, Vec<usize>)>>,
+    handles: Vec<JoinHandle<()>>,
+    pending: BTreeMap<usize, (Tensor, Vec<usize>)>,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for EpochIter {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == self.total {
+            return None;
+        }
+        while !self.pending.contains_key(&self.next) {
+            let rx = self.rx.as_ref()?;
+            let started = Instant::now();
+            let got = {
+                let _s = axnn_obs::span("data:prefetch_wait");
+                rx.recv()
+            };
+            axnn_obs::record_value(
+                "data:prefetch_wait_us",
+                prefetch_wait_spec(),
+                started.elapsed().as_secs_f64() * 1e6,
+            );
+            match got {
+                Ok((b, inputs, labels)) => {
+                    self.pending.insert(b, (inputs, labels));
+                }
+                // Workers are done; with every batch accounted for this is
+                // unreachable, but a lost worker must not hang the consumer.
+                Err(_) => return None,
+            }
+        }
+        let item = self.pending.remove(&self.next).expect("checked above");
+        self.next += 1;
+        Some(item)
+    }
+}
+
+impl Drop for EpochIter {
+    fn drop(&mut self) {
+        // Hang up first so blocked senders fail fast, then join.
+        self.rx = None;
+        self.pending.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(loader: &StreamLoader, epoch: u64) -> (Vec<u32>, Vec<usize>, Vec<usize>) {
+        let mut bits = Vec::new();
+        let mut labels = Vec::new();
+        let mut sizes = Vec::new();
+        for (inputs, batch_labels) in loader.epoch(epoch) {
+            bits.extend(inputs.as_slice().iter().map(|v| v.to_bits()));
+            sizes.push(batch_labels.len());
+            labels.extend(batch_labels);
+        }
+        (bits, labels, sizes)
+    }
+
+    #[test]
+    fn stream_is_invariant_to_workers_and_prefetch_depth() {
+        let gen = SynthCifar::new(16);
+        let mut base = LoaderConfig::new(4, 9);
+        base.src_hw = Some(8); // exercise a real upscale, not just identity
+        let configs = [(1, 1), (2, 4), (3, 2), (5, 8)];
+        let reference = collect(
+            &StreamLoader::new(
+                gen,
+                18,
+                LoaderConfig {
+                    workers: configs[0].0,
+                    prefetch: configs[0].1,
+                    ..base
+                },
+            ),
+            1,
+        );
+        for (workers, prefetch) in configs.into_iter().skip(1) {
+            let got = collect(
+                &StreamLoader::new(
+                    gen,
+                    18,
+                    LoaderConfig {
+                        workers,
+                        prefetch,
+                        ..base
+                    },
+                ),
+                1,
+            );
+            assert_eq!(got, reference, "workers={workers} prefetch={prefetch}");
+        }
+    }
+
+    #[test]
+    fn epochs_reshuffle_but_replay_deterministically() {
+        let loader = StreamLoader::new(SynthCifar::new(8), 30, LoaderConfig::new(8, 3));
+        let e0 = collect(&loader, 0);
+        let e0_again = collect(&loader, 0);
+        let e1 = collect(&loader, 1);
+        assert_eq!(e0, e0_again, "same epoch replays bit-identically");
+        assert_ne!(e0.1, e1.1, "epochs visit different orders");
+        // Same multiset of labels either way.
+        let mut a = e0.1.clone();
+        let mut b = e1.1.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_preprocessing_reproduces_direct_renders_bitwise() {
+        // With src_hw unset the pipeline (render → HWC → decode → identity
+        // resize → CHW → unit normalize) must hand back exactly the
+        // rendered image: same-size resize and layout round trip are exact.
+        let gen = SynthCifar::new(8);
+        let loader = StreamLoader::new(gen, 12, LoaderConfig::new(5, 21));
+        let ds = loader.materialize(2);
+        let order = loader.epoch_order(2);
+        assert_eq!(ds.labels.len(), 12);
+        let img_len = 3 * 8 * 8;
+        for (pos, &idx) in order.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(image_seed(21, idx));
+            let want = gen.render(idx % CLASSES, &mut rng);
+            let got = &ds.inputs.as_slice()[pos * img_len..(pos + 1) * img_len];
+            assert_eq!(ds.labels[pos], idx % CLASSES);
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "image at position {pos} (index {idx})");
+        }
+    }
+
+    #[test]
+    fn partial_final_batch_and_empty_loader() {
+        let loader = StreamLoader::new(SynthCifar::new(8), 10, LoaderConfig::new(4, 0));
+        assert_eq!(loader.batches_per_epoch(), 3);
+        let (_, labels, sizes) = collect(&loader, 0);
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(labels.len(), 10);
+        let empty = StreamLoader::new(SynthCifar::new(8), 0, LoaderConfig::new(4, 0));
+        assert_eq!(empty.batches_per_epoch(), 0);
+        assert_eq!(empty.epoch(0).count(), 0);
+        let ds = empty.materialize(0);
+        assert_eq!(ds.inputs.shape(), &[0, 3, 8, 8]);
+    }
+
+    #[test]
+    fn dropping_the_iterator_early_stops_the_workers() {
+        let loader = StreamLoader::new(
+            SynthCifar::new(8),
+            64,
+            LoaderConfig {
+                batch: 2,
+                workers: 3,
+                prefetch: 1,
+                seed: 5,
+                src_hw: None,
+            },
+        );
+        let mut iter = loader.epoch(0);
+        let first = iter.next().expect("one batch");
+        assert_eq!(first.1.len(), 2);
+        drop(iter); // must join cleanly without consuming the epoch
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be non-zero")]
+    fn zero_batch_is_rejected() {
+        let _ = StreamLoader::new(SynthCifar::new(8), 10, LoaderConfig::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4x4")]
+    fn tiny_source_frames_are_rejected() {
+        let mut cfg = LoaderConfig::new(4, 0);
+        cfg.src_hw = Some(2);
+        let _ = StreamLoader::new(SynthCifar::new(8), 10, cfg);
+    }
+}

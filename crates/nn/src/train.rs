@@ -26,12 +26,21 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if the label count does not match the leading input dimension.
+    /// Panics if the label count does not match the leading input
+    /// dimension, or if any *non-leading* dimension is zero — a zero
+    /// feature dimension only blows up much later, deep inside a forward
+    /// pass, so it is rejected here with a clear message. (An empty
+    /// dataset, `N == 0`, stays legal: evaluation over it is well-defined.)
     pub fn new(inputs: Tensor, labels: Vec<usize>) -> Self {
         assert_eq!(
             inputs.shape()[0],
             labels.len(),
             "label count must equal leading input dimension"
+        );
+        assert!(
+            inputs.shape().iter().skip(1).all(|&d| d > 0),
+            "dataset input shape {:?} has a zero-sized feature dimension",
+            inputs.shape()
         );
         Self { inputs, labels }
     }
@@ -238,5 +247,20 @@ mod tests {
         let data = Dataset::new(Tensor::zeros(&[0, 2]), vec![]);
         let mut net = mlp(&mut rng);
         assert_eq!(evaluate(&mut net, &data, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized feature dimension")]
+    fn dataset_rejects_zero_feature_dimensions() {
+        // A zero *feature* dim used to sail through construction and panic
+        // much later inside a conv forward; it must fail loudly here. Note
+        // the leading (sample) dim may still be zero — see the test above.
+        let _ = Dataset::new(Tensor::zeros(&[2, 3, 0, 8]), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count must equal")]
+    fn dataset_rejects_mismatched_labels() {
+        let _ = Dataset::new(Tensor::zeros(&[2, 4]), vec![0]);
     }
 }

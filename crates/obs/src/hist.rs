@@ -386,6 +386,31 @@ mod tests {
     }
 
     #[test]
+    fn quantile_with_a_single_occupied_bucket_stays_inside_it() {
+        // All mass in one interior bucket: interpolation happens within
+        // that bucket and the min/max clamp keeps every quantile inside
+        // the observed range, never at a bare bucket edge.
+        let mut h = Hist::new(HistSpec::new(0.0, 10.0, 10));
+        h.record_all([3.2, 3.4, 3.6]);
+        assert_eq!(h.quantile(0.0), 3.2);
+        assert_eq!(h.quantile(1.0), 3.6);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let v = h.quantile(q);
+            assert!((3.2..=3.6).contains(&v), "q={q} -> {v} escaped the data");
+            assert!(v >= prev, "quantiles must be monotone in q");
+            prev = v;
+        }
+        // The degenerate single-sample case collapses every quantile onto
+        // that sample.
+        let mut one = Hist::new(HistSpec::new(0.0, 10.0, 10));
+        one.record(7.25);
+        for q in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            assert_eq!(one.quantile(q), 7.25, "q={q}");
+        }
+    }
+
+    #[test]
     fn welford_matches_closed_form() {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
         let mut h = Hist::new(HistSpec::new(0.0, 10.0, 4));

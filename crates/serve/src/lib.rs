@@ -26,12 +26,22 @@
 //! per-replica plan-cache ratios, swap events — landing in the RunProfile
 //! v2 schema so `axnn obs report|diff` work on serving runs unchanged.
 //!
+//! Requests arrive as pre-shaped tensors or as **raw `H×W×C` frames**
+//! (`raw_frame`): the server resizes, re-lays-out and normalizes raw
+//! frames with the model's [`PreprocessSpec`] on the connection thread —
+//! a pipelined stage before micro-batching — using the *same*
+//! `axnn_data::resize` kernels a client would, so server-side
+//! preprocessing is bit-identical to client-side ([`stream::probe`]
+//! asserts it end to end).
+//!
 //! [`loadgen`] drives a running server closed-loop (fixed caller
 //! population), open-loop (fixed arrival schedule, coordinated-omission
 //! corrected), or as a multi-rate open-loop [`loadgen::sweep`] that
-//! locates the saturation knee; [`bench`] sweeps the executor ×
-//! batch-config matrix plus the replicas-vs-throughput knee into
-//! `results/BENCH_serve.json`.
+//! locates the saturation knee; [`stream`] is the raw-frame analogue — a
+//! sustained open-loop frame-rate sweep with per-stage
+//! preprocess/queue/compute breakdowns (`results/BENCH_stream.json`);
+//! [`bench`] sweeps the executor × batch-config matrix plus the
+//! replicas-vs-throughput knee into `results/BENCH_serve.json`.
 //!
 //! ## Minimal session
 //!
@@ -50,12 +60,14 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod stream;
 
+pub use axnn_data::resize::{Filter, FrameData, PreprocessSpec, RawFrame};
 pub use bench::{run_bench, BenchConfig};
 pub use executor::ServeExecutor;
 pub use loadgen::{
-    canary_probe, probe_input_len, reload_server, shutdown_server, Client, LoadConfig, LoadReport,
-    SweepConfig, SweepReport,
+    canary_probe, probe_input_len, probe_preprocess_spec, reload_server, shutdown_server, Client,
+    LoadConfig, LoadReport, SweepConfig, SweepReport,
 };
 pub use metrics::{MetricsPlane, SnapshotContext, TraceRecord, METRICS_SCHEMA_VERSION};
 pub use model::{ModelOptions, ServeSpec, ServedModel};
@@ -63,6 +75,7 @@ pub use protocol::{Request, Response, ResponseMsg};
 pub use queue::{AdmitError, BatchQueue, Dispatcher, QueueConfig};
 pub use server::Server;
 pub use stats::LatencySummary;
+pub use stream::{StreamConfig, StreamPoint, StreamProbe, StreamReport};
 
 #[cfg(test)]
 mod tests {
@@ -332,6 +345,70 @@ mod tests {
         assert_eq!(msg.status, "error");
         assert_eq!(server.generation(), 1, "failed reload must not bump");
         assert_eq!(client.infer(9, &input).unwrap().status, "ok");
+        server.shutdown();
+    }
+
+    #[test]
+    fn raw_frames_serve_bit_identically_to_local_preprocessing() {
+        let mut server = tiny_server_at(
+            "127.0.0.1:0",
+            QueueConfig {
+                capacity: 16,
+                max_batch: 4,
+                batch_window: Duration::from_micros(300),
+            },
+            2,
+        );
+        let addr = server.addr();
+        // The published spec matches the served shape.
+        let spec = probe_preprocess_spec(addr).unwrap();
+        assert_eq!(spec.input_len(), server.input_len());
+
+        // The library probe: one u8 frame needing a downscale (32x48 -> 8x8).
+        let verdict = stream::probe(addr, 32, 48, 3, true, 77).unwrap();
+        assert!(
+            verdict.bit_identical,
+            "raw vs tensor diverged by {}",
+            verdict.max_abs_delta
+        );
+        assert_eq!(verdict.classes, server.classes());
+
+        // By hand for the f32 path, plus the per-response preprocess_us
+        // split: raw frames report a positive preprocess time, tensor
+        // requests report zero.
+        let frame = RawFrame::synthetic(16, 16, 3, false, 5);
+        let local = spec.apply(&frame).unwrap();
+        let mut client = Client::connect(addr).unwrap();
+        let raw = client.infer_raw(1, &frame).unwrap();
+        assert_eq!(raw.status, "ok", "{}", raw.detail);
+        assert!(raw.preprocess_us > 0.0);
+        let tensor = client.infer(2, &local).unwrap();
+        assert_eq!(tensor.status, "ok");
+        assert_eq!(tensor.preprocess_us, 0.0);
+        let raw_bits: Vec<u32> = raw.logits.iter().map(|v| v.to_bits()).collect();
+        let tensor_bits: Vec<u32> = tensor.logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(raw_bits, tensor_bits);
+
+        // Malformed frames get per-request errors, not hangups.
+        let mut bad = RawFrame::synthetic(4, 4, 3, true, 1);
+        bad.height = 5;
+        let msg = client.infer_raw(3, &bad).unwrap();
+        assert_eq!(msg.status, "error");
+        assert!(msg.detail.contains("expected"), "{}", msg.detail);
+        let both = Request::raw_frame_json(4, &frame).replacen(
+            "\"raw_frame\"",
+            "\"input\": [0.5], \"raw_frame\"",
+            1,
+        );
+        let msg = ResponseMsg::parse(client.raw_round_trip(&both).unwrap().as_slice()).unwrap();
+        assert_eq!(msg.status, "error");
+        assert!(msg.detail.contains("both"), "{}", msg.detail);
+
+        // The metrics window now carries the preprocess stage.
+        let snap = client.metrics(None).unwrap();
+        let doc = axnn_obs::json::JsonValue::parse(snap.as_bytes()).unwrap();
+        let pp = doc.get("window").unwrap().get("preprocess_us").unwrap();
+        assert!(pp.get("count").unwrap().as_u64().unwrap() >= 2);
         server.shutdown();
     }
 

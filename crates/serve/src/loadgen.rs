@@ -18,6 +18,7 @@
 
 use crate::protocol::{read_frame, write_frame, Request, ResponseMsg};
 use crate::stats::LatencySummary;
+use axnn_data::resize::{PreprocessSpec, RawFrame};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{self, BufReader, BufWriter};
@@ -54,6 +55,12 @@ impl Client {
     /// Sends one inference request and waits for the response.
     pub fn infer(&mut self, id: u64, input: &[f32]) -> io::Result<ResponseMsg> {
         self.round_trip(&Request::inference_json(id, input))
+    }
+
+    /// Sends one raw-frame inference request — the server runs its
+    /// preprocessing pipeline on the frame before batching.
+    pub fn infer_raw(&mut self, id: u64, frame: &RawFrame) -> io::Result<ResponseMsg> {
+        self.round_trip(&Request::raw_frame_json(id, frame))
     }
 
     /// Sends a control command (`ping`, `info`, `shutdown`).
@@ -120,6 +127,25 @@ pub fn probe_input_len(addr: impl ToSocketAddrs) -> io::Result<usize> {
         ));
     }
     Ok(msg.input_len as usize)
+}
+
+/// Asks the server at `addr` for its raw-frame preprocessing spec via
+/// `{"cmd": "info"}` — the spec a client runs locally to reproduce
+/// server-side preprocessing bit-for-bit.
+pub fn probe_preprocess_spec(addr: impl ToSocketAddrs) -> io::Result<PreprocessSpec> {
+    let msg = Client::connect(addr)?.command("info")?;
+    if msg.status != "info" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected info, got '{}'", msg.status),
+        ));
+    }
+    msg.preprocess.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "server published no preprocess spec",
+        )
+    })
 }
 
 /// Connects and issues `{"cmd": "shutdown"}`; returns the server's reply.

@@ -31,7 +31,7 @@ use std::time::Instant;
 
 /// Version of the `{"cmd": "metrics"}` snapshot schema (bumped on any
 /// key-set change, like the RunProfile's `schema_version`).
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// Capacity of the per-server trace ring: old records are evicted in FIFO
 /// order once this many are held.
@@ -118,6 +118,9 @@ pub struct JobObservation {
 struct WindowsInner {
     queue_wait_us: HistWindow,
     compute_us: HistWindow,
+    /// Server-side raw-frame preprocessing time; recorded per `raw_frame`
+    /// request on the connection thread, before micro-batching.
+    preprocess_us: HistWindow,
     batch_size: HistWindow,
     ok: CounterWindow,
     rejected: CounterWindow,
@@ -167,6 +170,7 @@ impl MetricsPlane {
             windows: Mutex::new(WindowsInner {
                 queue_wait_us: hist(crate::server::queue_wait_spec()),
                 compute_us: hist(crate::server::compute_spec()),
+                preprocess_us: hist(crate::server::preprocess_time_spec()),
                 batch_size: hist(crate::server::batch_size_spec()),
                 ok: CounterWindow::new(window),
                 rejected: CounterWindow::new(window),
@@ -221,6 +225,17 @@ impl MetricsPlane {
         }
         self.rejected_total.fetch_add(1, Ordering::Relaxed);
         lock(&self.windows).rejected.add(self.now_ms(), 1);
+    }
+
+    /// Records one server-side raw-frame preprocessing duration. Runs on
+    /// the connection thread (one short lock per raw-frame request); the
+    /// batching path never calls it, so tensor requests stay lock-free
+    /// here.
+    pub fn note_preprocess(&self, us: f64) {
+        if !self.enabled() {
+            return;
+        }
+        lock(&self.windows).preprocess_us.record(self.now_ms(), us);
     }
 
     /// Records one completed micro-batch and returns its batch id. The
@@ -317,7 +332,7 @@ impl MetricsPlane {
         let now = self.now_ms();
         let uptime = now.max(1);
         // One lock, merged copies out, lock released before formatting.
-        let (queue_wait, compute, batch_size, ok_w, rej_w, per_replica) = {
+        let (queue_wait, compute, preprocess, batch_size, ok_w, rej_w, per_replica) = {
             let w = lock(&self.windows);
             let covered = w.ok.window().covered_millis(uptime);
             let per: Vec<(u64, u64, u64)> = w
@@ -328,6 +343,7 @@ impl MetricsPlane {
             (
                 w.queue_wait_us.merged(now),
                 w.compute_us.merged(now),
+                w.preprocess_us.merged(now),
                 w.batch_size.merged(now),
                 (w.ok.total(now), covered),
                 w.rejected.total(now),
@@ -354,12 +370,13 @@ impl MetricsPlane {
         out.push_str(&format!(
             ", \"window\": {{\"covered_ms\": {covered_ms}, \"ok\": {ok_in_window}, \
              \"rejected\": {rej_w}, \"rps\": {}, \"reject_rps\": {}, \
-             \"queue_wait_us\": {}, \"compute_us\": {}, \"batch_size\": {}, \
-             \"per_replica\": [",
+             \"queue_wait_us\": {}, \"compute_us\": {}, \"preprocess_us\": {}, \
+             \"batch_size\": {}, \"per_replica\": [",
             json_f64(rps),
             json_f64(reject_rps),
             hist_summary_json(&queue_wait),
             hist_summary_json(&compute),
+            hist_summary_json(&preprocess),
             hist_summary_json(&batch_size),
         ));
         for (i, (batches, hits, misses)) in per_replica.iter().enumerate() {
@@ -415,7 +432,7 @@ impl MetricsPlane {
     pub fn prometheus_json(&self, ctx: &SnapshotContext) -> String {
         let now = self.now_ms();
         let uptime = now.max(1);
-        let (queue_wait, compute, ok_w, rej_w, covered, per_replica) = {
+        let (queue_wait, compute, preprocess, ok_w, rej_w, covered, per_replica) = {
             let w = lock(&self.windows);
             let covered = w.ok.window().covered_millis(uptime);
             let per: Vec<(u64, u64, u64)> = w
@@ -426,6 +443,7 @@ impl MetricsPlane {
             (
                 w.queue_wait_us.merged(now),
                 w.compute_us.merged(now),
+                w.preprocess_us.merged(now),
                 w.ok.total(now),
                 w.rejected.total(now),
                 covered,
@@ -482,6 +500,10 @@ impl MetricsPlane {
             text.push_str(&format!(
                 "axnn_serve_window_compute_us{{quantile=\"{label}\"}} {}\n",
                 json_f64(compute.quantile(q)),
+            ));
+            text.push_str(&format!(
+                "axnn_serve_window_preprocess_us{{quantile=\"{label}\"}} {}\n",
+                json_f64(preprocess.quantile(q)),
             ));
         }
         for (i, (batches, hits, misses)) in per_replica.iter().enumerate() {
@@ -618,6 +640,8 @@ mod tests {
             });
         }
         plane.note_rejected();
+        plane.note_preprocess(350.0);
+        plane.note_preprocess(650.0);
         let ctx = SnapshotContext {
             replicas: 2,
             generation: 3,
@@ -649,6 +673,9 @@ mod tests {
         assert!(
             qw.get("p99").unwrap().as_f64().unwrap() >= qw.get("p50").unwrap().as_f64().unwrap()
         );
+        let pp = window.get("preprocess_us").unwrap();
+        assert_eq!(pp.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(pp.get("mean").unwrap().as_f64(), Some(500.0));
         assert!(doc.get("health").unwrap().as_array().is_some());
     }
 
@@ -699,6 +726,7 @@ mod tests {
         assert!(text.contains("axnn_serve_requests_ok_total 4"));
         assert!(text.contains("axnn_serve_window_rps "));
         assert!(text.contains("axnn_serve_window_queue_wait_us{quantile=\"0.99\"}"));
+        assert!(text.contains("axnn_serve_window_preprocess_us{quantile=\"0.5\"}"));
         assert!(text.contains("axnn_serve_window_replica_batches{replica=\"0\"} 1"));
     }
 }

@@ -10,6 +10,7 @@
 //! on its batch mates.
 
 use crate::executor::ServeExecutor;
+use axnn_data::resize::PreprocessSpec;
 use axnn_data::SynthCifar;
 use axnn_models::{mobilenet_v2, resnet20, resnet32, ModelConfig};
 use axnn_nn::train::calibrate;
@@ -90,6 +91,7 @@ pub struct ServedModel {
     hw: usize,
     classes: usize,
     label: String,
+    preprocess: PreprocessSpec,
 }
 
 impl ServedModel {
@@ -145,6 +147,9 @@ impl ServedModel {
             hw: opts.hw,
             classes: cfg.classes,
             label: format!("{}/{}", opts.model, opts.executor),
+            // Resolved at checkpoint load: raw frames of any H×W×C are
+            // resized/normalized into this model's input shape.
+            preprocess: PreprocessSpec::for_input(cfg.input_channels, opts.hw),
         };
         if opts.executor != ServeExecutor::Exact {
             // Freeze the activation quantizers on a deterministic synthetic
@@ -169,6 +174,11 @@ impl ServedModel {
     /// Flattened input length one request must carry (`C*H*W`).
     pub fn input_len(&self) -> usize {
         self.channels * self.hw * self.hw
+    }
+
+    /// The preprocessing spec raw-frame requests are resolved with.
+    pub fn preprocess_spec(&self) -> &PreprocessSpec {
+        &self.preprocess
     }
 
     /// Number of output classes (logits per request).

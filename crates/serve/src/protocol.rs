@@ -14,7 +14,9 @@
 //! ## Request forms
 //!
 //! ```json
-//! {"id": 7, "input": [0.25, -1.0, ...]}   // inference
+//! {"id": 7, "input": [0.25, -1.0, ...]}   // inference (pre-shaped tensor)
+//! {"id": 7, "raw_frame": {"height": 32, "width": 48, "channels": 3,
+//!  "dtype": "u8", "data": [0, 255, ...]}}  // inference (server preprocesses)
 //! {"cmd": "ping"}                          // liveness probe
 //! {"cmd": "shutdown"}                      // begin graceful drain
 //! {"cmd": "reload", "path": "ckpt.json"}   // hot-swap checkpoint
@@ -27,11 +29,19 @@
 //! `metrics` and `trace` are read-only: they are answered before admission
 //! control, so they keep working on a draining server.
 //!
+//! A `raw_frame` request carries an arbitrary `H×W×C` image in
+//! interleaved (HWC) pixel order, either as `u8` bytes (0..=255, decoded
+//! to `b / 255.0`) or as `f32` values. The server resizes, re-lays-out,
+//! and normalizes it with the model's [`PreprocessSpec`] — the *same*
+//! kernels a client would run — so server-side preprocessing is
+//! bit-identical to client-side. A request must carry `input` *or*
+//! `raw_frame`, never both.
+//!
 //! ## Response forms
 //!
 //! ```json
 //! {"id": 7, "status": "ok", "logits": [...], "queue_us": 812.4,
-//!  "compute_us": 5031.0, "batch": 4}
+//!  "compute_us": 5031.0, "preprocess_us": 0, "batch": 4}
 //! {"id": 7, "status": "overloaded"}        // admission control rejection
 //! {"id": 7, "status": "draining"}          // arrived after shutdown
 //! {"id": 7, "status": "error", "detail": "input length 12 != 192"}
@@ -45,6 +55,7 @@
 //! formatting, so a conforming JSON parser recovers them bit-identically —
 //! the batch-invariance guarantee survives the wire.
 
+use axnn_data::resize::{Filter, FrameData, PreprocessSpec, RawFrame};
 use axnn_obs::json::JsonValue;
 use std::io::{self, Read, Write};
 
@@ -104,6 +115,9 @@ pub struct Request {
     pub id: u64,
     /// Flattened `C*H*W` input image; empty for control messages.
     pub input: Vec<f32>,
+    /// Raw `H×W×C` frame for server-side preprocessing; mutually
+    /// exclusive with `input`.
+    pub raw_frame: Option<RawFrame>,
     /// Control command (`"ping"`, `"info"`, `"shutdown"`, `"reload"`,
     /// `"metrics"`, `"trace"`), if any.
     pub cmd: Option<String>,
@@ -135,6 +149,10 @@ impl Request {
             Some(v) => v
                 .f32_array()
                 .ok_or_else(|| "malformed request: 'input' is not a number array".to_string())?,
+        };
+        let raw_frame = match doc.get("raw_frame") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(parse_raw_frame(v)?),
         };
         let cmd = match doc.get("cmd") {
             None | Some(JsonValue::Null) => None,
@@ -170,6 +188,7 @@ impl Request {
         Ok(Request {
             id,
             input,
+            raw_frame,
             cmd,
             path,
             n,
@@ -187,6 +206,40 @@ impl Request {
             out.push_str(&json_f32(*v));
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Serializes a raw-frame inference request (client side): the frame
+    /// travels in `H×W×C` pixel order with its dtype tag, and the server
+    /// runs the model's preprocessing pipeline on it.
+    pub fn raw_frame_json(id: u64, frame: &RawFrame) -> String {
+        let mut out = format!(
+            "{{\"id\": {id}, \"raw_frame\": {{\"height\": {}, \"width\": {}, \
+             \"channels\": {}, \"dtype\": \"{}\", \"data\": [",
+            frame.height,
+            frame.width,
+            frame.channels,
+            frame.data.dtype(),
+        );
+        match &frame.data {
+            FrameData::U8(bytes) => {
+                for (i, b) in bytes.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&b.to_string());
+                }
+            }
+            FrameData::F32(vals) => {
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_f32(*v));
+                }
+            }
+        }
+        out.push_str("]}}");
         out
     }
 
@@ -216,6 +269,61 @@ impl Request {
     }
 }
 
+/// Parses the `"raw_frame"` request member: `height`/`width`/`channels`
+/// dimensions, a `dtype` tag (`"u8"` or `"f32"`, default `"f32"`), and the
+/// interleaved pixel `data` array. Dimension/length consistency is left to
+/// [`RawFrame::validate`] on the serving path so the error carries the
+/// request id.
+fn parse_raw_frame(v: &JsonValue) -> Result<RawFrame, String> {
+    if !matches!(v, JsonValue::Obj(_)) {
+        return Err("malformed request: 'raw_frame' is not an object".to_string());
+    }
+    let dim = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| format!("malformed request: 'raw_frame.{key}' is not a usize"))
+    };
+    let (height, width, channels) = (dim("height")?, dim("width")?, dim("channels")?);
+    let dtype = match v.get("dtype") {
+        None | Some(JsonValue::Null) => "f32",
+        Some(t) => t
+            .as_str()
+            .ok_or_else(|| "malformed request: 'raw_frame.dtype' is not a string".to_string())?,
+    };
+    let data = v
+        .get("data")
+        .ok_or_else(|| "malformed request: 'raw_frame.data' is missing".to_string())?;
+    let data = match dtype {
+        "u8" => {
+            let arr = data
+                .as_array()
+                .ok_or_else(|| "malformed request: 'raw_frame.data' is not an array".to_string())?;
+            let mut bytes = Vec::with_capacity(arr.len());
+            for e in arr {
+                let b = e.as_u64().filter(|&b| b <= 255).ok_or_else(|| {
+                    "malformed request: u8 'raw_frame.data' holds a non-byte value".to_string()
+                })?;
+                bytes.push(b as u8);
+            }
+            FrameData::U8(bytes)
+        }
+        "f32" => FrameData::F32(data.f32_array().ok_or_else(|| {
+            "malformed request: 'raw_frame.data' is not a number array".to_string()
+        })?),
+        other => {
+            return Err(format!(
+                "malformed request: 'raw_frame.dtype' must be 'u8' or 'f32', got '{other}'"
+            ))
+        }
+    };
+    Ok(RawFrame {
+        height,
+        width,
+        channels,
+        data,
+    })
+}
+
 /// A server reply, emitted with the hand-written JSON style.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -229,6 +337,9 @@ pub enum Response {
         queue_us: f64,
         /// Wall-clock of the batch forward pass, microseconds.
         compute_us: f64,
+        /// Server-side preprocessing time for `raw_frame` requests,
+        /// microseconds (0 for pre-shaped tensor requests).
+        preprocess_us: f64,
         /// Size of the micro-batch this request rode in.
         batch: usize,
     },
@@ -259,6 +370,9 @@ pub enum Response {
         input_len: usize,
         /// Logits per response.
         classes: usize,
+        /// The preprocessing the server applies to `raw_frame` requests —
+        /// published so clients can run the identical pipeline locally.
+        preprocess: PreprocessSpec,
     },
     /// Reply to `{"cmd": "reload"}`: the new checkpoint was canary-checked
     /// and staged into every replica.
@@ -292,15 +406,18 @@ impl Response {
                 logits,
                 queue_us,
                 compute_us,
+                preprocess_us,
                 batch,
             } => {
                 let vals: Vec<String> = logits.iter().map(|&v| json_f32(v)).collect();
                 format!(
                     "{{\"id\": {id}, \"status\": \"ok\", \"logits\": [{}], \
-                     \"queue_us\": {}, \"compute_us\": {}, \"batch\": {batch}}}",
+                     \"queue_us\": {}, \"compute_us\": {}, \"preprocess_us\": {}, \
+                     \"batch\": {batch}}}",
                     vals.join(", "),
                     json_f64(*queue_us),
                     json_f64(*compute_us),
+                    json_f64(*preprocess_us),
                 )
             }
             Response::Rejected { id, reason } => {
@@ -311,8 +428,14 @@ impl Response {
                 json_string(detail)
             ),
             Response::Control { status } => format!("{{\"status\": \"{status}\"}}"),
-            Response::Info { input_len, classes } => format!(
-                "{{\"status\": \"info\", \"input_len\": {input_len}, \"classes\": {classes}}}"
+            Response::Info {
+                input_len,
+                classes,
+                preprocess,
+            } => format!(
+                "{{\"status\": \"info\", \"input_len\": {input_len}, \
+                 \"classes\": {classes}, \"preprocess\": {}}}",
+                preprocess_spec_json(preprocess),
             ),
             Response::Reloaded {
                 generation,
@@ -331,6 +454,42 @@ impl Response {
     }
 }
 
+/// Emits a [`PreprocessSpec`] as a JSON object with fixed key order. The
+/// `mean`/`std` arrays use the shortest-round-trip f32 formatting, so a
+/// client that parses this spec normalizes with bit-identical constants.
+pub(crate) fn preprocess_spec_json(spec: &PreprocessSpec) -> String {
+    let join = |vals: &[f32]| {
+        vals.iter()
+            .map(|&v| json_f32(v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\"channels\": {}, \"height\": {}, \"width\": {}, \"mean\": [{}], \
+         \"std\": [{}], \"filter\": \"{}\"}}",
+        spec.channels,
+        spec.height,
+        spec.width,
+        join(&spec.mean),
+        join(&spec.std),
+        spec.filter.name(),
+    )
+}
+
+/// Parses a `"preprocess"` object back into a [`PreprocessSpec`]; `None`
+/// when any member is missing or malformed (e.g. a pre-raw-frame server).
+fn parse_preprocess_spec(v: &JsonValue) -> Option<PreprocessSpec> {
+    let dim = |key: &str| v.get(key).and_then(JsonValue::as_usize);
+    Some(PreprocessSpec {
+        channels: dim("channels")?,
+        height: dim("height")?,
+        width: dim("width")?,
+        mean: v.get("mean")?.f32_array()?,
+        std: v.get("std")?.f32_array()?,
+        filter: Filter::parse(v.get("filter")?.as_str()?).ok()?,
+    })
+}
+
 /// A parsed server reply (client side). Absent fields keep their `Default`
 /// value, mirroring the optional-field request semantics.
 #[derive(Debug, Clone, Default)]
@@ -345,6 +504,9 @@ pub struct ResponseMsg {
     pub queue_us: f64,
     /// Compute microseconds (present when `status == "ok"`).
     pub compute_us: f64,
+    /// Server-side preprocessing microseconds (present when
+    /// `status == "ok"`; 0 for pre-shaped tensor requests).
+    pub preprocess_us: f64,
     /// Micro-batch size (present when `status == "ok"`).
     pub batch: u64,
     /// Error detail (present when `status == "error"`).
@@ -353,6 +515,9 @@ pub struct ResponseMsg {
     pub input_len: u64,
     /// Served class count (present when `status == "info"`).
     pub classes: u64,
+    /// Server-side preprocessing spec (present when `status == "info"` on
+    /// raw-frame-capable servers).
+    pub preprocess: Option<PreprocessSpec>,
     /// Swap generation (present when `status == "reloaded"`).
     pub generation: u64,
     /// Replica count that got the swap (present when `status == "reloaded"`).
@@ -390,10 +555,12 @@ impl ResponseMsg {
             logits,
             queue_us: f64_field("queue_us"),
             compute_us: f64_field("compute_us"),
+            preprocess_us: f64_field("preprocess_us"),
             batch: u64_field("batch"),
             detail: str_field("detail"),
             input_len: u64_field("input_len"),
             classes: u64_field("classes"),
+            preprocess: doc.get("preprocess").and_then(parse_preprocess_spec),
             generation: u64_field("generation"),
             replicas: u64_field("replicas"),
             max_abs_delta: f64_field("max_abs_delta"),
@@ -553,6 +720,7 @@ mod tests {
             logits: vec![1.25, -0.75, 3.0e-5],
             queue_us: 812.5,
             compute_us: 5031.25,
+            preprocess_us: 41.75,
             batch: 4,
         };
         let msg = ResponseMsg::parse(resp.to_json().as_bytes()).unwrap();
@@ -560,6 +728,7 @@ mod tests {
         assert_eq!(msg.status, "ok");
         assert_eq!(msg.batch, 4);
         assert_eq!(msg.queue_us, 812.5);
+        assert_eq!(msg.preprocess_us, 41.75);
         let bits: Vec<u32> = msg.logits.iter().map(|v| v.to_bits()).collect();
         assert_eq!(
             bits,
@@ -630,13 +799,87 @@ mod tests {
     }
 
     #[test]
-    fn info_response_parses() {
+    fn info_response_parses_with_its_preprocess_spec() {
+        let mut spec = PreprocessSpec::for_input(3, 8);
+        spec.mean = vec![0.5, 0.25, 0.125];
+        spec.std = vec![0.5, 0.5, 0.25];
+        spec.filter = Filter::Nearest;
         let info = Response::Info {
             input_len: 192,
             classes: 10,
+            preprocess: spec.clone(),
         };
         let msg = ResponseMsg::parse(info.to_json().as_bytes()).unwrap();
         assert_eq!(msg.status, "info");
         assert_eq!((msg.input_len, msg.classes), (192, 10));
+        assert_eq!(msg.preprocess.as_ref(), Some(&spec));
+        // A pre-raw-frame server omits the spec; the client sees None.
+        let msg = ResponseMsg::parse(b"{\"status\": \"info\", \"input_len\": 192}").unwrap();
+        assert!(msg.preprocess.is_none());
+    }
+
+    #[test]
+    fn raw_frame_requests_round_trip_both_dtypes() {
+        let u8_frame = RawFrame {
+            height: 2,
+            width: 3,
+            channels: 1,
+            data: FrameData::U8(vec![0, 17, 255, 1, 128, 64]),
+        };
+        let req = Request::parse(Request::raw_frame_json(9, &u8_frame).as_bytes()).unwrap();
+        assert_eq!(req.id, 9);
+        assert!(req.input.is_empty() && req.cmd.is_none());
+        assert_eq!(req.raw_frame.as_ref(), Some(&u8_frame));
+
+        let f32_frame = RawFrame {
+            height: 1,
+            width: 2,
+            channels: 2,
+            data: FrameData::F32(vec![0.1, -2.5, 1.0e-7, 3.4e38]),
+        };
+        let req = Request::parse(Request::raw_frame_json(10, &f32_frame).as_bytes()).unwrap();
+        match &req.raw_frame.as_ref().unwrap().data {
+            FrameData::F32(vals) => {
+                let bits: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+                let want = [0.1f32, -2.5, 1.0e-7, 3.4e38].map(f32::to_bits);
+                assert_eq!(bits, want, "f32 payloads survive the wire bitwise");
+            }
+            other => panic!("expected f32 data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_raw_frames_are_rejected_with_clear_errors() {
+        let cases: [(&str, &str); 4] = [
+            ("{\"raw_frame\": 3}", "not an object"),
+            (
+                "{\"raw_frame\": {\"width\": 2, \"channels\": 1, \"data\": []}}",
+                "raw_frame.height",
+            ),
+            (
+                "{\"raw_frame\": {\"height\": 1, \"width\": 1, \"channels\": 1, \
+                 \"dtype\": \"u8\", \"data\": [256]}}",
+                "non-byte",
+            ),
+            (
+                "{\"raw_frame\": {\"height\": 1, \"width\": 1, \"channels\": 1, \
+                 \"dtype\": \"u16\", \"data\": [1]}}",
+                "'u8' or 'f32'",
+            ),
+        ];
+        for (json, want) in cases {
+            let err = Request::parse(json.as_bytes()).unwrap_err();
+            assert!(err.contains(want), "{json} -> {err}");
+        }
+        // dtype defaults to f32 when absent.
+        let req = Request::parse(
+            b"{\"raw_frame\": {\"height\": 1, \"width\": 1, \"channels\": 1, \"data\": [0.5]}}",
+        )
+        .unwrap();
+        assert_eq!(
+            req.raw_frame.unwrap().data,
+            FrameData::F32(vec![0.5]),
+            "absent dtype means f32"
+        );
     }
 }

@@ -63,6 +63,7 @@ use crate::metrics::{
 use crate::model::{ModelOptions, ServeSpec, ServedModel};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::queue::{BatchReply, Dispatcher, Job, QueueConfig};
+use axnn_data::resize::PreprocessSpec;
 use axnn_obs::WindowSpec;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
@@ -83,6 +84,12 @@ pub fn queue_wait_spec() -> axnn_obs::HistSpec {
 /// Hist geometry for per-batch compute time, microseconds.
 pub fn compute_spec() -> axnn_obs::HistSpec {
     axnn_obs::HistSpec::new(0.0, 200_000.0, 64)
+}
+
+/// Hist geometry for per-request raw-frame preprocessing time,
+/// microseconds.
+pub fn preprocess_time_spec() -> axnn_obs::HistSpec {
+    axnn_obs::HistSpec::new(0.0, 20_000.0, 64)
 }
 
 /// Hist geometry for micro-batch sizes.
@@ -133,6 +140,10 @@ struct Shared {
     conns: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
     /// Live metrics: trace ids + ring, sliding windows, cumulative totals.
     metrics: MetricsPlane,
+    /// How `raw_frame` requests are resized/normalized into model inputs.
+    /// Resolved once at checkpoint load (replicas share one spec — a
+    /// reload cannot change the input shape, so it never changes).
+    preprocess: PreprocessSpec,
 }
 
 impl Shared {
@@ -212,6 +223,7 @@ impl Server {
             swap: Mutex::new(SwapInner { canary }),
             conns: Mutex::new(Vec::new()),
             metrics: MetricsPlane::new(replicas, WindowSpec::serve()),
+            preprocess: models[0].preprocess_spec().clone(),
         });
 
         let mut workers = Vec::with_capacity(replicas);
@@ -536,7 +548,11 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
     if let Some(cmd) = req.cmd.as_deref() {
         return match cmd {
             "ping" => Response::Control { status: "pong" },
-            "info" => Response::Info { input_len, classes },
+            "info" => Response::Info {
+                input_len,
+                classes,
+                preprocess: shared.preprocess.clone(),
+            },
             // Read-only snapshots, answered before admission control: they
             // keep working on a draining or overloaded server.
             "metrics" => match req.format.as_deref() {
@@ -579,10 +595,38 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
             },
         };
     }
-    if req.input.len() != input_len {
+    // Raw frames are preprocessed here on the connection thread — a
+    // pipelined stage *before* micro-batching, so preprocessing of one
+    // request overlaps the compute of others and the queue/compute path
+    // below is identical for both request forms.
+    let (input, preprocess_us) = match req.raw_frame {
+        Some(frame) => {
+            if !req.input.is_empty() {
+                return Response::Error {
+                    id: req.id,
+                    detail: "request carries both 'input' and 'raw_frame'".to_string(),
+                };
+            }
+            let started = Instant::now();
+            let decoded = {
+                let _s = axnn_obs::span("serve:preprocess");
+                shared.preprocess.apply(&frame)
+            };
+            let input = match decoded {
+                Ok(input) => input,
+                Err(detail) => return Response::Error { id: req.id, detail },
+            };
+            let us = started.elapsed().as_secs_f64() * 1e6;
+            axnn_obs::record_value("serve:preprocess_us", preprocess_time_spec(), us);
+            shared.metrics.note_preprocess(us);
+            (input, us)
+        }
+        None => (req.input, 0.0),
+    };
+    if input.len() != input_len {
         return Response::Error {
             id: req.id,
-            detail: format!("input length {} != {input_len}", req.input.len()),
+            detail: format!("input length {} != {input_len}", input.len()),
         };
     }
     let (tx, rx) = mpsc::channel();
@@ -593,7 +637,7 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
         // are monotonic in admission order and rejected requests never
         // consume one (the id space stays dense).
         trace: 0,
-        input: req.input,
+        input,
         enqueued: Instant::now(),
         reply: tx,
     };
@@ -612,6 +656,7 @@ fn dispatch(payload: &[u8], shared: &Shared, input_len: usize, classes: usize) -
                 logits: r.logits,
                 queue_us: r.queue_us,
                 compute_us: r.compute_us,
+                preprocess_us,
                 batch: r.batch,
             },
             Err(_) => Response::Error {

@@ -1,0 +1,521 @@
+//! Sustained raw-frame streaming: the open-loop frame-rate load generator
+//! behind `axnn stream`, plus the raw-vs-tensor bit-identity probe.
+//!
+//! Where `loadgen` offers pre-shaped tensors, this driver offers **raw
+//! `H×W×C` frames** on a fixed frame-rate schedule, exercising the
+//! server-side preprocessing stage in front of micro-batching. Each step
+//! reports the achieved frame rate and the per-stage latency breakdown —
+//! preprocess vs queue wait vs compute, straight from the server's
+//! per-response fields — as summaries *and* as fixed-geometry histograms
+//! (the same bucket geometry the server's metrics window uses, so
+//! client-observed and server-observed distributions line up bucket for
+//! bucket).
+//!
+//! The **probe** is the correctness half: it sends one deterministic raw
+//! frame, then preprocesses the same frame locally with the spec the
+//! server publishes over `{"cmd": "info"}` and sends the result as a
+//! pre-shaped tensor. The two logit vectors must match bit for bit —
+//! server-side preprocessing is the same kernels, so any divergence is a
+//! bug, not noise. tier-1 gates on it.
+
+use crate::loadgen::{probe_preprocess_spec, Client};
+use crate::server::{compute_spec, preprocess_time_spec, queue_wait_spec};
+use crate::stats::LatencySummary;
+use axnn_data::resize::RawFrame;
+use axnn_obs::Hist;
+use std::io;
+use std::net::ToSocketAddrs;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Parameters of one streaming run (one rate step or a whole sweep).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Concurrent connections the offered frame rate is split across.
+    pub connections: usize,
+    /// Source frame rows (before server-side resizing).
+    pub height: usize,
+    /// Source frame columns.
+    pub width: usize,
+    /// Source frame channels (must match the model's channel count — the
+    /// pipeline resizes, it does not convert colourspaces).
+    pub channels: usize,
+    /// Send `u8` pixels (the camera-byte path) instead of f32.
+    pub u8_pixels: bool,
+    /// Offered frame rates to probe, frames/s, ascending.
+    pub fps: Vec<f64>,
+    /// Wall-clock budget per rate step; the per-connection frame count is
+    /// derived as `fps * step_duration / connections` (min 4).
+    pub step_duration_s: f64,
+    /// Seed for the deterministic frame streams.
+    pub seed: u64,
+    /// A step "keeps up" when `achieved / offered ≥` this and nothing was
+    /// rejected or errored.
+    pub keepup_ratio: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            connections: 2,
+            height: 32,
+            width: 32,
+            channels: 3,
+            u8_pixels: true,
+            fps: Vec::new(),
+            step_duration_s: 1.5,
+            seed: 1,
+            keepup_ratio: 0.9,
+        }
+    }
+}
+
+/// Per-stage latency view of one rate step: summary + fixed-geometry
+/// histogram per stage, from the server-reported response fields.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    /// Server-side preprocessing (decode + resize + layout + normalize).
+    pub preprocess: Stage,
+    /// Queue wait between admission and batch cut.
+    pub queue_wait: Stage,
+    /// Batch forward pass.
+    pub compute: Stage,
+}
+
+/// One stage's latency population.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Nearest-rank percentile summary, microseconds.
+    pub summary: LatencySummary,
+    /// Fixed-geometry histogram (the matching server window geometry).
+    pub hist: Hist,
+}
+
+impl Stage {
+    fn from_samples(samples: Vec<f64>, spec: axnn_obs::HistSpec) -> Stage {
+        let mut hist = Hist::new(spec);
+        hist.record_all(samples.iter().copied());
+        Stage {
+            summary: LatencySummary::from_samples(samples),
+            hist,
+        }
+    }
+
+    /// `{"summary": {...}, "hist": {...}}` — the summary in the loadgen
+    /// style, the hist with its geometry and bucket counts.
+    pub fn to_json(&self) -> String {
+        let spec = self.hist.spec();
+        let counts: Vec<String> = self
+            .hist
+            .bucket_counts()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        format!(
+            "{{\"summary\": {{{}}}, \"hist\": {{\"lo\": {}, \"hi\": {}, \
+             \"buckets\": {}, \"counts\": [{}]}}}}",
+            self.summary.json_members(),
+            fmt(spec.lo),
+            fmt(spec.hi),
+            spec.buckets,
+            counts.join(", "),
+        )
+    }
+}
+
+/// Aggregated result of one rate step.
+#[derive(Debug, Clone)]
+pub struct StreamPoint {
+    /// Offered frame rate of this step, frames/s.
+    pub offered_fps: f64,
+    /// Whether the step met the keep-up criterion.
+    pub kept_up: bool,
+    /// Frames sent.
+    pub sent: usize,
+    /// `ok` responses.
+    pub ok: usize,
+    /// Admission-control / draining rejections.
+    pub rejected: usize,
+    /// `error` responses and transport failures.
+    pub errors: usize,
+    /// Wall-clock of the step, seconds.
+    pub elapsed_s: f64,
+    /// Completed frames per second.
+    pub achieved_fps: f64,
+    /// Client-observed end-to-end latency (from the scheduled send time —
+    /// the coordinated-omission correction, like `loadgen`).
+    pub latency: LatencySummary,
+    /// Per-stage breakdown from the server-reported fields.
+    pub stages: StageBreakdown,
+}
+
+impl StreamPoint {
+    /// Hand-written JSON object for `results/BENCH_stream.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_fps\": {}, \"kept_up\": {}, \"sent\": {}, \"ok\": {}, \
+             \"rejected\": {}, \"errors\": {}, \"elapsed_s\": {}, \
+             \"achieved_fps\": {}, \"latency\": {{{}}}, \"preprocess\": {}, \
+             \"queue_wait\": {}, \"compute\": {}}}",
+            fmt(self.offered_fps),
+            self.kept_up,
+            self.sent,
+            self.ok,
+            self.rejected,
+            self.errors,
+            fmt(self.elapsed_s),
+            fmt(self.achieved_fps),
+            self.latency.json_members(),
+            self.stages.preprocess.to_json(),
+            self.stages.queue_wait.to_json(),
+            self.stages.compute.to_json(),
+        )
+    }
+}
+
+/// Result of a frame-rate sweep: the probed points and the saturation knee.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Frame geometry the sweep offered (`HxWxC` + dtype).
+    pub frame: String,
+    /// One point per probed rate, in probe order.
+    pub points: Vec<StreamPoint>,
+    /// Highest offered frame rate that still kept up (0 when none did).
+    pub knee_offered_fps: f64,
+    /// Best achieved frame rate across all points.
+    pub knee_achieved_fps: f64,
+}
+
+impl StreamReport {
+    /// Hand-written JSON object for `results/BENCH_stream.json`.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(StreamPoint::to_json).collect();
+        format!(
+            "{{\"frame\": {}, \"knee_offered_fps\": {}, \"knee_achieved_fps\": {}, \
+             \"points\": [{}]}}",
+            crate::protocol::json_string(&self.frame),
+            fmt(self.knee_offered_fps),
+            fmt(self.knee_achieved_fps),
+            points.join(", "),
+        )
+    }
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Per-connection tally folded into a [`StreamPoint`].
+#[derive(Debug, Default)]
+struct ConnTally {
+    sent: usize,
+    ok: usize,
+    rejected: usize,
+    errors: usize,
+    latency_us: Vec<f64>,
+    preprocess_us: Vec<f64>,
+    queue_us: Vec<f64>,
+    compute_us: Vec<f64>,
+}
+
+/// Offset of the `k`-th open-loop send from the connection's start time
+/// (one f64 product — the same truncation-immune scheduling as `loadgen`).
+fn scheduled_offset(gap_secs: f64, k: usize) -> Duration {
+    Duration::from_secs_f64(gap_secs * k as f64)
+}
+
+/// Runs one open-loop rate step: `fps` frames/s split evenly across the
+/// connections, latency measured from the scheduled send time. Returns an
+/// error only when a connection cannot be established; per-frame failures
+/// are tallied.
+pub fn run_step(addr: impl ToSocketAddrs, fps: f64, cfg: &StreamConfig) -> io::Result<StreamPoint> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let conns = cfg.connections.max(1);
+    let gap_secs = conns as f64 / fps.max(1e-9);
+    let frames = ((fps * cfg.step_duration_s / conns as f64).ceil() as usize).max(4);
+    let (h, w, c, u8p) = (cfg.height, cfg.width, cfg.channels, cfg.u8_pixels);
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(conns);
+    for conn in 0..conns {
+        let seed = cfg.seed ^ ((conn as u64 + 1) * 0x9e37_79b9);
+        let handle = thread::Builder::new()
+            .name(format!("stream-{conn}"))
+            .spawn(move || -> io::Result<ConnTally> {
+                let mut client = Client::connect(addr)?;
+                let mut tally = ConnTally::default();
+                let base = Instant::now();
+                for k in 0..frames {
+                    let scheduled = base + scheduled_offset(gap_secs, k);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        thread::sleep(scheduled - now);
+                    }
+                    // A fresh deterministic frame per send: seed mixes the
+                    // connection and frame index, so re-runs offer
+                    // bit-identical frame streams.
+                    let frame = RawFrame::synthetic(h, w, c, u8p, seed ^ ((k as u64) << 20));
+                    let msg = client.infer_raw(k as u64, &frame);
+                    let latency_us = scheduled.elapsed().as_secs_f64() * 1e6;
+                    tally.sent += 1;
+                    match &msg {
+                        Ok(m) if m.status == "ok" => {
+                            tally.ok += 1;
+                            tally.latency_us.push(latency_us);
+                            tally.preprocess_us.push(m.preprocess_us);
+                            tally.queue_us.push(m.queue_us);
+                            tally.compute_us.push(m.compute_us);
+                        }
+                        Ok(m) if m.status == "overloaded" || m.status == "draining" => {
+                            tally.rejected += 1;
+                        }
+                        _ => tally.errors += 1,
+                    }
+                    if msg.is_err() {
+                        break; // transport error: the connection is unusable
+                    }
+                }
+                Ok(tally)
+            })?;
+        workers.push(handle);
+    }
+
+    let mut point = StreamPoint {
+        offered_fps: fps,
+        kept_up: false,
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        elapsed_s: 0.0,
+        achieved_fps: 0.0,
+        latency: LatencySummary::default(),
+        stages: StageBreakdown {
+            preprocess: Stage::from_samples(Vec::new(), preprocess_time_spec()),
+            queue_wait: Stage::from_samples(Vec::new(), queue_wait_spec()),
+            compute: Stage::from_samples(Vec::new(), compute_spec()),
+        },
+    };
+    let (mut latency, mut pp, mut qw, mut cu) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for handle in workers {
+        let tally = handle
+            .join()
+            .map_err(|_| io::Error::other("stream worker panicked"))??;
+        point.sent += tally.sent;
+        point.ok += tally.ok;
+        point.rejected += tally.rejected;
+        point.errors += tally.errors;
+        latency.extend(tally.latency_us);
+        pp.extend(tally.preprocess_us);
+        qw.extend(tally.queue_us);
+        cu.extend(tally.compute_us);
+    }
+    point.elapsed_s = started.elapsed().as_secs_f64();
+    if point.elapsed_s > 0.0 {
+        point.achieved_fps = point.ok as f64 / point.elapsed_s;
+    }
+    point.kept_up =
+        point.achieved_fps >= cfg.keepup_ratio * fps && point.rejected == 0 && point.errors == 0;
+    point.latency = LatencySummary::from_samples(latency);
+    point.stages = StageBreakdown {
+        preprocess: Stage::from_samples(pp, preprocess_time_spec()),
+        queue_wait: Stage::from_samples(qw, queue_wait_spec()),
+        compute: Stage::from_samples(cu, compute_spec()),
+    };
+    Ok(point)
+}
+
+/// Probes the server at every configured frame rate and locates the
+/// saturation knee, `loadgen::sweep`-style.
+pub fn sweep(addr: impl ToSocketAddrs + Copy, cfg: &StreamConfig) -> io::Result<StreamReport> {
+    let mut out = StreamReport {
+        frame: format!(
+            "{}x{}x{} {}",
+            cfg.height,
+            cfg.width,
+            cfg.channels,
+            if cfg.u8_pixels { "u8" } else { "f32" },
+        ),
+        ..StreamReport::default()
+    };
+    for (step, &fps) in cfg.fps.iter().enumerate() {
+        let mut step_cfg = cfg.clone();
+        step_cfg.seed = cfg.seed ^ ((step as u64 + 1) << 16);
+        let point = run_step(addr, fps, &step_cfg)?;
+        if point.kept_up {
+            out.knee_offered_fps = out.knee_offered_fps.max(fps);
+        }
+        out.knee_achieved_fps = out.knee_achieved_fps.max(point.achieved_fps);
+        out.points.push(point);
+    }
+    Ok(out)
+}
+
+/// Result of the raw-vs-tensor bit-identity probe.
+#[derive(Debug, Clone)]
+pub struct StreamProbe {
+    /// Whether the two logit vectors matched bit for bit.
+    pub bit_identical: bool,
+    /// Logit count (the model's class count).
+    pub classes: usize,
+    /// Largest |Δlogit| between the two paths (0 when identical).
+    pub max_abs_delta: f64,
+    /// Server-reported preprocessing time of the raw-frame path, µs.
+    pub preprocess_us: f64,
+}
+
+impl StreamProbe {
+    /// One-line JSON verdict (`"probe": "ok"` is the tier-1 grep target).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"probe\": \"{}\", \"classes\": {}, \"max_abs_delta\": {}, \
+             \"preprocess_us\": {}}}",
+            if self.bit_identical { "ok" } else { "mismatch" },
+            self.classes,
+            fmt(self.max_abs_delta),
+            fmt(self.preprocess_us),
+        )
+    }
+}
+
+/// Sends one deterministic raw frame, preprocesses the same frame locally
+/// with the server-published spec, sends the result as a pre-shaped
+/// tensor, and compares the two logit vectors bit for bit. Both requests
+/// ride the same connection, so the comparison holds at any replica or
+/// batch configuration (logits are replica- and batch-invariant).
+pub fn probe(
+    addr: impl ToSocketAddrs + Copy,
+    height: usize,
+    width: usize,
+    channels: usize,
+    u8_pixels: bool,
+    seed: u64,
+) -> io::Result<StreamProbe> {
+    let spec = probe_preprocess_spec(addr)?;
+    let frame = RawFrame::synthetic(height, width, channels, u8_pixels, seed);
+    let local = spec
+        .apply(&frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let mut client = Client::connect(addr)?;
+    let want_ok = |msg: crate::protocol::ResponseMsg, path: &str| {
+        if msg.status == "ok" {
+            Ok(msg)
+        } else {
+            Err(io::Error::other(format!(
+                "{path} path answered '{}'{}",
+                msg.status,
+                if msg.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(": {}", msg.detail)
+                }
+            )))
+        }
+    };
+    let raw = want_ok(client.infer_raw(seed, &frame)?, "raw-frame")?;
+    let tensor = want_ok(client.infer(seed.wrapping_add(1), &local)?, "tensor")?;
+    let bit_identical = raw.logits.len() == tensor.logits.len()
+        && raw
+            .logits
+            .iter()
+            .zip(&tensor.logits)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let max_abs_delta = raw
+        .logits
+        .iter()
+        .zip(&tensor.logits)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0f64, f64::max);
+    Ok(StreamProbe {
+        bit_identical,
+        classes: raw.logits.len(),
+        max_abs_delta,
+        preprocess_us: raw.preprocess_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn_obs::HistSpec;
+
+    #[test]
+    fn stage_json_carries_geometry_and_counts() {
+        let stage = Stage::from_samples(vec![100.0, 200.0, 300.0], HistSpec::new(0.0, 1000.0, 10));
+        let v = axnn_obs::json::JsonValue::parse(stage.to_json().as_bytes()).unwrap();
+        let summary = v.get("summary").unwrap();
+        assert_eq!(summary.get("count").and_then(|x| x.as_u64()), Some(3));
+        let hist = v.get("hist").unwrap();
+        assert_eq!(hist.get("buckets").and_then(|x| x.as_u64()), Some(10));
+        let counts = hist.get("counts").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(counts.len(), 10);
+        let total: u64 = counts.iter().map(|c| c.as_u64().unwrap()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let mut report = StreamReport {
+            frame: "32x48x3 u8".to_string(),
+            knee_offered_fps: 50.0,
+            knee_achieved_fps: 61.5,
+            ..StreamReport::default()
+        };
+        report.points.push(StreamPoint {
+            offered_fps: 50.0,
+            kept_up: true,
+            sent: 8,
+            ok: 8,
+            rejected: 0,
+            errors: 0,
+            elapsed_s: 0.2,
+            achieved_fps: 40.0,
+            latency: LatencySummary::from_samples(vec![500.0, 700.0]),
+            stages: StageBreakdown {
+                preprocess: Stage::from_samples(vec![90.0], preprocess_time_spec()),
+                queue_wait: Stage::from_samples(vec![250.0], queue_wait_spec()),
+                compute: Stage::from_samples(vec![1500.0], compute_spec()),
+            },
+        });
+        let v = axnn_obs::json::JsonValue::parse(report.to_json().as_bytes()).unwrap();
+        assert_eq!(v.get("frame").and_then(|x| x.as_str()), Some("32x48x3 u8"));
+        assert_eq!(
+            v.get("knee_offered_fps").and_then(|x| x.as_f64()),
+            Some(50.0)
+        );
+        let p = &v.get("points").and_then(|x| x.as_array()).unwrap()[0];
+        assert_eq!(p.get("kept_up").and_then(|x| x.as_bool()), Some(true));
+        for stage in ["preprocess", "queue_wait", "compute"] {
+            let s = p.get(stage).unwrap();
+            assert!(s.get("summary").is_some(), "{stage} carries a summary");
+            assert!(s.get("hist").is_some(), "{stage} carries a hist");
+        }
+    }
+
+    #[test]
+    fn probe_json_states_the_verdict() {
+        let ok = StreamProbe {
+            bit_identical: true,
+            classes: 10,
+            max_abs_delta: 0.0,
+            preprocess_us: 42.5,
+        };
+        assert!(ok.to_json().contains("\"probe\": \"ok\""));
+        let bad = StreamProbe {
+            bit_identical: false,
+            classes: 10,
+            max_abs_delta: 0.25,
+            preprocess_us: 42.5,
+        };
+        let v = axnn_obs::json::JsonValue::parse(bad.to_json().as_bytes()).unwrap();
+        assert_eq!(v.get("probe").and_then(|x| x.as_str()), Some("mismatch"));
+        assert_eq!(v.get("max_abs_delta").and_then(|x| x.as_f64()), Some(0.25));
+    }
+}

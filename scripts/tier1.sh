@@ -247,3 +247,52 @@ target/release/axnn obs report "$OBS_TMP/search.jsonl" | grep -q "search" || {
     exit 1
 }
 echo "tier1: search smoke OK"
+
+# Streaming data-plane smoke: one raw HxWxC frame served through the
+# preprocessing stage must yield logits bit-identical to the
+# client-preprocessed tensor path (the `stream` probe exits nonzero
+# otherwise), the preprocessing stage hists (`data:*`, `serve:preprocess`)
+# must appear in `obs top --once --json`, and the loader-backed evaluate
+# must be invariant to the worker count.
+target/release/axnn serve --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --port 0 --replicas 2 --queue-cap 64 >"$OBS_TMP/serve_stream.out" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^serving on \([^ ]*\) .*/\1/p' "$OBS_TMP/serve_stream.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "tier1: stream serve did not print its ready line" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+target/release/axnn stream --addr "$ADDR" --probe-seed 7 \
+    --frame-height 19 --frame-width 23 >"$OBS_TMP/probe.json"
+grep -q '"probe": "ok"' "$OBS_TMP/probe.json" || {
+    echo "tier1: raw-frame logits are not bit-identical to the tensor path" >&2
+    exit 1
+}
+target/release/axnn obs top "$ADDR" --once --json >"$OBS_TMP/stream_top.json"
+grep -q '"name": "data:' "$OBS_TMP/stream_top.json" || {
+    echo "tier1: metrics snapshot lacks the data:* preprocessing hists" >&2
+    exit 1
+}
+grep -q '"name": "serve:preprocess_us"' "$OBS_TMP/stream_top.json" || {
+    echo "tier1: metrics snapshot lacks the serve:preprocess stage hist" >&2
+    exit 1
+}
+target/release/axnn loadgen --addr "$ADDR" --connections 1 --requests 1 \
+    --shutdown true >/dev/null
+wait "$SERVE_PID"
+target/release/axnn evaluate --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --test 32 --loader true --loader-workers 1 >"$OBS_TMP/eval_l1.out" 2>/dev/null
+target/release/axnn evaluate --checkpoint "$OBS_TMP/ckpt.json" --width 0.2 --hw 8 \
+    --test 32 --loader true --loader-workers 3 --loader-prefetch 2 \
+    >"$OBS_TMP/eval_l3.out" 2>/dev/null
+if ! cmp -s "$OBS_TMP/eval_l1.out" "$OBS_TMP/eval_l3.out"; then
+    echo "tier1: loader-backed evaluate depends on the worker count" >&2
+    exit 1
+fi
+echo "tier1: stream smoke OK"

@@ -9,6 +9,9 @@
 //! axnn serve --checkpoint <file> [flags]     batched TCP inference service
 //! axnn loadgen (--addr <h:p> | --checkpoint <file>) [flags]
 //!                                            drive a server / run the bench matrix
+//! axnn stream (--addr <h:p> | --checkpoint <file>) [flags]
+//!                                            open-loop raw-frame streaming bench
+//!                                            + raw-vs-tensor bit-identity probe
 //! axnn obs report <run.jsonl>                markdown health report of a profile
 //! axnn obs diff <a.jsonl> <b.jsonl> [flags]  threshold-gated profile comparison
 //! axnn obs top <addr> [flags]                live metrics dashboard of a server
@@ -58,6 +61,14 @@
 //!                          as one JSONL line
 //! --compiled true          also score the quantized model through the
 //!                          fused graph executor (reports plan-cache stats)
+//! --loader true            stream the splits through the prefetching
+//!                          dataloader (full raw-frame pipeline) instead of
+//!                          materializing them from one sequential RNG;
+//!                          `evaluate` accepts the same flag and then scores
+//!                          batch-by-batch as they arrive
+//! --loader-workers <W> / --loader-prefetch <P>   loader shape      [2 / 4]
+//! --loader-src-hw <H>      render frames at H×H and resize to the model
+//!                          input (0 keeps the identity resize)        [0]
 //! ```
 //!
 //! Search flags (defaults in brackets; training flags as in `pipeline`):
@@ -95,6 +106,27 @@
 //! The server prints `serving on <addr> ...` once ready and runs until a
 //! client sends `{"cmd": "shutdown"}` (`axnn loadgen --shutdown true`
 //! does); it then drains admitted work and exits.
+//!
+//! Stream flags (defaults in brackets):
+//!
+//! ```text
+//! --probe-seed <S>          probe mode: send one deterministic raw frame
+//!                           and the locally preprocessed tensor, print the
+//!                           verdict JSON, exit nonzero unless the logits
+//!                           match bit for bit
+//! --fps <A,B,..>            explicit offered-rate ladder, frames/s
+//! --sweep-steps <N>         ladder size when --fps is absent          [5]
+//! --est-fps <F>             calibration rate the ladder brackets      [40]
+//! --connections <C>         parallel frame streams                    [2]
+//! --frame-height <px> / --frame-width <px>   source frame size   [48 / 48]
+//! --channels <C> / --dtype <u8|f32>          frame payload        [3 / u8]
+//! --step-s <S>              wall-clock budget per rate step         [1.5]
+//! --out <file>              sweep report            [results/BENCH_stream.json]
+//! ```
+//!
+//! `--checkpoint` mode starts an in-process server first and accepts the
+//! `serve` flags (`--model --width --hw --executor --mult --replicas
+//! --max-batch --batch-window-us --queue-cap --threads --compiled`).
 
 use approxnn::approxkd::pipeline::ModelKind;
 use approxnn::approxkd::{ExperimentEnv, Method, StageConfig};
@@ -143,6 +175,47 @@ fn model_options(flags: &Flags, executor: ServeExecutor) -> Result<ModelOptions,
         calib_samples: 64,
         compiled: flags.parsed("compiled", true)?,
     })
+}
+
+/// Loader shape from the shared `--loader-*` flags; `batch`/`seed` come
+/// from the calling command.
+fn loader_config(
+    flags: &Flags,
+    batch: usize,
+    seed: u64,
+) -> Result<approxnn::data::loader::LoaderConfig, String> {
+    let mut cfg = approxnn::data::loader::LoaderConfig::new(batch, seed);
+    cfg.workers = flags.parsed("loader-workers", 2)?;
+    cfg.prefetch = flags.parsed("loader-prefetch", 4)?;
+    if cfg.workers == 0 || cfg.prefetch == 0 {
+        return Err("--loader-workers and --loader-prefetch must be at least 1".to_string());
+    }
+    let src: usize = flags.parsed("loader-src-hw", 0)?;
+    if src > 0 && src < 4 {
+        return Err("--loader-src-hw must be at least 4 (or 0 for identity)".to_string());
+    }
+    cfg.src_hw = (src > 0).then_some(src);
+    Ok(cfg)
+}
+
+/// Scores one loader epoch batch-by-batch as it streams in — the
+/// `evaluate --loader` path, which never materializes the split.
+fn streamed_accuracy(
+    loader: &approxnn::data::loader::StreamLoader,
+    mut forward: impl FnMut(&approxnn::tensor::Tensor) -> approxnn::tensor::Tensor,
+) -> f32 {
+    let mut correct = 0.0f32;
+    let mut count = 0usize;
+    for (inputs, labels) in loader.epoch(0) {
+        let logits = forward(&inputs);
+        correct += approxnn::nn::loss::accuracy(&logits, &labels) * labels.len() as f32;
+        count += labels.len();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        correct / count as f32
+    }
 }
 
 fn cmd_characterize(args: &[String]) -> Result<(), String> {
@@ -194,7 +267,8 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "axnn pipeline [--model M --mult ID --method NAME --t2 T --epochs E \
                          --fp-epochs F --seed S --width W --hw H --train N --test N \
-                         --save FILE --profile FILE --compiled true]";
+                         --save FILE --profile FILE --compiled true --loader true \
+                         --loader-workers W --loader-prefetch P --loader-src-hw H]";
     let flags = parse_known(
         args,
         &[
@@ -212,6 +286,10 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
             "save",
             "profile",
             "compiled",
+            "loader",
+            "loader-workers",
+            "loader-prefetch",
+            "loader-src-hw",
         ],
         USAGE,
     )?;
@@ -236,7 +314,32 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     }
 
     let cfg = ModelConfig::paper().with_width(width).with_input_hw(hw);
-    let mut env = ExperimentEnv::new(kind, cfg, train, test, seed);
+    let mut env = if flags.parsed("loader", false)? {
+        // Stream both splits through the prefetching dataloader (the full
+        // raw-frame pipeline), using the same split-seed separation idiom
+        // as `SynthCifar::generate`.
+        let gen = approxnn::data::SynthCifar::new(hw);
+        let train_ds = approxnn::data::loader::StreamLoader::new(
+            gen,
+            train,
+            loader_config(&flags, 32, seed ^ 0x7261_696e)?,
+        )
+        .materialize(0);
+        let test_ds = approxnn::data::loader::StreamLoader::new(
+            gen,
+            test,
+            loader_config(&flags, 32, seed ^ 0x7465_7374)?,
+        )
+        .materialize(0);
+        eprintln!(
+            "loader streamed {} train / {} test images",
+            train_ds.labels.len(),
+            test_ds.labels.len()
+        );
+        ExperimentEnv::with_data(kind, cfg, train_ds, test_ds, seed)
+    } else {
+        ExperimentEnv::new(kind, cfg, train, test, seed)
+    };
     let fp_cfg = StageConfig {
         epochs: fp_epochs,
         batch: 32,
@@ -326,8 +429,10 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    use approxnn::nn::Layer;
     const USAGE: &str = "axnn evaluate --checkpoint <file> [--model M --seed S --width W \
-                         --hw H --test N --compiled true --profile FILE]";
+                         --hw H --test N --compiled true --profile FILE --loader true \
+                         --loader-workers W --loader-prefetch P --loader-src-hw H]";
     let flags = parse_known(
         args,
         &[
@@ -339,6 +444,10 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             "test",
             "compiled",
             "profile",
+            "loader",
+            "loader-workers",
+            "loader-prefetch",
+            "loader-src-hw",
         ],
         USAGE,
     )?;
@@ -375,11 +484,44 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     };
     ckpt.restore(&mut net).map_err(|e| e.to_string())?;
 
-    let (_, test_data) = approxnn::data::SynthCifar::new(hw).generate(0, test, seed);
+    // `--loader` streams the split through the prefetching dataloader and
+    // scores batches as they arrive; otherwise the split is materialized
+    // from the generator's single sequential stream (different, equally
+    // deterministic image streams — see `axnn_data::loader`).
+    let loader = if flags.parsed("loader", false)? {
+        let lcfg = loader_config(&flags, 32, seed ^ 0x7465_7374)?;
+        eprintln!(
+            "streaming {test} test images ({} workers, prefetch {})",
+            lcfg.workers, lcfg.prefetch
+        );
+        Some(approxnn::data::loader::StreamLoader::new(
+            approxnn::data::SynthCifar::new(hw),
+            test,
+            lcfg,
+        ))
+    } else {
+        None
+    };
+    let test_data = match &loader {
+        Some(_) => None,
+        None => Some(
+            approxnn::data::SynthCifar::new(hw)
+                .generate(0, test, seed)
+                .1,
+        ),
+    };
+    let score =
+        |forward: &mut dyn FnMut(&approxnn::tensor::Tensor) -> approxnn::tensor::Tensor| match (
+            &loader, &test_data,
+        ) {
+            (Some(l), _) => streamed_accuracy(l, forward),
+            (None, Some(d)) => approxnn::nn::train::evaluate_with(forward, d, 32),
+            (None, None) => unreachable!("one evaluation source is always built"),
+        };
     let acc = if compiled {
         match approxnn::nn::GraphExecutor::compile(&mut net) {
             Ok(mut exec) => {
-                let acc = approxnn::nn::train::evaluate_with(|x| exec.forward(x), &test_data, 32);
+                let acc = score(&mut |x| exec.forward(x));
                 let stats = exec.cache_stats();
                 eprintln!(
                     "compiled graph: {} plans, plan cache {} hits / {} misses",
@@ -391,11 +533,11 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             }
             Err(e) => {
                 eprintln!("{e}; falling back to interpreter");
-                approxnn::nn::train::evaluate(&mut net, &test_data, 32)
+                score(&mut |x| net.forward(x, approxnn::nn::Mode::Eval))
             }
         }
     } else {
-        approxnn::nn::train::evaluate(&mut net, &test_data, 32)
+        score(&mut |x| net.forward(x, approxnn::nn::Mode::Eval))
     };
 
     if let Some(path) = &profile_path {
@@ -685,8 +827,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if profile_path.is_some() {
         approxnn::obs::reset();
         approxnn::obs::set_enabled(true);
-        approxnn::obs::set_health_enabled(true);
     }
+    // Health hists are cheap (fixed bucket arrays) and feed the `metrics`
+    // snapshot's `health[]`, so `obs top` shows the raw-frame preprocessing
+    // stages (`data:*_us`, `serve:preprocess_us`) on any running server.
+    approxnn::obs::set_health_enabled(true);
 
     let mut server = serve::Server::start(&spec, &format!("{host}:{port}"), queue, replicas)
         .map_err(|e| e.to_string())?;
@@ -845,6 +990,198 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Drives the streaming bench (or the bit-identity probe) against a
+/// serving address — the shared back half of both `axnn stream` modes.
+fn stream_drive(
+    addr: &str,
+    flags: &Flags,
+    mut cfg: serve::StreamConfig,
+    fps: Option<Vec<f64>>,
+) -> Result<(), String> {
+    if flags.has("probe-seed") {
+        let seed: u64 = flags.parsed("probe-seed", 0)?;
+        let verdict = serve::stream::probe(
+            addr,
+            cfg.height,
+            cfg.width,
+            cfg.channels,
+            cfg.u8_pixels,
+            seed,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("{}", verdict.to_json());
+        return if verdict.bit_identical {
+            Ok(())
+        } else {
+            Err(format!(
+                "raw-frame and tensor logits diverged (max |delta| {})",
+                verdict.max_abs_delta
+            ))
+        };
+    }
+    cfg.fps = match fps {
+        Some(list) => list,
+        None => {
+            // One calibration step finds the ballpark throughput; the
+            // ladder then brackets it, `loadgen` style.
+            let steps: usize = flags.parsed("sweep-steps", 5)?;
+            let est: f64 = flags.parsed("est-fps", 40.0)?;
+            if est <= 0.0 {
+                return Err("--est-fps must be positive".to_string());
+            }
+            let cal = serve::stream::run_step(addr, est, &cfg).map_err(|e| e.to_string())?;
+            eprintln!(
+                "calibration at {est} fps achieved {:.1} fps",
+                cal.achieved_fps
+            );
+            serve::loadgen::rate_ladder(cal.achieved_fps.max(1.0), steps)
+        }
+    };
+    let report = serve::stream::sweep(addr, &cfg).map_err(|e| e.to_string())?;
+    for p in &report.points {
+        eprintln!(
+            "  offered {:>7.1} fps -> achieved {:>7.1} fps ({} ok, {} rejected, {} errors, \
+             p99 {:.0} us, preprocess p50 {:.0} us){}",
+            p.offered_fps,
+            p.achieved_fps,
+            p.ok,
+            p.rejected,
+            p.errors,
+            p.latency.p99_us,
+            p.stages.preprocess.summary.p50_us,
+            if p.kept_up { "" } else { "  [saturated]" },
+        );
+    }
+    println!(
+        "knee: kept up through {:.1} offered fps (best achieved {:.1} fps) for {} frames",
+        report.knee_offered_fps, report.knee_achieved_fps, report.frame
+    );
+    let out: String = flags.parsed("out", "results/BENCH_stream.json".to_string())?;
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "axnn stream --addr <host:port> [--probe-seed S | --fps A,B,.. | \
+                         --sweep-steps N --est-fps F] [--connections C --frame-height H \
+                         --frame-width W --channels C --dtype u8|f32 --step-s S --seed S \
+                         --out FILE]\n       \
+                         axnn stream --checkpoint <file> [--model M --width W --hw H \
+                         --executor E --mult ID --replicas R --max-batch N --batch-window-us U \
+                         --queue-cap Q --threads T --compiled B + the flags above]";
+    let flags = parse_known(
+        args,
+        &[
+            "addr",
+            "checkpoint",
+            "probe-seed",
+            "fps",
+            "sweep-steps",
+            "est-fps",
+            "connections",
+            "frame-height",
+            "frame-width",
+            "channels",
+            "dtype",
+            "step-s",
+            "seed",
+            "out",
+            "model",
+            "width",
+            "hw",
+            "executor",
+            "mult",
+            "replicas",
+            "max-batch",
+            "batch-window-us",
+            "queue-cap",
+            "threads",
+            "compiled",
+        ],
+        USAGE,
+    )?;
+    let u8_pixels = match flags.parsed("dtype", "u8".to_string())?.as_str() {
+        "u8" => true,
+        "f32" => false,
+        other => return Err(format!("unknown dtype '{other}' (use u8|f32)")),
+    };
+    let cfg = serve::StreamConfig {
+        connections: flags.parsed("connections", 2)?,
+        height: flags.parsed("frame-height", 48)?,
+        width: flags.parsed("frame-width", 48)?,
+        channels: flags.parsed("channels", 3)?,
+        u8_pixels,
+        step_duration_s: flags.parsed("step-s", 1.5)?,
+        seed: flags.parsed("seed", 1)?,
+        ..serve::StreamConfig::default()
+    };
+    if cfg.connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    if cfg.height == 0 || cfg.width == 0 || cfg.channels == 0 {
+        return Err("frame dimensions must be non-zero".to_string());
+    }
+    let fps: Option<Vec<f64>> = match flags.get("fps") {
+        Some(list) => {
+            let rates = list
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("--fps '{s}': {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if rates.is_empty() || rates.iter().any(|&r| !r.is_finite() || r <= 0.0) {
+                return Err("--fps needs a comma list of positive rates".to_string());
+            }
+            Some(rates)
+        }
+        None => None,
+    };
+    match (flags.get("addr"), flags.get("checkpoint")) {
+        (Some(_), Some(_)) | (None, None) => Err(format!(
+            "give exactly one of --addr or --checkpoint\nusage: {USAGE}"
+        )),
+        (Some(addr), None) => stream_drive(addr, &flags, cfg, fps),
+        (None, Some(path)) => {
+            // Self-contained mode: start an in-process server, stream
+            // against it, then shut it down — one command produces
+            // `results/BENCH_stream.json` from a checkpoint file.
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            approxnn::par::set_threads(flags.parsed("threads", 0)?);
+            let executor: ServeExecutor = flags.parsed("executor", ServeExecutor::Exact)?;
+            let opts = model_options(&flags, executor)?;
+            let queue = serve::QueueConfig {
+                capacity: flags.parsed("queue-cap", 64)?,
+                max_batch: flags.parsed("max-batch", 8)?,
+                batch_window: Duration::from_micros(flags.parsed("batch-window-us", 2000)?),
+            };
+            if queue.capacity == 0 || queue.max_batch == 0 {
+                return Err("--queue-cap and --max-batch must be at least 1".to_string());
+            }
+            let replicas: usize = flags.parsed("replicas", 2)?;
+            if replicas == 0 {
+                return Err("--replicas must be at least 1".to_string());
+            }
+            let spec = serve::ServeSpec::from_json(&json, &opts)?;
+            let mut server = serve::Server::start(&spec, "127.0.0.1:0", queue, replicas)
+                .map_err(|e| e.to_string())?;
+            let addr = server.addr().to_string();
+            eprintln!("in-process server on {addr} (executor {executor}, {replicas} replica(s))");
+            let outcome = stream_drive(&addr, &flags, cfg, fps);
+            let _ = serve::shutdown_server(addr.as_str());
+            server.join();
+            outcome
+        }
+    }
+}
+
 fn last_profile(path: &str) -> Result<approxnn::obs::RunProfile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut profiles = approxnn::report::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -981,6 +1318,8 @@ fn usage() {
     println!("  serve --checkpoint <f>      batched TCP inference service");
     println!("  loadgen --addr <h:p>        drive a server (closed/open loop)");
     println!("  loadgen --checkpoint <f>    run the serving bench matrix");
+    println!("  stream --addr <h:p>         open-loop raw-frame streaming bench / probe");
+    println!("  stream --checkpoint <f>     same, against an in-process server");
     println!("  obs report <run.jsonl>      markdown numeric-health report");
     println!("  obs diff <a> <b>            compare profiles; nonzero exit on regression");
     println!("  obs top <addr>              live metrics dashboard (--once --json to script)");
@@ -999,6 +1338,7 @@ fn main() -> ExitCode {
         Some("search") => cmd_search(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         Some("help") | None => {
             usage();

@@ -14,6 +14,11 @@
 //! 5. **Observability is passive** — logits are bit-identical with the
 //!    metrics plane enabled and disabled, and the trace ring stays bounded
 //!    and strictly ordered under concurrent multi-replica load.
+//! 6. **Preprocessing is location- and thread-invariant** — the raw-frame
+//!    pipeline (decode → resize → layout → normalize) produces bit-identical
+//!    results at every worker-thread count, and a raw frame preprocessed by
+//!    the server yields the same logits as preprocessing it client-side
+//!    with the spec the server publishes.
 //!
 //! `set_threads` is process-global, so every case body takes [`serial`].
 
@@ -22,7 +27,8 @@ use approxnn::models::{resnet20, ModelConfig};
 use approxnn::nn::{Checkpoint, Layer, Mode};
 use approxnn::par;
 use approxnn::serve::{
-    Client, ModelOptions, QueueConfig, Request, ServeExecutor, ServeSpec, ServedModel, Server,
+    probe_preprocess_spec, Client, Filter, ModelOptions, PreprocessSpec, QueueConfig, RawFrame,
+    Request, ServeExecutor, ServeSpec, ServedModel, Server,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -437,6 +443,92 @@ proptest! {
             prop_assert!(t.get("plan_cache_hit").and_then(|v| v.as_bool()).is_some());
         }
         par::set_threads(0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The raw-frame preprocessing pipeline is bit-identical at every
+    /// worker-thread count, for both pixel dtypes and both filters — the
+    /// same guarantee the GEMM kernels make, extended to the data plane.
+    #[test]
+    fn preprocessing_is_bit_identical_across_thread_counts(
+        seed in 0u64..200,
+        src_h in 4usize..25,
+        src_w in 4usize..25,
+        u8_pixels in any::<bool>(),
+        bilinear in any::<bool>(),
+        threads in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let _g = serial();
+        let mut spec = PreprocessSpec::for_input(3, HW);
+        spec.filter = if bilinear { Filter::Bilinear } else { Filter::Nearest };
+        let frame = RawFrame::synthetic(src_h, src_w, 3, u8_pixels, seed);
+        par::set_threads(1);
+        let reference: Vec<u32> = spec
+            .apply(&frame)
+            .expect("synthetic frames are well-formed")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        par::set_threads(threads);
+        let parallel: Vec<u32> = spec
+            .apply(&frame)
+            .expect("synthetic frames are well-formed")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        par::set_threads(0);
+        prop_assert_eq!(reference, parallel,
+            "{}x{} u8={} bilinear={} differs at {} threads",
+            src_h, src_w, u8_pixels, bilinear, threads);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Client-side and server-side preprocessing are the same computation:
+    /// a raw frame sent to a running server yields bit-identical logits to
+    /// preprocessing it locally (with the spec the server publishes over
+    /// `info`) and sending the tensor — at every replica count, thread
+    /// count, and executor family.
+    #[test]
+    fn raw_frames_preprocess_identically_client_and_server_side(
+        seed in 300u64..340,
+        src_h in 4usize..20,
+        src_w in 4usize..20,
+        u8_pixels in any::<bool>(),
+        replicas in prop::sample::select(vec![1usize, 2]),
+        threads in prop::sample::select(vec![1usize, 2]),
+        executor in prop::sample::select(vec![
+            ServeExecutor::Exact,
+            ServeExecutor::Quant,
+            ServeExecutor::Approx,
+        ]),
+    ) {
+        let _g = serial();
+        par::set_threads(threads);
+        let server = shared_server(executor, replicas);
+        let addr = server.addr();
+        let spec = probe_preprocess_spec(addr).expect("info publishes the spec");
+        prop_assert_eq!(spec.input_len(), server.input_len());
+        let frame = RawFrame::synthetic(src_h, src_w, 3, u8_pixels, seed);
+        let local = spec.apply(&frame).expect("synthetic frames are well-formed");
+        let mut client = Client::connect(addr).expect("connect");
+        let raw = client.infer_raw(seed, &frame).expect("raw round trip");
+        prop_assert_eq!(raw.status.as_str(), "ok", "raw frame: {}", raw.detail);
+        let tensor = client.infer(seed + 1, &local).expect("tensor round trip");
+        prop_assert_eq!(tensor.status.as_str(), "ok", "tensor: {}", tensor.detail);
+        prop_assert!(raw.preprocess_us > 0.0, "raw path must report preprocess time");
+        prop_assert_eq!(tensor.preprocess_us, 0.0);
+        let a: Vec<u32> = raw.logits.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = tensor.logits.iter().map(|v| v.to_bits()).collect();
+        par::set_threads(0);
+        prop_assert_eq!(a, b,
+            "{}x{} u8={} logits differ server-side vs client-side at {} replicas / {} threads",
+            src_h, src_w, u8_pixels, replicas, threads);
     }
 }
 
